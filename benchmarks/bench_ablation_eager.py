@@ -1,0 +1,77 @@
+"""Experiment A-EAGER — on-the-fly vs post-execution failure detection.
+
+The paper's conclusion points at hardware support [47] (Zhang,
+Rauchwerger & Torrellas, HPCA-4: speculative run-time parallelization
+*in hardware*, with conflicts detected as they happen).  This ablation
+models that: eager detection aborts the speculative attempt at the first
+definite conflict, so a failing loop pays far less than the full marked
+doall + analysis, while passing loops are unaffected.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads.synthetic import build_dependence_injected
+
+FRACTIONS = (0.0, 0.05, 0.25)
+
+
+def _run(workload, eager):
+    runner = LoopRunner(workload.program(), workload.inputs)
+    config = RunConfig(model=fx80(), eager_failure_detection=eager)
+    serial = runner.serial_run(config.model)
+    report = runner.run(Strategy.SPECULATIVE, config)
+    return report, report.loop_time / serial.loop_time
+
+
+def test_ablation_eager_detection(benchmark, artifact):
+    def sweep():
+        rows = []
+        for fraction in FRACTIONS:
+            workload = build_dependence_injected(n=400, dep_fraction=fraction)
+            lazy_report, lazy_ratio = _run(workload, eager=False)
+            eager_report, eager_ratio = _run(workload, eager=True)
+            rows.append((fraction, lazy_report, lazy_ratio, eager_report, eager_ratio))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    artifact(
+        "ablation_eager",
+        format_table(
+            ["dep fraction", "passed", "lazy time/serial", "eager time/serial",
+             "aborted after (iters of 400)"],
+            [
+                [
+                    fraction,
+                    lazy_report.passed,
+                    lazy_ratio,
+                    eager_ratio,
+                    eager_report.stats.get("aborted_after", "-"),
+                ]
+                for fraction, lazy_report, lazy_ratio, eager_report, eager_ratio in rows
+            ],
+            title="On-the-fly (eager) vs post-execution failure detection",
+        ),
+    )
+
+    for fraction, lazy_report, lazy_ratio, eager_report, eager_ratio in rows:
+        if fraction == 0.0:
+            # Passing loops: eager detection costs nothing.
+            assert lazy_report.passed and eager_report.passed
+            assert abs(lazy_ratio - eager_ratio) < 1e-6
+        else:
+            assert not lazy_report.passed and not eager_report.passed
+            # Eager failing runs are strictly cheaper than lazy ones.
+            assert eager_ratio < lazy_ratio
+            assert eager_report.stats["aborted_after"] < 400
+    # Denser dependences are detected sooner.
+    aborts = [
+        eager_report.stats["aborted_after"]
+        for fraction, _l, _lr, eager_report, _er in rows
+        if fraction > 0.0
+    ]
+    assert aborts[-1] <= aborts[0]

@@ -1,0 +1,41 @@
+"""Experiment A-MARK — ablation: marking-cost sensitivity.
+
+The paper closes by arguing for hardware support for the marking
+operations [47]: the speculative speedup is a direct function of the
+per-reference marking cost.  Sweeping the cost-model ``mark`` weight
+quantifies that: zero-cost marking (the hardware-assisted limit)
+approaches the ideal, and expensive marking erodes the speedup.
+"""
+
+from conftest import run_once
+
+from repro.evalx.figures import marking_overhead_series
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+
+MARK_COSTS = (0.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_ablation_marking_cost(benchmark, artifact):
+    points = run_once(
+        benchmark,
+        lambda: marking_overhead_series(mark_costs=MARK_COSTS, procs=8, model=fx80()),
+    )
+    artifact(
+        "ablation_marking",
+        format_table(
+            ["mark cost (cycles)", "marked/unmarked work", "speedup at p=8"],
+            [[p.mark_cost, p.overhead_factor, p.speedup_at_p] for p in points],
+            title="Marking-cost sensitivity (BDNA, speculative, p=8)",
+        ),
+    )
+
+    overheads = [p.overhead_factor for p in points]
+    speedups = [p.speedup_at_p for p in points]
+    # Overhead factor is 1.0 with free marking and strictly increasing.
+    assert abs(overheads[0] - 1.0) < 1e-9
+    assert all(a < b for a, b in zip(overheads, overheads[1:]))
+    # Speedup strictly decreases as marking gets more expensive.
+    assert all(a > b for a, b in zip(speedups, speedups[1:]))
+    # The hardware-assisted limit buys a substantial factor.
+    assert speedups[0] > 1.3 * speedups[-1]

@@ -1,0 +1,41 @@
+"""Experiment A-PD — ablation: PD (reference-based) vs LPD (value-based).
+
+The paper's improvement over the ICS'94 PD test: marking only the reads
+whose values participate in the cross-iteration flow qualifies loops the
+reference-based test rejects — here, loops whose conflicting reads are
+dynamically dead (used only under a rare condition).
+"""
+
+from conftest import run_once
+
+from repro.evalx.figures import pd_vs_lpd_comparison
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+
+FRACTIONS = (0.0, 0.1, 1.0)
+
+
+def test_ablation_pd_vs_lpd(benchmark, artifact):
+    points = run_once(
+        benchmark, lambda: pd_vs_lpd_comparison(live_fractions=FRACTIONS, model=fx80())
+    )
+    artifact(
+        "ablation_pd_vs_lpd",
+        format_table(
+            ["live-use fraction", "PD passes", "LPD passes"],
+            [[p.live_fraction, p.pd_passed, p.lpd_passed] for p in points],
+            title="PD vs LPD qualification on conditionally-dead reads",
+        ),
+    )
+
+    by_fraction = {p.live_fraction: p for p in points}
+    # Fully dead conflicting reads: only the value-based test qualifies.
+    assert by_fraction[0.0].lpd_passed
+    assert not by_fraction[0.0].pd_passed
+    # Any live use of a conflicting read fails both (soundness).
+    assert not by_fraction[0.1].lpd_passed
+    assert not by_fraction[1.0].lpd_passed
+    # PD never passes something LPD rejects.
+    for p in points:
+        if p.pd_passed:
+            assert p.lpd_passed

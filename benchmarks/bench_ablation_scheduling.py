@@ -1,0 +1,68 @@
+"""Experiment A-SCHED — iteration scheduling policy ablation.
+
+The Alliant machines self-scheduled loop iterations; this repo defaults
+to block scheduling (which the processor-wise test requires).  On a
+load-imbalanced loop (BDNA's per-atom neighbour counts vary) dynamic
+self-scheduling recovers the imbalance that block scheduling leaves on
+the table, at a small dispatch premium on balanced loops.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+from repro.machine.schedule import ScheduleKind
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads.base import Workload
+from repro.workloads.bdna import build_bdna
+
+
+def _skewed_bdna(n=240, seed=0) -> Workload:
+    """BDNA variant with heavily skewed neighbour counts (imbalance)."""
+    workload = build_bdna(n=n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    cnt = np.where(rng.random(n) < 0.1, 12, 2)  # few heavy atoms
+    base = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+    pool = int(cnt.sum())
+    workload.inputs["cnt"] = cnt
+    workload.inputs["base"] = base
+    # Regenerate a pool of the right size.
+    sites = workload.inputs["pos"].size
+    workload.inputs["nbr"] = rng.integers(1, sites + 1, workload.inputs["nbr"].size)
+    assert pool <= workload.inputs["nbr"].size
+    return workload
+
+
+def test_ablation_scheduling_policy(benchmark, artifact):
+    def sweep():
+        workload = _skewed_bdna()
+        rows = []
+        for kind in (ScheduleKind.BLOCK, ScheduleKind.CYCLIC, ScheduleKind.DYNAMIC):
+            runner = LoopRunner(workload.program(), workload.inputs)
+            report = runner.run(
+                Strategy.SPECULATIVE, RunConfig(model=fx80(), schedule=kind)
+            )
+            rows.append((kind.value, report))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    artifact(
+        "ablation_scheduling",
+        format_table(
+            ["schedule", "passed", "speedup at p=8", "body cycles"],
+            [[kind, r.passed, r.speedup, r.times.body] for kind, r in rows],
+            title="Scheduling policy on a load-imbalanced BDNA (p=8)",
+        ),
+    )
+
+    by_kind = {kind: report for kind, report in rows}
+    for report in by_kind.values():
+        assert report.passed
+    # Dynamic self-scheduling beats static block on the imbalanced loop.
+    assert by_kind["dynamic"].times.body <= by_kind["block"].times.body
+    assert by_kind["dynamic"].speedup >= by_kind["block"].speedup
+    # All policies compute the same result (covered by the pass + the
+    # oracle checks in the test suite); here we check timing sanity only.
+    assert by_kind["cyclic"].speedup > 0.5

@@ -1,0 +1,20 @@
+"""Experiment F-ADM — ADM/RUN_do20 speedup figure.
+
+Paper shape: privatization only (work vector), near-ideal scaling since
+the block writes are disjoint and the work is regular.
+"""
+
+from conftest import loop_figure_bench
+
+from repro.workloads.adm import build_adm
+
+
+def test_fig_adm(benchmark, artifact):
+    figure = loop_figure_bench(
+        benchmark, artifact, build_adm(), "fig_adm",
+        expect_inspector=True, min_speedup_at_8=3.0,
+    )
+    spec = figure["speculative"].speedups()
+    ideal = figure["ideal"].speedups()
+    # Regular loop: speculative reaches a healthy fraction of ideal at p=8.
+    assert spec[3] > 0.5 * ideal[3]

@@ -1,0 +1,20 @@
+"""Experiment F-BDNA — BDNA/ACTFOR_do240 speedup figure.
+
+Paper shape: privatization + reduction; both speculative and
+inspector/executor lines exist (the inspector recomputes ``ind``), with
+speculative at least matching inspector/executor.
+"""
+
+from conftest import loop_figure_bench
+
+from repro.workloads.bdna import build_bdna
+
+
+def test_fig_bdna(benchmark, artifact):
+    figure = loop_figure_bench(
+        benchmark, artifact, build_bdna(), "fig_bdna",
+        expect_inspector=True, min_speedup_at_8=2.5,
+    )
+    spec = figure["speculative"].speedups()
+    insp = figure["inspector"].speedups()
+    assert spec[3] >= insp[3] * 0.95  # p=8: speculative >= inspector

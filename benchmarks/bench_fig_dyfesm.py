@@ -1,0 +1,18 @@
+"""Experiment F-DYFESM — DYFESM/SOLVH speedup figure.
+
+Paper shape: a clean segmented-sum reduction (plus a max reduction)
+with regular inner-loop work: one of the best-scaling loops.
+"""
+
+from conftest import loop_figure_bench
+
+from repro.workloads.dyfesm import build_dyfesm
+
+
+def test_fig_dyfesm(benchmark, artifact):
+    figure = loop_figure_bench(
+        benchmark, artifact, build_dyfesm(), "fig_dyfesm",
+        expect_inspector=True, min_speedup_at_8=3.5,
+    )
+    spec = figure["speculative"].speedups()
+    assert spec[5] > spec[3]  # still scaling at p=14

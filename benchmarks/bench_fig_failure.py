@@ -1,0 +1,43 @@
+"""Experiment F-FAIL — the cost of failed speculation.
+
+Paper claim: when the test fails, the loop is re-executed serially, so
+the total cost is the serial time plus the (fully parallelizable)
+speculative attempt and rollback — a bounded slowdown, independent of
+how many dependences the loop actually has.
+"""
+
+from conftest import run_once
+
+from repro.evalx.figures import failure_cost_series
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+
+FRACTIONS = (0.0, 0.02, 0.05, 0.1, 0.25, 0.5)
+
+
+def test_fig_failure_cost(benchmark, artifact):
+    points = run_once(
+        benchmark,
+        lambda: failure_cost_series(fractions=FRACTIONS, n=400, model=fx80()),
+    )
+    artifact(
+        "fig_failure",
+        format_table(
+            ["dep fraction", "passed", "time / serial"],
+            [[p.dep_fraction, p.passed, p.slowdown_vs_serial] for p in points],
+            title="Failed-speculation cost vs injected dependence density",
+        ),
+    )
+
+    # Independent loop: a real speedup.
+    assert points[0].passed
+    assert points[0].slowdown_vs_serial < 1.0
+
+    failing = points[1:]
+    assert all(not p.passed for p in failing)
+    slowdowns = [p.slowdown_vs_serial for p in failing]
+    # Failure costs serial + bounded overhead...
+    assert all(1.0 < s < 2.5 for s in slowdowns)
+    # ...and is essentially flat in the dependence density (the attempt
+    # is paid once regardless of how wrong the speculation was).
+    assert max(slowdowns) - min(slowdowns) < 0.3

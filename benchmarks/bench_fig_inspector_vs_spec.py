@@ -1,0 +1,99 @@
+"""Experiment F-IVE — speculative vs inspector/executor trade-off.
+
+Paper discussion (§V): speculative execution marks while doing useful
+work, so when the test passes it traverses the loop once; the
+inspector/executor traverses twice (address slice + executor) but never
+needs checkpoint/rollback.  The crossover depends on how much of the
+body is address computation:
+
+* a loop that is almost all address computation (thin body) makes the
+  inspector nearly as expensive as the loop itself → speculation wins
+  clearly;
+* a loop with a heavy value computation but a thin address slice makes
+  the inspector cheap → the gap narrows, and on failures the inspector
+  side wins (no rollback, no wasted marked execution).
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+
+THIN_BODY = """
+program thin
+  integer i, j, n
+  integer idx(400), jmp(400)
+  real a(400)
+  do i = 1, n
+    j = jmp(idx(i))
+    a(j) = a(j) + 1.0
+  end do
+end
+"""
+
+HEAVY_BODY = """
+program heavy
+  integer i, n
+  integer idx(400)
+  real a(400), v(400), t
+  do i = 1, n
+    t = v(i) * v(i) + sqrt(abs(v(i)) + 1.0) + exp(0.0 - v(i) * v(i))
+    a(idx(i)) = t * 0.5 + sin(v(i)) * cos(v(i))
+  end do
+end
+"""
+
+
+def _compare(source, inputs):
+    runner = LoopRunner(__import__("repro.dsl", fromlist=["parse"]).parse(source), inputs)
+    config = RunConfig(model=fx80())
+    spec = runner.run(Strategy.SPECULATIVE, config)
+    insp = runner.run(Strategy.INSPECTOR, config)
+    return runner, spec, insp
+
+
+def test_fig_inspector_vs_speculative(benchmark, artifact):
+    rng = np.random.default_rng(0)
+    n = 400
+    perm = rng.permutation(n) + 1
+    thin_inputs = {
+        "n": n, "idx": rng.permutation(n) + 1,
+        "jmp": perm, "a": rng.normal(size=n),
+    }
+    heavy_inputs = {
+        "n": n, "idx": rng.permutation(n) + 1, "v": rng.normal(size=n),
+    }
+
+    def run_all():
+        _runner_t, spec_t, insp_t = _compare(THIN_BODY, thin_inputs)
+        _runner_h, spec_h, insp_h = _compare(HEAVY_BODY, heavy_inputs)
+        return (spec_t, insp_t, spec_h, insp_h)
+
+    spec_t, insp_t, spec_h, insp_h = run_once(benchmark, run_all)
+
+    artifact(
+        "fig_inspector_vs_spec",
+        format_table(
+            ["loop", "speculative speedup", "inspector speedup",
+             "inspector/body time ratio"],
+            [
+                ["thin (all addresses)", spec_t.speedup, insp_t.speedup,
+                 insp_t.times.inspector / insp_t.times.body],
+                ["heavy (thin address slice)", spec_h.speedup, insp_h.speedup,
+                 insp_h.times.inspector / insp_h.times.body],
+            ],
+            title="Speculative vs inspector/executor (p=8)",
+        ),
+    )
+
+    assert spec_t.passed and insp_t.passed and spec_h.passed and insp_h.passed
+    # Thin body: the inspector nearly repeats the loop -> speculation wins big.
+    assert spec_t.speedup > insp_t.speedup * 1.1
+    # Heavy body with a thin slice: the inspector is cheap relative to the
+    # executor body...
+    assert insp_h.times.inspector < 0.5 * insp_h.times.body
+    # ...so the two strategies are close.
+    assert insp_h.speedup > 0.75 * spec_h.speedup

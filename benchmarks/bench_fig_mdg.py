@@ -1,0 +1,20 @@
+"""Experiment F-MDG — MDG/INTERF_do1000 speedup figure.
+
+Paper shape: one of the strongest loops — heavy per-iteration arithmetic
+under a cutoff conditional amortizes the marking, with array and scalar
+reductions merged in parallel.
+"""
+
+from conftest import loop_figure_bench
+
+from repro.workloads.mdg import build_mdg
+
+
+def test_fig_mdg(benchmark, artifact):
+    figure = loop_figure_bench(
+        benchmark, artifact, build_mdg(), "fig_mdg",
+        expect_inspector=True, min_speedup_at_8=3.5,
+    )
+    # The loop keeps scaling on the larger machine (p=14 > p=8).
+    spec = figure["speculative"].speedups()
+    assert spec[5] > spec[3]

@@ -1,0 +1,51 @@
+"""Experiment F-OCEAN — OCEAN/FTRVMT_do109: small loop + schedule reuse.
+
+Paper shape: the loop's parallelism depends on run-time offsets, the
+body is tiny (so the test overhead matters), and the loop executes
+thousands of times — schedule reuse amortizes the test to (almost)
+nothing after the first invocation.
+"""
+
+from conftest import loop_figure_bench, run_once
+
+from repro.evalx.figures import schedule_reuse_series
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+from repro.workloads.ocean import build_ocean
+
+
+def test_fig_ocean(benchmark, artifact):
+    figure = loop_figure_bench(
+        benchmark, artifact, build_ocean(), "fig_ocean",
+        expect_inspector=True, min_speedup_at_8=1.5,
+    )
+    # Small body: further from ideal than the heavy loops.
+    spec = figure["speculative"].speedups()
+    ideal = figure["ideal"].speedups()
+    assert spec[3] < 0.8 * ideal[3]
+
+
+def test_fig_ocean_schedule_reuse(benchmark, artifact):
+    without, with_cache = run_once(
+        benchmark, lambda: schedule_reuse_series(invocations=8, model=fx80())
+    )
+    rows = [
+        [p.invocation, a.time, b.time, b.reused]
+        for p, a, b in zip(without, without, with_cache)
+    ]
+    artifact(
+        "fig_ocean_reuse",
+        format_table(
+            ["invocation", "no reuse", "with reuse", "reused?"],
+            rows,
+            title="OCEAN repeated invocation: schedule reuse",
+        ),
+    )
+    # First invocation pays the test either way.
+    assert not with_cache[0].reused
+    # Every later invocation reuses and runs strictly faster.
+    for before, after in zip(without[1:], with_cache[1:]):
+        assert after.reused
+        assert after.time < before.time
+    # The steady-state saving is substantial (no marking, no analysis).
+    assert with_cache[-1].time < 0.8 * without[-1].time

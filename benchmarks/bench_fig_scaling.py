@@ -1,0 +1,46 @@
+"""Experiment F-SCALE — speedup vs problem size.
+
+Paper §V: "our results scale with the number of processors and the data
+size and thus can be extrapolated for massively parallel processors."
+The fixed framework phases (checkpoint, shadow init, analysis, barriers)
+amortize as the loop grows, so the speculative speedup at a fixed
+processor count must increase with n and approach the marked-body bound.
+"""
+
+from conftest import run_once
+
+from repro.evalx.render import format_table
+from repro.machine.costmodel import fx80
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads.bdna import build_bdna
+
+SIZES = (75, 150, 300, 600)
+
+
+def test_fig_size_scaling(benchmark, artifact):
+    def sweep():
+        points = []
+        for n in SIZES:
+            workload = build_bdna(n=n)
+            runner = LoopRunner(workload.program(), workload.inputs)
+            report = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx80()))
+            points.append((n, report.speedup, report.times.overhead() / report.loop_time))
+        return points
+
+    points = run_once(benchmark, sweep)
+    artifact(
+        "fig_scaling",
+        format_table(
+            ["n (atoms)", "speedup at p=8", "fixed-phase share"],
+            [[n, s, share] for n, s, share in points],
+            title="BDNA speculative speedup vs problem size (p=8)",
+        ),
+    )
+
+    speedups = [s for _n, s, _share in points]
+    shares = [share for _n, _s, share in points]
+    # Speedup grows monotonically with the data size...
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    # ...because the fixed phases amortize away.
+    assert all(a > b for a, b in zip(shares, shares[1:]))
+    assert speedups[-1] > 1.3 * speedups[0]

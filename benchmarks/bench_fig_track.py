@@ -1,0 +1,19 @@
+"""Experiment F-TRACK — TRACK/NLFILT_do300 speedup figure.
+
+Paper shape: privatized doall, speculative mode only (no inspector line
+— the addresses are computed by the loop itself), good speedups because
+the marking overhead is amortized over real per-iteration work.
+"""
+
+from conftest import loop_figure_bench
+
+from repro.workloads.track import build_track
+
+
+def test_fig_track(benchmark, artifact):
+    figure = loop_figure_bench(
+        benchmark, artifact, build_track(), "fig_track",
+        expect_inspector=False, min_speedup_at_8=2.5,
+    )
+    # Speculative-only is the TRACK signature.
+    assert set(figure) == {"speculative", "ideal"}

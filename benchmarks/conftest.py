@@ -1,0 +1,86 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it, saves the rendering under ``benchmarks/artifacts/`` (the files
+EXPERIMENTS.md references) and asserts the *shape* the paper reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture
+def artifact(capsys):
+    """Write (and echo) a named evaluation artifact."""
+
+    def write(name: str, text: str) -> None:
+        ARTIFACTS.mkdir(exist_ok=True)
+        path = ARTIFACTS / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n=== {name} ===")
+            print(text)
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+FIGURE_PROCS = (1, 2, 4, 8, 12, 14, 16)
+
+
+def loop_figure_bench(
+    benchmark,
+    artifact,
+    workload,
+    figure_name,
+    *,
+    include_setup=False,
+    expect_inspector=True,
+    min_speedup_at_8=1.5,
+):
+    """Shared skeleton for the per-loop speedup figures.
+
+    Asserts the shapes common to all of the paper's loop figures:
+    monotone-ish growth with processors, ideal dominating both
+    strategies, and real speedup at p=8.  Returns the series dict for
+    loop-specific assertions.
+    """
+    from repro.evalx.figures import loop_figure
+    from repro.evalx.render import ascii_chart, format_figure
+    from repro.machine.costmodel import fx80
+
+    figure = run_once(
+        benchmark,
+        lambda: loop_figure(
+            workload, procs=FIGURE_PROCS, model=fx80(), include_setup=include_setup
+        ),
+    )
+    artifact(
+        figure_name,
+        format_figure(figure, title=f"{figure_name}: speedup vs processors")
+        + "\n\n"
+        + ascii_chart(figure, title=f"{figure_name} (speedup vs processors)"),
+    )
+
+    assert ("inspector" in figure) == expect_inspector
+    ideal = figure["ideal"].speedups()
+    for label, series in figure.items():
+        speedups = series.speedups()
+        assert speedups[-1] > speedups[0], f"{label} does not scale"
+        if label != "ideal":
+            for measured, bound in zip(speedups, ideal):
+                assert measured <= bound + 1e-9, label
+
+    spec_at_8 = figure["speculative"].points[3]
+    assert spec_at_8.procs == 8
+    assert spec_at_8.speedup > min_speedup_at_8
+    return figure

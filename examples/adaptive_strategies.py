@@ -1,0 +1,76 @@
+"""The strategy space in one tour: speculation, failure & rollback,
+inspector/executor, and schedule reuse.
+
+Four scenarios, one per subsection of the paper's framework:
+
+1. a PERFECT-like loop (BDNA) under both speculative and
+   inspector/executor mode;
+2. a loop with genuine flow dependences — the test fails, the state is
+   rolled back and the loop re-executes serially (bounded cost);
+3. a TRACK-like loop whose inspector cannot be extracted — speculative
+   mode is the only option;
+4. an OCEAN-like loop executed many times — schedule reuse amortizes the
+   test away.
+
+Run:  python examples/adaptive_strategies.py
+"""
+
+from repro import LoopRunner, RunConfig, Strategy, fx80
+from repro.errors import InspectorNotExtractable
+from repro.workloads.bdna import build_bdna
+from repro.workloads.ocean import build_ocean
+from repro.workloads.synthetic import build_dependence_injected
+from repro.workloads.track import build_track
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    config = RunConfig(model=fx80())
+
+    banner("1. BDNA-like loop: privatization + reduction, both modes")
+    workload = build_bdna()
+    runner = LoopRunner(workload.program(), workload.inputs)
+    for strategy in (Strategy.SPECULATIVE, Strategy.INSPECTOR):
+        print(runner.run(strategy, config).describe())
+
+    banner("2. Dependence-laden loop: speculation fails, rolls back")
+    workload = build_dependence_injected(n=400, dep_fraction=0.1)
+    runner = LoopRunner(workload.program(), workload.inputs)
+    report = runner.run(Strategy.SPECULATIVE, config)
+    print(report.describe())
+    print(
+        f"   failed attempt cost {report.loop_time:.0f} cycles vs serial "
+        f"{report.serial_loop_time:.0f} "
+        f"(x{report.loop_time / report.serial_loop_time:.2f} — bounded)"
+    )
+
+    banner("3. TRACK-like loop: the inspector cannot be extracted")
+    workload = build_track()
+    runner = LoopRunner(workload.program(), workload.inputs)
+    try:
+        runner.run(Strategy.INSPECTOR, config)
+    except InspectorNotExtractable as exc:
+        print(f"inspector refused: {exc}")
+    print(runner.run(Strategy.SPECULATIVE, config).describe())
+
+    banner("4. OCEAN-like loop invoked 5x: schedule reuse")
+    workload = build_ocean()
+    runner = LoopRunner(workload.program(), workload.inputs)
+    cached = RunConfig(model=fx80(), use_schedule_cache=True)
+    for invocation in range(5):
+        report = runner.run(Strategy.SPECULATIVE, cached)
+        tag = "reused schedule" if report.reused_schedule else "full test"
+        print(
+            f"invocation {invocation}: {report.loop_time:9.0f} cycles "
+            f"(speedup {report.speedup:4.2f}, {tag})"
+        )
+
+
+if __name__ == "__main__":
+    main()

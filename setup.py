@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package can be installed in environments without the `wheel` package
+(``python setup.py develop``) or added to sys.path via a .pth file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of Rauchwerger & Padua's LRPD test (PLDI 1995).
+
+Speculative run-time parallelization of loops with privatization and
+reduction parallelization, built on a mini-Fortran DSL, a compile-time
+analysis pipeline, a run-time marking/test library and a simulated
+shared-memory multiprocessor.
+
+Quickstart::
+
+    from repro import LoopRunner, RunConfig, Strategy, fx80, parse
+
+    program = parse(SOURCE)
+    runner = LoopRunner(program, inputs={"n": 1000, ...})
+    report = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx80()))
+    print(report.describe())
+"""
+
+from repro.analysis import build_plan
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity
+from repro.dsl import parse, to_source
+from repro.errors import ReproError
+from repro.machine import CostModel, fx80, fx2800
+from repro.machine.schedule import ScheduleKind
+from repro.runtime import ExecutionReport, LoopRunner, RunConfig, Strategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "ExecutionReport",
+    "Granularity",
+    "LoopRunner",
+    "ReproError",
+    "RunConfig",
+    "ScheduleKind",
+    "Strategy",
+    "TestMode",
+    "build_plan",
+    "fx80",
+    "fx2800",
+    "parse",
+    "to_source",
+    "__version__",
+]

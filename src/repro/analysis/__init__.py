@@ -1,0 +1,39 @@
+"""Compile-time analysis and instrumentation for the LRPD framework.
+
+The paper's division of labour: the compiler (a) tries to prove the loop
+parallel statically, (b) when it cannot, picks the arrays to test, the
+transformations to apply speculatively (privatization, reduction
+parallelization) and inserts calls to the run-time marking library.  This
+package implements that compiler side:
+
+* :mod:`repro.analysis.symtab` — use/def summaries of loop bodies;
+* :mod:`repro.analysis.affine` — affine subscript extraction;
+* :mod:`repro.analysis.dependence` — GCD / Banerjee static dependence
+  tests, i.e. the conventional parallelizer that fails on the paper's
+  loops;
+* :mod:`repro.analysis.reduction` — reduction recognition: syntactic
+  pattern matching plus the paper's demand-driven forward substitution
+  that sees through private temporaries and control flow;
+* :mod:`repro.analysis.classify` — scalar classification and per-array
+  speculative transform selection;
+* :mod:`repro.analysis.instrument` — reference numbering and the
+  instrumentation plan handed to the run-time system.
+"""
+
+from repro.analysis.classify import ScalarClass, classify_scalars, plan_transforms
+from repro.analysis.dependence import StaticVerdict, analyze_loop_statically
+from repro.analysis.instrument import InstrumentationPlan, build_plan, number_refs
+from repro.analysis.reduction import ReductionCandidate, find_reductions
+
+__all__ = [
+    "InstrumentationPlan",
+    "ReductionCandidate",
+    "ScalarClass",
+    "StaticVerdict",
+    "analyze_loop_statically",
+    "build_plan",
+    "classify_scalars",
+    "find_reductions",
+    "number_refs",
+    "plan_transforms",
+]

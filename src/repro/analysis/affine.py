@@ -1,0 +1,75 @@
+"""Affine subscript extraction.
+
+A subscript is *statically affine* in the loop variable ``i`` when it has
+the form ``a*i + b`` with integer literal ``a`` and ``b``.  Anything else —
+subscripted subscripts (``idx(i)``), values computed from data, scalars
+whose values the compiler does not know — is statically insufficiently
+defined, which is precisely the situation that motivates the paper's
+run-time test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.ast_nodes import ArrayRef, BinOp, Call, Expr, Num, UnaryOp, Var
+
+
+@dataclass(frozen=True)
+class Affine:
+    """The form ``coef * var + const`` over integer literals."""
+
+    coef: int
+    const: int
+
+    def at(self, i: int) -> int:
+        """Evaluate at iteration ``i``."""
+        return self.coef * i + self.const
+
+
+def affine_of(expr: Expr, loop_var: str) -> Affine | None:
+    """Extract ``a*loop_var + b`` from ``expr``; None if not affine.
+
+    Only integer literals and the loop variable are considered known;
+    any other variable, array reference or intrinsic makes the subscript
+    non-affine (statically insufficiently defined).
+    """
+    if isinstance(expr, Num):
+        if not expr.is_int:
+            return None
+        return Affine(coef=0, const=int(expr.value))
+    if isinstance(expr, Var):
+        if expr.name == loop_var:
+            return Affine(coef=1, const=0)
+        return None
+    if isinstance(expr, UnaryOp):
+        if expr.op != "-":
+            return None
+        inner = affine_of(expr.operand, loop_var)
+        if inner is None:
+            return None
+        return Affine(coef=-inner.coef, const=-inner.const)
+    if isinstance(expr, BinOp):
+        return _affine_binop(expr, loop_var)
+    if isinstance(expr, (ArrayRef, Call)):
+        return None
+    return None
+
+
+def _affine_binop(expr: BinOp, loop_var: str) -> Affine | None:
+    left = affine_of(expr.left, loop_var)
+    right = affine_of(expr.right, loop_var)
+    if left is None or right is None:
+        return None
+    if expr.op == "+":
+        return Affine(coef=left.coef + right.coef, const=left.const + right.const)
+    if expr.op == "-":
+        return Affine(coef=left.coef - right.coef, const=left.const - right.const)
+    if expr.op == "*":
+        # At least one side must be a pure constant for linearity.
+        if left.coef == 0:
+            return Affine(coef=left.const * right.coef, const=left.const * right.const)
+        if right.coef == 0:
+            return Affine(coef=right.const * left.coef, const=right.const * left.const)
+        return None
+    return None

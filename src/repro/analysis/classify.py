@@ -1,0 +1,168 @@
+"""Scalar classification and speculative transform selection.
+
+Mirrors the compiler stage that decides, per variable, how the
+speculatively parallelized loop will treat it:
+
+* scalars: loop variable, read-only, privatizable, reduction, or
+  loop-carried (the last makes the loop non-parallelizable as-is);
+* arrays: statically safe (provably independent accesses), candidates for
+  the run-time test (with privatization applied speculatively), or
+  reduction arrays (validated at run time via the ``A_nx`` shadow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.analysis.affine import affine_of
+from repro.analysis.dependence import may_cross_depend
+from repro.analysis.liveness import exposed_scalar_reads
+from repro.analysis.reduction import ReductionReport
+from repro.analysis.symtab import iter_array_refs, summarize_body
+from repro.dsl.ast_nodes import Do
+
+
+class ScalarClass(Enum):
+    LOOP_VAR = "loop-var"
+    READ_ONLY = "read-only"
+    PRIVATE = "private"
+    REDUCTION = "reduction"
+    CARRIED = "loop-carried"
+
+
+def classify_scalars(loop: Do, reductions: ReductionReport) -> dict[str, ScalarClass]:
+    """Classify every scalar that appears in the loop body."""
+    summary = summarize_body(loop.body)
+    exposed = exposed_scalar_reads(loop.body, initial_assigned={loop.var})
+    classes: dict[str, ScalarClass] = {loop.var: ScalarClass.LOOP_VAR}
+
+    for name in summary.scalars_written | summary.scalars_read:
+        if name == loop.var:
+            continue
+        if name not in summary.scalars_written:
+            classes[name] = ScalarClass.READ_ONLY
+        elif name in reductions.scalar_reductions:
+            classes[name] = ScalarClass.REDUCTION
+        elif name in exposed:
+            classes[name] = ScalarClass.CARRIED
+        else:
+            classes[name] = ScalarClass.PRIVATE
+    return classes
+
+
+@dataclass
+class ArrayPlan:
+    """How one array is handled during speculative execution."""
+
+    name: str
+    written: bool
+    statically_safe: bool
+    tested: bool
+    has_reduction_refs: bool
+    has_non_reduction_writes: bool
+
+
+@dataclass
+class TransformPlan:
+    """The per-loop speculative transformation decision."""
+
+    arrays: dict[str, ArrayPlan] = field(default_factory=dict)
+    scalar_classes: dict[str, ScalarClass] = field(default_factory=dict)
+
+    @property
+    def tested_arrays(self) -> set[str]:
+        return {a.name for a in self.arrays.values() if a.tested}
+
+    @property
+    def reduction_arrays(self) -> set[str]:
+        return {a.name for a in self.arrays.values() if a.has_reduction_refs}
+
+    @property
+    def written_arrays(self) -> set[str]:
+        return {a.name for a in self.arrays.values() if a.written}
+
+    @property
+    def carried_scalars(self) -> set[str]:
+        return {
+            name
+            for name, cls in self.scalar_classes.items()
+            if cls is ScalarClass.CARRIED
+        }
+
+
+def plan_transforms(
+    loop: Do,
+    reductions: ReductionReport,
+    *,
+    trip_count: int | None = None,
+) -> TransformPlan:
+    """Decide, per array, whether the run-time test is needed.
+
+    An array is *statically safe* when every reference (outside validated
+    reduction statements) has an affine subscript and no pair of its
+    references can touch the same element in different iterations.  All
+    other written arrays become tested arrays: they are checkpointed,
+    privatized speculatively and marked at run time.
+    """
+    plan = TransformPlan(scalar_classes=classify_scalars(loop, reductions))
+    sites = list(iter_array_refs(loop.body))
+    arrays = {site.ref.name for site in sites}
+
+    for name in sorted(arrays):
+        own_sites = [s for s in sites if s.ref.name == name]
+        written = any(s.is_store for s in own_sites)
+        non_redux = [
+            s for s in own_sites if s.ref.ref_id not in reductions.redux_refs
+        ]
+        has_redux = len(non_redux) < len(own_sites)
+        non_redux_writes = any(s.is_store for s in non_redux)
+
+        statically_safe = True
+        if written:
+            if non_redux:
+                statically_safe = _array_statically_safe(loop, non_redux, trip_count)
+                if has_redux:
+                    # Mixed reduction / ordinary references cannot be proven
+                    # disjoint statically (element sets may overlap at run
+                    # time); the A_nx shadow must decide.
+                    statically_safe = False
+            else:
+                # Pure reduction array: statically valid when all subscripts
+                # are affine and a single operator is involved — then no
+                # run-time validation is needed (only the parallel reduction
+                # execution itself).
+                ops = {reductions.redux_refs[s.ref.ref_id] for s in own_sites}
+                all_affine = all(
+                    affine_of(s.ref.index, loop.var) is not None for s in own_sites
+                )
+                statically_safe = len(ops) == 1 and all_affine
+
+        tested = written and not statically_safe
+        plan.arrays[name] = ArrayPlan(
+            name=name,
+            written=written,
+            statically_safe=statically_safe,
+            tested=tested,
+            has_reduction_refs=has_redux,
+            has_non_reduction_writes=non_redux_writes,
+        )
+    return plan
+
+
+def _array_statically_safe(loop: Do, sites, trip_count: int | None) -> bool:
+    forms = []
+    for site in sites:
+        form = affine_of(site.ref.index, loop.var)
+        if form is None:
+            return False
+        forms.append((site, form))
+    for wsite, wform in forms:
+        if not wsite.is_store:
+            continue
+        for site, form in forms:
+            if site is wsite:
+                continue
+            if may_cross_depend(wform, form, trip_count):
+                return False
+    return True

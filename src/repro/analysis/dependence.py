@@ -1,0 +1,245 @@
+"""Static data dependence testing (the conventional parallelizing compiler).
+
+Implements the classic subscript tests — the GCD test and the Banerjee
+bounds test — over affine subscript pairs, plus a whole-loop verdict.
+This is the compiler the paper's loops defeat: whenever a subscript is not
+statically affine the verdict degrades to UNKNOWN, and a conventional
+compiler must leave the loop serial.  The LRPD framework picks those loops
+up at run time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.analysis.affine import Affine, affine_of
+from repro.analysis.symtab import RefSite, iter_array_refs, summarize_body
+from repro.dsl.ast_nodes import Do
+
+
+class StaticVerdict(Enum):
+    """Outcome of static analysis for a loop."""
+
+    PARALLEL = "parallel"           # provably a doall
+    NOT_PARALLEL = "not-parallel"   # provably has a cross-iteration dependence
+    UNKNOWN = "unknown"             # statically insufficiently defined
+
+
+class DepKind(Enum):
+    FLOW = "flow"      # write then read
+    ANTI = "anti"      # read then write
+    OUTPUT = "output"  # write then write
+
+
+@dataclass(frozen=True)
+class StaticDependence:
+    """A (possible) cross-iteration dependence found statically."""
+
+    array: str
+    kind: DepKind
+    certain: bool  # True: dependence definitely exists for some i != j
+
+
+@dataclass
+class StaticReport:
+    """The static parallelizer's result for one loop."""
+
+    verdict: StaticVerdict
+    dependences: list[StaticDependence] = field(default_factory=list)
+    unknown_subscripts: list[str] = field(default_factory=list)
+    carried_scalars: list[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Human-readable one-paragraph explanation."""
+        parts = [f"verdict: {self.verdict.value}"]
+        if self.unknown_subscripts:
+            parts.append(
+                "statically insufficient subscripts on: "
+                + ", ".join(sorted(set(self.unknown_subscripts)))
+            )
+        if self.dependences:
+            parts.append(
+                "possible dependences: "
+                + ", ".join(f"{d.array}({d.kind.value})" for d in self.dependences)
+            )
+        if self.carried_scalars:
+            parts.append("loop-carried scalars: " + ", ".join(self.carried_scalars))
+        return "; ".join(parts)
+
+
+def gcd_test(a: Affine, b: Affine) -> bool:
+    """GCD test: can ``a.coef*i + a.const == b.coef*j + b.const`` have an
+    integer solution at all?  Returns True when a dependence is *possible*.
+    """
+    g = math.gcd(abs(a.coef), abs(b.coef))
+    diff = b.const - a.const
+    if g == 0:
+        return diff == 0
+    return diff % g == 0
+
+
+def banerjee_test(a: Affine, b: Affine, n: int) -> bool:
+    """Banerjee bounds test over ``i, j ∈ [1, n]``.
+
+    Returns True when ``a(i) == b(j)`` may hold for some pair in range
+    (conservatively, by interval arithmetic on ``a(i) - b(j)``).
+    """
+    lo = _affine_min(a, n) - _affine_max(b, n)
+    hi = _affine_max(a, n) - _affine_min(b, n)
+    return lo <= 0 <= hi
+
+
+def _affine_min(f: Affine, n: int) -> int:
+    return min(f.at(1), f.at(n))
+
+
+def _affine_max(f: Affine, n: int) -> int:
+    return max(f.at(1), f.at(n))
+
+
+def cross_iteration_solution_exists(a: Affine, b: Affine, n: int) -> bool:
+    """Exact check: is there ``i != j`` in ``[1, n]`` with a(i) == b(j)?
+
+    Used both as the precise test for small known bounds and as the oracle
+    in property tests of the conservative tests above.
+    """
+    # a(i) == b(j)  <=>  a.coef*i - b.coef*j == b.const - a.const
+    for i in range(1, n + 1):
+        value = a.at(i)
+        if b.coef == 0:
+            if value == b.const:
+                for j in range(1, n + 1):
+                    if j != i:
+                        return True
+            continue
+        numerator = value - b.const
+        if numerator % b.coef == 0:
+            j = numerator // b.coef
+            if 1 <= j <= n and j != i:
+                return True
+    return False
+
+
+def may_cross_depend(a: Affine, b: Affine, n: int | None) -> bool:
+    """Conservative: may iterations i != j touch the same element?
+
+    Applies the GCD test, the Banerjee test (when ``n`` is known) and a
+    special case for identical subscript functions: ``a == b`` with a
+    nonzero coefficient maps distinct iterations to distinct elements.
+    """
+    if a == b and a.coef != 0:
+        return False
+    if not gcd_test(a, b):
+        return False
+    if n is not None:
+        if not banerjee_test(a, b, n):
+            return False
+        if n <= 4096:  # exact for small, known iteration counts
+            return cross_iteration_solution_exists(a, b, n)
+    return True
+
+
+def analyze_loop_statically(
+    loop: Do,
+    *,
+    trip_count: int | None = None,
+    reduction_stmt_ids: frozenset[int] = frozenset(),
+) -> StaticReport:
+    """Run the conventional static parallelizer on ``loop``.
+
+    ``reduction_stmt_ids`` are ``id()``s of assignment statements already
+    recognized (and transformable) as reductions; their references are
+    excluded from the dependence check, matching a compiler that combines
+    dependence testing with reduction substitution.
+
+    Scalars assigned inside the loop are assumed privatizable when they are
+    written before read on every path; an exposed read of a written scalar
+    is reported as a loop-carried scalar dependence.
+    """
+    report = StaticReport(verdict=StaticVerdict.PARALLEL)
+    refs = [
+        site
+        for site in iter_array_refs(loop.body)
+        if site.stmt is None or id(site.stmt) not in reduction_stmt_ids
+    ]
+    refs = [
+        site
+        for site in refs
+        if not (site.stmt is not None and id(site.stmt) in reduction_stmt_ids)
+    ]
+
+    affine_refs: dict[int, Affine] = {}
+    for position, site in enumerate(refs):
+        form = affine_of(site.ref.index, loop.var)
+        if form is None:
+            report.unknown_subscripts.append(site.ref.name)
+        else:
+            affine_refs[position] = form
+
+    writers = [p for p, site in enumerate(refs) if site.is_store]
+    for wp in writers:
+        for p, site in enumerate(refs):
+            if refs[wp].ref.name != site.ref.name:
+                continue
+            if p == wp:
+                continue
+            kind = _dep_kind(refs[wp], site, wp < p)
+            if wp not in affine_refs or p not in affine_refs:
+                # At least one side statically insufficient: unknown.
+                report.dependences.append(
+                    StaticDependence(site.ref.name, kind, certain=False)
+                )
+                report.verdict = StaticVerdict.UNKNOWN
+                continue
+            if may_cross_depend(affine_refs[wp], affine_refs[p], trip_count):
+                report.dependences.append(
+                    StaticDependence(site.ref.name, kind, certain=trip_count is not None)
+                )
+                if report.verdict is StaticVerdict.PARALLEL:
+                    report.verdict = (
+                        StaticVerdict.NOT_PARALLEL
+                        if trip_count is not None
+                        else StaticVerdict.UNKNOWN
+                    )
+
+    carried = _carried_scalars(loop)
+    if carried:
+        report.carried_scalars = sorted(carried)
+        if report.verdict is StaticVerdict.PARALLEL:
+            report.verdict = StaticVerdict.NOT_PARALLEL
+
+    # Writes under non-affine subscripts are themselves unknown (possible
+    # output dependences) even if no other reference pairs with them.
+    if report.unknown_subscripts and report.verdict is StaticVerdict.PARALLEL:
+        written_unknown = {
+            site.ref.name
+            for site in refs
+            if site.is_store and affine_of(site.ref.index, loop.var) is None
+        }
+        if written_unknown:
+            report.verdict = StaticVerdict.UNKNOWN
+    return report
+
+
+def _dep_kind(writer: RefSite, other: RefSite, writer_first: bool) -> DepKind:
+    if other.is_store:
+        return DepKind.OUTPUT
+    return DepKind.FLOW if writer_first else DepKind.ANTI
+
+
+def _carried_scalars(loop: Do) -> set[str]:
+    """Scalars written in the body that may be read before being written.
+
+    Computed by a definite-assignment walk over the body: a scalar read
+    that is not definitely assigned earlier in the iteration, for a scalar
+    that the body writes somewhere, is loop-carried (conservatively).
+    Inner-loop variables are excluded (they are always written first).
+    """
+    from repro.analysis.liveness import exposed_scalar_reads
+
+    summary = summarize_body(loop.body)
+    written = summary.scalars_written - summary.inner_loop_vars - {loop.var}
+    exposed = exposed_scalar_reads(loop.body, initial_assigned={loop.var})
+    return {name for name in exposed if name in written}

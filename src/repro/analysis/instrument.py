@@ -1,0 +1,270 @@
+"""Reference numbering, inspector slicing and the instrumentation plan.
+
+This is the last compiler stage: it combines the static dependence
+verdict, reduction recognition and variable classification into a single
+:class:`InstrumentationPlan` that the run-time system (speculative or
+inspector/executor) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import ScalarClass, TransformPlan, plan_transforms
+from repro.analysis.dependence import (
+    StaticReport,
+    StaticVerdict,
+    analyze_loop_statically,
+)
+from repro.analysis.liveness import scalars_read_after
+from repro.analysis.reduction import ReductionReport, find_reductions
+from repro.analysis.symtab import iter_array_refs, scalar_reads_in, summarize_body
+from repro.dsl.ast_nodes import (
+    ArrayRef,
+    Assign,
+    Do,
+    If,
+    Program,
+    Stmt,
+    Var,
+    While,
+    walk_expressions,
+)
+from repro.interp.interpreter import find_target_loop, split_at_loop
+
+
+def number_refs(program: Program) -> int:
+    """Assign a unique ``ref_id`` to every array reference; returns count."""
+    counter = 0
+    for stmt in _walk_program(program.body):
+        for root in _stmt_expr_roots(stmt):
+            for node in walk_expressions(root):
+                if isinstance(node, ArrayRef):
+                    node.ref_id = counter
+                    counter += 1
+    return counter
+
+
+def _walk_program(body: list[Stmt]):
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk_program(stmt.then_body)
+            yield from _walk_program(stmt.else_body)
+        elif isinstance(stmt, (Do, While)):
+            yield from _walk_program(stmt.body)
+
+
+def _stmt_expr_roots(stmt: Stmt):
+    if isinstance(stmt, Assign):
+        yield stmt.target
+        yield stmt.expr
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, Do):
+        yield stmt.start
+        yield stmt.stop
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, While):
+        yield stmt.cond
+
+
+@dataclass
+class InstrumentationPlan:
+    """Everything the run-time system needs to know about one loop."""
+
+    loop: Do
+    tested_arrays: frozenset[str]
+    reduction_arrays: frozenset[str]
+    redux_refs: dict[int, str]
+    scalar_classes: dict[str, ScalarClass]
+    scalar_reductions: dict[str, str]
+    checkpoint_arrays: frozenset[str]
+    live_out_scalars: frozenset[str]
+    static_report: StaticReport
+    transform_plan: TransformPlan
+    reductions: ReductionReport
+    inspector_extractable: bool
+    inspector_obstacles: list[str] = field(default_factory=list)
+    slice_stmt_ids: frozenset[int] = frozenset()
+    #: written work arrays the inspector recomputes into private scratch.
+    inspector_recompute_arrays: frozenset[str] = frozenset()
+
+    @property
+    def statically_parallel(self) -> bool:
+        return self.static_report.verdict is StaticVerdict.PARALLEL
+
+    @property
+    def parallelizable_scalars(self) -> bool:
+        """False when a loop-carried (non-reduction) scalar blocks the loop."""
+        return not any(
+            cls is ScalarClass.CARRIED for cls in self.scalar_classes.values()
+        )
+
+    def summary(self) -> str:
+        """Short human-readable plan description."""
+        parts = [
+            f"tested={sorted(self.tested_arrays)}",
+            f"reductions={sorted(self.reduction_arrays)}",
+            f"scalar_reductions={sorted(self.scalar_reductions)}",
+            f"static={self.static_report.verdict.value}",
+            f"inspector={'yes' if self.inspector_extractable else 'no'}",
+        ]
+        return ", ".join(parts)
+
+
+def build_plan(program: Program, loop: Do | None = None, *,
+               trip_count: int | None = None) -> InstrumentationPlan:
+    """Run the full compiler pipeline for ``program``'s target loop."""
+    number_refs(program)
+    if loop is None:
+        loop = find_target_loop(program)
+
+    _before, after = split_at_loop(program, loop)
+    live_out = frozenset(scalars_read_after(after))
+
+    summary = summarize_body(loop.body)
+    written_arrays = frozenset(summary.arrays_written)
+
+    reductions = find_reductions(loop, set(written_arrays), live_out)
+    static_report = analyze_loop_statically(
+        loop,
+        trip_count=trip_count,
+        reduction_stmt_ids=reductions.reduction_stmt_ids,
+    )
+    transform_plan = plan_transforms(loop, reductions, trip_count=trip_count)
+
+    tested = frozenset(transform_plan.tested_arrays)
+    slice_ids, recompute, extractable, obstacles = _inspector_slice(
+        loop, tested, transform_plan, written_arrays
+    )
+
+    return InstrumentationPlan(
+        loop=loop,
+        tested_arrays=tested,
+        reduction_arrays=frozenset(transform_plan.reduction_arrays),
+        redux_refs=dict(reductions.redux_refs),
+        scalar_classes=dict(transform_plan.scalar_classes),
+        scalar_reductions=dict(reductions.scalar_reductions),
+        checkpoint_arrays=written_arrays,
+        live_out_scalars=live_out,
+        static_report=static_report,
+        transform_plan=transform_plan,
+        reductions=reductions,
+        inspector_extractable=extractable,
+        inspector_obstacles=obstacles,
+        slice_stmt_ids=slice_ids,
+        inspector_recompute_arrays=recompute,
+    )
+
+
+def _inspector_slice(
+    loop: Do,
+    tested: frozenset[str],
+    transform_plan: TransformPlan,
+    written_arrays: frozenset[str],
+) -> tuple[frozenset[int], frozenset[str], bool, list[str]]:
+    """Compute the address/control slice and inspector extractability.
+
+    The inspector must recompute every tested-array address and replay the
+    loop's control flow without the loop's global side effects.  Written
+    arrays in the backward slice are allowed only when they are
+    per-iteration work arrays (whole-array written-before-read): the
+    inspector then *recomputes* them into private scratch storage (the
+    BDNA ``ind`` situation).  A written slice array that may be read
+    before the iteration writes it carries values across iterations —
+    the TRACK situation — and makes the inspector inextractable, as do
+    order-dependent scalars in the slice.
+
+    Returns (slice statement ids, recomputed arrays, extractable,
+    obstacles).
+    """
+    from repro.analysis.liveness import array_exposed_reads
+
+    seeds: set[str] = set()
+    arrays_needed: set[str] = set()
+
+    def absorb_expr(expr) -> None:
+        seeds.update(scalar_reads_in(expr))
+        for node in walk_expressions(expr):
+            if isinstance(node, ArrayRef):
+                arrays_needed.add(node.name)
+
+    for site in iter_array_refs(loop.body):
+        if site.ref.name in tested:
+            absorb_expr(site.ref.index)
+    for stmt in _walk_program(loop.body):
+        if isinstance(stmt, If):
+            absorb_expr(stmt.cond)
+        elif isinstance(stmt, Do):
+            absorb_expr(stmt.start)
+            absorb_expr(stmt.stop)
+            if stmt.step is not None:
+                absorb_expr(stmt.step)
+        elif isinstance(stmt, While):
+            absorb_expr(stmt.cond)
+
+    exposed_arrays = array_exposed_reads(loop.body)
+    closure = set(seeds)
+    slice_ids: set[int] = set()
+    recompute: set[str] = set()
+    blocked: set[str] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted((arrays_needed & set(written_arrays)) - recompute - blocked):
+            if name in exposed_arrays:
+                blocked.add(name)
+            else:
+                recompute.add(name)
+            changed = True
+        for stmt in _walk_program(loop.body):
+            if not isinstance(stmt, Assign) or id(stmt) in slice_ids:
+                continue
+            target = stmt.target
+            in_slice = (
+                isinstance(target, Var) and target.name in closure
+            ) or (isinstance(target, ArrayRef) and target.name in recompute)
+            if not in_slice:
+                continue
+            slice_ids.add(id(stmt))
+            changed = True
+            closure |= scalar_reads_in(stmt.expr)
+            if isinstance(target, ArrayRef):
+                closure |= scalar_reads_in(target.index)
+            for root in ([target.index] if isinstance(target, ArrayRef) else []) + [stmt.expr]:
+                for node in walk_expressions(root):
+                    if isinstance(node, ArrayRef):
+                        arrays_needed.add(node.name)
+
+    obstacles: list[str] = []
+    if blocked:
+        obstacles.append(
+            "addresses/control depend on values the loop computes across "
+            "iterations (arrays: " + ", ".join(sorted(blocked)) + ")"
+        )
+    order_dependent = {
+        name
+        for name in closure
+        if transform_plan.scalar_classes.get(name)
+        in (ScalarClass.CARRIED, ScalarClass.REDUCTION)
+    }
+    if order_dependent:
+        obstacles.append(
+            "addresses/control depend on order-dependent scalars: "
+            + ", ".join(sorted(order_dependent))
+        )
+
+    return frozenset(slice_ids), frozenset(recompute), not obstacles, obstacles
+
+
+def require_inspector(plan: InstrumentationPlan) -> None:
+    """Raise :class:`AnalysisError` when the inspector cannot be extracted."""
+    if not plan.inspector_extractable:
+        from repro.errors import InspectorNotExtractable
+
+        raise InspectorNotExtractable(
+            "; ".join(plan.inspector_obstacles) or "inspector not extractable"
+        )

@@ -1,0 +1,175 @@
+"""Definite-assignment and liveness helpers for scalars.
+
+Used to decide scalar privatizability (a scalar written before any read on
+every path through an iteration is private to the iteration) and to find
+exposed reads (potential loop-carried scalar dependences).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast_nodes import (
+    ArrayRef,
+    Assign,
+    Do,
+    Expr,
+    If,
+    Stmt,
+    Var,
+    While,
+    walk_expressions,
+)
+
+
+def exposed_scalar_reads(
+    body: list[Stmt], initial_assigned: set[str] | frozenset[str] = frozenset()
+) -> set[str]:
+    """Scalars that may be read before being assigned in ``body``.
+
+    Conservative in the safe direction: a read is counted as exposed
+    unless the scalar is *definitely* assigned on every path reaching it.
+    Bodies of inner loops are analyzed as if they may execute zero times,
+    except that reads inside an inner loop may see assignments made
+    earlier in the same inner body pass (standard init-then-accumulate
+    patterns are therefore not flagged).
+    """
+    assigned = set(initial_assigned)
+    exposed: set[str] = set()
+    _scan_block(body, assigned, exposed)
+    return exposed
+
+
+def _scan_block(body: list[Stmt], assigned: set[str], exposed: set[str]) -> None:
+    for stmt in body:
+        _scan_stmt(stmt, assigned, exposed)
+
+
+def _scan_stmt(stmt: Stmt, assigned: set[str], exposed: set[str]) -> None:
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, ArrayRef):
+            _scan_expr(stmt.target.index, assigned, exposed)
+        _scan_expr(stmt.expr, assigned, exposed)
+        if isinstance(stmt.target, Var):
+            assigned.add(stmt.target.name)
+    elif isinstance(stmt, If):
+        _scan_expr(stmt.cond, assigned, exposed)
+        then_assigned = set(assigned)
+        else_assigned = set(assigned)
+        _scan_block(stmt.then_body, then_assigned, exposed)
+        _scan_block(stmt.else_body, else_assigned, exposed)
+        assigned |= then_assigned & else_assigned
+    elif isinstance(stmt, Do):
+        _scan_expr(stmt.start, assigned, exposed)
+        _scan_expr(stmt.stop, assigned, exposed)
+        if stmt.step is not None:
+            _scan_expr(stmt.step, assigned, exposed)
+        inner = set(assigned)
+        inner.add(stmt.var)
+        _scan_block(stmt.body, inner, exposed)
+        # The loop may execute zero times: only the loop variable is
+        # definitely assigned afterwards.
+        assigned.add(stmt.var)
+    elif isinstance(stmt, While):
+        _scan_expr(stmt.cond, assigned, exposed)
+        inner = set(assigned)
+        _scan_block(stmt.body, inner, exposed)
+    else:
+        raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _scan_expr(expr: Expr, assigned: set[str], exposed: set[str]) -> None:
+    for node in walk_expressions(expr):
+        if isinstance(node, Var) and node.name not in assigned:
+            exposed.add(node.name)
+
+
+def array_exposed_reads(body: list[Stmt]) -> set[str]:
+    """Arrays that may be read before being written, at whole-array
+    granularity.
+
+    Any write to an array counts as defining the whole array, and loop
+    bodies are assumed to execute at least once.  This is a *heuristic*
+    used only to decide whether the inspector may recompute a written
+    work array into scratch storage (BDNA-style ``ind``): if the array
+    can be read before the iteration writes it, its slice values may flow
+    from other iterations and the inspector cannot reproduce them (the
+    TRACK situation).  Soundness does not rest on this heuristic — the
+    run-time test validates the actual access pattern either way.
+    """
+    assigned: set[str] = set()
+    exposed: set[str] = set()
+    _scan_arrays_block(body, assigned, exposed)
+    return exposed
+
+
+def _scan_arrays_block(body: list[Stmt], assigned: set[str], exposed: set[str]) -> None:
+    for stmt in body:
+        _scan_arrays_stmt(stmt, assigned, exposed)
+
+
+def _scan_arrays_stmt(stmt: Stmt, assigned: set[str], exposed: set[str]) -> None:
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, ArrayRef):
+            _array_reads(stmt.target.index, assigned, exposed)
+        _array_reads(stmt.expr, assigned, exposed)
+        if isinstance(stmt.target, ArrayRef):
+            assigned.add(stmt.target.name)
+    elif isinstance(stmt, If):
+        _array_reads(stmt.cond, assigned, exposed)
+        then_assigned = set(assigned)
+        else_assigned = set(assigned)
+        _scan_arrays_block(stmt.then_body, then_assigned, exposed)
+        _scan_arrays_block(stmt.else_body, else_assigned, exposed)
+        assigned |= then_assigned & else_assigned
+    elif isinstance(stmt, Do):
+        for bound in (stmt.start, stmt.stop, stmt.step):
+            if bound is not None:
+                _array_reads(bound, assigned, exposed)
+        # Optimistic: the loop body runs at least once (heuristic use only).
+        _scan_arrays_block(stmt.body, assigned, exposed)
+    elif isinstance(stmt, While):
+        _array_reads(stmt.cond, assigned, exposed)
+        _scan_arrays_block(stmt.body, assigned, exposed)
+
+
+def _array_reads(expr: Expr, assigned: set[str], exposed: set[str]) -> None:
+    for node in walk_expressions(expr):
+        if isinstance(node, ArrayRef) and node.name not in assigned:
+            exposed.add(node.name)
+
+
+def scalars_read_after(body: list[Stmt]) -> set[str]:
+    """All scalar names read anywhere in ``body`` (used for live-out sets)."""
+    out: set[str] = set()
+    for stmt in body:
+        _collect_reads(stmt, out)
+    return out
+
+
+def _collect_reads(stmt: Stmt, out: set[str]) -> None:
+    if isinstance(stmt, Assign):
+        if isinstance(stmt.target, ArrayRef):
+            _all_vars(stmt.target.index, out)
+        _all_vars(stmt.expr, out)
+    elif isinstance(stmt, If):
+        _all_vars(stmt.cond, out)
+        for child in stmt.then_body:
+            _collect_reads(child, out)
+        for child in stmt.else_body:
+            _collect_reads(child, out)
+    elif isinstance(stmt, Do):
+        _all_vars(stmt.start, out)
+        _all_vars(stmt.stop, out)
+        if stmt.step is not None:
+            _all_vars(stmt.step, out)
+        for child in stmt.body:
+            _collect_reads(child, out)
+    elif isinstance(stmt, While):
+        _all_vars(stmt.cond, out)
+        for child in stmt.body:
+            _collect_reads(child, out)
+
+
+def _all_vars(expr: Expr, out: set[str]) -> None:
+    for node in walk_expressions(expr):
+        if isinstance(node, Var):
+            out.add(node.name)

@@ -1,0 +1,246 @@
+"""Symbolic values for demand-driven forward substitution.
+
+The paper's reduction recognition "beyond syntactic pattern matching"
+(§IV) forward-substitutes the scalars on the right-hand side of a store,
+converting control dependences into data dependences (gated SSA style),
+until the stored value is expressed in terms of array loads.  These are
+the symbolic values that expression evaluates to:
+
+* :class:`SConst` — a literal;
+* :class:`SInit`  — the iteration-entry value of a scalar (read before
+  any write in the iteration);
+* :class:`SLoad`  — an array element load, identified by its syntactic
+  reference site (``ref_id``) and its *symbolic* subscript;
+* :class:`SUnknown` — an opaque value (two SUnknowns with the same id are
+  the same value);
+* :class:`SOp`    — an operator applied to symbolic operands;
+* :class:`SGamma` — a gated merge: the value is ``then_value`` when the
+  (opaque) condition held, else ``else_value``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+#: Node-count ceiling; larger expressions collapse to SUnknown.
+MAX_NODES = 400
+#: Gamma-leaf ceiling for :func:`gamma_leaves`.
+MAX_LEAVES = 32
+
+_unknown_counter = itertools.count()
+
+
+class SymExpr:
+    """Base class for symbolic values."""
+
+    __slots__ = ()
+
+    def key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SymExpr) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class SConst(SymExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float | int):
+        self.value = value
+
+    def key(self) -> tuple:
+        return ("const", self.value, type(self.value).__name__)
+
+    def __repr__(self) -> str:
+        return f"SConst({self.value!r})"
+
+
+class SInit(SymExpr):
+    """The value a scalar had when the iteration started."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def key(self) -> tuple:
+        return ("init", self.name)
+
+    def __repr__(self) -> str:
+        return f"SInit({self.name})"
+
+
+class SLoad(SymExpr):
+    """An array load; ``sub`` is the symbolic subscript.
+
+    Equality is *value* identity: two loads of the same array at the same
+    symbolic subscript denote the same value as long as no store to that
+    array intervened — ``version`` is the array's store counter at load
+    time.  ``ref_id`` records the syntactic site (for marking) but does
+    not participate in equality.
+    """
+
+    __slots__ = ("ref_id", "array", "sub", "version")
+
+    def __init__(self, ref_id: int, array: str, sub: SymExpr, version: int = 0):
+        self.ref_id = ref_id
+        self.array = array
+        self.sub = sub
+        self.version = version
+
+    def key(self) -> tuple:
+        return ("load", self.array, self.sub.key(), self.version)
+
+    def __repr__(self) -> str:
+        return f"SLoad(#{self.ref_id} {self.array}[{self.sub!r}]@v{self.version})"
+
+
+class SUnknown(SymExpr):
+    """An opaque value; identity is the generated ``uid``."""
+
+    __slots__ = ("uid",)
+
+    def __init__(self, uid: int | None = None):
+        self.uid = next(_unknown_counter) if uid is None else uid
+
+    def key(self) -> tuple:
+        return ("unknown", self.uid)
+
+    def __repr__(self) -> str:
+        return f"SUnknown(#{self.uid})"
+
+
+class SOp(SymExpr):
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: tuple[SymExpr, ...]):
+        self.op = op
+        self.args = args
+
+    def key(self) -> tuple:
+        return ("op", self.op, tuple(a.key() for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"SOp({self.op}, {list(self.args)!r})"
+
+
+class SGamma(SymExpr):
+    """Control-flow merge with an opaque condition."""
+
+    __slots__ = ("cond", "then_value", "else_value")
+
+    def __init__(self, cond: SymExpr, then_value: SymExpr, else_value: SymExpr):
+        self.cond = cond
+        self.then_value = then_value
+        self.else_value = else_value
+
+    def key(self) -> tuple:
+        return ("gamma", self.cond.key(), self.then_value.key(), self.else_value.key())
+
+    def __repr__(self) -> str:
+        return f"SGamma({self.cond!r}, {self.then_value!r}, {self.else_value!r})"
+
+
+# ---------------------------------------------------------------------------
+# Construction and traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def node_count(expr: SymExpr) -> int:
+    """Number of nodes in ``expr`` (gammas count both branches)."""
+    if isinstance(expr, SOp):
+        return 1 + sum(node_count(a) for a in expr.args)
+    if isinstance(expr, SGamma):
+        return 1 + node_count(expr.cond) + node_count(expr.then_value) + node_count(
+            expr.else_value
+        )
+    if isinstance(expr, SLoad):
+        return 1 + node_count(expr.sub)
+    return 1
+
+
+def make_op(op: str, args: tuple[SymExpr, ...]) -> SymExpr:
+    """Build an SOp, collapsing to SUnknown above the size ceiling."""
+    expr = SOp(op, args)
+    if node_count(expr) > MAX_NODES:
+        return SUnknown()
+    return expr
+
+
+def gamma_leaves(expr: SymExpr) -> list[SymExpr] | None:
+    """Enumerate the gamma-free alternatives of ``expr``.
+
+    Gammas are distributed over operators (each combination of branch
+    choices yields one leaf).  Returns None when more than
+    :data:`MAX_LEAVES` alternatives would result.
+    """
+    leaves = list(_leaves(expr))
+    if len(leaves) > MAX_LEAVES:
+        return None
+    return leaves
+
+
+def _leaves(expr: SymExpr) -> Iterator[SymExpr]:
+    if isinstance(expr, SGamma):
+        yield from _leaves(expr.then_value)
+        yield from _leaves(expr.else_value)
+    elif isinstance(expr, SOp):
+        choices = [list(_leaves(a)) for a in expr.args]
+        total = 1
+        for c in choices:
+            total *= len(c)
+            if total > MAX_LEAVES:
+                # Overflow: yield enough sentinels for the caller to bail.
+                for _ in range(MAX_LEAVES + 1):
+                    yield SUnknown()
+                return
+        for combo in itertools.product(*choices):
+            yield SOp(expr.op, tuple(combo))
+    elif isinstance(expr, SLoad):
+        # Subscript gammas are not distributed; loads compare by key.
+        yield expr
+    else:
+        yield expr
+
+
+def loads_in(expr: SymExpr) -> Iterator[SLoad]:
+    """Yield every SLoad inside ``expr`` (including inside subscripts)."""
+    if isinstance(expr, SLoad):
+        yield expr
+        yield from loads_in(expr.sub)
+    elif isinstance(expr, SOp):
+        for arg in expr.args:
+            yield from loads_in(arg)
+    elif isinstance(expr, SGamma):
+        yield from loads_in(expr.cond)
+        yield from loads_in(expr.then_value)
+        yield from loads_in(expr.else_value)
+
+
+def inits_in(expr: SymExpr) -> Iterator[SInit]:
+    """Yield every SInit inside ``expr``."""
+    if isinstance(expr, SInit):
+        yield expr
+    elif isinstance(expr, SLoad):
+        yield from inits_in(expr.sub)
+    elif isinstance(expr, SOp):
+        for arg in expr.args:
+            yield from inits_in(arg)
+    elif isinstance(expr, SGamma):
+        yield from inits_in(expr.cond)
+        yield from inits_in(expr.then_value)
+        yield from inits_in(expr.else_value)
+
+
+def contains_array_load(expr: SymExpr, array: str) -> bool:
+    """Does ``expr`` contain any load of ``array``?"""
+    return any(load.array == array for load in loads_in(expr))
+
+
+def contains_init(expr: SymExpr, name: str) -> bool:
+    """Does ``expr`` contain SInit(name)?"""
+    return any(init.name == name for init in inits_in(expr))

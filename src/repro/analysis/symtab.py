@@ -1,0 +1,128 @@
+"""Use/def summaries of statements and loop bodies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dsl.ast_nodes import (
+    ArrayRef,
+    Assign,
+    Do,
+    Expr,
+    If,
+    Stmt,
+    Var,
+    While,
+    walk_expressions,
+)
+
+
+@dataclass(frozen=True)
+class RefSite:
+    """One syntactic array reference with its access direction."""
+
+    ref: ArrayRef
+    is_store: bool
+    stmt: Assign | None = None  # the owning assignment, for stores
+
+
+@dataclass
+class BodySummary:
+    """Names used and defined by a loop body."""
+
+    arrays_written: set[str] = field(default_factory=set)
+    arrays_read: set[str] = field(default_factory=set)
+    scalars_written: set[str] = field(default_factory=set)
+    scalars_read: set[str] = field(default_factory=set)
+    inner_loop_vars: set[str] = field(default_factory=set)
+
+
+def iter_array_refs(body: list[Stmt]) -> Iterator[RefSite]:
+    """Yield every array reference site in ``body``, stores flagged.
+
+    Subscript expressions of a store target are *reads* and are yielded
+    separately (as part of the target's index expression).
+    """
+    for stmt in _walk(body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, ArrayRef):
+                yield RefSite(ref=stmt.target, is_store=True, stmt=stmt)
+                yield from _expr_refs(stmt.target.index)
+            yield from _expr_refs(stmt.expr)
+        elif isinstance(stmt, If):
+            yield from _expr_refs(stmt.cond)
+        elif isinstance(stmt, Do):
+            yield from _expr_refs(stmt.start)
+            yield from _expr_refs(stmt.stop)
+            if stmt.step is not None:
+                yield from _expr_refs(stmt.step)
+        elif isinstance(stmt, While):
+            yield from _expr_refs(stmt.cond)
+
+
+def _walk(body: list[Stmt]) -> Iterator[Stmt]:
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk(stmt.then_body)
+            yield from _walk(stmt.else_body)
+        elif isinstance(stmt, (Do, While)):
+            yield from _walk(stmt.body)
+
+
+def _expr_refs(expr: Expr) -> Iterator[RefSite]:
+    for node in walk_expressions(expr):
+        if isinstance(node, ArrayRef):
+            yield RefSite(ref=node, is_store=False)
+
+
+def summarize_body(body: list[Stmt]) -> BodySummary:
+    """Compute the use/def summary of ``body``."""
+    summary = BodySummary()
+    for site in iter_array_refs(body):
+        if site.is_store:
+            summary.arrays_written.add(site.ref.name)
+        else:
+            summary.arrays_read.add(site.ref.name)
+    for stmt in _walk(body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, Var):
+                summary.scalars_written.add(stmt.target.name)
+            for expr_root in _stmt_exprs(stmt):
+                _collect_scalar_reads(expr_root, summary.scalars_read)
+        elif isinstance(stmt, If):
+            _collect_scalar_reads(stmt.cond, summary.scalars_read)
+        elif isinstance(stmt, Do):
+            summary.inner_loop_vars.add(stmt.var)
+            summary.scalars_written.add(stmt.var)
+            for bound in (stmt.start, stmt.stop, stmt.step):
+                if bound is not None:
+                    _collect_scalar_reads(bound, summary.scalars_read)
+        elif isinstance(stmt, While):
+            _collect_scalar_reads(stmt.cond, summary.scalars_read)
+    return summary
+
+
+def _stmt_exprs(stmt: Assign) -> Iterator[Expr]:
+    if isinstance(stmt.target, ArrayRef):
+        yield stmt.target.index
+    yield stmt.expr
+
+
+def _collect_scalar_reads(expr: Expr, out: set[str]) -> None:
+    for node in walk_expressions(expr):
+        if isinstance(node, Var):
+            out.add(node.name)
+
+
+def scalar_reads_in(expr: Expr) -> set[str]:
+    """Scalar names read anywhere inside ``expr``."""
+    out: set[str] = set()
+    _collect_scalar_reads(expr, out)
+    return out
+
+
+def arrays_in(expr: Expr) -> set[str]:
+    """Array names referenced anywhere inside ``expr``."""
+    return {node.name for node in walk_expressions(expr) if isinstance(node, ArrayRef)}

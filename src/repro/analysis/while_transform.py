@@ -1,0 +1,202 @@
+"""While-loop parallelization (the technique of Rauchwerger & Padua [33]).
+
+SPICE's LOAD loop traverses a linked list with a ``do while`` — no
+iteration space for a doall.  The paper parallelizes such loops by
+splitting them: a (serial) traversal collects the cursor values into an
+order array, then the body runs as a ``do`` over the collected nodes,
+which the LRPD framework can speculate on.  The serial traversal is the
+Amdahl component of SPICE's modest speedup.
+
+:func:`detect_list_traversal` matches the canonical shape::
+
+    do while (p > 0)        ! or p /= 0
+      ...body...            ! p not assigned here
+      p = nxt(p)            ! the only assignment to the cursor
+    end do
+
+with ``nxt`` not written inside the loop.  :func:`transform_list_traversal`
+rewrites the program::
+
+    lw_i = 0
+    do while (p > 0)
+      lw_i = lw_i + 1
+      lw_order(lw_i) = p
+      p = nxt(p)
+    end do
+    lw_n = lw_i
+    lw_term = p
+    do lw_i = 1, lw_n
+      p = lw_order(lw_i)
+      ...body...
+    end do
+    p = lw_term
+
+which preserves serial semantics exactly (including the cursor's
+terminal value) and exposes the ``do`` to the speculative runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.symtab import summarize_body
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Do,
+    Num,
+    Program,
+    ScalarDecl,
+    Stmt,
+    Var,
+    While,
+)
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ListTraversalPattern:
+    """A recognized cursor-chasing while loop."""
+
+    loop: While
+    cursor: str       # the traversal scalar
+    next_array: str   # the link array advanced through
+    body: tuple[Stmt, ...]  # the body minus the cursor advance
+
+
+def detect_list_traversal(program: Program, loop: While) -> ListTraversalPattern | None:
+    """Match the linked-list traversal shape; None when it doesn't fit."""
+    cursor = _cursor_of_condition(loop.cond)
+    if cursor is None or not loop.body:
+        return None
+
+    advance = loop.body[-1]
+    if not (
+        isinstance(advance, Assign)
+        and isinstance(advance.target, Var)
+        and advance.target.name == cursor
+        and isinstance(advance.expr, ArrayRef)
+        and isinstance(advance.expr.index, Var)
+        and advance.expr.index.name == cursor
+    ):
+        return None
+    next_array = advance.expr.name
+
+    if program.scalar_decls().get(cursor) is None:
+        return None
+    if program.scalar_decls()[cursor].kind != "integer":
+        return None
+
+    rest = loop.body[:-1]
+    summary = summarize_body(list(rest))
+    if cursor in summary.scalars_written:
+        return None  # cursor mutated elsewhere: not a plain traversal
+    whole = summarize_body(loop.body)
+    if next_array in whole.arrays_written:
+        return None  # the loop rewires the list while walking it
+
+    return ListTraversalPattern(
+        loop=loop, cursor=cursor, next_array=next_array, body=tuple(rest)
+    )
+
+
+def _cursor_of_condition(cond) -> str | None:
+    """``p > 0`` or ``p /= 0`` with integer literal zero."""
+    if not isinstance(cond, BinOp) or cond.op not in (">", "/="):
+        return None
+    if not isinstance(cond.left, Var):
+        return None
+    if not (isinstance(cond.right, Num) and cond.right.value == 0):
+        return None
+    return cond.left.name
+
+
+def transform_list_traversal(program: Program, loop: While | None = None) -> Program:
+    """Rewrite the first matching top-level while into traversal + doall.
+
+    Raises :class:`AnalysisError` when no top-level while loop matches the
+    linked-list pattern.
+    """
+    candidates = [s for s in program.body if isinstance(s, While)]
+    if loop is not None:
+        candidates = [loop]
+    pattern = None
+    for candidate in candidates:
+        pattern = detect_list_traversal(program, candidate)
+        if pattern is not None:
+            loop = candidate
+            break
+    if pattern is None:
+        raise AnalysisError("no top-level while loop matches the list-traversal shape")
+
+    order_name, index_name, count_name, term_name = _fresh_names(program)
+    capacity = program.array_decls()[pattern.next_array].size
+
+    decls = list(program.decls) + [
+        ArrayDecl(name=order_name, kind="integer", size=capacity),
+        ScalarDecl(name=index_name, kind="integer"),
+        ScalarDecl(name=count_name, kind="integer"),
+        ScalarDecl(name=term_name, kind="integer"),
+    ]
+
+    cursor = pattern.cursor
+    traversal = While(
+        cond=pattern.loop.cond,
+        body=[
+            Assign(target=Var(name=index_name), expr=Var(name=index_name) + 1),
+            Assign(
+                target=ArrayRef(name=order_name, index=Var(name=index_name)),
+                expr=Var(name=cursor),
+            ),
+            Assign(
+                target=Var(name=cursor),
+                expr=ArrayRef(name=pattern.next_array, index=Var(name=cursor)),
+            ),
+        ],
+    )
+    doall = Do(
+        var=index_name,
+        start=Num(value=1.0, is_int=True),
+        stop=Var(name=count_name),
+        body=[
+            Assign(
+                target=Var(name=cursor),
+                expr=ArrayRef(name=order_name, index=Var(name=index_name)),
+            )
+        ]
+        + list(pattern.body),
+    )
+
+    new_body: list[Stmt] = []
+    for stmt in program.body:
+        if stmt is loop:
+            new_body.extend(
+                [
+                    Assign(target=Var(name=index_name), expr=Num(value=0.0, is_int=True)),
+                    traversal,
+                    Assign(target=Var(name=count_name), expr=Var(name=index_name)),
+                    Assign(target=Var(name=term_name), expr=Var(name=cursor)),
+                    doall,
+                    Assign(target=Var(name=cursor), expr=Var(name=term_name)),
+                ]
+            )
+        else:
+            new_body.append(stmt)
+
+    return Program(name=program.name, decls=decls, body=new_body)
+
+
+def _fresh_names(program: Program) -> tuple[str, str, str, str]:
+    taken = {d.name for d in program.decls}
+    names = []
+    for base in ("lw_order", "lw_i", "lw_n", "lw_term"):
+        name = base
+        suffix = 0
+        while name in taken:
+            suffix += 1
+            name = f"{base}{suffix}"
+        taken.add(name)
+        names.append(name)
+    return tuple(names)  # type: ignore[return-value]

@@ -1,0 +1,66 @@
+"""Related-work run-time parallelization methods (paper Table II & §VI).
+
+Executable implementations of the methods the paper compares against.
+Each takes the loop's access trace (what its inspector would compute) and
+produces a *wavefront schedule* — a partition of the iterations into
+stages such that executing the stages in order, with a barrier between
+stages and the iterations of a stage in parallel, respects the
+dependences the method tracks.
+
+=======================  ====================================================
+``zhu_yew``              Zhu & Yew [49]: phased min-iteration scheme;
+                         concurrent reads of one element serialize
+``midkiff_padua``        Midkiff & Padua [27]: separate read/write shadows;
+                         concurrent reads allowed
+``krothapalli``          Krothapalli & Sadayappan [18]: run-time renaming
+                         removes anti/output dependences (P)
+``chen_yew_torrellas``   Chen, Yew & Torrellas [13]: Zhu/Yew variant with
+                         private-storage hot-spot handling
+``xu_chaudhary``         Xu & Chaudhary [46,45]: time-stamping, no
+                         serialization on concurrent reads
+``saltz``                Saltz et al. [35,37]: inspector topological sort;
+                         requires no output dependences
+``leung_zahorjan``       Leung & Zahorjan [22]: sectioned parallel
+                         inspector; suboptimal (concatenated) schedule
+``polychronopoulos``     Polychronopoulos [30]: maximal contiguous
+                         dependence-free blocks
+=======================  ====================================================
+
+:mod:`repro.baselines.capabilities` reproduces Table II itself;
+:mod:`repro.baselines.executor` prices a staged schedule on the simulated
+machine so the methods can be compared against the LRPD strategies.
+"""
+
+from repro.baselines.capabilities import TABLE_II_ROWS, MethodCapabilities
+from repro.baselines.executor import staged_execution_time
+from repro.baselines.methods import (
+    ALL_METHODS,
+    MethodSchedule,
+    schedule_chen_yew_torrellas,
+    schedule_krothapalli,
+    schedule_leung_zahorjan,
+    schedule_midkiff_padua,
+    schedule_polychronopoulos,
+    schedule_saltz,
+    schedule_xu_chaudhary,
+    schedule_zhu_yew,
+)
+from repro.baselines.trace import IterationTrace, extract_trace
+
+__all__ = [
+    "ALL_METHODS",
+    "IterationTrace",
+    "MethodCapabilities",
+    "MethodSchedule",
+    "TABLE_II_ROWS",
+    "extract_trace",
+    "schedule_chen_yew_torrellas",
+    "schedule_krothapalli",
+    "schedule_leung_zahorjan",
+    "schedule_midkiff_padua",
+    "schedule_polychronopoulos",
+    "schedule_saltz",
+    "schedule_xu_chaudhary",
+    "schedule_zhu_yew",
+    "staged_execution_time",
+]

@@ -1,0 +1,74 @@
+"""Table II: qualitative comparison of run-time parallelization methods.
+
+The row data transcribes the paper's table (footnotes included); the
+``empirical`` companion produced by :func:`repro.evalx.table2.build_table2`
+backs the schedule-quality claims with measured stage depths from the
+executable implementations in :mod:`repro.baselines.methods`.
+
+Column meanings (paper's wording):
+
+* ``optimal_schedule`` — does the method obtain a minimum-depth schedule?
+* ``sequential_portions`` — does it contain significant sequential parts?
+* ``global_sync`` — does it require global synchronization?
+* ``restricts_loop`` — is it applicable only to restricted loop types?
+* ``priv_or_reductions`` — does it privatize or find reductions
+  (P = privatization, R = reductions)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MethodCapabilities:
+    method: str
+    optimal_schedule: str
+    sequential_portions: str
+    global_sync: str
+    restricts_loop: str
+    priv_or_reductions: str
+    footnotes: str = ""
+
+
+#: Transcription of the paper's Table II (footnote digits kept inline).
+TABLE_II_ROWS: tuple[MethodCapabilities, ...] = (
+    MethodCapabilities(
+        "Rauchwerger/Amato/Padua [31]", "Yes", "No", "No", "No", "P,R"
+    ),
+    MethodCapabilities(
+        "Zhu/Yew [49]", "No(1)", "No", "Yes(2)", "No", "No",
+        footnotes="(1) phases serialize concurrent reads; (2) CAS per access",
+    ),
+    MethodCapabilities(
+        "Midkiff/Padua [27]", "Yes", "No", "Yes(2)", "No", "No"
+    ),
+    MethodCapabilities(
+        "Krothapalli/Sadayappan [18]", "No(3)", "No", "Yes(2)", "No", "P",
+        footnotes="(3) renaming overhead on every access",
+    ),
+    MethodCapabilities(
+        "Chen/Yew/Torrellas [13]", "No(1,3)", "No", "Yes", "No", "No"
+    ),
+    MethodCapabilities(
+        "Xu/Chaudhary [46,45]", "Yes", "No", "Yes", "No", "No"
+    ),
+    MethodCapabilities(
+        "Saltz/Mirchandaney [35]", "No(3)", "No", "Yes", "Yes(5)", "No",
+        footnotes="(5) loops without output dependences only",
+    ),
+    MethodCapabilities(
+        "Saltz et al. [37]", "Yes", "Yes(4)", "Yes", "Yes(5)", "No",
+        footnotes="(4) sequential inspector (topological sort)",
+    ),
+    MethodCapabilities(
+        "Leung/Zahorjan [22]", "Yes", "No", "Yes", "Yes(5)", "No"
+    ),
+    MethodCapabilities(
+        "Polychronopoulos [30]", "No", "No", "No", "No", "No"
+    ),
+    MethodCapabilities(
+        "Rauchwerger/Padua [32,34] (this work)", "No(6)", "No", "No", "No", "P,R",
+        footnotes="(6) produces a doall or falls back to serial — no staging",
+    ),
+)

@@ -1,0 +1,71 @@
+"""The preprocessed DOACROSS of Saltz & Mirchandaney [35].
+
+Unlike the staged (wavefront) methods, DOACROSS pipelines the loop:
+iterations are dealt to processors in wrapped (cyclic) order and run
+concurrently, with busy-waits ensuring that every value is produced
+before it is consumed.  Applicable only when the loop has no output
+dependences (old/new copies handle the anti dependences).
+
+The simulation computes per-iteration completion times directly::
+
+    start(i)  = max(completion of the previous iteration on i's processor,
+                    completion of every flow predecessor + sync delay)
+    completion(i) = start(i) + body cost(i)
+
+which exposes DOACROSS's character: perfectly parallel prefixes pipeline
+well, but a dependence chain serializes the pipeline with a sync penalty
+per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.trace import IterationTrace
+from repro.errors import BaselineInapplicable
+from repro.interp.costs import IterationCost
+from repro.machine.costmodel import CostModel
+
+
+@dataclass
+class DoacrossTime:
+    """Simulated DOACROSS execution of one loop."""
+
+    total: float
+    completion: list[float]
+    sync_waits: int  # number of cross-processor producer waits
+
+    @property
+    def method(self) -> str:
+        return "Saltz/Mirchandaney (DOACROSS)"
+
+
+def simulate_doacross(
+    trace: IterationTrace,
+    iteration_costs: list[IterationCost],
+    model: CostModel,
+) -> DoacrossTime:
+    """Price a wrapped DOACROSS execution of the traced loop."""
+    if trace.has_output_dependences():
+        raise BaselineInapplicable(
+            "DOACROSS requires a loop with no output dependences"
+        )
+    p = model.num_procs
+    preds = trace.flow_predecessors()
+    cycles = [model.iteration_cycles(c) for c in iteration_costs]
+
+    completion: list[float] = [0.0] * trace.num_iterations
+    proc_free = [0.0] * p
+    sync_waits = 0
+    for i in range(trace.num_iterations):
+        proc = i % p  # wrapped assignment
+        start = proc_free[proc] + model.dispatch_per_iteration
+        for pred in preds[i]:
+            producer_done = completion[pred] + model.critical_section
+            if producer_done > start:
+                start = producer_done
+                sync_waits += 1
+        completion[i] = start + cycles[i]
+        proc_free[proc] = completion[i]
+    total = max(completion) if completion else 0.0
+    return DoacrossTime(total=total, completion=completion, sync_waits=sync_waits)

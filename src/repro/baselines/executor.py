@@ -1,0 +1,67 @@
+"""Timing a staged (wavefront) execution on the simulated machine.
+
+A staged schedule runs stage after stage with a global barrier between
+stages; within a stage the iterations spread over the processors.  The
+method's inspector cost (per tracked access, possibly sequential) and
+critical-section traffic are added, so the Table II methods can be
+compared against the LRPD strategies on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.methods import MethodSchedule
+from repro.interp.costs import IterationCost
+from repro.machine.costmodel import CostModel
+from repro.machine.schedule import assign_iterations, makespan
+from repro.machine.schedule import ScheduleKind
+
+
+@dataclass
+class StagedTime:
+    """Simulated time decomposition of one staged execution."""
+
+    inspector: float
+    stages: float
+    barriers: float
+    synchronization: float
+
+    def total(self) -> float:
+        return self.inspector + self.stages + self.barriers + self.synchronization
+
+
+def staged_execution_time(
+    schedule: MethodSchedule,
+    iteration_costs: list[IterationCost],
+    model: CostModel,
+    *,
+    inspector_access_cost: float = 4.0,
+) -> StagedTime:
+    """Price ``schedule`` on ``model``.
+
+    ``inspector_access_cost`` is the abstract per-access unit each
+    method's ``inspector_accesses`` field counts in.
+    """
+    p = model.num_procs
+    cycles = [model.iteration_cycles(c) for c in iteration_costs]
+
+    inspector_work = schedule.inspector_accesses * inspector_access_cost
+    inspector = inspector_work / p if schedule.parallel_inspector else inspector_work
+
+    stage_time = 0.0
+    for stage in schedule.stages:
+        assignment = assign_iterations(
+            len(stage), p, ScheduleKind.DYNAMIC, costs=[cycles[i] for i in stage]
+        )
+        stage_cycles = [cycles[i] for i in stage]
+        stage_time += makespan(assignment, stage_cycles, model.dispatch_per_iteration)
+
+    barriers = model.barrier(p) * max(1, len(schedule.stages))
+    synchronization = schedule.critical_sections * model.critical_section / p
+    return StagedTime(
+        inspector=inspector,
+        stages=stage_time,
+        barriers=barriers,
+        synchronization=synchronization,
+    )

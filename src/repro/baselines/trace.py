@@ -1,0 +1,141 @@
+"""Access-trace extraction for the related-work schedulers.
+
+All the Table II methods are inspector/executor style: they analyze the
+loop's (address) trace before executing it.  The trace is obtained by a
+reference-based serial interpretation with a recording observer — every
+executed reference of the arrays of interest, tagged with its iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.ast_nodes import Program
+from repro.interp.env import Environment
+from repro.interp.events import READ, REDUX, WRITE, TraceRecorder
+from repro.interp.interpreter import Interpreter, find_target_loop, split_at_loop
+from repro.runtime.serial import loop_iteration_values
+
+
+@dataclass
+class IterationTrace:
+    """Per-iteration element access sets over the traced arrays."""
+
+    num_iterations: int
+    #: iteration -> ordered list of (kind, array, element) accesses
+    accesses: list[list[tuple[str, str, int]]] = field(default_factory=list)
+    #: per-iteration operation cost (marks excluded), for the executor sim.
+    iteration_costs: list = field(default_factory=list)
+
+    def reads(self, iteration: int) -> set[tuple[str, int]]:
+        return {
+            (array, element)
+            for kind, array, element in self.accesses[iteration]
+            if kind in (READ, REDUX)
+        }
+
+    def writes(self, iteration: int) -> set[tuple[str, int]]:
+        return {
+            (array, element)
+            for kind, array, element in self.accesses[iteration]
+            if kind in (WRITE, REDUX)
+        }
+
+    def touched(self, iteration: int) -> set[tuple[str, int]]:
+        return {(a, e) for _k, a, e in self.accesses[iteration]}
+
+    def has_output_dependences(self) -> bool:
+        """Is any element written by more than one iteration?"""
+        writers: dict[tuple[str, int], int] = {}
+        for iteration in range(self.num_iterations):
+            for element in self.writes(iteration):
+                if writers.setdefault(element, iteration) != iteration:
+                    return True
+        return False
+
+    def flow_predecessors(self) -> list[set[int]]:
+        """For each iteration, the earlier iterations whose writes it may
+        read (conservative: every earlier writer of a read element)."""
+        writers: dict[tuple[str, int], list[int]] = {}
+        preds: list[set[int]] = [set() for _ in range(self.num_iterations)]
+        for iteration in range(self.num_iterations):
+            for element in self.reads(iteration):
+                for writer in writers.get(element, ()):
+                    preds[iteration].add(writer)
+            for element in self.writes(iteration):
+                writers.setdefault(element, []).append(iteration)
+        return preds
+
+    def conflict_predecessors(self, *, reads_conflict: bool) -> list[set[int]]:
+        """Earlier iterations an iteration conflicts with.
+
+        A write conflicts with every earlier access to the element; a
+        read conflicts with earlier writers, and — when
+        ``reads_conflict`` — with earlier readers as well (Zhu/Yew's
+        single shadow cell serializes concurrent reads).
+        """
+        readers: dict[tuple[str, int], list[int]] = {}
+        writers: dict[tuple[str, int], list[int]] = {}
+        preds: list[set[int]] = [set() for _ in range(self.num_iterations)]
+        for iteration in range(self.num_iterations):
+            for element in self.reads(iteration):
+                for writer in writers.get(element, ()):
+                    preds[iteration].add(writer)
+                if reads_conflict:
+                    for reader in readers.get(element, ()):
+                        preds[iteration].add(reader)
+            for element in self.writes(iteration):
+                for writer in writers.get(element, ()):
+                    preds[iteration].add(writer)
+                for reader in readers.get(element, ()):
+                    preds[iteration].add(reader)
+            for element in self.reads(iteration):
+                readers.setdefault(element, []).append(iteration)
+            for element in self.writes(iteration):
+                writers.setdefault(element, []).append(iteration)
+        return preds
+
+    def total_accesses(self) -> int:
+        return sum(len(per_iter) for per_iter in self.accesses)
+
+
+def extract_trace(
+    program: Program,
+    inputs: dict,
+    arrays: set[str] | None = None,
+) -> IterationTrace:
+    """Serially interpret the target loop, recording its access trace.
+
+    ``arrays`` defaults to every array the loop writes (the arrays whose
+    dependences matter for scheduling).
+    """
+    env = Environment(program, inputs)
+    loop = find_target_loop(program)
+    before, _after = split_at_loop(program, loop)
+
+    if arrays is None:
+        from repro.analysis.symtab import summarize_body
+
+        arrays = set(summarize_body(loop.body).arrays_written)
+
+    setup = Interpreter(program, env, value_based=False)
+    setup.exec_block(before)
+
+    recorder = TraceRecorder()
+    interp = Interpreter(
+        program, env, observer=recorder, tested=arrays, value_based=False
+    )
+    start, stop, step = interp.eval_loop_bounds(loop)
+    values = loop_iteration_values(start, stop, step)
+
+    trace = IterationTrace(num_iterations=len(values))
+    for position, value in enumerate(values):
+        recorder.iteration = position
+        interp.exec_iteration(loop, value)
+        trace.iteration_costs.append(interp.cost.iteration_costs[-1])
+    grouped = recorder.by_iteration()
+    for position in range(len(values)):
+        trace.accesses.append(
+            [(a.kind, a.array, a.index) for a in grouped.get(position, [])]
+        )
+    return trace

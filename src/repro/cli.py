@@ -1,0 +1,305 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                         # available workloads
+    python -m repro analyze loop.f               # compiler's view of a file
+    python -m repro run bdna --strategy inspector --procs 14
+    python -m repro table1                       # regenerate Table I
+    python -m repro table2                       # regenerate Table II
+    python -m repro figure mdg                   # speedup-vs-procs series
+
+Workload names are the short forms: track, bdna, mdg, adm, ocean,
+spice, dyfesm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity
+from repro.machine.costmodel import fx80, fx2800
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads import PAPER_LOOPS
+
+#: short name -> canonical Table I name.
+SHORT_NAMES = {name.split("_")[0].lower(): name for name in PAPER_LOOPS}
+
+_MACHINES = {"fx80": fx80, "fx2800": fx2800}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The LRPD test (Rauchwerger & Padua, PLDI 1995), reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the built-in workloads")
+
+    analyze = sub.add_parser("analyze", help="static analysis of a program file")
+    analyze.add_argument("file", help="mini-Fortran source file")
+
+    run = sub.add_parser("run", help="run a built-in workload")
+    run.add_argument("workload", choices=sorted(SHORT_NAMES))
+    run.add_argument(
+        "--strategy", choices=[s.value for s in Strategy], default="speculative"
+    )
+    run.add_argument("--machine", choices=sorted(_MACHINES), default="fx80")
+    run.add_argument("--procs", type=int, default=None)
+    run.add_argument(
+        "--granularity", choices=[g.value for g in Granularity],
+        default="iteration",
+    )
+    run.add_argument(
+        "--test-mode", choices=[m.value for m in TestMode], default="lrpd"
+    )
+
+    sub.add_parser("table1", help="regenerate Table I (all seven loops)")
+    sub.add_parser("table2", help="regenerate Table II (method comparison)")
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate every evaluation artifact into a directory",
+    )
+    report.add_argument("--out", default="artifacts", help="output directory")
+    report.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads / fewer processor counts (for smoke runs)",
+    )
+
+    figure = sub.add_parser("figure", help="speedup-vs-processors series")
+    figure.add_argument("workload", choices=sorted(SHORT_NAMES))
+    figure.add_argument("--machine", choices=sorted(_MACHINES), default="fx80")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "analyze":
+        return _cmd_analyze(args.file)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "table2":
+        return _cmd_table2()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_list() -> int:
+    for short, name in sorted(SHORT_NAMES.items()):
+        workload = PAPER_LOOPS[name]()
+        print(f"{short:8s} {name:24s} {workload.description}")
+    return 0
+
+
+def _cmd_analyze(path: str) -> int:
+    from repro.analysis.instrument import build_plan
+    from repro.dsl.parser import parse
+    from repro.errors import ReproError
+
+    try:
+        with open(path) as handle:
+            program = parse(handle.read())
+        plan = build_plan(program)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"program {program.name}: target loop over '{plan.loop.var}'")
+    print("static analysis :", plan.static_report.explain())
+    print("plan            :", plan.summary())
+    if plan.inspector_obstacles:
+        for obstacle in plan.inspector_obstacles:
+            print("inspector       :", obstacle)
+    for name, cls in sorted(plan.scalar_classes.items()):
+        print(f"scalar {name:12s}: {cls.value}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = PAPER_LOOPS[SHORT_NAMES[args.workload]]()
+    model = _MACHINES[args.machine]()
+    if args.procs is not None:
+        model = model.with_procs(args.procs)
+    config = RunConfig(
+        model=model,
+        granularity=Granularity(args.granularity),
+        test_mode=TestMode(args.test_mode),
+    )
+    runner = LoopRunner(workload.program(), workload.inputs)
+
+    from repro.errors import InspectorNotExtractable
+
+    print(f"{workload.name}: {workload.description}")
+    print("plan:", runner.plan.summary())
+    try:
+        report = runner.run(Strategy(args.strategy), config)
+    except InspectorNotExtractable as exc:
+        print(f"inspector strategy unavailable: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    print("phase breakdown (cycles):")
+    for phase, cycles in report.times.nonzero_phases().items():
+        print(f"  {phase:16s} {cycles:14.1f}")
+    return 0
+
+
+def _cmd_table1() -> int:
+    from repro.evalx.table1 import build_table1, render_table1
+
+    print(render_table1(build_table1()))
+    return 0
+
+
+def _cmd_table2() -> int:
+    from repro.evalx.table2 import build_table2, render_table2
+
+    print(render_table2(build_table2()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every table/figure artifact without pytest."""
+    import pathlib
+
+    from repro.evalx.figures import (
+        failure_cost_series,
+        loop_figure,
+        marking_overhead_series,
+        pd_vs_lpd_comparison,
+        procwise_qualification,
+        schedule_reuse_series,
+    )
+    from repro.evalx.render import ascii_chart, format_figure, format_table
+    from repro.evalx.table1 import build_table1, render_table1
+    from repro.evalx.table2 import build_table2, render_table2
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    quick = args.quick
+    procs = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 12, 14, 16)
+
+    def write(name: str, text: str) -> None:
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {out / name}.txt")
+
+    if quick:
+        from repro.workloads.bdna import build_bdna
+        from repro.workloads.track import build_track
+
+        loops = {
+            "TRACK_NLFILT_do300": lambda: build_track(n=150),
+            "BDNA_ACTFOR_do240": lambda: build_bdna(n=100),
+        }
+        table1_loops = loops
+        figure_loops = loops
+    else:
+        table1_loops = None
+        figure_loops = PAPER_LOOPS
+
+    write("table1", render_table1(build_table1(table1_loops)))
+    write("table2", render_table2(build_table2(n=120 if quick else 240)))
+
+    for name, builder in figure_loops.items():
+        workload = builder()
+        figure = loop_figure(
+            workload, procs=procs,
+            include_setup=(name == "SPICE_LOAD_do40"),
+        )
+        short = name.split("_")[0].lower()
+        write(
+            f"fig_{short}",
+            format_figure(figure, title=f"{name}: speedup vs processors")
+            + "\n\n" + ascii_chart(figure, title=name),
+        )
+
+    points = failure_cost_series(
+        fractions=(0.0, 0.1) if quick else (0.0, 0.02, 0.05, 0.1, 0.25, 0.5),
+        n=200 if quick else 400,
+    )
+    write(
+        "fig_failure",
+        format_table(
+            ["dep fraction", "passed", "time / serial"],
+            [[p.dep_fraction, p.passed, p.slowdown_vs_serial] for p in points],
+            title="Failed-speculation cost",
+        ),
+    )
+
+    pd_points = pd_vs_lpd_comparison(live_fractions=(0.0, 1.0))
+    write(
+        "ablation_pd_vs_lpd",
+        format_table(
+            ["live fraction", "PD passes", "LPD passes"],
+            [[p.live_fraction, p.pd_passed, p.lpd_passed] for p in pd_points],
+            title="PD vs LPD",
+        ),
+    )
+
+    pw_points = procwise_qualification(procs=(2, 4, 8) if quick else (2, 4, 7, 8, 12))
+    write(
+        "ablation_procwise",
+        format_table(
+            ["procs", "iteration-wise", "processor-wise", "speedup"],
+            [[p.procs, p.iteration_wise_passed, p.processor_wise_passed,
+              p.processor_wise_speedup] for p in pw_points],
+            title="Iteration- vs processor-wise",
+        ),
+    )
+
+    mk_points = marking_overhead_series(
+        mark_costs=(0.0, 4.0, 16.0) if quick else (0.0, 2.0, 4.0, 8.0, 16.0)
+    )
+    write(
+        "ablation_marking",
+        format_table(
+            ["mark cost", "overhead factor", "speedup at p=8"],
+            [[p.mark_cost, p.overhead_factor, p.speedup_at_p] for p in mk_points],
+            title="Marking-cost sensitivity",
+        ),
+    )
+
+    without, with_cache = schedule_reuse_series(invocations=3 if quick else 8)
+    write(
+        "fig_ocean_reuse",
+        format_table(
+            ["invocation", "no reuse", "with reuse", "reused?"],
+            [[a.invocation, a.time, b.time, b.reused]
+             for a, b in zip(without, with_cache)],
+            title="OCEAN schedule reuse",
+        ),
+    )
+    print(f"report complete: {out}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.evalx.figures import loop_figure
+    from repro.evalx.render import format_figure
+
+    name = SHORT_NAMES[args.workload]
+    workload = PAPER_LOOPS[name]()
+    figure = loop_figure(
+        workload,
+        model=_MACHINES[args.machine](),
+        include_setup=(name == "SPICE_LOAD_do40"),
+    )
+    print(format_figure(figure, title=f"{name}: speedup vs processors"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

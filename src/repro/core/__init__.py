@@ -1,0 +1,36 @@
+"""The LRPD run-time library: the paper's primary contribution.
+
+* :mod:`repro.core.shadow` — shadow arrays, the ``markread`` /
+  ``markwrite`` / ``markredux`` operations and the counters ``tw``/``tm``;
+* :mod:`repro.core.lrpd` — the post-execution (fully parallel) analysis
+  phase of the LRPD test, plus the reference-based PD-test variant;
+* :mod:`repro.core.checkpoint` — state saving/restoring for speculation;
+* :mod:`repro.core.privatize` — per-processor private array copies with
+  dynamic last-value assignment;
+* :mod:`repro.core.reduction_exec` — per-processor reduction partial
+  accumulators and their parallel merge;
+* :mod:`repro.core.schedule_cache` — schedule reuse across invocations.
+"""
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.lrpd import LrpdResult, analyze_shadows
+from repro.core.outcomes import ArrayTestDetail, TestMode
+from repro.core.privatize import PrivateCopies
+from repro.core.reduction_exec import REDUCTION_IDENTITY, ReductionPartials
+from repro.core.schedule_cache import ScheduleCache
+from repro.core.shadow import Granularity, ShadowArray, ShadowMarker
+
+__all__ = [
+    "ArrayTestDetail",
+    "Checkpoint",
+    "Granularity",
+    "LrpdResult",
+    "PrivateCopies",
+    "REDUCTION_IDENTITY",
+    "ReductionPartials",
+    "ScheduleCache",
+    "ShadowArray",
+    "ShadowMarker",
+    "TestMode",
+    "analyze_shadows",
+]

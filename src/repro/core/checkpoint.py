@@ -1,0 +1,38 @@
+"""Checkpointing for speculative execution.
+
+Before the speculative doall runs, every array the loop may write (and
+the scalar state) is saved; if the test fails the state is rolled back
+and the loop re-executes serially.  The paper charges this as part of the
+speculation overhead; :attr:`elements_saved` feeds the machine model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.interp.env import Environment
+
+
+class Checkpoint:
+    """A restorable snapshot of the arrays a loop may modify."""
+
+    def __init__(self, env: Environment, arrays: Iterable[str]):
+        self._env = env
+        self._arrays: dict[str, np.ndarray] = env.snapshot_arrays(sorted(set(arrays)))
+        self._scalars = env.snapshot_scalars()
+        self.elements_saved = int(sum(a.size for a in self._arrays.values()))
+
+    @property
+    def array_names(self) -> tuple[str, ...]:
+        return tuple(self._arrays)
+
+    def saved_array(self, name: str) -> np.ndarray:
+        """Read-only view of the saved copy (used for private copy-in)."""
+        return self._arrays[name]
+
+    def restore(self) -> None:
+        """Roll the environment back to the captured state."""
+        self._env.restore_arrays(self._arrays)
+        self._env.restore_scalars(self._scalars)

@@ -1,0 +1,69 @@
+"""Result records for the run-time test and execution strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TestMode(Enum):
+    """Which marking/analysis discipline produced a result."""
+
+    LRPD = "lrpd"  # value-based marking, reduction-aware (the paper)
+    PD = "pd"      # reference-based marking, no reduction exemption (ICS'94)
+
+
+@dataclass(frozen=True)
+class ArrayTestDetail:
+    """Per-array outcome of the run-time analysis phase."""
+
+    name: str
+    tw: int
+    tm: int
+    #: no element both written and (exposed-)read anywhere, and tw == tm:
+    #: the loop was fully parallel for this array without any transform.
+    fully_parallel: bool
+    #: number of elements whose reads were covered by same-granule writes
+    #: (privatization did real work for them).
+    privatized_elements: int
+    #: number of elements validated as reductions (touched only by
+    #: reduction statements with a consistent operator).
+    reduction_elements: int
+    #: number of elements that failed the test (written & exposed-read &
+    #: not a valid reduction).
+    failed_elements: int
+
+    @property
+    def passed(self) -> bool:
+        return self.failed_elements == 0
+
+
+@dataclass
+class LrpdResult:
+    """Outcome of the run-time analysis over all tested arrays."""
+
+    mode: TestMode
+    granularity: str  # "iteration" or "processor"
+    details: dict[str, ArrayTestDetail] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(d.passed for d in self.details.values())
+
+    @property
+    def fully_parallel(self) -> bool:
+        """True when no array needed privatization or reduction transforms."""
+        return all(d.fully_parallel for d in self.details.values())
+
+    def failed_arrays(self) -> list[str]:
+        return [name for name, d in self.details.items() if not d.passed]
+
+    def describe(self) -> str:
+        if self.passed:
+            kind = "fully parallel" if self.fully_parallel else "parallel with transforms"
+            return f"{self.mode.value} test passed ({kind}, {self.granularity}-wise)"
+        return (
+            f"{self.mode.value} test failed on "
+            + ", ".join(self.failed_arrays())
+            + f" ({self.granularity}-wise)"
+        )

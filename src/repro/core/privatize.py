@@ -1,0 +1,59 @@
+"""Speculative array privatization with dynamic last-value assignment.
+
+Each processor gets a private copy of every tested array (initialized
+from the checkpoint: copy-in keeps speculative execution well defined
+even when the test later fails).  Writes record the writing iteration;
+copy-out propagates, per element, the value written by the *highest*
+iteration — the paper's dynamic last-value assignment, which makes loops
+with output dependences (``tw > tm``) finalize correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PrivateCopies:
+    """Per-processor private copies of one array."""
+
+    def __init__(self, name: str, base: np.ndarray, num_procs: int):
+        if num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        self.name = name
+        self.num_procs = num_procs
+        self.size = int(base.size)
+        #: (p, s) private data, copy-in from the checkpointed base values.
+        self.data = np.tile(base, (num_procs, 1))
+        #: (p, s) iteration stamp of the last private write, -1 = never.
+        self.wstamp = np.full((num_procs, self.size), -1, dtype=np.int64)
+        self.elements_initialized = num_procs * self.size
+
+    def load(self, proc: int, index: int) -> float | int:
+        """Read the processor's private element (0-based index)."""
+        value = self.data[proc, index]
+        return value.item()
+
+    def store(self, proc: int, index: int, value: float | int, iteration: int) -> None:
+        """Write the processor's private element, stamping the iteration."""
+        self.data[proc, index] = value
+        self.wstamp[proc, index] = iteration
+
+    def written_mask(self) -> np.ndarray:
+        """Elements written by at least one processor."""
+        return (self.wstamp >= 0).any(axis=0)
+
+    def copy_out(self, shared: np.ndarray, exclude: np.ndarray | None = None) -> int:
+        """Dynamic last-value assignment into ``shared``.
+
+        ``exclude`` masks elements that must not be copied out (e.g.
+        elements finalized by the reduction merge instead).  Returns the
+        number of elements copied.
+        """
+        winners = np.argmax(self.wstamp, axis=0)
+        written = self.written_mask()
+        if exclude is not None:
+            written = written & ~exclude
+        indices = np.nonzero(written)[0]
+        if indices.size:
+            shared[indices] = self.data[winners[indices], indices]
+        return int(indices.size)

@@ -1,0 +1,132 @@
+"""Schedule reuse (paper §IV.D / Saltz et al. [37]).
+
+A loop like OCEAN's FTRVMT_do109 executes thousands of times with the
+same access pattern; once the run-time test has decided the loop is (or
+is not) parallel for a given pattern, the decision can be reused for
+subsequent invocations whose *pattern signature* is unchanged, skipping
+the marking and analysis overhead entirely.
+
+The signature covers exactly the inputs that determine the access
+pattern: the arrays and scalars in the inspector slice (the backward
+slice of subscripts and control decisions).  If the slice is not
+computable (inspector not extractable), reuse is disabled — the pattern
+may depend on data the loop itself computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.analysis.instrument import InstrumentationPlan
+from repro.analysis.symtab import scalar_reads_in
+from repro.core.outcomes import LrpdResult
+from repro.dsl.ast_nodes import ArrayRef, walk_expressions
+from repro.interp.env import Environment
+
+
+def pattern_signature(plan: InstrumentationPlan, env: Environment) -> str | None:
+    """Digest of all state that determines the loop's access pattern.
+
+    Returns None when the pattern depends on loop-written data (no safe
+    reuse possible).
+    """
+    if not plan.inspector_extractable:
+        return None
+
+    arrays: set[str] = set()
+    scalars: set[str] = set()
+    _collect_slice_inputs(plan, arrays, scalars)
+
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        digest.update(name.encode())
+        digest.update(env.arrays[name].tobytes())
+    for name in sorted(scalars):
+        if name in env.scalars:
+            digest.update(name.encode())
+            digest.update(repr(env.scalars[name]).encode())
+    # Loop bounds are part of the pattern.
+    digest.update(repr(_bounds_key(plan, env)).encode())
+    return digest.hexdigest()
+
+
+def _collect_slice_inputs(
+    plan: InstrumentationPlan, arrays: set[str], scalars: set[str]
+) -> None:
+    from repro.analysis.symtab import iter_array_refs
+
+    loop = plan.loop
+    for site in iter_array_refs(loop.body):
+        if site.ref.name in plan.tested_arrays:
+            scalars |= scalar_reads_in(site.ref.index)
+            for node in walk_expressions(site.ref.index):
+                if isinstance(node, ArrayRef):
+                    arrays.add(node.name)
+    from repro.dsl.ast_nodes import Do, If, While
+
+    def visit(body):
+        for stmt in body:
+            if isinstance(stmt, If):
+                scalars.update(scalar_reads_in(stmt.cond))
+                for node in walk_expressions(stmt.cond):
+                    if isinstance(node, ArrayRef):
+                        arrays.add(node.name)
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, (Do, While)):
+                roots = (
+                    [stmt.cond]
+                    if isinstance(stmt, While)
+                    else [stmt.start, stmt.stop] + ([stmt.step] if stmt.step else [])
+                )
+                for root in roots:
+                    scalars.update(scalar_reads_in(root))
+                    for node in walk_expressions(root):
+                        if isinstance(node, ArrayRef):
+                            arrays.add(node.name)
+                visit(stmt.body)
+
+    visit(loop.body)
+
+
+def _bounds_key(plan: InstrumentationPlan, env: Environment) -> tuple:
+    loop = plan.loop
+    names = scalar_reads_in(loop.start) | scalar_reads_in(loop.stop)
+    if loop.step is not None:
+        names |= scalar_reads_in(loop.step)
+    return tuple(sorted((n, env.scalars.get(n)) for n in names if n in env.scalars))
+
+
+@dataclass
+class CacheEntry:
+    result: LrpdResult
+    hits: int = 0
+
+
+@dataclass
+class ScheduleCache:
+    """Maps (loop identity, pattern signature) to a previous test result."""
+
+    _entries: dict[tuple[str, str], CacheEntry] = field(default_factory=dict)
+    lookups: int = 0
+    hits: int = 0
+
+    def lookup(self, loop_key: str, signature: str | None) -> LrpdResult | None:
+        self.lookups += 1
+        if signature is None:
+            return None
+        entry = self._entries.get((loop_key, signature))
+        if entry is None:
+            return None
+        entry.hits += 1
+        self.hits += 1
+        return entry.result
+
+    def record(self, loop_key: str, signature: str | None, result: LrpdResult) -> None:
+        if signature is None:
+            return
+        self._entries[(loop_key, signature)] = CacheEntry(result=result)
+
+    def __len__(self) -> int:
+        return len(self._entries)

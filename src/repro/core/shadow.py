@@ -1,0 +1,226 @@
+"""Shadow arrays and the marking operations of the LRPD test.
+
+For each array ``A`` under test the paper keeps shadow arrays ``A_w``
+(written), ``A_r`` (read), ``A_np`` (not privatizable: exposed-read) and
+``A_nx`` (not a valid reduction element), plus two counters: ``tw(A)``,
+the number of dynamic writes counted once per (element, granule) pair,
+and ``tm(A)``, the number of distinct elements written.
+
+*Granule* is the unit of the covering/coupling relation: the iteration
+number for the iteration-wise test, the processor id for the
+processor-wise variant of Appendix A.1 (iterations assigned to one
+processor behave as a single "super-iteration"; the processor-wise test
+requires each processor to execute its iterations in increasing order,
+which the block-scheduled executor guarantees).
+
+The paper marks into per-processor shadow structures and merges them
+during the parallel analysis phase; because our doall execution is
+emulated (deterministically interleaved), a single stamped shadow set is
+semantically identical — the *cost* of the per-processor merge is charged
+by the machine model (see :mod:`repro.machine.simulator`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.interp.costs import CostCounter
+
+_OP_CODES = {"+": 1, "*": 2, "min": 3, "max": 4}
+_OP_NAMES = {code: op for op, code in _OP_CODES.items()}
+
+#: sentinel for "never written" in the min-write-granule stamp.
+_NEVER_WRITTEN = np.iinfo(np.int64).max
+
+
+class Granularity(Enum):
+    ITERATION = "iteration"
+    PROCESSOR = "processor"
+
+
+class ShadowArray:
+    """Shadow state for one tested array of ``size`` elements."""
+
+    def __init__(self, name: str, size: int, *, eager: bool = False):
+        self.name = name
+        self.size = size
+        #: raise :class:`~repro.errors.SpeculationFailed` as soon as a
+        #: mark makes the (directional, iteration-wise) test's failure
+        #: certain — the on-the-fly hardware model [47].  Best effort:
+        #: the post-execution analysis remains authoritative.
+        self.eager = eager
+        self.w = np.zeros(size, dtype=bool)
+        self.r = np.zeros(size, dtype=bool)
+        self.np_ = np.zeros(size, dtype=bool)
+        self.nx = np.zeros(size, dtype=bool)
+        self.redux_touched = np.zeros(size, dtype=bool)
+        #: elements written by more than one granule (tw contributors > 1).
+        self.multi_w = np.zeros(size, dtype=bool)
+        self._redux_op = np.zeros(size, dtype=np.int8)
+        #: granule of the most recent write, -1 when never written.
+        self._last_write = np.full(size, -1, dtype=np.int64)
+        #: earliest writing granule (sentinel: never written).
+        self._min_write = np.full(size, _NEVER_WRITTEN, dtype=np.int64)
+        #: latest exposed-read granule (sentinel -1: never exposed-read).
+        self._max_exposed_read = np.full(size, -1, dtype=np.int64)
+        self.tw = 0
+
+    # -- marking operations (paper Fig. 3 / Fig. 5) -------------------------
+
+    def mark_write(self, index: int, granule: int) -> None:
+        """``markwrite(A, index)`` in the given granule (0-based element)."""
+        self.w[index] = True
+        self.nx[index] = True
+        if granule < self._min_write[index]:
+            self._min_write[index] = granule
+        if self._last_write[index] != granule:
+            self.tw += 1
+            if self._last_write[index] != -1:
+                self.multi_w[index] = True
+            self._last_write[index] = granule
+        if self.eager:
+            self._eager_check(index)
+
+    def mark_read(self, index: int, granule: int) -> None:
+        """``markread(A, index)``: exposed unless covered by a write of the
+        same granule."""
+        self.r[index] = True
+        self.nx[index] = True
+        if self._last_write[index] != granule:
+            self.np_[index] = True
+            if granule > self._max_exposed_read[index]:
+                self._max_exposed_read[index] = granule
+        if self.eager:
+            self._eager_check(index)
+
+    def mark_redux(self, index: int, granule: int, op: str) -> None:
+        """``markredux(A, index)``: a reduction-statement access.
+
+        Sets ``A_w``/``A_r``/``A_np`` (a reduction is an exposed
+        read-modify-write, so the element *would* fail the privatization
+        criterion) but not ``A_nx`` — unless a different reduction
+        operator already touched the element, which invalidates it.
+        """
+        self.w[index] = True
+        self.r[index] = True
+        self.np_[index] = True
+        self.redux_touched[index] = True
+        # A reduction access is a read-modify-write: it participates in the
+        # directional stamps so that mixing with ordinary accesses on the
+        # same element is still caught by the flow check (the element's nx
+        # bit decides whether the flow is exempted).
+        if granule < self._min_write[index]:
+            self._min_write[index] = granule
+        if granule > self._max_exposed_read[index]:
+            self._max_exposed_read[index] = granule
+        code = _OP_CODES[op]
+        current = self._redux_op[index]
+        if current == 0:
+            self._redux_op[index] = code
+        elif current != code:
+            self.nx[index] = True
+        if self.eager:
+            self._eager_check(index)
+
+    def _eager_check(self, index: int) -> None:
+        """Abort when this element's failure is already certain.
+
+        Covers the directional iteration-wise predicates — a definite
+        flow (exposed read after another granule's write) or a
+        reduction/ordinary mix.  Processor-wise-only conditions are left
+        to the final analysis.
+        """
+        from repro.errors import SpeculationFailed
+
+        if not self.nx[index]:
+            return
+        if self._max_exposed_read[index] > self._min_write[index]:
+            raise SpeculationFailed(self.name, index)
+        if self.redux_touched[index]:
+            raise SpeculationFailed(self.name, index)
+
+    # -- analysis-phase quantities ----------------------------------------
+
+    @property
+    def tm(self) -> int:
+        """Number of distinct elements written (``sum(A_w)``)."""
+        return int(np.count_nonzero(self.w))
+
+    def conflict_mask(self) -> np.ndarray:
+        """Elements with a cross-granule flow of values that privatization
+        cannot cover and that are not valid reductions (bit version)."""
+        return self.w & self.np_ & self.nx
+
+    def flow_mask(self) -> np.ndarray:
+        """Directional version of :meth:`conflict_mask`'s flow predicate.
+
+        An element carries a true cross-granule flow of values only when
+        some granule's exposed read comes *serially after* some other
+        granule's write.  Same-granule read-modify-write (the OCEAN
+        butterfly) and pure anti dependences are legal under copy-in
+        privatization and are not flagged.  Granule numbering must follow
+        serial order (iteration index, or processor id under block
+        scheduling).
+        """
+        return self._max_exposed_read > self._min_write
+
+    def reduction_mask(self) -> np.ndarray:
+        """Elements validated as reductions."""
+        return self.redux_touched & ~self.nx
+
+    def reduction_op_of(self, index: int) -> str | None:
+        code = int(self._redux_op[index])
+        return _OP_NAMES.get(code)
+
+    def privatized_mask(self) -> np.ndarray:
+        """Written elements whose reads were all covered by same-granule
+        writes (privatization did real work)."""
+        return self.w & self.r & ~self.np_
+
+    def last_write_granules(self) -> np.ndarray:
+        """Per-element granule of the last write (-1 if never written)."""
+        return self._last_write
+
+
+class ShadowMarker:
+    """The run-time marking library: an AccessObserver over shadow arrays.
+
+    The executor advances :attr:`granule` before each iteration (to the
+    iteration number or the executing processor id, depending on the
+    test granularity) and the interpreter reports accesses through the
+    observer interface.  Every mark is charged to the cost counter.
+    """
+
+    def __init__(
+        self,
+        sizes: dict[str, int],
+        cost: CostCounter | None = None,
+        granularity: Granularity = Granularity.ITERATION,
+        *,
+        eager: bool = False,
+    ):
+        self.shadows: dict[str, ShadowArray] = {
+            name: ShadowArray(name, size, eager=eager) for name, size in sizes.items()
+        }
+        self.cost = cost if cost is not None else CostCounter()
+        self.granularity = granularity
+        self.granule = 0
+
+    def set_granule(self, granule: int) -> None:
+        self.granule = granule
+
+    # 1-based indices arrive from the interpreter; shadows are 0-based.
+
+    def on_read(self, array: str, index: int) -> None:
+        self.cost.marks += 1
+        self.shadows[array].mark_read(index - 1, self.granule)
+
+    def on_write(self, array: str, index: int) -> None:
+        self.cost.marks += 1
+        self.shadows[array].mark_write(index - 1, self.granule)
+
+    def on_redux(self, array: str, index: int, op: str) -> None:
+        self.cost.marks += 1
+        self.shadows[array].mark_redux(index - 1, self.granule, op)

@@ -1,0 +1,50 @@
+"""A mini-Fortran DSL: the source language of the reproduced system.
+
+The paper instruments Fortran `do` loops; this package provides the
+equivalent substrate — a small, 1-based-array, Fortran-flavoured language
+with a lexer, a recursive-descent parser, an AST, a pretty printer and a
+programmatic builder.  Programs written in it are executed by
+:mod:`repro.interp` and analyzed/transformed by :mod:`repro.analysis`.
+"""
+
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    If,
+    Num,
+    Program,
+    ScalarDecl,
+    UnaryOp,
+    Var,
+    While,
+    walk_expressions,
+    walk_statements,
+)
+from repro.dsl.lexer import tokenize
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_source
+
+__all__ = [
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Call",
+    "Do",
+    "If",
+    "Num",
+    "Program",
+    "ScalarDecl",
+    "UnaryOp",
+    "Var",
+    "While",
+    "parse",
+    "to_source",
+    "tokenize",
+    "walk_expressions",
+    "walk_statements",
+]

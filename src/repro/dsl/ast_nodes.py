@@ -1,0 +1,423 @@
+"""AST node definitions for the mini-Fortran DSL.
+
+Nodes are small mutable dataclasses.  Equality is structural but ignores
+source line numbers and the ``ref_id`` annotations that analysis passes
+attach, so a parse → print → parse round trip compares equal.
+
+Two generic traversals are provided: :func:`walk_statements` and
+:func:`walk_expressions`.  Analysis passes are built on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Expr:
+    """Base class for expression nodes.
+
+    Arithmetic operators are overloaded to build new nodes, so generated
+    code can be written as ``a * x + y``.  ``==`` is *structural equality*
+    (not a comparison node); use :meth:`eq_`, :meth:`lt_` etc. to build
+    comparison expressions.
+    """
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and expr_equal(self, other)
+
+    def __hash__(self) -> int:  # structural hash, line-insensitive
+        return hash(expr_key(self))
+
+    # -- node-building operator overloads --------------------------------
+
+    def __add__(self, other: object) -> "BinOp":
+        return BinOp(op="+", left=self, right=coerce_expr(other))
+
+    def __radd__(self, other: object) -> "BinOp":
+        return BinOp(op="+", left=coerce_expr(other), right=self)
+
+    def __sub__(self, other: object) -> "BinOp":
+        return BinOp(op="-", left=self, right=coerce_expr(other))
+
+    def __rsub__(self, other: object) -> "BinOp":
+        return BinOp(op="-", left=coerce_expr(other), right=self)
+
+    def __mul__(self, other: object) -> "BinOp":
+        return BinOp(op="*", left=self, right=coerce_expr(other))
+
+    def __rmul__(self, other: object) -> "BinOp":
+        return BinOp(op="*", left=coerce_expr(other), right=self)
+
+    def __truediv__(self, other: object) -> "BinOp":
+        return BinOp(op="/", left=self, right=coerce_expr(other))
+
+    def __rtruediv__(self, other: object) -> "BinOp":
+        return BinOp(op="/", left=coerce_expr(other), right=self)
+
+    def __pow__(self, other: object) -> "BinOp":
+        return BinOp(op="**", left=self, right=coerce_expr(other))
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp(op="-", operand=self)
+
+    # -- comparison node builders (== etc. are taken by equality) --------
+
+    def eq_(self, other: object) -> "BinOp":
+        return BinOp(op="==", left=self, right=coerce_expr(other))
+
+    def ne_(self, other: object) -> "BinOp":
+        return BinOp(op="/=", left=self, right=coerce_expr(other))
+
+    def lt_(self, other: object) -> "BinOp":
+        return BinOp(op="<", left=self, right=coerce_expr(other))
+
+    def le_(self, other: object) -> "BinOp":
+        return BinOp(op="<=", left=self, right=coerce_expr(other))
+
+    def gt_(self, other: object) -> "BinOp":
+        return BinOp(op=">", left=self, right=coerce_expr(other))
+
+    def ge_(self, other: object) -> "BinOp":
+        return BinOp(op=">=", left=self, right=coerce_expr(other))
+
+
+def coerce_expr(value: object) -> "Expr":
+    """Coerce a Python number / name / node into an expression node."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("the DSL has no boolean literals; use comparisons")
+    if isinstance(value, int):
+        if value < 0:
+            return UnaryOp(op="-", operand=Num(value=float(-value), is_int=True))
+        return Num(value=float(value), is_int=True)
+    if isinstance(value, float):
+        if value < 0:
+            return UnaryOp(op="-", operand=Num(value=-value, is_int=False))
+        return Num(value=value, is_int=False)
+    if isinstance(value, str):
+        return Var(name=value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+@dataclass(eq=False)
+class Num(Expr):
+    """A numeric literal.  ``is_int`` distinguishes ``3`` from ``3.0``."""
+
+    value: float
+    is_int: bool = False
+    line: int = 0
+
+
+@dataclass(eq=False)
+class Var(Expr):
+    """A scalar variable reference."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(eq=False)
+class ArrayRef(Expr):
+    """A 1-based array element reference ``name(index)``.
+
+    ``ref_id`` is assigned by :func:`repro.analysis.instrument.number_refs`
+    and identifies this syntactic reference site across passes.
+    """
+
+    name: str
+    index: Expr = None  # type: ignore[assignment]
+    line: int = 0
+    ref_id: int = -1
+
+
+@dataclass(eq=False)
+class BinOp(Expr):
+    """A binary operation.
+
+    ``op`` is one of ``+ - * / ** == /= < <= > >= and or``.
+    """
+
+    op: str
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass(eq=False)
+class UnaryOp(Expr):
+    """A unary operation; ``op`` is ``-`` or ``not``."""
+
+    op: str
+    operand: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass(eq=False)
+class Call(Expr):
+    """An intrinsic function call such as ``mod(a, b)`` or ``sqrt(x)``."""
+
+    func: str
+    args: list[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Stmt:
+    """Base class for statement nodes."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stmt) and stmt_equal(self, other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    """``target = expr`` where target is a Var or an ArrayRef."""
+
+    target: Union[Var, ArrayRef]
+    expr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+    #: set by reduction recognition: the validated reduction operator
+    #: ('+', '*', 'min', 'max') when this statement is a reduction update.
+    reduction_op: str | None = None
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    """``if (cond) then ... [else ...] end if``."""
+
+    cond: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass(eq=False)
+class Do(Stmt):
+    """``do var = start, stop [, step] ... end do``."""
+
+    var: str
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    """``do while (cond) ... end do``."""
+
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Declarations and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class ScalarDecl:
+    """A scalar declaration; ``kind`` is 'real' or 'integer'."""
+
+    name: str
+    kind: str
+    line: int = 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ScalarDecl)
+            and other.name == self.name
+            and other.kind == self.kind
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+@dataclass(eq=False)
+class ArrayDecl:
+    """An array declaration ``kind name(d1[, d2, ...])``.
+
+    Multi-dimensional declarations are linearized at parse time, Fortran
+    style (column major): storage is a flat vector of ``size`` elements
+    and every ``name(i1, i2, ...)`` reference becomes the flat subscript
+    ``i1 + (i2-1)*d1 + (i3-1)*d1*d2 + ...``.  ``dims`` records the
+    declared extents (``(size,)`` for plain 1-D arrays) so environments
+    can accept and return suitably shaped numpy inputs.
+    """
+
+    name: str
+    kind: str
+    size: int = 0
+    line: int = 0
+    dims: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            self.dims = (self.size,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayDecl)
+            and other.name == self.name
+            and other.kind == self.kind
+            and other.size == self.size
+            and other.dims == self.dims
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+Decl = Union[ScalarDecl, ArrayDecl]
+
+
+@dataclass(eq=False)
+class Program:
+    """A complete program: declarations followed by statements."""
+
+    name: str
+    decls: list[Decl] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Program)
+            and other.name == self.name
+            and other.decls == self.decls
+            and len(other.body) == len(self.body)
+            and all(stmt_equal(a, b) for a, b in zip(self.body, other.body))
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def array_decls(self) -> dict[str, ArrayDecl]:
+        """Map of array name to its declaration."""
+        return {d.name: d for d in self.decls if isinstance(d, ArrayDecl)}
+
+    def scalar_decls(self) -> dict[str, ScalarDecl]:
+        """Map of scalar name to its declaration."""
+        return {d.name: d for d in self.decls if isinstance(d, ScalarDecl)}
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_statements(body: list[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in ``body``, pre-order, descending into blocks."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, (Do, While)):
+            yield from walk_statements(stmt.body)
+
+
+def statement_expressions(stmt: Stmt) -> Iterator[Expr]:
+    """Yield the expressions directly owned by ``stmt`` (not nested blocks).
+
+    For an assignment this includes the target itself (an ArrayRef target is
+    an expression position for subscript analysis).
+    """
+    if isinstance(stmt, Assign):
+        yield stmt.target
+        yield stmt.expr
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, Do):
+        yield stmt.start
+        yield stmt.stop
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, While):
+        yield stmt.cond
+
+
+def walk_expressions(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expressions(arg)
+    elif isinstance(expr, ArrayRef):
+        yield from walk_expressions(expr.index)
+
+
+def expr_key(expr: Expr) -> tuple:
+    """A hashable structural key for ``expr`` (ignores lines and ref_ids)."""
+    if isinstance(expr, Num):
+        return ("num", expr.value, expr.is_int)
+    if isinstance(expr, Var):
+        return ("var", expr.name)
+    if isinstance(expr, ArrayRef):
+        return ("aref", expr.name, expr_key(expr.index))
+    if isinstance(expr, BinOp):
+        return ("bin", expr.op, expr_key(expr.left), expr_key(expr.right))
+    if isinstance(expr, UnaryOp):
+        return ("una", expr.op, expr_key(expr.operand))
+    if isinstance(expr, Call):
+        return ("call", expr.func, tuple(expr_key(a) for a in expr.args))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality of two expressions, line-insensitive."""
+    return expr_key(a) == expr_key(b)
+
+
+def stmt_equal(a: Stmt, b: Stmt) -> bool:
+    """Structural equality of two statements, line-insensitive."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Assign):
+        assert isinstance(b, Assign)
+        return expr_equal(a.target, b.target) and expr_equal(a.expr, b.expr)
+    if isinstance(a, If):
+        assert isinstance(b, If)
+        return (
+            expr_equal(a.cond, b.cond)
+            and _bodies_equal(a.then_body, b.then_body)
+            and _bodies_equal(a.else_body, b.else_body)
+        )
+    if isinstance(a, Do):
+        assert isinstance(b, Do)
+        steps_equal = (a.step is None) == (b.step is None) and (
+            a.step is None or expr_equal(a.step, b.step)
+        )
+        return (
+            a.var == b.var
+            and expr_equal(a.start, b.start)
+            and expr_equal(a.stop, b.stop)
+            and steps_equal
+            and _bodies_equal(a.body, b.body)
+        )
+    if isinstance(a, While):
+        assert isinstance(b, While)
+        return expr_equal(a.cond, b.cond) and _bodies_equal(a.body, b.body)
+    raise TypeError(f"not a statement: {a!r}")
+
+
+def _bodies_equal(a: list[Stmt], b: list[Stmt]) -> bool:
+    return len(a) == len(b) and all(stmt_equal(x, y) for x, y in zip(a, b))

@@ -1,0 +1,224 @@
+"""Programmatic construction of mini-Fortran ASTs.
+
+Workloads are mostly written as source text (exercising the parser), but
+generated/randomized programs — used by the property tests and the
+synthetic workload generators — are assembled with these helpers.
+
+Example::
+
+    b = ProgramBuilder("saxpy")
+    b.real_array("x", 100).real_array("y", 100).integer("i").real("a")
+    with b.do("i", 1, b.var("n")):
+        b.assign(b.aref("y", b.var("i")),
+                 b.var("a") * b.aref("x", b.var("i")) + b.aref("y", b.var("i")))
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    Do,
+    Expr,
+    If,
+    Program,
+    ScalarDecl,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+
+ExprLike = Union[Expr, int, float, str]
+
+
+from repro.dsl.ast_nodes import coerce_expr as as_expr
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    """Build a binary operation node."""
+    return BinOp(op=op, left=as_expr(left), right=as_expr(right))
+
+
+def neg(operand: ExprLike) -> UnaryOp:
+    """Build a unary minus node."""
+    return UnaryOp(op="-", operand=as_expr(operand))
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    """Build an intrinsic call node."""
+    return Call(func=func, args=[as_expr(a) for a in args])
+
+
+class ProgramBuilder:
+    """Fluent builder for :class:`Program` values.
+
+    Declaration methods return ``self`` for chaining.  Statement context
+    managers (:meth:`do`, :meth:`while_`, :meth:`if_`, :meth:`else_`) nest
+    the statements appended inside their ``with`` block.
+    """
+
+    def __init__(self, name: str):
+        self._name = name
+        self._decls: list[Decl] = []
+        self._declared: set[str] = set()
+        self._arrays: set[str] = set()
+        self._array_dims: dict[str, tuple[int, ...]] = {}
+        self._stack: list[list[Stmt]] = [[]]
+
+    # -- declarations ----------------------------------------------------------
+
+    def real(self, *names: str) -> "ProgramBuilder":
+        """Declare real scalars."""
+        for name in names:
+            self._declare(ScalarDecl(name=name, kind="real"))
+        return self
+
+    def integer(self, *names: str) -> "ProgramBuilder":
+        """Declare integer scalars."""
+        for name in names:
+            self._declare(ScalarDecl(name=name, kind="integer"))
+        return self
+
+    def real_array(self, name: str, *dims: int) -> "ProgramBuilder":
+        """Declare a real array; multiple extents declare a multi-dim
+        array stored column-major (e.g. ``real_array("a", 4, 3)``)."""
+        self._declare_array(name, "real", dims)
+        return self
+
+    def integer_array(self, name: str, *dims: int) -> "ProgramBuilder":
+        """Declare an integer array (1-based; see :meth:`real_array`)."""
+        self._declare_array(name, "integer", dims)
+        return self
+
+    def _declare_array(self, name: str, kind: str, dims: tuple[int, ...]) -> None:
+        if not dims:
+            raise ValueError(f"array {name!r} needs at least one extent")
+        if any(d <= 0 for d in dims):
+            raise ValueError(f"array {name!r} has a non-positive extent")
+        size = 1
+        for d in dims:
+            size *= d
+        self._declare(ArrayDecl(name=name, kind=kind, size=size, dims=tuple(dims)))
+        self._arrays.add(name)
+        self._array_dims[name] = tuple(dims)
+
+    def _declare(self, decl: Decl) -> None:
+        if decl.name in self._declared:
+            raise ValueError(f"duplicate declaration of {decl.name!r}")
+        self._declared.add(decl.name)
+        self._decls.append(decl)
+
+    # -- expression helpers ------------------------------------------------------
+
+    def var(self, name: str) -> Var:
+        """A scalar variable reference."""
+        return Var(name=name)
+
+    def aref(self, name: str, *indices: ExprLike) -> ArrayRef:
+        """An array element reference.
+
+        Multiple indices address a multi-dim array and are linearized
+        column-major, exactly as the parser does; a single index always
+        addresses the flat storage.
+        """
+        if name not in self._arrays:
+            raise ValueError(f"{name!r} is not a declared array")
+        if not indices:
+            raise ValueError(f"reference to {name!r} needs at least one index")
+        exprs = [as_expr(i) for i in indices]
+        if len(exprs) == 1:
+            return ArrayRef(name=name, index=exprs[0])
+        dims = self._array_dims[name]
+        if len(exprs) != len(dims):
+            raise ValueError(
+                f"array {name!r} has {len(dims)} dimension(s), "
+                f"subscripted with {len(exprs)}"
+            )
+        from repro.dsl.parser import lower_subscript
+
+        return ArrayRef(name=name, index=lower_subscript(exprs, dims))
+
+    # -- statements ---------------------------------------------------------------
+
+    def assign(self, target: Union[Var, ArrayRef, str], expr: ExprLike) -> "ProgramBuilder":
+        """Append ``target = expr``."""
+        if isinstance(target, str):
+            target = Var(name=target)
+        self._stack[-1].append(Assign(target=target, expr=as_expr(expr)))
+        return self
+
+    @contextmanager
+    def do(
+        self,
+        var: str,
+        start: ExprLike,
+        stop: ExprLike,
+        step: ExprLike | None = None,
+    ) -> Iterator[None]:
+        """Open a ``do var = start, stop [, step]`` block."""
+        node = Do(
+            var=var,
+            start=as_expr(start),
+            stop=as_expr(stop),
+            step=None if step is None else as_expr(step),
+        )
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def while_(self, cond: ExprLike) -> Iterator[None]:
+        """Open a ``do while (cond)`` block."""
+        node = While(cond=as_expr(cond))
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def if_(self, cond: ExprLike) -> Iterator[None]:
+        """Open an ``if (cond) then`` block."""
+        node = If(cond=as_expr(cond))
+        self._stack[-1].append(node)
+        self._stack.append(node.then_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        """Open the ``else`` branch of the most recent ``if`` statement."""
+        body = self._stack[-1]
+        if not body or not isinstance(body[-1], If):
+            raise ValueError("else_() must directly follow an if_ block")
+        node = body[-1]
+        if node.else_body:
+            raise ValueError("if statement already has an else branch")
+        self._stack.append(node.else_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- finalization ----------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Return the constructed program."""
+        if len(self._stack) != 1:
+            raise ValueError("unclosed block in ProgramBuilder")
+        return Program(name=self._name, decls=list(self._decls), body=list(self._stack[0]))

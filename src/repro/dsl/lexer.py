@@ -1,0 +1,137 @@
+"""Lexer for the mini-Fortran DSL.
+
+The language is line oriented: a newline ends a statement, ``!`` starts a
+comment that runs to the end of the line, and blank lines are ignored (no
+NEWLINE token is emitted for them).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.tokens import (
+    EOF,
+    INT,
+    MULTI_CHAR_OPS,
+    NAME,
+    NEWLINE,
+    OP,
+    REAL,
+    SINGLE_CHAR_OPS,
+    Token,
+)
+from repro.errors import DslSyntaxError
+
+_DIGITS = "0123456789"
+_NAME_START = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+_NAME_CONT = _NAME_START + _DIGITS
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert ``source`` into a token list ending with an EOF token.
+
+    Raises :class:`DslSyntaxError` on any character that cannot start a
+    token.  Dotted logical operators (``.and.``) are normalized to their
+    word form (``and``) so the parser sees one spelling.
+    """
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    n = len(source)
+
+    def last_is_newline() -> bool:
+        return bool(tokens) and tokens[-1].kind == NEWLINE
+
+    while pos < n:
+        ch = source[pos]
+
+        if ch == "\n":
+            if tokens and not last_is_newline():
+                tokens.append(Token(NEWLINE, "\n", line))
+            line += 1
+            pos += 1
+            continue
+
+        if ch in " \t\r":
+            pos += 1
+            continue
+
+        if ch == "!":  # comment to end of line
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+
+        if ch == ";":  # statement separator, equivalent to a newline
+            if tokens and not last_is_newline():
+                tokens.append(Token(NEWLINE, ";", line))
+            pos += 1
+            continue
+
+        matched_multi = _match_multi_op(source, pos)
+        if matched_multi is not None:
+            text = matched_multi
+            if text.startswith("."):  # .and. -> and
+                tokens.append(Token(NAME, text.strip("."), line))
+            else:
+                tokens.append(Token(OP, text, line))
+            pos += len(text)
+            continue
+
+        if ch in _NAME_START:
+            start = pos
+            while pos < n and source[pos] in _NAME_CONT:
+                pos += 1
+            tokens.append(Token(NAME, source[start:pos].lower(), line))
+            continue
+
+        if ch in _DIGITS or (ch == "." and pos + 1 < n and source[pos + 1] in _DIGITS):
+            token, pos = _lex_number(source, pos, line)
+            tokens.append(token)
+            continue
+
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token(OP, ch, line))
+            pos += 1
+            continue
+
+        raise DslSyntaxError(f"unexpected character {ch!r}", line)
+
+    if tokens and not last_is_newline():
+        tokens.append(Token(NEWLINE, "\n", line))
+    tokens.append(Token(EOF, "", line))
+    return tokens
+
+
+def _match_multi_op(source: str, pos: int) -> str | None:
+    """Return the multi-character operator starting at ``pos``, if any."""
+    for op in MULTI_CHAR_OPS:
+        if source.startswith(op, pos):
+            return op
+    return None
+
+
+def _lex_number(source: str, pos: int, line: int) -> tuple[Token, int]:
+    """Lex an integer or real literal starting at ``pos``."""
+    n = len(source)
+    start = pos
+    while pos < n and source[pos] in _DIGITS:
+        pos += 1
+    is_real = False
+    if pos < n and source[pos] == ".":
+        # Guard against '1.and.2': a dot followed by a letter is an operator.
+        if pos + 1 < n and source[pos + 1] in _NAME_START:
+            text = source[start:pos]
+            return Token(INT, text, line), pos
+        is_real = True
+        pos += 1
+        while pos < n and source[pos] in _DIGITS:
+            pos += 1
+    if pos < n and source[pos] in "eE":
+        look = pos + 1
+        if look < n and source[look] in "+-":
+            look += 1
+        if look < n and source[look] in _DIGITS:
+            is_real = True
+            pos = look
+            while pos < n and source[pos] in _DIGITS:
+                pos += 1
+    text = source[start:pos]
+    return Token(REAL if is_real else INT, text, line), pos

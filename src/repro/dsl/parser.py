@@ -1,0 +1,500 @@
+"""Recursive-descent parser for the mini-Fortran DSL.
+
+Grammar (statements are newline-terminated; ``!`` comments):
+
+    program   := 'program' NAME NEWLINE decl* stmt* 'end'
+    decl      := ('real' | 'integer') item (',' item)* NEWLINE
+    item      := NAME [ '(' INT ')' ]
+    stmt      := assign | ifstmt | dostmt
+    assign    := lvalue '=' expr NEWLINE
+    lvalue    := NAME [ '(' expr ')' ]
+    ifstmt    := 'if' '(' expr ')' 'then' NEWLINE stmt*
+                 { ('elseif'|'else' 'if') '(' expr ')' 'then' NEWLINE stmt* }
+                 [ 'else' NEWLINE stmt* ] ('endif' | 'end' 'if')
+    dostmt    := 'do' NAME '=' expr ',' expr [',' expr] NEWLINE stmt*
+                 ('enddo' | 'end' 'do')
+               | 'do' 'while' '(' expr ')' NEWLINE stmt* ('enddo'|'end' 'do')
+
+Expression precedence, loosest first: ``or``, ``and``, ``not``, comparisons,
+additive, multiplicative, unary minus, ``**`` (right associative), atoms.
+
+``name(expr)`` is an array reference if ``name`` was declared as an array,
+an intrinsic call if ``name`` is a known intrinsic, and an error otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    Do,
+    Expr,
+    If,
+    Num,
+    Program,
+    ScalarDecl,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import EOF, INT, NAME, NEWLINE, OP, REAL, Token
+from repro.errors import DslSyntaxError
+
+#: Intrinsic functions, with their arity.
+INTRINSICS: dict[str, int] = {
+    "abs": 1,
+    "sqrt": 1,
+    "exp": 1,
+    "log": 1,
+    "sin": 1,
+    "cos": 1,
+    "floor": 1,
+    "int": 1,
+    "real": 1,
+    "sign": 2,
+    "mod": 2,
+    "min": 2,
+    "max": 2,
+}
+
+_COMPARISON_OPS = ("==", "/=", "<=", ">=", "<", ">")
+_DECL_KEYWORDS = ("real", "integer")
+_STMT_END_WORDS = frozenset({"end", "enddo", "endif", "endwhile", "else", "elseif"})
+
+
+def parse(source: str) -> Program:
+    """Parse mini-Fortran ``source`` into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+
+
+def lower_subscript(indices: list[Expr], dims: tuple[int, ...], *, line: int = 0) -> Expr:
+    """Column-major linearization of a multi-dimensional subscript.
+
+    ``a(i1, i2, i3)`` with extents ``(d1, d2, d3)`` lowers to
+    ``i1 + (i2 - 1) * d1 + (i3 - 1) * (d1 * d2)`` — the classic Fortran
+    storage mapping.  Used by the parser at parse time and by the
+    programmatic builder; everything downstream only ever sees flat 1-D
+    subscripts.
+    """
+    flat = indices[0]
+    stride = 1
+    for extent, index in zip(dims[:-1], indices[1:]):
+        stride *= extent
+        shifted = BinOp(
+            op="-", left=index, right=Num(value=1.0, is_int=True), line=line
+        )
+        term = BinOp(
+            op="*", left=shifted,
+            right=Num(value=float(stride), is_int=True), line=line,
+        )
+        flat = BinOp(op="+", left=flat, right=term, line=line)
+    return flat
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._array_names: set[str] = set()
+        self._array_dims: dict[str, tuple[int, ...]] = {}
+        self._scalar_names: set[str] = set()
+
+    # -- token stream helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            want = text if text is not None else kind
+            raise DslSyntaxError(
+                f"expected {want!r}, found {token.text!r}", token.line
+            )
+        return self._advance()
+
+    def _expect_newline(self) -> None:
+        if self._check(EOF):
+            return
+        self._expect(NEWLINE)
+        self._skip_newlines()
+
+    def _skip_newlines(self) -> None:
+        while self._accept(NEWLINE):
+            pass
+
+    # -- program and declarations --------------------------------------------
+
+    def parse_program(self) -> Program:
+        self._skip_newlines()
+        self._expect(NAME, "program")
+        name = self._expect(NAME).text
+        self._expect_newline()
+
+        decls: list[Decl] = []
+        while self._peek().kind == NAME and self._peek().text in _DECL_KEYWORDS:
+            decls.extend(self._parse_decl_line())
+        body = self._parse_block(until=("end",))
+        self._expect(NAME, "end")
+        self._skip_newlines()
+        if not self._check(EOF):
+            token = self._peek()
+            raise DslSyntaxError(
+                f"unexpected {token.text!r} after 'end'", token.line
+            )
+        return Program(name=name, decls=decls, body=body)
+
+    def _parse_decl_line(self) -> list[Decl]:
+        kind_token = self._advance()
+        kind = kind_token.text
+        decls: list[Decl] = []
+        while True:
+            name_token = self._expect(NAME)
+            name = name_token.text
+            if name in self._array_names or name in self._scalar_names:
+                raise DslSyntaxError(f"duplicate declaration of {name!r}", name_token.line)
+            if self._accept(OP, "("):
+                dims = [int(self._expect(INT).text)]
+                while self._accept(OP, ","):
+                    dims.append(int(self._expect(INT).text))
+                self._expect(OP, ")")
+                if any(d <= 0 for d in dims):
+                    raise DslSyntaxError(
+                        f"array {name!r} has a non-positive extent", name_token.line
+                    )
+                size = 1
+                for d in dims:
+                    size *= d
+                decls.append(
+                    ArrayDecl(
+                        name=name, kind=kind, size=size,
+                        line=name_token.line, dims=tuple(dims),
+                    )
+                )
+                self._array_names.add(name)
+                self._array_dims[name] = tuple(dims)
+            else:
+                decls.append(ScalarDecl(name=name, kind=kind, line=name_token.line))
+                self._scalar_names.add(name)
+            if not self._accept(OP, ","):
+                break
+        self._expect_newline()
+        return decls
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_block(self, until: tuple[str, ...]) -> list[Stmt]:
+        """Parse statements until one of the ``until`` terminators is next.
+
+        ``until`` uses canonical terminator words: ``else``, ``elseif``,
+        ``endif``, ``enddo``, ``endwhile`` or ``end`` (program end).  The
+        two-token spellings ``end do`` / ``end if`` / ``end while`` are
+        canonicalized before matching.  The terminator itself is left in the
+        token stream for the caller to consume.
+        """
+        body: list[Stmt] = []
+        self._skip_newlines()
+        while True:
+            token = self._peek()
+            if token.kind == EOF:
+                raise DslSyntaxError("unexpected end of input inside a block", token.line)
+            if token.kind == NAME and token.text in _STMT_END_WORDS:
+                terminator = self._upcoming_terminator()
+                if terminator in until:
+                    return body
+                raise DslSyntaxError(
+                    f"mismatched block terminator {terminator!r}", token.line
+                )
+            body.append(self._parse_statement())
+            self._skip_newlines()
+
+    def _upcoming_terminator(self) -> str:
+        """Canonical name of the block terminator at the current position."""
+        token = self._peek()
+        if token.text == "end":
+            nxt = self._peek(1)
+            if nxt.kind == NAME and nxt.text in ("do", "if", "while"):
+                return "end" + nxt.text
+            return "end"
+        return token.text
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind != NAME:
+            raise DslSyntaxError(f"expected a statement, found {token.text!r}", token.line)
+        if token.text == "do":
+            return self._parse_do()
+        if token.text == "if":
+            return self._parse_if()
+        return self._parse_assign()
+
+    def _parse_assign(self) -> Assign:
+        name_token = self._expect(NAME)
+        name = name_token.text
+        target: Var | ArrayRef
+        if self._check(OP, "("):
+            if name not in self._array_names:
+                raise DslSyntaxError(
+                    f"assignment to undeclared array {name!r}", name_token.line
+                )
+            self._advance()
+            indices = [self._parse_expr()]
+            while self._accept(OP, ","):
+                indices.append(self._parse_expr())
+            self._expect(OP, ")")
+            target = ArrayRef(
+                name=name,
+                index=self._lower_subscript(name, indices, name_token.line),
+                line=name_token.line,
+            )
+        else:
+            target = Var(name=name, line=name_token.line)
+        self._expect(OP, "=")
+        expr = self._parse_expr()
+        self._expect_newline()
+        return Assign(target=target, expr=expr, line=name_token.line)
+
+    def _parse_if(self) -> If:
+        if_token = self._expect(NAME, "if")
+        self._expect(OP, "(")
+        cond = self._parse_expr()
+        self._expect(OP, ")")
+        self._expect(NAME, "then")
+        self._expect_newline()
+        then_body = self._parse_block(until=("else", "elseif", "endif"))
+        node = If(cond=cond, then_body=then_body, line=if_token.line)
+        self._parse_if_tail(node)
+        return node
+
+    def _parse_if_tail(self, node: If) -> None:
+        token = self._peek()
+        if token.text == "elseif" or (
+            token.text == "else" and self._peek(1).text == "if"
+        ):
+            if token.text == "elseif":
+                elif_token = self._advance()
+            else:
+                self._advance()  # else
+                elif_token = self._advance()  # if
+            self._expect(OP, "(")
+            cond = self._parse_expr()
+            self._expect(OP, ")")
+            self._expect(NAME, "then")
+            self._expect_newline()
+            then_body = self._parse_block(until=("else", "elseif", "endif"))
+            inner = If(cond=cond, then_body=then_body, line=elif_token.line)
+            self._parse_if_tail(inner)
+            node.else_body = [inner]
+            return
+        if token.text == "else":
+            self._advance()
+            self._expect_newline()
+            node.else_body = self._parse_block(until=("endif",))
+        self._parse_end_of("endif")
+
+    def _parse_do(self) -> Stmt:
+        do_token = self._expect(NAME, "do")
+        if self._check(NAME, "while"):
+            self._advance()
+            self._expect(OP, "(")
+            cond = self._parse_expr()
+            self._expect(OP, ")")
+            self._expect_newline()
+            body = self._parse_block(until=("enddo", "endwhile"))
+            self._parse_end_of("enddo", "endwhile")
+            return While(cond=cond, body=body, line=do_token.line)
+
+        var_token = self._expect(NAME)
+        if var_token.text in self._array_names:
+            raise DslSyntaxError(
+                f"loop variable {var_token.text!r} is declared as an array",
+                var_token.line,
+            )
+        self._expect(OP, "=")
+        start = self._parse_expr()
+        self._expect(OP, ",")
+        stop = self._parse_expr()
+        step: Expr | None = None
+        if self._accept(OP, ","):
+            step = self._parse_expr()
+        self._expect_newline()
+        body = self._parse_block(until=("enddo",))
+        self._parse_end_of("enddo")
+        return Do(
+            var=var_token.text, start=start, stop=stop, step=step, body=body,
+            line=do_token.line,
+        )
+
+    def _parse_end_of(self, *accepted: str) -> None:
+        """Consume a canonical block terminator from ``accepted``."""
+        token = self._peek()
+        terminator = self._upcoming_terminator()
+        if terminator not in accepted:
+            raise DslSyntaxError(
+                f"expected {accepted[0]!r}, found {terminator!r}", token.line
+            )
+        self._advance()
+        if terminator != token.text:  # two-token spelling: consume 2nd word
+            self._advance()
+        self._expect_newline()
+
+
+    def _lower_subscript(self, name: str, indices: list[Expr], line: int) -> Expr:
+        dims = self._array_dims.get(name, ())
+        if len(indices) == 1:
+            # A single subscript addresses the flat (linearized) storage,
+            # whatever the declared rank — which is also what printed
+            # (already-lowered) programs use.
+            return indices[0]
+        if len(indices) != len(dims):
+            raise DslSyntaxError(
+                f"array {name!r} has {len(dims)} dimension(s), "
+                f"subscripted with {len(indices)}",
+                line,
+            )
+        return lower_subscript(indices, dims, line=line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._check(NAME, "or"):
+            op_token = self._advance()
+            right = self._parse_and()
+            left = BinOp(op="or", left=left, right=right, line=op_token.line)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._check(NAME, "and"):
+            op_token = self._advance()
+            right = self._parse_not()
+            left = BinOp(op="and", left=left, right=right, line=op_token.line)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._check(NAME, "not"):
+            op_token = self._advance()
+            operand = self._parse_not()
+            return UnaryOp(op="not", operand=operand, line=op_token.line)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == OP and token.text in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            return BinOp(op=token.text, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind == OP and self._peek().text in ("+", "-"):
+            op_token = self._advance()
+            right = self._parse_multiplicative()
+            left = BinOp(op=op_token.text, left=left, right=right, line=op_token.line)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().kind == OP and self._peek().text in ("*", "/"):
+            op_token = self._advance()
+            right = self._parse_unary()
+            left = BinOp(op=op_token.text, left=left, right=right, line=op_token.line)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._check(OP, "-"):
+            op_token = self._advance()
+            operand = self._parse_unary()
+            return UnaryOp(op="-", operand=operand, line=op_token.line)
+        if self._check(OP, "+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_power()
+
+    def _parse_power(self) -> Expr:
+        base = self._parse_atom()
+        if self._check(OP, "**"):
+            op_token = self._advance()
+            exponent = self._parse_unary()  # right associative, allows -e
+            return BinOp(op="**", left=base, right=exponent, line=op_token.line)
+        return base
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind == INT:
+            self._advance()
+            return Num(value=float(int(token.text)), is_int=True, line=token.line)
+        if token.kind == REAL:
+            self._advance()
+            return Num(value=float(token.text), is_int=False, line=token.line)
+        if token.kind == OP and token.text == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(OP, ")")
+            return expr
+        if token.kind == NAME:
+            return self._parse_name_atom()
+        raise DslSyntaxError(f"expected an expression, found {token.text!r}", token.line)
+
+    def _parse_name_atom(self) -> Expr:
+        name_token = self._advance()
+        name = name_token.text
+        if not self._check(OP, "("):
+            return Var(name=name, line=name_token.line)
+        if name in self._array_names:
+            self._advance()
+            indices = [self._parse_expr()]
+            while self._accept(OP, ","):
+                indices.append(self._parse_expr())
+            self._expect(OP, ")")
+            return ArrayRef(
+                name=name,
+                index=self._lower_subscript(name, indices, name_token.line),
+                line=name_token.line,
+            )
+        if name in INTRINSICS:
+            self._advance()
+            args = [self._parse_expr()]
+            while self._accept(OP, ","):
+                args.append(self._parse_expr())
+            self._expect(OP, ")")
+            if len(args) != INTRINSICS[name]:
+                raise DslSyntaxError(
+                    f"intrinsic {name!r} takes {INTRINSICS[name]} argument(s), "
+                    f"got {len(args)}",
+                    name_token.line,
+                )
+            return Call(func=name, args=args, line=name_token.line)
+        raise DslSyntaxError(
+            f"{name!r} is neither a declared array nor an intrinsic", name_token.line
+        )

@@ -1,0 +1,153 @@
+"""Pretty printer for the mini-Fortran AST.
+
+:func:`to_source` emits text that re-parses to a structurally equal AST
+(checked by a hypothesis round-trip property test).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    Do,
+    Expr,
+    If,
+    Num,
+    Program,
+    ScalarDecl,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+
+#: Binding strength of each operator; parentheses are inserted when a child
+#: binds less tightly than its context requires.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "==": 4,
+    "/=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "u-": 7,
+    "**": 8,
+}
+
+_COMPARISON_PREC = 4
+
+_INDENT = "  "
+
+
+def to_source(program: Program) -> str:
+    """Render ``program`` as parseable mini-Fortran source."""
+    lines = [f"program {program.name}"]
+    for decl in program.decls:
+        lines.append(_INDENT + _format_decl(decl))
+    _emit_body(program.body, lines, depth=1)
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def expr_to_source(expr: Expr) -> str:
+    """Render a single expression."""
+    return _format_expr(expr, 0)
+
+
+def stmt_to_source(stmt: Stmt) -> str:
+    """Render a single statement (used in reports and error messages)."""
+    lines: list[str] = []
+    _emit_stmt(stmt, lines, depth=0)
+    return "\n".join(lines)
+
+
+def _format_decl(decl: Decl) -> str:
+    if isinstance(decl, ArrayDecl):
+        dims = ", ".join(str(d) for d in decl.dims)
+        return f"{decl.kind} {decl.name}({dims})"
+    assert isinstance(decl, ScalarDecl)
+    return f"{decl.kind} {decl.name}"
+
+
+def _emit_body(body: list[Stmt], lines: list[str], depth: int) -> None:
+    for stmt in body:
+        _emit_stmt(stmt, lines, depth)
+
+
+def _emit_stmt(stmt: Stmt, lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, Assign):
+        target = _format_expr(stmt.target, 0)
+        lines.append(f"{pad}{target} = {_format_expr(stmt.expr, 0)}")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({_format_expr(stmt.cond, 0)}) then")
+        _emit_body(stmt.then_body, lines, depth + 1)
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            _emit_body(stmt.else_body, lines, depth + 1)
+        lines.append(f"{pad}end if")
+    elif isinstance(stmt, Do):
+        header = (
+            f"{pad}do {stmt.var} = {_format_expr(stmt.start, 0)}, "
+            f"{_format_expr(stmt.stop, 0)}"
+        )
+        if stmt.step is not None:
+            header += f", {_format_expr(stmt.step, 0)}"
+        lines.append(header)
+        _emit_body(stmt.body, lines, depth + 1)
+        lines.append(f"{pad}end do")
+    elif isinstance(stmt, While):
+        lines.append(f"{pad}do while ({_format_expr(stmt.cond, 0)})")
+        _emit_body(stmt.body, lines, depth + 1)
+        lines.append(f"{pad}end do")
+    else:
+        raise TypeError(f"not a statement: {stmt!r}")
+
+
+def _format_expr(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Num):
+        return _format_num(expr)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}({_format_expr(expr.index, 0)})"
+    if isinstance(expr, Call):
+        args = ", ".join(_format_expr(a, 0) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, UnaryOp):
+        prec = _PRECEDENCE["u-"] if expr.op == "-" else _PRECEDENCE["not"]
+        op = "-" if expr.op == "-" else "not "
+        text = f"{op}{_format_expr(expr.operand, prec)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        if expr.op == "**":  # right associative
+            left = _format_expr(expr.left, prec + 1)
+            right = _format_expr(expr.right, prec)
+        elif prec == _COMPARISON_PREC:  # non-associative: a == b == c is invalid
+            left = _format_expr(expr.left, prec + 1)
+            right = _format_expr(expr.right, prec + 1)
+        else:  # left associative: right child must bind strictly tighter
+            left = _format_expr(expr.left, prec)
+            right = _format_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _format_num(num: Num) -> str:
+    if num.is_int:
+        return str(int(num.value))
+    text = repr(float(num.value))
+    return text

@@ -1,0 +1,59 @@
+"""Token definitions for the mini-Fortran lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+NAME = "NAME"
+INT = "INT"
+REAL = "REAL"
+OP = "OP"
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+
+#: Words with syntactic meaning.  They are lexed as NAME tokens; the parser
+#: gives them meaning by position, which keeps the lexer trivial and lets
+#: e.g. ``real`` appear both as a declaration keyword and as an intrinsic.
+KEYWORDS = frozenset(
+    {
+        "program",
+        "end",
+        "do",
+        "enddo",
+        "while",
+        "endwhile",
+        "if",
+        "then",
+        "else",
+        "elseif",
+        "endif",
+        "integer",
+        "real",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can scan greedily.
+MULTI_CHAR_OPS = ("**", "==", "/=", "<=", ">=", ".and.", ".or.", ".not.")
+
+#: Single-character operators / punctuation.
+SINGLE_CHAR_OPS = "+-*/<>=(),"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of the module-level kind constants, ``text`` is the
+    lexeme, and ``line`` is the 1-based source line it starts on.
+    """
+
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type.  Subsystems raise the most specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DslSyntaxError(ReproError):
+    """A lexing or parsing error in a mini-Fortran source program.
+
+    Carries the 1-based source ``line`` on which the error occurred.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class InterpError(ReproError):
+    """A run-time error during interpretation (bad index, unknown name...)."""
+
+
+class AnalysisError(ReproError):
+    """A compile-time analysis could not be applied to the given program."""
+
+
+class InspectorNotExtractable(AnalysisError):
+    """The inspector loop cannot be extracted without side effects.
+
+    Raised when the address computation of a tested array depends on data
+    written by the loop itself (the TRACK situation in the paper), so an
+    inspector/executor strategy is impossible and only speculation applies.
+    """
+
+
+class SpeculationError(ReproError):
+    """The speculative runtime was driven incorrectly (internal misuse)."""
+
+
+class SpeculationFailed(ReproError):
+    """Raised by eager (on-the-fly) failure detection during marking.
+
+    Models the hardware-assisted variant of the test ([47] in the paper:
+    Zhang, Rauchwerger & Torrellas, HPCA-4): a mark that makes the test's
+    failure certain aborts the speculative doall immediately instead of
+    completing it.  Caught by the executor, never user-visible.
+    """
+
+    def __init__(self, array: str, element: int):
+        self.array = array
+        self.element = element
+        super().__init__(
+            f"definite cross-iteration flow on {array}({element + 1})"
+        )
+
+
+class MachineConfigError(ReproError):
+    """An invalid simulated-machine configuration was supplied."""
+
+
+class BaselineInapplicable(ReproError):
+    """A related-work baseline method does not apply to the given loop.
+
+    E.g. Saltz-style inspector/executor methods require the loop to have no
+    output dependences.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given inconsistent parameters."""

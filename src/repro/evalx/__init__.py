@@ -1,0 +1,47 @@
+"""Evaluation harnesses: regenerate the paper's tables and figures.
+
+* :mod:`repro.evalx.table1` — Table I: the seven PERFECT loops, their
+  transforms and their speculative / inspector speedups on the two
+  machine models;
+* :mod:`repro.evalx.table2` — Table II: the qualitative method
+  comparison, plus an *empirical* companion measuring each executable
+  baseline's schedule depth and simulated time;
+* :mod:`repro.evalx.figures` — the speedup-vs-processors series behind
+  the paper's per-loop figures, and the ablation figures (failure cost,
+  PD vs LPD, iteration- vs processor-wise, marking overhead, schedule
+  reuse).
+
+Everything returns plain data plus a text rendering, so the benchmark
+harness can both assert on shapes and print the artifacts.
+"""
+
+from repro.evalx.figures import (
+    failure_cost_series,
+    ideal_series,
+    loop_figure,
+    marking_overhead_series,
+    pd_vs_lpd_comparison,
+    procwise_qualification,
+    schedule_reuse_series,
+    speedup_series,
+)
+from repro.evalx.render import format_table
+from repro.evalx.table1 import Table1Row, build_table1, render_table1
+from repro.evalx.table2 import build_table2, render_table2
+
+__all__ = [
+    "Table1Row",
+    "build_table1",
+    "build_table2",
+    "failure_cost_series",
+    "format_table",
+    "ideal_series",
+    "loop_figure",
+    "marking_overhead_series",
+    "pd_vs_lpd_comparison",
+    "procwise_qualification",
+    "render_table1",
+    "render_table2",
+    "schedule_reuse_series",
+    "speedup_series",
+]

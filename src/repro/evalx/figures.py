@@ -1,0 +1,337 @@
+"""Speedup figures and ablation series.
+
+Each helper returns :class:`repro.machine.stats.SpeedupSeries` (or small
+result records) so benchmarks can assert on the *shape* the paper reports
+and print the same series the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity
+from repro.errors import InspectorNotExtractable
+from repro.machine.costmodel import CostModel, fx80
+from repro.machine.schedule import ScheduleKind, assign_iterations, makespan
+from repro.machine.stats import SpeedupPoint, SpeedupSeries
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads.base import Workload
+
+DEFAULT_PROCS = (1, 2, 4, 8, 12, 14, 16)
+
+
+def _runner(workload: Workload) -> LoopRunner:
+    return LoopRunner(workload.program(), workload.inputs)
+
+
+def _loop_time(report, extra_serial: float) -> float:
+    return report.loop_time + extra_serial
+
+
+def speedup_series(
+    workload: Workload,
+    strategy: Strategy,
+    *,
+    procs: tuple[int, ...] = DEFAULT_PROCS,
+    model: CostModel | None = None,
+    include_setup: bool = False,
+    runner: LoopRunner | None = None,
+    config: RunConfig | None = None,
+) -> SpeedupSeries:
+    """Speedup of ``strategy`` vs the serial loop, over processor counts.
+
+    ``include_setup`` charges the program's pre-loop (serial) statements
+    to both sides — used for SPICE, whose linked-list traversal is the
+    Amdahl component of the paper's modest speedups.
+    """
+    model = model or fx80()
+    runner = runner or _runner(workload)
+    base_config = config or RunConfig(model=model)
+    serial = runner.serial_run(model)
+    extra = serial.setup_time if include_setup else 0.0
+
+    series = SpeedupSeries(label=f"{workload.name}:{strategy.value}")
+    for p in procs:
+        report = runner.run(strategy, _with_model(base_config, model.with_procs(p)))
+        time = _loop_time(report, extra)
+        series.add(
+            SpeedupPoint(
+                procs=p,
+                speedup=(serial.loop_time + extra) / time,
+                time=time,
+                breakdown=report.times,
+            )
+        )
+    return series
+
+
+def _with_model(config: RunConfig, model: CostModel) -> RunConfig:
+    import dataclasses
+
+    return dataclasses.replace(config, model=model)
+
+
+def ideal_series(
+    workload: Workload,
+    *,
+    procs: tuple[int, ...] = DEFAULT_PROCS,
+    model: CostModel | None = None,
+    include_setup: bool = False,
+    runner: LoopRunner | None = None,
+) -> SpeedupSeries:
+    """The no-overhead doall bound: unmarked iterations, block-scheduled,
+    one barrier — what a perfect compile-time parallelization would get."""
+    model = model or fx80()
+    runner = runner or _runner(workload)
+    serial = runner.serial_run(model)
+    extra = serial.setup_time if include_setup else 0.0
+    cycles = [model.iteration_cycles(c) for c in serial.loop_iteration_costs]
+
+    series = SpeedupSeries(label=f"{workload.name}:ideal")
+    for p in procs:
+        m = model.with_procs(p)
+        assignment = assign_iterations(len(cycles), p, ScheduleKind.BLOCK)
+        time = makespan(assignment, cycles) + m.barrier(p) + extra
+        series.add(
+            SpeedupPoint(procs=p, speedup=(serial.loop_time + extra) / time, time=time)
+        )
+    return series
+
+
+def loop_figure(
+    workload: Workload,
+    *,
+    procs: tuple[int, ...] = DEFAULT_PROCS,
+    model: CostModel | None = None,
+    include_setup: bool = False,
+) -> dict[str, SpeedupSeries]:
+    """The paper's per-loop figure: speculative, inspector (when
+    extractable) and ideal series for one loop."""
+    model = model or fx80()
+    runner = _runner(workload)
+    out = {
+        "speculative": speedup_series(
+            workload, Strategy.SPECULATIVE, procs=procs, model=model,
+            include_setup=include_setup, runner=runner,
+        ),
+        "ideal": ideal_series(
+            workload, procs=procs, model=model,
+            include_setup=include_setup, runner=runner,
+        ),
+    }
+    try:
+        out["inspector"] = speedup_series(
+            workload, Strategy.INSPECTOR, procs=procs, model=model,
+            include_setup=include_setup, runner=runner,
+        )
+    except InspectorNotExtractable:
+        pass
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Ablation figures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FailurePoint:
+    dep_fraction: float
+    passed: bool
+    slowdown_vs_serial: float  # speculative time / serial time
+
+
+def failure_cost_series(
+    fractions: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.25, 0.5),
+    *,
+    n: int = 400,
+    model: CostModel | None = None,
+) -> list[FailurePoint]:
+    """Cost of failed speculation vs injected dependence density.
+
+    The paper's bound: a failed test costs the serial re-execution plus
+    the (parallelizable) attempt — a small constant factor over serial.
+    """
+    from repro.workloads.synthetic import build_dependence_injected
+
+    model = model or fx80()
+    points = []
+    for fraction in fractions:
+        workload = build_dependence_injected(n=n, dep_fraction=fraction)
+        runner = _runner(workload)
+        serial = runner.serial_run(model)
+        report = runner.run(Strategy.SPECULATIVE, RunConfig(model=model))
+        points.append(
+            FailurePoint(
+                dep_fraction=fraction,
+                passed=bool(report.passed),
+                slowdown_vs_serial=report.loop_time / serial.loop_time,
+            )
+        )
+    return points
+
+
+@dataclass
+class PdLpdPoint:
+    live_fraction: float
+    pd_passed: bool
+    lpd_passed: bool
+
+
+def pd_vs_lpd_comparison(
+    live_fractions: tuple[float, ...] = (0.0,),
+    *,
+    model: CostModel | None = None,
+) -> list[PdLpdPoint]:
+    """The PD-vs-LPD ablation: reference-based marking fails loops whose
+    problematic reads are dynamically dead; value-based marking passes
+    them (paper §III's improvement over the ICS'94 PD test)."""
+    from repro.workloads.synthetic import build_conditional_dead_reads
+
+    model = model or fx80()
+    points = []
+    for fraction in live_fractions:
+        workload = build_conditional_dead_reads(live_fraction=fraction)
+        pd = _runner(workload).run(
+            Strategy.SPECULATIVE, RunConfig(model=model, test_mode=TestMode.PD)
+        )
+        lpd = _runner(workload).run(
+            Strategy.SPECULATIVE, RunConfig(model=model, test_mode=TestMode.LRPD)
+        )
+        points.append(
+            PdLpdPoint(
+                live_fraction=fraction,
+                pd_passed=bool(pd.passed),
+                lpd_passed=bool(lpd.passed),
+            )
+        )
+    return points
+
+
+@dataclass
+class ProcwisePoint:
+    procs: int
+    iteration_wise_passed: bool
+    processor_wise_passed: bool
+    processor_wise_speedup: float
+
+
+def procwise_qualification(
+    procs: tuple[int, ...] = (2, 4, 8, 14),
+    *,
+    n: int = 240,
+    model: CostModel | None = None,
+) -> list[ProcwisePoint]:
+    """Iteration-wise vs processor-wise (Appendix A.1) qualification.
+
+    A loop whose dependences stay inside each processor's block passes
+    the processor-wise test and fails the iteration-wise one; when the
+    block boundaries cut a dependence chain (here: odd block sizes) the
+    processor-wise test fails too — qualification depends on p.
+    """
+    from repro.workloads.synthetic import build_blocked_chain
+
+    model = model or fx80()
+    points = []
+    for p in procs:
+        workload = build_blocked_chain(n=n)
+        runner = _runner(workload)
+        iteration_wise = runner.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=model.with_procs(p), granularity=Granularity.ITERATION),
+        )
+        runner2 = _runner(workload)
+        processor_wise = runner2.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=model.with_procs(p), granularity=Granularity.PROCESSOR),
+        )
+        points.append(
+            ProcwisePoint(
+                procs=p,
+                iteration_wise_passed=bool(iteration_wise.passed),
+                processor_wise_passed=bool(processor_wise.passed),
+                processor_wise_speedup=processor_wise.speedup,
+            )
+        )
+    return points
+
+
+@dataclass
+class MarkingPoint:
+    mark_cost: float
+    overhead_factor: float  # marked serial work / unmarked serial work
+    speedup_at_p: float
+
+
+def marking_overhead_series(
+    mark_costs: tuple[float, ...] = (0.0, 2.0, 4.0, 8.0, 16.0),
+    *,
+    procs: int = 8,
+    model: CostModel | None = None,
+) -> list[MarkingPoint]:
+    """Speedup sensitivity to the marking cost (hardware-support ablation;
+    the paper's closing argument for architectural support [47])."""
+    import dataclasses
+
+    from repro.workloads.bdna import build_bdna
+
+    base = model or fx80()
+    points = []
+    for mark_cost in mark_costs:
+        m = dataclasses.replace(base.with_procs(procs), mark=mark_cost)
+        workload = build_bdna()
+        runner = _runner(workload)
+        serial = runner.serial_run(m)
+        report = runner.run(Strategy.SPECULATIVE, RunConfig(model=m))
+        marked = sum(
+            m.iteration_cycles(c) for c in serial.loop_iteration_costs
+        ) + report.stats.get("marks", 0.0) * mark_cost
+        points.append(
+            MarkingPoint(
+                mark_cost=mark_cost,
+                overhead_factor=marked / serial.loop_time,
+                speedup_at_p=report.speedup,
+            )
+        )
+    return points
+
+
+@dataclass
+class ReusePoint:
+    invocation: int
+    time: float
+    reused: bool
+
+
+def schedule_reuse_series(
+    invocations: int = 10,
+    *,
+    model: CostModel | None = None,
+) -> tuple[list[ReusePoint], list[ReusePoint]]:
+    """OCEAN-style repeated invocation, with and without schedule reuse.
+
+    Returns (without_cache, with_cache) per-invocation times: the cached
+    run pays marking/analysis once and then runs unmarked doalls.
+    """
+    from repro.workloads.ocean import build_ocean
+
+    model = model or fx80()
+    workload = build_ocean()
+
+    def run_repeated(use_cache: bool) -> list[ReusePoint]:
+        runner = _runner(workload)
+        config = RunConfig(model=model, use_schedule_cache=use_cache)
+        points = []
+        for invocation in range(invocations):
+            report = runner.run(Strategy.SPECULATIVE, config)
+            points.append(
+                ReusePoint(
+                    invocation=invocation,
+                    time=report.loop_time,
+                    reused=report.reused_schedule,
+                )
+            )
+        return points
+
+    return run_repeated(False), run_repeated(True)

@@ -1,0 +1,105 @@
+"""Monospace text-table rendering for the evaluation artifacts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_figure(series_by_label: dict, *, title: str | None = None) -> str:
+    """Render a dict of :class:`~repro.machine.stats.SpeedupSeries` as a
+    processors-by-series text table (one figure)."""
+    labels = list(series_by_label)
+    procs = [p.procs for p in series_by_label[labels[0]].points]
+    headers = ["procs"] + labels
+    rows = []
+    for index, p in enumerate(procs):
+        row: list[object] = [p]
+        for label in labels:
+            points = series_by_label[label].points
+            row.append(points[index].speedup if index < len(points) else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def ascii_chart(
+    series_by_label: dict,
+    *,
+    height: int = 14,
+    title: str | None = None,
+) -> str:
+    """A rough terminal plot of speedup-vs-processors series.
+
+    The x axis spans the processor counts of the first series; each
+    series is drawn with its own glyph; the y axis is speedup.
+    """
+    labels = list(series_by_label)
+    glyphs = "*o+x#@%&"
+    procs = [p.procs for p in series_by_label[labels[0]].points]
+    max_speedup = max(
+        point.speedup
+        for series in series_by_label.values()
+        for point in series.points
+    )
+    top = max(1.0, max_speedup)
+
+    width = len(procs)
+    grid = [[" "] * width for _ in range(height)]
+    for label_index, label in enumerate(labels):
+        glyph = glyphs[label_index % len(glyphs)]
+        for column, point in enumerate(series_by_label[label].points[:width]):
+            row = height - 1 - int(round((point.speedup / top) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            if grid[row][column] == " ":
+                grid[row][column] = glyph
+            else:
+                grid[row][column] = "!"  # overlapping points
+
+    lines = []
+    if title:
+        lines.append(title)
+    cell = 5
+    for row_index, row in enumerate(grid):
+        y_value = top * (height - 1 - row_index) / (height - 1)
+        body = "".join(c.center(cell) for c in row)
+        lines.append(f"{y_value:6.1f} |{body}")
+    lines.append("       +" + "-" * (cell * width))
+    lines.append("        " + "".join(str(p).center(cell) for p in procs))
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append("        " + legend + "   (! = overlap)")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

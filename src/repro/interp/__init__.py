@@ -1,0 +1,33 @@
+"""Sequential interpreter for the mini-Fortran DSL.
+
+This package is the "machine" the paper's Fortran loops run on:
+
+* :mod:`repro.interp.env` — numpy-backed environments (scalars + arrays);
+* :mod:`repro.interp.memory` — pluggable memory models, so the speculative
+  runtime can reroute accesses to private copies / reduction partials;
+* :mod:`repro.interp.events` — access-observation hooks, which is where the
+  LRPD shadow marking attaches;
+* :mod:`repro.interp.interpreter` — the tree-walking interpreter itself,
+  with optional *value-based* (taint-propagating) read marking that
+  implements the lazy LPD marking discipline of the paper;
+* :mod:`repro.interp.costs` — per-iteration operation counting used by the
+  simulated multiprocessor's cost model.
+"""
+
+from repro.interp.costs import CostCounter, IterationCost
+from repro.interp.env import Environment
+from repro.interp.events import AccessObserver, TraceRecorder
+from repro.interp.interpreter import Interpreter, find_target_loop
+from repro.interp.memory import DirectMemory, MemoryModel
+
+__all__ = [
+    "AccessObserver",
+    "CostCounter",
+    "DirectMemory",
+    "Environment",
+    "Interpreter",
+    "IterationCost",
+    "MemoryModel",
+    "TraceRecorder",
+    "find_target_loop",
+]

@@ -1,0 +1,119 @@
+"""Operation counting for the simulated machine's cost model.
+
+The interpreter increments category counters as it executes; the executor
+brackets each loop iteration with :meth:`CostCounter.start_iteration` /
+:meth:`CostCounter.end_iteration`, producing one :class:`IterationCost`
+per iteration.  The simulated multiprocessor (:mod:`repro.machine`)
+converts these counts into cycles and schedules them onto processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Counter categories, fixed so IterationCost can be a plain tuple-like.
+CATEGORIES = (
+    "flops",        # arithmetic / comparison / logical operations
+    "mem_reads",    # array element loads
+    "mem_writes",   # array element stores
+    "scalar_ops",   # scalar variable reads/writes
+    "intrinsics",   # intrinsic function calls
+    "branches",     # if / while condition evaluations
+    "marks",        # shadow-array marking operations (set by the runtime)
+)
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Operation counts attributed to a single loop iteration."""
+
+    flops: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    scalar_ops: int = 0
+    intrinsics: int = 0
+    branches: int = 0
+    marks: int = 0
+
+    def total_ops(self) -> int:
+        """Total operation count (unweighted)."""
+        return (
+            self.flops
+            + self.mem_reads
+            + self.mem_writes
+            + self.scalar_ops
+            + self.intrinsics
+            + self.branches
+            + self.marks
+        )
+
+    def without_marks(self) -> "IterationCost":
+        """The same iteration with marking overhead removed."""
+        return IterationCost(
+            flops=self.flops,
+            mem_reads=self.mem_reads,
+            mem_writes=self.mem_writes,
+            scalar_ops=self.scalar_ops,
+            intrinsics=self.intrinsics,
+            branches=self.branches,
+            marks=0,
+        )
+
+    def __add__(self, other: "IterationCost") -> "IterationCost":
+        return IterationCost(
+            flops=self.flops + other.flops,
+            mem_reads=self.mem_reads + other.mem_reads,
+            mem_writes=self.mem_writes + other.mem_writes,
+            scalar_ops=self.scalar_ops + other.scalar_ops,
+            intrinsics=self.intrinsics + other.intrinsics,
+            branches=self.branches + other.branches,
+            marks=self.marks + other.marks,
+        )
+
+
+@dataclass
+class CostCounter:
+    """Mutable operation counters, with iteration bracketing.
+
+    All counters are plain ints mutated by the interpreter's hot path;
+    iteration boundaries snapshot the deltas.
+    """
+
+    flops: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    scalar_ops: int = 0
+    intrinsics: int = 0
+    branches: int = 0
+    marks: int = 0
+    iteration_costs: list[IterationCost] = field(default_factory=list)
+    _iter_base: tuple[int, ...] | None = None
+
+    def _snapshot(self) -> tuple[int, ...]:
+        return (
+            self.flops,
+            self.mem_reads,
+            self.mem_writes,
+            self.scalar_ops,
+            self.intrinsics,
+            self.branches,
+            self.marks,
+        )
+
+    def start_iteration(self) -> None:
+        """Begin attributing subsequent counts to a new iteration."""
+        self._iter_base = self._snapshot()
+
+    def end_iteration(self) -> IterationCost:
+        """Close the current iteration and record its cost delta."""
+        if self._iter_base is None:
+            raise RuntimeError("end_iteration() without start_iteration()")
+        now = self._snapshot()
+        delta = IterationCost(*(b - a for a, b in zip(self._iter_base, now)))
+        self.iteration_costs.append(delta)
+        self._iter_base = None
+        return delta
+
+    def total(self) -> IterationCost:
+        """All counts accumulated so far, as an immutable record."""
+        return IterationCost(*self._snapshot())

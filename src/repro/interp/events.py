@@ -1,0 +1,110 @@
+"""Access-observation hooks.
+
+Everything the LRPD runtime learns about a loop's dynamic behaviour flows
+through an :class:`AccessObserver`:
+
+* shadow-array marking (:class:`repro.core.shadow.ShadowMarker`) implements
+  the paper's ``markread`` / ``markwrite`` / ``markredux`` operations;
+* :class:`TraceRecorder` captures a full access trace, which feeds the
+  related-work baselines (wavefront schedulers) and the test oracles.
+
+The observer receives *logical* accesses: in value-based (LPD) mode the
+interpreter only reports reads whose value actually participates in the
+cross-iteration flow of values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+READ = "R"
+WRITE = "W"
+REDUX = "X"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One dynamic access: kind is READ / WRITE / REDUX."""
+
+    kind: str
+    array: str
+    index: int
+    iteration: int
+    op: str | None = None  # reduction operator for REDUX accesses
+
+
+class AccessObserver(Protocol):
+    """Callbacks invoked by the interpreter for tested arrays."""
+
+    def on_read(self, array: str, index: int) -> None:
+        """A read of ``array(index)`` that contributes to the data flow."""
+        ...
+
+    def on_write(self, array: str, index: int) -> None:
+        """A write of ``array(index)``."""
+        ...
+
+    def on_redux(self, array: str, index: int, op: str) -> None:
+        """An access to ``array(index)`` inside a reduction statement."""
+        ...
+
+
+class NullObserver:
+    """An observer that ignores everything (serial, unmarked execution)."""
+
+    def on_read(self, array: str, index: int) -> None:
+        pass
+
+    def on_write(self, array: str, index: int) -> None:
+        pass
+
+    def on_redux(self, array: str, index: int, op: str) -> None:
+        pass
+
+
+class TraceRecorder:
+    """Records the full access stream, tagged with the current iteration.
+
+    The driver must set :attr:`iteration` before executing each iteration
+    (the runtime executors do this automatically).
+    """
+
+    def __init__(self) -> None:
+        self.accesses: list[Access] = []
+        self.iteration = 0
+
+    def on_read(self, array: str, index: int) -> None:
+        self.accesses.append(Access(READ, array, index, self.iteration))
+
+    def on_write(self, array: str, index: int) -> None:
+        self.accesses.append(Access(WRITE, array, index, self.iteration))
+
+    def on_redux(self, array: str, index: int, op: str) -> None:
+        self.accesses.append(Access(REDUX, array, index, self.iteration, op))
+
+    def by_iteration(self) -> dict[int, list[Access]]:
+        """Group the recorded accesses by iteration number."""
+        grouped: dict[int, list[Access]] = {}
+        for access in self.accesses:
+            grouped.setdefault(access.iteration, []).append(access)
+        return grouped
+
+
+class TeeObserver:
+    """Forward every event to several observers (e.g. marker + trace)."""
+
+    def __init__(self, *observers: AccessObserver):
+        self._observers = observers
+
+    def on_read(self, array: str, index: int) -> None:
+        for obs in self._observers:
+            obs.on_read(array, index)
+
+    def on_write(self, array: str, index: int) -> None:
+        for obs in self._observers:
+            obs.on_write(array, index)
+
+    def on_redux(self, array: str, index: int, op: str) -> None:
+        for obs in self._observers:
+            obs.on_redux(array, index, op)

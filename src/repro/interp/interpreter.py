@@ -1,0 +1,448 @@
+"""Tree-walking interpreter for the mini-Fortran DSL.
+
+Numeric semantics are Fortran-flavoured: integer arithmetic stays integral
+(`/` truncates toward zero), mixed arithmetic promotes to real, assignment
+converts to the declared kind of the target.
+
+Marking disciplines
+-------------------
+
+The LRPD runtime observes accesses to the *tested arrays* through an
+:class:`repro.interp.events.AccessObserver`.  Two disciplines are
+supported, mirroring the paper:
+
+* **reference-based** (``value_based=False``): every executed read of a
+  tested array is reported immediately.  This reproduces the earlier PD
+  test's marking.
+* **value-based** (``value_based=True``): a read produces a *tainted*
+  value; the pending read is reported only when the value actually flows
+  somewhere that matters — a store to an array, a subscript, a branch or
+  loop-bound decision, i.e. when it participates in the cross-iteration
+  flow of values.  Reads whose values die in private scalars are never
+  reported.  This is the paper's improvement of the LPD test over the PD
+  test ("checking only the dynamic data dependences caused by the actual
+  cross-iteration flow of values").
+
+References inside validated reduction statements are reported with
+``on_redux`` and their loaded values are not tainted (their read-modify-
+write flow is accounted for by the reduction machinery).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.dsl.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    Expr,
+    If,
+    Num,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.errors import InterpError
+from repro.interp.costs import CostCounter
+from repro.interp.env import Environment
+from repro.interp.events import AccessObserver, NullObserver
+from repro.interp.memory import DirectMemory, MemoryModel
+
+#: Safety valve for ``do while`` loops in buggy generated programs.
+MAX_WHILE_ITERATIONS = 10_000_000
+
+
+class Tainted:
+    """A runtime value carrying pending (array, index) reads."""
+
+    __slots__ = ("value", "taints")
+
+    def __init__(self, value: float | int, taints: frozenset[tuple[str, int]]):
+        self.value = value
+        self.taints = taints
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tainted({self.value!r}, {set(self.taints)!r})"
+
+
+def find_target_loop(program: Program) -> Do:
+    """The loop under test: the first top-level ``do`` in the program body."""
+    for stmt in program.body:
+        if isinstance(stmt, Do):
+            return stmt
+    raise InterpError("program has no top-level do loop to test")
+
+
+def split_at_loop(program: Program, loop: Do) -> tuple[list[Stmt], list[Stmt]]:
+    """Split the top-level body into (before-loop, after-loop) statements."""
+    for position, stmt in enumerate(program.body):
+        if stmt is loop:
+            return program.body[:position], program.body[position + 1 :]
+    raise InterpError("loop is not a top-level statement of the program")
+
+
+class Interpreter:
+    """Executes DSL statements against an environment and a memory model."""
+
+    def __init__(
+        self,
+        program: Program,
+        env: Environment,
+        *,
+        memory: MemoryModel | None = None,
+        observer: AccessObserver | None = None,
+        tested: Iterable[str] = (),
+        value_based: bool = True,
+        cost: CostCounter | None = None,
+        redux_refs: Mapping[int, str] | None = None,
+    ):
+        self.program = program
+        self.env = env
+        self.memory: MemoryModel = memory if memory is not None else DirectMemory(env)
+        self.observer: AccessObserver = observer if observer is not None else NullObserver()
+        self.tested = frozenset(tested)
+        self.value_based = value_based
+        self.cost = cost if cost is not None else CostCounter()
+        #: ref_id -> reduction operator, for references inside validated
+        #: reduction statements (assigned by the instrumentation pass).
+        self.redux_refs: Mapping[int, str] = redux_refs or {}
+        #: pending taints held by scalar variables (value-based mode).
+        self._scalar_taints: dict[str, frozenset[tuple[str, int]]] = {}
+
+    # -- public driving API -------------------------------------------------
+
+    def run(self) -> None:
+        """Execute the whole program sequentially."""
+        self.exec_block(self.program.body)
+
+    def exec_block(self, body: list[Stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_iteration(
+        self,
+        loop: Do,
+        iteration_value: int,
+        flush_live_out: Iterable[str] = (),
+    ) -> None:
+        """Execute one iteration of ``loop`` with the loop variable set.
+
+        Used by the parallel executors, which control iteration order and
+        bracket each iteration with cost accounting and taint lifetime.
+        Pending reads held by ``flush_live_out`` scalars are reported
+        before the iteration's taints are dropped (their values may
+        survive the loop).
+        """
+        self.env.set_scalar(loop.var, iteration_value)
+        self.cost.start_iteration()
+        self.exec_block(loop.body)
+        if flush_live_out:
+            self.flush_scalar_taints(flush_live_out)
+        self.cost.end_iteration()
+        self._scalar_taints.clear()
+
+    def eval_loop_bounds(self, loop: Do) -> tuple[int, int, int]:
+        """Evaluate a do loop's (start, stop, step) in the current state."""
+        start = int(self._eval_flushed(loop.start))
+        stop = int(self._eval_flushed(loop.stop))
+        step = 1 if loop.step is None else int(self._eval_flushed(loop.step))
+        if step == 0:
+            raise InterpError("do loop with zero step")
+        return start, stop, step
+
+    def flush_scalar_taints(self, names: Iterable[str]) -> None:
+        """Report pending reads held by the named (live-out) scalars."""
+        for name in names:
+            taints = self._scalar_taints.pop(name, None)
+            if taints:
+                for array, index in taints:
+                    self._mark_read(array, index)
+
+    def clear_scalar_taints(self) -> None:
+        """Drop all pending per-iteration taints (dead values)."""
+        self._scalar_taints.clear()
+
+    # -- statements -----------------------------------------------------------
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, If):
+            self.cost.branches += 1
+            if self._truthy(self._eval_flushed(stmt.cond)):
+                self.exec_block(stmt.then_body)
+            else:
+                self.exec_block(stmt.else_body)
+        elif isinstance(stmt, Do):
+            self._exec_do(stmt)
+        elif isinstance(stmt, While):
+            self._exec_while(stmt)
+        else:
+            raise InterpError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_assign(self, stmt: Assign) -> None:
+        target = stmt.target
+        if isinstance(target, Var):
+            value = self.eval(stmt.expr)
+            self.cost.scalar_ops += 1
+            if isinstance(value, Tainted):
+                self.env.set_scalar(target.name, value.value)
+                if value.taints:
+                    self._scalar_taints[target.name] = value.taints
+                else:
+                    self._scalar_taints.pop(target.name, None)
+            else:
+                self.env.set_scalar(target.name, value)
+                self._scalar_taints.pop(target.name, None)
+            return
+
+        assert isinstance(target, ArrayRef)
+        index = self._eval_index(target.index)
+        value = self._eval_flushed(stmt.expr)
+        self.cost.mem_writes += 1
+        self.memory.store(target.name, index, value, target.ref_id)
+        if target.name in self.tested:
+            op = self.redux_refs.get(target.ref_id)
+            if op is not None:
+                self.observer.on_redux(target.name, index, op)
+            else:
+                self.observer.on_write(target.name, index)
+
+    def _exec_do(self, stmt: Do) -> None:
+        start = int(self._eval_flushed(stmt.start))
+        stop = int(self._eval_flushed(stmt.stop))
+        step = 1 if stmt.step is None else int(self._eval_flushed(stmt.step))
+        if step == 0:
+            raise InterpError("do loop with zero step")
+        value = start
+        while (step > 0 and value <= stop) or (step < 0 and value >= stop):
+            self.env.set_scalar(stmt.var, value)
+            self.cost.scalar_ops += 1
+            self.exec_block(stmt.body)
+            value += step
+        # Fortran leaves the loop variable one step past the bound.
+        self.env.set_scalar(stmt.var, value)
+
+    def _exec_while(self, stmt: While) -> None:
+        count = 0
+        while True:
+            self.cost.branches += 1
+            if not self._truthy(self._eval_flushed(stmt.cond)):
+                return
+            self.exec_block(stmt.body)
+            count += 1
+            if count > MAX_WHILE_ITERATIONS:
+                raise InterpError("do while exceeded the iteration safety limit")
+
+    # -- expressions ------------------------------------------------------------
+
+    def eval(self, expr: Expr):
+        """Evaluate ``expr``; may return a raw number or a Tainted value."""
+        if isinstance(expr, Num):
+            return int(expr.value) if expr.is_int else expr.value
+        if isinstance(expr, Var):
+            self.cost.scalar_ops += 1
+            value = self.env.get_scalar(expr.name)
+            taints = self._scalar_taints.get(expr.name)
+            if taints:
+                return Tainted(value, taints)
+            return value
+        if isinstance(expr, ArrayRef):
+            return self._eval_array_load(expr)
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, UnaryOp):
+            self.cost.flops += 1
+            value = self.eval(expr.operand)
+            raw = value.value if isinstance(value, Tainted) else value
+            result = (1 if not self._truthy(raw) else 0) if expr.op == "not" else -raw
+            if isinstance(value, Tainted) and value.taints:
+                return Tainted(result, value.taints)
+            return result
+        if isinstance(expr, Call):
+            return self._eval_call(expr)
+        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_array_load(self, ref: ArrayRef):
+        index = self._eval_index(ref.index)
+        self.cost.mem_reads += 1
+        value = self.memory.load(ref.name, index, ref.ref_id)
+        if ref.name not in self.tested:
+            return value
+        op = self.redux_refs.get(ref.ref_id)
+        if op is not None:
+            # A read inside a validated reduction statement: marked as a
+            # reduction access; the value is the (routed) partial accumulator
+            # and must not spread a read taint.
+            self.observer.on_redux(ref.name, index, op)
+            return value
+        if self.value_based:
+            return Tainted(value, frozenset(((ref.name, index),)))
+        self.observer.on_read(ref.name, index)
+        return value
+
+    def _eval_binop(self, expr: BinOp):
+        op = expr.op
+        if op == "and":
+            self.cost.flops += 1
+            left = self._eval_flushed(expr.left)
+            if not self._truthy(left):
+                return 0
+            return 1 if self._truthy(self._eval_flushed(expr.right)) else 0
+        if op == "or":
+            self.cost.flops += 1
+            left = self._eval_flushed(expr.left)
+            if self._truthy(left):
+                return 1
+            return 1 if self._truthy(self._eval_flushed(expr.right)) else 0
+
+        self.cost.flops += 1
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        left_raw = left.value if isinstance(left, Tainted) else left
+        right_raw = right.value if isinstance(right, Tainted) else right
+        result = _apply_binop(op, left_raw, right_raw)
+
+        taints: frozenset[tuple[str, int]] = frozenset()
+        if isinstance(left, Tainted):
+            taints |= left.taints
+        if isinstance(right, Tainted):
+            taints |= right.taints
+        if taints:
+            return Tainted(result, taints)
+        return result
+
+    def _eval_call(self, expr: Call):
+        self.cost.intrinsics += 1
+        values = [self.eval(arg) for arg in expr.args]
+        raws = [v.value if isinstance(v, Tainted) else v for v in values]
+        result = _apply_intrinsic(expr.func, raws)
+        taints: frozenset[tuple[str, int]] = frozenset()
+        for value in values:
+            if isinstance(value, Tainted):
+                taints |= value.taints
+        if taints:
+            return Tainted(result, taints)
+        return result
+
+    # -- taint helpers -----------------------------------------------------------
+
+    def _eval_flushed(self, expr: Expr) -> float | int:
+        """Evaluate ``expr`` and flush any pending reads it carries.
+
+        Used wherever the value observably escapes: stores to arrays,
+        subscripts, branch conditions and loop bounds.
+        """
+        value = self.eval(expr)
+        if isinstance(value, Tainted):
+            for array, index in value.taints:
+                self._mark_read(array, index)
+            return value.value
+        return value
+
+    def _eval_index(self, expr: Expr) -> int:
+        value = self._eval_flushed(expr)
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise InterpError(f"non-integral array subscript {value!r}")
+            value = int(value)
+        return value
+
+    def _mark_read(self, array: str, index: int) -> None:
+        self.observer.on_read(array, index)
+
+    @staticmethod
+    def _truthy(value: float | int) -> bool:
+        return value != 0
+
+
+# ---------------------------------------------------------------------------
+# Numeric semantics
+# ---------------------------------------------------------------------------
+
+
+def _int_div(a: int, b: int) -> int:
+    """Fortran integer division: truncate toward zero."""
+    if b == 0:
+        raise InterpError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _apply_binop(op: str, a: float | int, b: float | int) -> float | int:
+    both_int = isinstance(a, int) and isinstance(b, int)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if both_int:
+            return _int_div(a, b)
+        if b == 0:
+            raise InterpError("division by zero")
+        return a / b
+    if op == "**":
+        if both_int and b >= 0:
+            return a**b
+        return float(a) ** float(b)
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "/=":
+        return 1 if a != b else 0
+    if op == "<":
+        return 1 if a < b else 0
+    if op == "<=":
+        return 1 if a <= b else 0
+    if op == ">":
+        return 1 if a > b else 0
+    if op == ">=":
+        return 1 if a >= b else 0
+    raise InterpError(f"unknown operator {op!r}")
+
+
+def _apply_intrinsic(func: str, args: list[float | int]) -> float | int:
+    if func == "abs":
+        return abs(args[0])
+    if func == "sqrt":
+        if args[0] < 0:
+            raise InterpError("sqrt of a negative value")
+        return math.sqrt(args[0])
+    if func == "exp":
+        return math.exp(args[0])
+    if func == "log":
+        if args[0] <= 0:
+            raise InterpError("log of a non-positive value")
+        return math.log(args[0])
+    if func == "sin":
+        return math.sin(args[0])
+    if func == "cos":
+        return math.cos(args[0])
+    if func == "floor":
+        return int(math.floor(args[0]))
+    if func == "int":
+        return int(args[0]) if args[0] >= 0 else -int(-args[0])
+    if func == "real":
+        return float(args[0])
+    if func == "sign":
+        magnitude = abs(args[0])
+        return magnitude if args[1] >= 0 else -magnitude
+    if func == "mod":
+        a, b = args
+        if b == 0:
+            raise InterpError("mod with zero divisor")
+        if isinstance(a, int) and isinstance(b, int):
+            return a - _int_div(a, b) * b
+        return math.fmod(a, b)
+    if func == "min":
+        return min(args)
+    if func == "max":
+        return max(args)
+    raise InterpError(f"unknown intrinsic {func!r}")

@@ -1,0 +1,43 @@
+"""Pluggable memory models.
+
+The interpreter performs every array access through a :class:`MemoryModel`.
+Serial execution uses :class:`DirectMemory`; the speculative runtime
+substitutes a router that sends privatized arrays to per-processor copies
+and reduction arrays to partial accumulators (see
+:mod:`repro.runtime.access_router`).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.interp.env import Environment
+
+
+class MemoryModel(Protocol):
+    """The array-access interface the interpreter executes against.
+
+    ``ref_id`` identifies the syntactic reference site; routers use it to
+    send reduction-statement accesses to partial accumulators.
+    """
+
+    def load(self, array: str, index: int, ref_id: int = -1) -> float | int:
+        """Read ``array(index)`` (1-based)."""
+        ...
+
+    def store(self, array: str, index: int, value: float | int, ref_id: int = -1) -> None:
+        """Write ``array(index) = value`` (1-based)."""
+        ...
+
+
+class DirectMemory:
+    """Accesses go straight to the environment's shared arrays."""
+
+    def __init__(self, env: Environment):
+        self._env = env
+
+    def load(self, array: str, index: int, ref_id: int = -1) -> float | int:
+        return self._env.load(array, index)
+
+    def store(self, array: str, index: int, value: float | int, ref_id: int = -1) -> None:
+        self._env.store(array, index, value)

@@ -1,0 +1,27 @@
+"""A simulated shared-memory multiprocessor.
+
+The paper evaluates on an 8-processor Alliant FX/80 and a 14-processor
+Alliant FX/2800; CPython cannot produce real parallel speedups (GIL), so
+this package substitutes a deterministic machine model: interpreter
+operation counts are converted to cycles by a :class:`CostModel`,
+iterations are scheduled onto ``p`` virtual processors, and every phase
+of the run-time framework (checkpointing, marking, the parallel analysis,
+reduction merge, copy-out, barriers) is charged its asymptotic cost.
+Speedups reported by the benchmarks are ratios of these simulated times.
+"""
+
+from repro.machine.costmodel import CostModel, fx80, fx2800
+from repro.machine.schedule import ScheduleKind, assign_iterations, makespan
+from repro.machine.simulator import DoallSimulator
+from repro.machine.stats import TimeBreakdown
+
+__all__ = [
+    "CostModel",
+    "DoallSimulator",
+    "ScheduleKind",
+    "TimeBreakdown",
+    "assign_iterations",
+    "fx80",
+    "fx2800",
+    "makespan",
+]

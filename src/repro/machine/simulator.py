@@ -1,0 +1,101 @@
+"""Doall timing simulation.
+
+Converts per-iteration operation counts into a parallel completion time
+under a scheduling policy, and prices the framework phases (checkpoint,
+shadow initialization, analysis, merges).  Used by every execution
+strategy in :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.interp.costs import IterationCost
+from repro.machine.costmodel import CostModel
+from repro.machine.schedule import ScheduleKind, assign_iterations, makespan
+
+
+class DoallSimulator:
+    """Prices doall executions and framework phases on one machine."""
+
+    def __init__(self, model: CostModel, schedule: ScheduleKind = ScheduleKind.BLOCK):
+        self.model = model
+        self.schedule = schedule
+
+    @property
+    def num_procs(self) -> int:
+        return self.model.num_procs
+
+    def iteration_cycles(self, costs: Sequence[IterationCost]) -> list[float]:
+        return [self.model.iteration_cycles(c) for c in costs]
+
+    def serial_time(self, costs: Sequence[IterationCost]) -> float:
+        """Serial loop time: straight sum, no dispatch, no barrier."""
+        return sum(self.iteration_cycles(costs))
+
+    def doall_time(
+        self,
+        costs: Sequence[IterationCost],
+        *,
+        assignment: list[list[int]] | None = None,
+    ) -> tuple[float, float, float]:
+        """(body, dispatch, barrier) cycles of a doall over ``costs``.
+
+        ``assignment`` overrides the scheduling policy (the executors pass
+        the actual assignment they executed with, so timing and semantics
+        agree).
+        """
+        cycles = self.iteration_cycles(costs)
+        if assignment is None:
+            assignment = assign_iterations(
+                len(cycles), self.num_procs, self.schedule, costs=cycles
+            )
+        body = makespan(assignment, cycles)
+        dispatch = self.model.dispatch_per_iteration * max(
+            (len(chunk) for chunk in assignment), default=0
+        )
+        return body, dispatch, self.model.barrier(self.num_procs)
+
+    # -- framework phases ----------------------------------------------------
+
+    def checkpoint_time(self, elements: int) -> float:
+        return self.model.parallel_sweep(
+            elements, self.num_procs, self.model.checkpoint_per_element
+        )
+
+    def restore_time(self, elements: int) -> float:
+        return self.model.parallel_sweep(
+            elements, self.num_procs, self.model.restore_per_element
+        )
+
+    def shadow_init_time(self, elements: int) -> float:
+        return self.model.parallel_sweep(
+            elements, self.num_procs, self.model.shadow_init_per_element
+        )
+
+    def private_init_time(self, elements_per_proc: int) -> float:
+        """Private copies are initialized by each processor in parallel."""
+        return self.model.private_init_per_element * elements_per_proc
+
+    def analysis_time(self, shadow_elements: int) -> float:
+        return self.model.analysis_time(shadow_elements, self.num_procs)
+
+    def reduction_merge_time(self, touched_elements: int) -> float:
+        """Recursive-doubling merge of reduction partials [19, 21]."""
+        import math
+
+        if touched_elements == 0:
+            return 0.0
+        p = self.num_procs
+        return (
+            self.model.reduction_merge_per_element
+            * touched_elements
+            * max(1.0, math.log2(max(p, 2)))
+            / p
+            + self.model.barrier(p)
+        )
+
+    def copy_out_time(self, elements: int) -> float:
+        return self.model.parallel_sweep(
+            elements, self.num_procs, self.model.copy_out_per_element
+        )

@@ -1,0 +1,72 @@
+"""Time accounting records produced by the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class TimeBreakdown:
+    """Simulated cycles of one strategy execution, by phase.
+
+    Phases that a strategy does not perform stay at zero; ``total()``
+    sums everything.  The per-phase decomposition feeds the overhead
+    figures and EXPERIMENTS.md.
+    """
+
+    setup: float = 0.0            # pre-loop statements (serial)
+    checkpoint: float = 0.0
+    shadow_init: float = 0.0
+    private_init: float = 0.0
+    inspector: float = 0.0        # marking-only inspector traversal
+    body: float = 0.0             # parallel loop body (incl. marking)
+    dispatch: float = 0.0
+    barrier: float = 0.0
+    analysis: float = 0.0         # LRPD analysis phase
+    reduction_merge: float = 0.0
+    copy_out: float = 0.0
+    restore: float = 0.0          # rollback after a failed test
+    serial_rerun: float = 0.0     # serial re-execution after failure
+
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def overhead(self) -> float:
+        """Everything that is not the parallel loop body itself."""
+        return self.total() - self.body
+
+    def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        out = TimeBreakdown()
+        for f in fields(TimeBreakdown):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def nonzero_phases(self) -> dict[str, float]:
+        return {k: v for k, v in self.as_dict().items() if v > 0.0}
+
+
+@dataclass
+class SpeedupPoint:
+    """One (processors, speedup) sample of a figure series."""
+
+    procs: int
+    speedup: float
+    time: float
+    breakdown: TimeBreakdown | None = None
+
+
+@dataclass
+class SpeedupSeries:
+    """A named speedup-vs-processors series (one figure line)."""
+
+    label: str
+    points: list[SpeedupPoint] = field(default_factory=list)
+
+    def add(self, point: SpeedupPoint) -> None:
+        self.points.append(point)
+
+    def speedups(self) -> list[float]:
+        return [p.speedup for p in self.points]

@@ -1,0 +1,86 @@
+"""The speculative memory router.
+
+During a speculative (or post-inspector) doall, array accesses are
+redirected according to the transform plan:
+
+* references inside validated reduction statements → the executing
+  processor's partial accumulator;
+* other references to tested arrays → the processor's private copy
+  (copy-in initialized, write-stamped for dynamic last-value assignment);
+* everything else → the shared environment.
+
+The executor must call :meth:`set_context` before each iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.privatize import PrivateCopies
+from repro.core.reduction_exec import ReductionPartials
+from repro.errors import InterpError
+from repro.interp.env import Environment
+
+
+class AccessRouter:
+    """A :class:`repro.interp.memory.MemoryModel` with speculation routing."""
+
+    def __init__(
+        self,
+        env: Environment,
+        privates: Mapping[str, PrivateCopies],
+        partials: Mapping[str, ReductionPartials],
+        redux_refs: Mapping[int, str],
+    ):
+        self._env = env
+        self._privates = privates
+        self._partials = partials
+        self._redux_refs = redux_refs
+        self._proc = 0
+        self._iteration = 0
+
+    def set_context(self, proc: int, iteration: int) -> None:
+        self._proc = proc
+        self._iteration = iteration
+
+    def load(self, array: str, index: int, ref_id: int = -1) -> float | int:
+        op = self._redux_refs.get(ref_id)
+        if op is not None and array in self._partials:
+            offset = self._env.check_index(array, index)
+            return self._partials[array].load(self._proc, offset, op)
+        copies = self._privates.get(array)
+        if copies is not None:
+            offset = self._env.check_index(array, index)
+            return copies.load(self._proc, offset)
+        return self._env.load(array, index)
+
+    def store(self, array: str, index: int, value: float | int, ref_id: int = -1) -> None:
+        op = self._redux_refs.get(ref_id)
+        if op is not None and array in self._partials:
+            offset = self._env.check_index(array, index)
+            self._partials[array].store(self._proc, offset, op, value)
+            return
+        copies = self._privates.get(array)
+        if copies is not None:
+            offset = self._env.check_index(array, index)
+            copies.store(self._proc, offset, value, self._iteration)
+            return
+        self._env.store(array, index, value)
+
+    def private_elements_per_proc(self) -> int:
+        """Private-copy elements each processor initializes (for timing)."""
+        return sum(p.size for p in self._privates.values())
+
+
+def check_router_config(
+    privates: Mapping[str, PrivateCopies],
+    partials: Mapping[str, ReductionPartials],
+    num_procs: int,
+) -> None:
+    """Validate that all routed structures agree on the processor count."""
+    for name, copies in privates.items():
+        if copies.num_procs != num_procs:
+            raise InterpError(f"private copies of {name!r} sized for wrong p")
+    for name, partial in partials.items():
+        if partial.num_procs != num_procs:
+            raise InterpError(f"reduction partials of {name!r} sized for wrong p")

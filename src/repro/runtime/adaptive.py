@@ -1,0 +1,158 @@
+"""Adaptive strategy selection across repeated invocations.
+
+The paper's conclusion: "the decision on when to apply the methods
+should make use of run-time collected information about the fully
+parallel / not parallel nature of the loop."  This engine implements
+that feedback loop for a repeatedly invoked loop:
+
+* start speculative (optimistic, one traversal, as the paper advocates);
+* after a failure, prefer inspector/executor when the address slice is
+  extractable and cheap — a failing inspector wastes only the slice
+  traversal and needs no rollback;
+* after ``max_consecutive_failures``, stop testing and run serially
+  until the access-pattern signature changes (then optimism resets);
+* reuse schedules whenever the pattern signature repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule_cache import pattern_signature
+from repro.dsl.ast_nodes import Assign, Program
+from repro.interp.env import Environment
+from repro.machine.costmodel import fx80
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.runtime.results import ExecutionReport
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Tunable decision thresholds."""
+
+    #: give up on run-time testing after this many consecutive failures.
+    max_consecutive_failures: int = 2
+    #: switch to inspector mode after a failure when the slice is at most
+    #: this fraction of the loop body (statement-count estimate).
+    inspector_slice_threshold: float = 0.6
+    #: memoize test outcomes on the pattern signature.
+    use_schedule_cache: bool = True
+
+
+@dataclass
+class AdaptiveStats:
+    """What the engine has learned/done so far."""
+
+    invocations: int = 0
+    passes: int = 0
+    failures: int = 0
+    serial_runs: int = 0
+    reuses: int = 0
+    strategies: list[str] = field(default_factory=list)
+    total_time: float = 0.0
+
+
+class AdaptiveRunner:
+    """Run a loop repeatedly, choosing the strategy from history."""
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: dict,
+        *,
+        config: RunConfig | None = None,
+        policy: AdaptivePolicy | None = None,
+    ):
+        self.config = config or RunConfig(model=fx80())
+        self.policy = policy or AdaptivePolicy()
+        self._runner = LoopRunner(program, inputs)
+        self.stats = AdaptiveStats()
+        self._consecutive_failures = 0
+        self._given_up_signature: str | None = None
+        if self.policy.use_schedule_cache:
+            self.config = _with_cache(self.config)
+
+    # -- inputs --------------------------------------------------------------
+
+    @property
+    def plan(self):
+        return self._runner.plan
+
+    def set_input(self, name: str, value) -> None:
+        """Change one input for subsequent invocations."""
+        self._runner.inputs[name] = value
+        self._runner._serial_runs.clear()  # the oracle must be recomputed
+
+    # -- decision ------------------------------------------------------------
+
+    def choose_strategy(self) -> Strategy:
+        """The strategy the next invocation will use (pure decision)."""
+        plan = self._runner.plan
+        if not plan.parallelizable_scalars:
+            return Strategy.SERIAL
+        if self._consecutive_failures >= self.policy.max_consecutive_failures:
+            if self._signature() == self._given_up_signature:
+                return Strategy.SERIAL
+            # The pattern changed since we gave up: be optimistic again.
+            self._consecutive_failures = 0
+            self._given_up_signature = None
+        if self._consecutive_failures > 0 and plan.inspector_extractable:
+            if self._slice_fraction() <= self.policy.inspector_slice_threshold:
+                return Strategy.INSPECTOR
+        return Strategy.SPECULATIVE
+
+    def _slice_fraction(self) -> float:
+        body = self._runner.plan.loop.body
+        assigns = [s for s in _walk(body) if isinstance(s, Assign)]
+        if not assigns:
+            return 1.0
+        in_slice = sum(
+            1 for s in assigns if id(s) in self._runner.plan.slice_stmt_ids
+        )
+        return in_slice / len(assigns)
+
+    def _signature(self) -> str | None:
+        env = Environment(self._runner.program, self._runner.inputs)
+        return pattern_signature(self._runner.plan, env)
+
+    # -- invocation -------------------------------------------------------------
+
+    def invoke(self) -> ExecutionReport:
+        """Run the loop once with the adaptively chosen strategy."""
+        strategy = self.choose_strategy()
+        report = self._runner.run(strategy, self.config)
+
+        self.stats.invocations += 1
+        self.stats.strategies.append(report.strategy)
+        self.stats.total_time += report.loop_time
+        if report.reused_schedule:
+            self.stats.reuses += 1
+        if report.passed is None:
+            self.stats.serial_runs += 1
+        elif report.passed:
+            self.stats.passes += 1
+            self._consecutive_failures = 0
+        else:
+            self.stats.failures += 1
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.policy.max_consecutive_failures:
+                self._given_up_signature = self._signature()
+        return report
+
+
+def _with_cache(config: RunConfig) -> RunConfig:
+    import dataclasses
+
+    return dataclasses.replace(config, use_schedule_cache=True)
+
+
+def _walk(body):
+    from repro.dsl.ast_nodes import Do, If, While
+
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk(stmt.then_body)
+            yield from _walk(stmt.else_body)
+        elif isinstance(stmt, (Do, While)):
+            yield from _walk(stmt.body)

@@ -1,0 +1,244 @@
+"""The emulated speculative doall.
+
+CPython cannot run the iterations on real concurrent processors, so the
+doall is *emulated*: iterations are block-assigned to ``p`` virtual
+processors and executed in a deterministic round-robin interleaving of
+the processors' streams.  Each virtual processor has private scalars
+(a forked environment) and, via the access router, private copies of the
+tested arrays and partial accumulators for reduction arrays — exactly the
+state a real processor would own.  The interleaving preserves each
+processor's program order (required by the processor-wise test) while
+exercising cross-processor orderings, so any unsoundness in the test
+surfaces as a wrong result against the serial oracle (the property tests
+rely on this).
+
+Timing is not taken from the emulation's wall clock: per-iteration
+operation counts are priced by the machine model and scheduled onto the
+virtual processors by :mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.instrument import InstrumentationPlan
+from repro.core.privatize import PrivateCopies
+from repro.core.reduction_exec import COMBINE, REDUCTION_IDENTITY, ReductionPartials
+from repro.core.shadow import Granularity, ShadowMarker
+from repro.dsl.ast_nodes import Do, Program
+from repro.errors import SpeculationFailed
+from repro.interp.costs import CostCounter, IterationCost
+from repro.interp.env import Environment
+from repro.interp.events import NullObserver
+from repro.interp.interpreter import Interpreter
+from repro.machine.schedule import ScheduleKind, assign_iterations
+from repro.runtime.access_router import AccessRouter, check_router_config
+from repro.runtime.serial import loop_iteration_values
+
+
+@dataclass
+class DoallRun:
+    """State produced by one emulated doall execution."""
+
+    values: list[int]
+    assignment: list[list[int]]  # positions into ``values`` per processor
+    iteration_costs: list[IterationCost]
+    privates: dict[str, PrivateCopies]
+    partials: dict[str, ReductionPartials]
+    proc_envs: list[Environment]
+    marker: ShadowMarker | None
+    scalar_init: dict[str, float | int] = field(default_factory=dict)
+    #: eager (on-the-fly) failure detection fired before completion.
+    aborted: bool = False
+    executed_iterations: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.values)
+
+    def final_proc(self) -> int | None:
+        """The processor that executed the last (serial-order) iteration."""
+        best_pos = -1
+        best_proc = None
+        for proc, positions in enumerate(self.assignment):
+            if positions and positions[-1] > best_pos:
+                best_pos = positions[-1]
+                best_proc = proc
+        return best_proc
+
+
+def run_doall(
+    program: Program,
+    loop: Do,
+    env: Environment,
+    plan: InstrumentationPlan,
+    num_procs: int,
+    *,
+    marker: ShadowMarker | None,
+    value_based: bool = True,
+    schedule: ScheduleKind = ScheduleKind.BLOCK,
+) -> DoallRun:
+    """Execute the target loop as an emulated doall.
+
+    ``marker`` enables shadow marking (speculative mode); pass None for a
+    post-test executor run (inspector/executor mode or schedule reuse).
+    ``env`` must be positioned at loop entry; its arrays are mutated
+    through the router (shared arrays directly, tested arrays via private
+    copies, reduction arrays via partials) — call :func:`finalize_doall`
+    to fold private state back in after a successful test.
+    """
+    bounds_interp = Interpreter(program, env, value_based=False)
+    start, stop, step = bounds_interp.eval_loop_bounds(loop)
+    values = loop_iteration_values(start, stop, step)
+
+    privates = {
+        name: PrivateCopies(name, env.arrays[name], num_procs)
+        for name in sorted(plan.tested_arrays)
+    }
+    partials = {
+        name: ReductionPartials(name, num_procs)
+        for name in sorted(plan.reduction_arrays)
+    }
+    check_router_config(privates, partials, num_procs)
+    router = AccessRouter(env, privates, partials, plan.redux_refs)
+
+    scalar_init = {
+        name: env.scalars[name] for name in plan.scalar_reductions if name in env.scalars
+    }
+
+    proc_envs: list[Environment] = []
+    interps: list[Interpreter] = []
+    observer = marker if marker is not None else NullObserver()
+    for _proc in range(num_procs):
+        proc_env = env.fork_scalars()
+        for name, op in plan.scalar_reductions.items():
+            proc_env.scalars[name] = REDUCTION_IDENTITY[op]
+        proc_envs.append(proc_env)
+        interps.append(
+            Interpreter(
+                program,
+                proc_env,
+                memory=router,
+                observer=observer,
+                tested=plan.tested_arrays if marker is not None else frozenset(),
+                value_based=value_based,
+                cost=CostCounter(),
+                redux_refs=plan.redux_refs,
+            )
+        )
+
+    # Dynamic self-scheduling cannot be pre-assigned (iteration costs are
+    # only known after execution): emulate with a cyclic deal — a fair
+    # stand-in for a self-scheduling queue's interleaving — and let the
+    # machine model re-price the makespan with the measured costs.
+    exec_schedule = (
+        ScheduleKind.CYCLIC if schedule is ScheduleKind.DYNAMIC else schedule
+    )
+    assignment = assign_iterations(len(values), num_procs, exec_schedule)
+    iteration_costs: list[IterationCost | None] = [None] * len(values)
+
+    pointers = [0] * num_procs
+    remaining = len(values)
+    executed = 0
+    aborted = False
+    while remaining and not aborted:
+        for proc in range(num_procs):
+            if pointers[proc] >= len(assignment[proc]):
+                continue
+            position = assignment[proc][pointers[proc]]
+            pointers[proc] += 1
+            remaining -= 1
+            interp = interps[proc]
+            router.set_context(proc, position)
+            if marker is not None:
+                granule = (
+                    position
+                    if marker.granularity is Granularity.ITERATION
+                    else proc
+                )
+                marker.set_granule(granule)
+                marker.cost = interp.cost
+            try:
+                interp.exec_iteration(
+                    loop, values[position], flush_live_out=plan.live_out_scalars
+                )
+            except SpeculationFailed:
+                # On-the-fly detection: the attempt is over; the partial
+                # iteration's cost bracketing is discarded with it.
+                aborted = True
+                break
+            iteration_costs[position] = interp.cost.iteration_costs[-1]
+            executed += 1
+
+    done_costs = [c if c is not None else IterationCost() for c in iteration_costs]
+    return DoallRun(
+        values=values,
+        assignment=assignment,
+        iteration_costs=done_costs,
+        privates=privates,
+        partials=partials,
+        proc_envs=proc_envs,
+        marker=marker,
+        scalar_init=scalar_init,
+        aborted=aborted,
+        executed_iterations=executed,
+    )
+
+
+@dataclass
+class FinalizeStats:
+    """Element counts of the post-test merge phases (for timing)."""
+
+    reduction_merged: int = 0
+    copied_out: int = 0
+
+
+def finalize_doall(
+    run: DoallRun,
+    env: Environment,
+    plan: InstrumentationPlan,
+    loop: Do,
+) -> FinalizeStats:
+    """Fold private state into the shared environment after a passed test.
+
+    Order matters: reduction partials merge first (their elements are then
+    excluded from the private copy-out), then dynamic last-value copy-out,
+    then scalar reductions and live-out scalars.
+    """
+    stats = FinalizeStats()
+
+    redux_masks: dict[str, object] = {}
+    for name, partials in run.partials.items():
+        valid_mask = None
+        if run.marker is not None and name in run.marker.shadows:
+            valid_mask = run.marker.shadows[name].reduction_mask()
+        stats.reduction_merged += partials.merge_into(env.arrays[name], valid_mask)
+        size = env.arrays[name].size
+        mask = partials.touched_mask(size)
+        if valid_mask is not None:
+            mask = mask & valid_mask
+        redux_masks[name] = mask
+
+    for name, privates in run.privates.items():
+        exclude = redux_masks.get(name)
+        stats.copied_out += privates.copy_out(env.arrays[name], exclude=exclude)
+
+    for name, op in plan.scalar_reductions.items():
+        total = run.scalar_init.get(name, REDUCTION_IDENTITY[op])
+        for proc_env in run.proc_envs:
+            total = COMBINE[op](total, proc_env.scalars[name])
+        env.set_scalar(name, total)
+
+    final_proc = run.final_proc()
+    if final_proc is not None:
+        source = run.proc_envs[final_proc]
+        for name in plan.live_out_scalars:
+            if name in plan.scalar_reductions or name not in env.scalars:
+                continue
+            if name in source.scalars:
+                env.set_scalar(name, source.scalars[name])
+
+    if run.values:
+        step = run.values[1] - run.values[0] if len(run.values) > 1 else 1
+        env.set_scalar(loop.var, run.values[-1] + step)
+    return stats

@@ -1,0 +1,268 @@
+"""The strategy orchestrator: the user-facing entry point of the runtime.
+
+:class:`LoopRunner` compiles a program once (instrumentation plan +
+serial reference run) and then executes the target loop under any
+strategy and machine configuration, producing comparable
+:class:`ExecutionReport` records.  It also implements schedule reuse
+across repeated invocations (OCEAN-style loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.analysis.instrument import InstrumentationPlan, build_plan
+from repro.core.outcomes import TestMode
+from repro.core.schedule_cache import ScheduleCache, pattern_signature
+from repro.core.shadow import Granularity
+from repro.dsl.ast_nodes import Program
+from repro.errors import SpeculationError
+from repro.interp.costs import CostCounter
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter, split_at_loop
+from repro.machine.costmodel import CostModel, fx80
+from repro.machine.schedule import ScheduleKind
+from repro.machine.simulator import DoallSimulator
+from repro.machine.stats import TimeBreakdown
+from repro.runtime.doall import finalize_doall, run_doall
+from repro.runtime.inspector import run_inspector_executor
+from repro.runtime.results import ExecutionReport, SerialRun
+from repro.runtime.serial import rerun_loop_serially, run_serial
+from repro.runtime.speculative import run_speculative
+
+
+class Strategy(Enum):
+    SERIAL = "serial"
+    SPECULATIVE = "speculative"
+    INSPECTOR = "inspector"
+
+
+@dataclass
+class RunConfig:
+    """Machine and test configuration for one execution."""
+
+    model: CostModel = field(default_factory=fx80)
+    schedule: ScheduleKind = ScheduleKind.BLOCK
+    granularity: Granularity = Granularity.ITERATION
+    test_mode: TestMode = TestMode.LRPD
+    dynamic_last_value: bool = True
+    directional: bool = True
+    use_schedule_cache: bool = False
+    #: abort the speculative doall at the first definite conflict (the
+    #: on-the-fly hardware model [47]); only effective for the default
+    #: iteration-wise directional LRPD configuration.
+    eager_failure_detection: bool = False
+
+    def with_procs(self, p: int) -> "RunConfig":
+        import dataclasses
+
+        return dataclasses.replace(self, model=self.model.with_procs(p))
+
+
+class LoopRunner:
+    """Compiles a program and runs its target loop under chosen strategies."""
+
+    def __init__(self, program: Program, inputs: dict, *, trip_count: int | None = None):
+        self.program = program
+        self.inputs = dict(inputs)
+        self.plan: InstrumentationPlan = build_plan(program, trip_count=trip_count)
+        self.loop = self.plan.loop
+        self._before, self._after = split_at_loop(program, self.loop)
+        self.schedule_cache = ScheduleCache()
+        self._serial_runs: dict[str, SerialRun] = {}
+
+    # -- reference -----------------------------------------------------------
+
+    def serial_run(self, model: CostModel) -> SerialRun:
+        """The serial reference execution (cached per machine).
+
+        Uses the closure-compiled engine — property-tested to be state-
+        and count-identical to the tree walker, at roughly half the wall
+        clock.
+        """
+        key = f"{model.name}"
+        if key not in self._serial_runs:
+            self._serial_runs[key] = run_serial(
+                self.program, self.inputs, model, loop=self.loop, engine="compiled"
+            )
+        return self._serial_runs[key]
+
+    # -- strategies ------------------------------------------------------------
+
+    def run(self, strategy: Strategy, config: RunConfig | None = None) -> ExecutionReport:
+        """Execute the target loop under ``strategy``; returns the report."""
+        config = config or RunConfig()
+        if strategy is Strategy.SERIAL:
+            return self._run_serial(config)
+        if strategy is Strategy.SPECULATIVE:
+            return self._run_speculative(config)
+        if strategy is Strategy.INSPECTOR:
+            return self._run_inspector(config)
+        raise SpeculationError(f"unknown strategy {strategy!r}")
+
+    def _env_at_loop_entry(self, model: CostModel) -> tuple[Environment, float]:
+        env = Environment(self.program, self.inputs)
+        cost = CostCounter()
+        interp = Interpreter(self.program, env, cost=cost, value_based=False)
+        interp.exec_block(self._before)
+        return env, model.iteration_cycles(cost.total())
+
+    def _finish(self, env: Environment) -> None:
+        interp = Interpreter(self.program, env, value_based=False)
+        interp.exec_block(self._after)
+
+    def _run_serial(self, config: RunConfig) -> ExecutionReport:
+        reference = self.serial_run(config.model)
+        times = TimeBreakdown(serial_rerun=reference.loop_time)
+        return ExecutionReport(
+            strategy=Strategy.SERIAL.value,
+            machine=config.model.name,
+            procs=1,
+            passed=None,
+            test_result=None,
+            times=times,
+            serial_loop_time=reference.loop_time,
+            env=reference.env,
+        )
+
+    def _run_speculative(self, config: RunConfig) -> ExecutionReport:
+        sim = DoallSimulator(config.model, config.schedule)
+        env, _setup = self._env_at_loop_entry(config.model)
+        reference = self.serial_run(config.model)
+
+        if not self.plan.parallelizable_scalars:
+            # A loop-carried scalar blocks any doall execution: the
+            # framework does not even attempt speculation.
+            serial_interp = Interpreter(self.program, env, value_based=False)
+            serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
+            self._finish(env)
+            return ExecutionReport(
+                strategy=Strategy.SERIAL.value,
+                machine=config.model.name,
+                procs=sim.num_procs,
+                passed=None,
+                test_result=None,
+                times=TimeBreakdown(serial_rerun=serial_time),
+                serial_loop_time=reference.loop_time,
+                env=env,
+                stats={"refused": 1.0},
+            )
+
+        reused = False
+        signature = None
+        if config.use_schedule_cache:
+            # The signature must be taken at loop entry, before the doall
+            # mutates any state it covers.
+            signature = pattern_signature(self.plan, env)
+            cached = self.schedule_cache.lookup(self._loop_key(), signature)
+            if cached is not None:
+                report = self._run_from_cached(env, cached, sim, config, reference)
+                self._finish(env)
+                return report
+
+        outcome = run_speculative(
+            self.program,
+            self.loop,
+            env,
+            self.plan,
+            sim,
+            test_mode=config.test_mode,
+            granularity=config.granularity,
+            schedule=config.schedule,
+            dynamic_last_value=config.dynamic_last_value,
+            directional=config.directional,
+            eager=config.eager_failure_detection,
+        )
+        if config.use_schedule_cache:
+            self.schedule_cache.record(self._loop_key(), signature, outcome.result)
+        self._finish(env)
+        return ExecutionReport(
+            strategy=Strategy.SPECULATIVE.value,
+            machine=config.model.name,
+            procs=sim.num_procs,
+            passed=outcome.result.passed,
+            test_result=outcome.result,
+            times=outcome.times,
+            serial_loop_time=reference.loop_time,
+            env=env,
+            reused_schedule=reused,
+            stats=outcome.stats,
+        )
+
+    def _run_from_cached(
+        self,
+        env: Environment,
+        cached,
+        sim: DoallSimulator,
+        config: RunConfig,
+        reference: SerialRun,
+    ) -> ExecutionReport:
+        """Schedule reuse: skip marking and analysis entirely."""
+        times = TimeBreakdown()
+        if cached.passed:
+            run = run_doall(
+                self.program, self.loop, env, self.plan, sim.num_procs,
+                marker=None, value_based=False, schedule=config.schedule,
+            )
+            times.private_init = sim.private_init_time(
+                sum(p.size for p in run.privates.values())
+            )
+            body, dispatch, barrier = sim.doall_time(
+                run.iteration_costs,
+                assignment=(
+                    None
+                    if config.schedule is ScheduleKind.DYNAMIC
+                    else run.assignment
+                ),
+            )
+            times.body, times.dispatch, times.barrier = body, dispatch, barrier
+            finalize = finalize_doall(run, env, self.plan, self.loop)
+            times.reduction_merge = sim.reduction_merge_time(finalize.reduction_merged)
+            times.copy_out = sim.copy_out_time(finalize.copied_out)
+        else:
+            serial_interp = Interpreter(self.program, env, value_based=False)
+            serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
+            times.serial_rerun = serial_time
+        return ExecutionReport(
+            strategy=Strategy.SPECULATIVE.value,
+            machine=config.model.name,
+            procs=sim.num_procs,
+            passed=cached.passed,
+            test_result=cached,
+            times=times,
+            serial_loop_time=reference.loop_time,
+            env=env,
+            reused_schedule=True,
+        )
+
+    def _run_inspector(self, config: RunConfig) -> ExecutionReport:
+        sim = DoallSimulator(config.model, config.schedule)
+        env, _setup = self._env_at_loop_entry(config.model)
+        reference = self.serial_run(config.model)
+        outcome = run_inspector_executor(
+            self.program,
+            self.loop,
+            env,
+            self.plan,
+            sim,
+            granularity=config.granularity,
+            schedule=config.schedule,
+            dynamic_last_value=config.dynamic_last_value,
+            directional=config.directional,
+        )
+        self._finish(env)
+        return ExecutionReport(
+            strategy=Strategy.INSPECTOR.value,
+            machine=config.model.name,
+            procs=sim.num_procs,
+            passed=outcome.result.passed,
+            test_result=outcome.result,
+            times=outcome.times,
+            serial_loop_time=reference.loop_time,
+            env=env,
+            stats=outcome.stats,
+        )
+
+    def _loop_key(self) -> str:
+        return f"{self.program.name}:{self.loop.var}@{self.loop.line}"

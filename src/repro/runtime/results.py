@@ -1,0 +1,57 @@
+"""Result records of strategy executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.outcomes import LrpdResult
+from repro.interp.costs import IterationCost
+from repro.interp.env import Environment
+from repro.machine.stats import TimeBreakdown
+
+
+@dataclass
+class SerialRun:
+    """A serial reference execution of a whole program."""
+
+    env: Environment
+    loop_iteration_costs: list[IterationCost]
+    loop_time: float      # simulated cycles of the target loop alone
+    setup_time: float
+    teardown_time: float
+    num_iterations: int
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of running the target loop under one strategy."""
+
+    strategy: str                 # serial | speculative | inspector
+    machine: str
+    procs: int
+    passed: bool | None           # None when no test ran
+    test_result: LrpdResult | None
+    times: TimeBreakdown
+    serial_loop_time: float
+    env: Environment
+    reused_schedule: bool = False
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def loop_time(self) -> float:
+        return self.times.total()
+
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup of the loop vs its serial execution."""
+        total = self.loop_time
+        if total <= 0.0:
+            return float("inf")
+        return self.serial_loop_time / total
+
+    def describe(self) -> str:
+        test = self.test_result.describe() if self.test_result else "no test"
+        return (
+            f"{self.strategy} on {self.machine} (p={self.procs}): "
+            f"speedup {self.speedup:.2f} ({test})"
+        )

@@ -1,0 +1,133 @@
+"""Speculative execution strategy (the paper's §III protocol).
+
+Checkpoint → marked doall (with privatization and reduction transforms
+applied speculatively) → LRPD analysis → on pass, merge private state; on
+fail, restore the checkpoint and re-execute serially.  The paper's key
+property holds by construction: a failed speculation costs roughly the
+serial execution plus the (parallelizable) attempt and rollback overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.instrument import InstrumentationPlan
+from repro.core.checkpoint import Checkpoint
+from repro.core.lrpd import analyze_shadows
+from repro.core.outcomes import LrpdResult, TestMode
+from repro.core.shadow import Granularity, ShadowMarker
+from repro.dsl.ast_nodes import Do, Program
+from repro.errors import SpeculationError
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.machine.schedule import ScheduleKind
+from repro.machine.simulator import DoallSimulator
+from repro.machine.stats import TimeBreakdown
+from repro.runtime.doall import DoallRun, finalize_doall, run_doall
+from repro.runtime.serial import rerun_loop_serially
+
+
+@dataclass
+class SpeculativeOutcome:
+    """What one speculative attempt produced."""
+
+    result: LrpdResult
+    times: TimeBreakdown
+    run: DoallRun
+    stats: dict[str, float]
+
+
+def run_speculative(
+    program: Program,
+    loop: Do,
+    env: Environment,
+    plan: InstrumentationPlan,
+    sim: DoallSimulator,
+    *,
+    test_mode: TestMode = TestMode.LRPD,
+    granularity: Granularity = Granularity.ITERATION,
+    schedule: ScheduleKind = ScheduleKind.BLOCK,
+    dynamic_last_value: bool = True,
+    directional: bool = True,
+    eager: bool = False,
+) -> SpeculativeOutcome:
+    """Run the full speculative protocol; ``env`` must be at loop entry.
+
+    On return ``env`` holds the post-loop state regardless of the test's
+    outcome (merged on pass, restored + serially recomputed on fail).
+    """
+    if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
+        raise SpeculationError(
+            "the processor-wise test requires block scheduling (granule "
+            "numbering must follow serial order)"
+        )
+    times = TimeBreakdown()
+    stats: dict[str, float] = {}
+
+    protected = set(plan.checkpoint_arrays) | set(plan.tested_arrays) | set(
+        plan.reduction_arrays
+    )
+    checkpoint = Checkpoint(env, protected)
+    times.checkpoint = sim.checkpoint_time(checkpoint.elements_saved)
+
+    shadow_sizes = {name: env.array_size(name) for name in plan.tested_arrays}
+    eager_enabled = (
+        eager
+        and test_mode is TestMode.LRPD
+        and granularity is Granularity.ITERATION
+        and directional
+        and dynamic_last_value
+    )
+    marker = ShadowMarker(shadow_sizes, granularity=granularity, eager=eager_enabled)
+    times.shadow_init = sim.shadow_init_time(sum(shadow_sizes.values()))
+
+    run = run_doall(
+        program,
+        loop,
+        env,
+        plan,
+        sim.num_procs,
+        marker=marker,
+        value_based=(test_mode is TestMode.LRPD),
+        schedule=schedule,
+    )
+    times.private_init = sim.private_init_time(
+        sum(p.size for p in run.privates.values())
+    )
+    body, dispatch, barrier = sim.doall_time(
+        run.iteration_costs,
+        assignment=None if schedule is ScheduleKind.DYNAMIC else run.assignment,
+    )
+    times.body, times.dispatch, times.barrier = body, dispatch, barrier
+
+    result = analyze_shadows(
+        marker,
+        test_mode,
+        dynamic_last_value=dynamic_last_value,
+        directional=directional,
+    )
+    if run.aborted:
+        # On-the-fly detection already decided: no analysis phase runs.
+        assert not result.passed, "eager abort must imply a failing analysis"
+        times.analysis = 0.0
+        stats["aborted_after"] = float(run.executed_iterations)
+    else:
+        times.analysis = sim.analysis_time(sum(shadow_sizes.values()))
+
+    stats["marks"] = float(sum(c.marks for c in run.iteration_costs))
+    stats["iterations"] = float(run.num_iterations)
+
+    if result.passed:
+        finalize = finalize_doall(run, env, plan, loop)
+        times.reduction_merge = sim.reduction_merge_time(finalize.reduction_merged)
+        times.copy_out = sim.copy_out_time(finalize.copied_out)
+        stats["reduction_merged"] = float(finalize.reduction_merged)
+        stats["copied_out"] = float(finalize.copied_out)
+    else:
+        checkpoint.restore()
+        times.restore = sim.restore_time(checkpoint.elements_saved)
+        serial_interp = Interpreter(program, env, value_based=False)
+        serial_time, _costs = rerun_loop_serially(serial_interp, loop, sim.model)
+        times.serial_rerun = serial_time
+
+    return SpeculativeOutcome(result=result, times=times, run=run, stats=stats)

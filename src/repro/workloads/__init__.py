@@ -1,0 +1,61 @@
+"""PERFECT-Benchmarks-like workloads (paper §V).
+
+The paper evaluates seven do loops from the PERFECT club benchmarks that
+no compiler of the time could parallelize.  The original Fortran codes
+are not reproducible here, so each module builds a synthetic loop in the
+mini-Fortran DSL that preserves the *feature that defeats static
+analysis* and the transform mix the paper reports:
+
+================================  ============================================
+``track``  TRACK / NLFILT_do300   privatized work arrays; addresses flow
+                                  through loop-written state → inspector
+                                  impossible (speculative only, as in paper)
+``bdna``   BDNA / ACTFOR_do240    privatization (gather work arrays) +
+                                  reduction with subscripted subscripts
+``mdg``    MDG / INTERF_do1000    cutoff control flow; array + scalar
+                                  reductions; privatization
+``adm``    ADM / RUN_do20         privatization only, permuted output blocks
+``ocean``  OCEAN / FTRVMT_do109   parallelism depends on input parameters;
+                                  executed many times → schedule reuse
+``spice``  SPICE / LOAD loop 40   linked-list traversal (serial Amdahl part)
+                                  + reductions through private temporaries
+                                  and statically unpredictable control flow
+``dyfesm`` DYFESM / SOLVH_do20    segmented-sum reduction + max reduction
+================================  ============================================
+
+:mod:`repro.workloads.synthetic` adds parametric generators (dependence
+injection, hot spots, wavefront chains) used by the failure-cost and
+baseline experiments and by the property tests.
+"""
+
+from repro.workloads.adm import build_adm
+from repro.workloads.base import Workload
+from repro.workloads.bdna import build_bdna
+from repro.workloads.dyfesm import build_dyfesm
+from repro.workloads.mdg import build_mdg
+from repro.workloads.ocean import build_ocean
+from repro.workloads.spice import build_spice
+from repro.workloads.track import build_track
+
+#: name -> zero-argument default builder for the seven paper loops.
+PAPER_LOOPS = {
+    "TRACK_NLFILT_do300": build_track,
+    "BDNA_ACTFOR_do240": build_bdna,
+    "MDG_INTERF_do1000": build_mdg,
+    "ADM_RUN_do20": build_adm,
+    "OCEAN_FTRVMT_do109": build_ocean,
+    "SPICE_LOAD_do40": build_spice,
+    "DYFESM_SOLVH_do20": build_dyfesm,
+}
+
+__all__ = [
+    "PAPER_LOOPS",
+    "Workload",
+    "build_adm",
+    "build_bdna",
+    "build_dyfesm",
+    "build_mdg",
+    "build_ocean",
+    "build_spice",
+    "build_track",
+]

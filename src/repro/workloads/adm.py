@@ -1,0 +1,59 @@
+"""ADM / RUN_do20 — privatization only.
+
+Each iteration fills a reusable work vector and writes a permuted output
+block; the output position comes from an input array, so the compiler
+cannot prove the writes disjoint.  Dynamically every block is written by
+exactly one iteration — a doall once the work vector is privatized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PaperExpectation, Workload
+
+
+def _source(n: int, m: int) -> str:
+    # b is a genuine 2-D array: column col(i) receives iteration i's
+    # block.  The parser linearizes b(k, col(i)) column-major into
+    # k + (col(i) - 1) * m.
+    return f"""
+program adm_run
+  integer n, m, i, k
+  real a({n}), coef({m}), wk({m}), b({m}, {n})
+  integer col({n})
+  do i = 1, n
+    do k = 1, m
+      wk(k) = a(i) * coef(k) + sin(coef(k)) * 0.5
+    end do
+    do k = 1, m
+      b(k, col(i)) = wk(k) + wk(m - k + 1) * 0.25
+    end do
+  end do
+end
+"""
+
+
+def build_adm(n: int = 200, m: int = 12, seed: int = 0) -> Workload:
+    """Build the ADM-like workload: ``n`` permuted blocks of width ``m``."""
+    rng = np.random.default_rng(seed)
+    col = rng.permutation(n) + 1
+    return Workload(
+        name="ADM_RUN_do20",
+        source=_source(n, m),
+        inputs={
+            "n": n,
+            "m": m,
+            "col": col,
+            "a": rng.normal(size=n),
+            "coef": rng.normal(size=m),
+        },
+        expectation=PaperExpectation(
+            transforms=("privatization",),
+            inspector_extractable=True,
+            test_passes=True,
+            notes="reused work vector + permuted output blocks",
+        ),
+        description="work-vector reuse with input-permuted output placement",
+        check_arrays=("b",),
+    )

@@ -1,0 +1,37 @@
+"""Common workload record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.ast_nodes import Program
+from repro.dsl.parser import parse
+
+
+@dataclass(frozen=True)
+class PaperExpectation:
+    """What the paper reports for the corresponding loop."""
+
+    transforms: tuple[str, ...]       # subset of ("privatization", "reduction")
+    inspector_extractable: bool
+    test_passes: bool
+    notes: str = ""
+
+
+@dataclass
+class Workload:
+    """A runnable loop: program + inputs + what the paper expects of it."""
+
+    name: str
+    source: str
+    inputs: dict = field(default_factory=dict)
+    expectation: PaperExpectation | None = None
+    description: str = ""
+    #: arrays whose final values the tests compare against the serial oracle.
+    check_arrays: tuple[str, ...] = ()
+    #: scalars compared likewise.
+    check_scalars: tuple[str, ...] = ()
+
+    def program(self) -> Program:
+        """A freshly parsed program (ref_id annotations are per-instance)."""
+        return parse(self.source)

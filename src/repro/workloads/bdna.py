@@ -1,0 +1,69 @@
+"""BDNA / ACTFOR_do240 — privatization + reduction, subscripted subscripts.
+
+A molecular-dynamics gather/compute/scatter idiom: each iteration gathers
+a neighbour list into privatizable work arrays (``ind``, ``xdt``),
+computes an iteration-local norm, and scatters force contributions
+through the indirection — a sum reduction with statically unknowable
+collisions.  The paper reports this loop as a doall after privatization
+and reduction parallelization, testable in both speculative and
+inspector/executor mode (the inspector recomputes ``ind``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PaperExpectation, Workload
+
+
+def _source(n: int, sites: int, maxnbr: int, pool: int) -> str:
+    return f"""
+program bdna_actfor
+  integer n, i, j
+  real pos({sites}), force({sites}), xdt({maxnbr})
+  integer nbr({pool}), cnt({n}), base({n}), ind({maxnbr})
+  real s, r
+  do i = 1, n
+    do j = 1, cnt(i)
+      ind(j) = nbr(base(i) + j)
+      xdt(j) = pos(ind(j)) - pos(i)
+    end do
+    s = 0.0
+    do j = 1, cnt(i)
+      s = s + xdt(j) * xdt(j)
+    end do
+    s = sqrt(s + 1.0)
+    do j = 1, cnt(i)
+      r = xdt(j) / s + xdt(j) * xdt(j) * 0.125
+      force(ind(j)) = force(ind(j)) + r
+    end do
+  end do
+end
+"""
+
+
+def build_bdna(n: int = 300, sites: int | None = None, seed: int = 0) -> Workload:
+    """Build the BDNA-like workload with ``n`` atoms."""
+    if sites is None:
+        sites = 2 * n
+    rng = np.random.default_rng(seed)
+    maxnbr = 12
+    cnt = rng.integers(2, maxnbr + 1, n)
+    base = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+    pool = int(cnt.sum())
+    nbr = rng.integers(1, sites + 1, pool)
+    pos = rng.normal(size=sites)
+    force = rng.normal(scale=0.1, size=sites)
+    return Workload(
+        name="BDNA_ACTFOR_do240",
+        source=_source(n, sites, maxnbr, pool),
+        inputs={"n": n, "cnt": cnt, "base": base, "nbr": nbr, "pos": pos, "force": force},
+        expectation=PaperExpectation(
+            transforms=("privatization", "reduction"),
+            inspector_extractable=True,
+            test_passes=True,
+            notes="gather/scatter with subscripted subscripts",
+        ),
+        description="neighbour-list force scatter: privatized gather + sum reduction",
+        check_arrays=("force",),
+    )

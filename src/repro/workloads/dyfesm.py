@@ -1,0 +1,59 @@
+"""DYFESM / SOLVH_do20 — segmented-sum reduction + max reduction.
+
+A finite-element assembly idiom: element contributions accumulate into
+per-segment totals through an input segment map (collisions unknowable
+statically), alongside a scalar ``max`` reduction over the element
+magnitudes — exercising the non-additive reduction operator support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PaperExpectation, Workload
+
+
+def _source(n: int, m: int, nseg: int) -> str:
+    return f"""
+program dyfesm_solvh
+  integer n, m, i, k
+  real xe({n * m}), we({m}), sums({nseg})
+  integer seg({n})
+  real bmax, e
+  do i = 1, n
+    do k = 1, m
+      e = xe((i - 1) * m + k) * we(k)
+      sums(seg(i)) = sums(seg(i)) + e
+      bmax = max(bmax, abs(e))
+    end do
+  end do
+end
+"""
+
+
+def build_dyfesm(n: int = 250, m: int = 8, nseg: int | None = None, seed: int = 0) -> Workload:
+    """Build the DYFESM-like workload: ``n`` elements into ``nseg`` segments."""
+    if nseg is None:
+        nseg = max(4, n // 8)
+    rng = np.random.default_rng(seed)
+    return Workload(
+        name="DYFESM_SOLVH_do20",
+        source=_source(n, m, nseg),
+        inputs={
+            "n": n,
+            "m": m,
+            "seg": rng.integers(1, nseg + 1, n),
+            "xe": rng.normal(size=n * m),
+            "we": rng.normal(size=m),
+            "bmax": 0.0,
+        },
+        expectation=PaperExpectation(
+            transforms=("reduction",),
+            inspector_extractable=True,
+            test_passes=True,
+            notes="segmented sum + scalar max reduction",
+        ),
+        description="finite-element contributions into segment totals",
+        check_arrays=("sums",),
+        check_scalars=("bmax",),
+    )

@@ -1,0 +1,76 @@
+"""MDG / INTERF_do1000 — cutoff control flow, array + scalar reductions.
+
+A water-simulation pairwise-interaction idiom: for each molecule, walk an
+input-dependent pair list, apply a distance cutoff (statically
+unpredictable control flow) and accumulate forces into *both* endpoints —
+sum reductions with collisions — plus a scalar energy reduction updated
+inside the conditional.  The paper reports privatization + reduction
+parallelization for this loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PaperExpectation, Workload
+
+
+def _source(n: int, pool: int) -> str:
+    return f"""
+program mdg_interf
+  integer n, i, j, k
+  real x({n}), yv({n}), fx({n}), fy({n})
+  integer pair({pool}), pbase({n}), pcnt({n})
+  real cutoff, esum
+  real px, py, dx, dy, d2, f
+  do i = 1, n
+    px = x(i)
+    py = yv(i)
+    do j = 1, pcnt(i)
+      k = pair(pbase(i) + j)
+      dx = x(k) - px
+      dy = yv(k) - py
+      d2 = dx * dx + dy * dy
+      if (d2 < cutoff) then
+        f = 1.0 / (d2 + 0.1)
+        fx(i) = fx(i) + f * dx
+        fy(i) = fy(i) + f * dy
+        fx(k) = fx(k) - f * dx
+        fy(k) = fy(k) - f * dy
+        esum = esum + f * 0.5
+      end if
+    end do
+  end do
+end
+"""
+
+
+def build_mdg(n: int = 250, pairs_per: int = 10, seed: int = 0) -> Workload:
+    """Build the MDG-like workload with ``n`` molecules."""
+    rng = np.random.default_rng(seed)
+    pcnt = rng.integers(max(1, pairs_per - 4), pairs_per + 5, n)
+    pbase = np.concatenate(([0], np.cumsum(pcnt)[:-1]))
+    pool = int(pcnt.sum())
+    pair = rng.integers(1, n + 1, pool)
+    return Workload(
+        name="MDG_INTERF_do1000",
+        source=_source(n, pool),
+        inputs={
+            "n": n,
+            "pcnt": pcnt,
+            "pbase": pbase,
+            "pair": pair,
+            "x": rng.normal(size=n),
+            "yv": rng.normal(size=n),
+            "cutoff": 2.0,
+        },
+        expectation=PaperExpectation(
+            transforms=("privatization", "reduction"),
+            inspector_extractable=True,
+            test_passes=True,
+            notes="cutoff-guarded force accumulation, scalar energy reduction",
+        ),
+        description="pairwise interactions under a distance cutoff",
+        check_arrays=("fx", "fy"),
+        check_scalars=("esum",),
+    )

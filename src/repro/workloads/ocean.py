@@ -1,0 +1,74 @@
+"""OCEAN / FTRVMT_do109 — input-parameter-dependent parallelism.
+
+An FFT-flavoured strided update: whether the read and write regions of
+``data`` overlap depends entirely on the scalar offset/stride parameters,
+which only exist at run time.  The loop is small and executed thousands
+of times per program run, which is what makes *schedule reuse* pay: the
+test outcome is memoized on the (offset, stride, bounds) pattern
+signature and subsequent invocations skip marking and analysis.
+
+``build_ocean(overlap=True)`` produces the failing variant (read region
+intersects the write region → genuine flow dependences → the test fails
+and the loop re-executes serially), used by the failure-cost experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PaperExpectation, Workload
+
+
+def _source(size: int) -> str:
+    return f"""
+program ocean_ftrvmt
+  integer nk, k, ia, ib, is
+  real data({size}), c1, c2
+  do k = 1, nk
+    data(ia + (k - 1) * is) = data(ia + (k - 1) * is) * c1 + data(ib + (k - 1) * is) * c2
+  end do
+end
+"""
+
+
+def build_ocean(nk: int = 400, overlap: bool = False, seed: int = 0) -> Workload:
+    """Build the OCEAN-like workload.
+
+    ``overlap=False``: the write region ``[ia, ia+nk)`` and read region
+    ``[ib, ib+nk)`` are disjoint (unit stride) → the test passes.
+    ``overlap=True``: the reads trail the writes (``ib < ia`` with the
+    regions overlapping), so later iterations read elements written by
+    earlier ones — genuine cross-iteration *flow* dependences → the test
+    fails.  (A forward overlap would only create anti dependences, which
+    copy-in privatization legalizes.)
+    """
+    rng = np.random.default_rng(seed)
+    size = 2 * nk + 8
+    if overlap:
+        ia = nk // 2 + 1
+        ib = 1
+    else:
+        ia = 1
+        ib = ia + nk
+    data = rng.normal(size=size)
+    return Workload(
+        name="OCEAN_FTRVMT_do109",
+        source=_source(size),
+        inputs={
+            "nk": nk,
+            "ia": ia,
+            "ib": ib,
+            "is": 1,
+            "c1": 0.75,
+            "c2": 0.5,
+            "data": data,
+        },
+        expectation=PaperExpectation(
+            transforms=(),
+            inspector_extractable=True,
+            test_passes=not overlap,
+            notes="parallelism depends on run-time offsets; schedule reuse",
+        ),
+        description="strided butterfly update with run-time offsets",
+        check_arrays=("data",),
+    )

@@ -1,0 +1,68 @@
+"""TRACK / NLFILT_do300 — speculative-only privatized doall.
+
+The defining feature (paper §V): the addresses of the conditional writes
+are computed *through storage the loop itself writes* — here, the work
+area ``iw`` is read at positions the loop never writes (a pre-initialized
+permutation region) but the compiler cannot see that, and the inspector
+cannot replay the address computation without executing the loop's
+stores.  The paper consequently evaluates TRACK in speculative mode only;
+:func:`repro.analysis.instrument.build_plan` reaches the same verdict.
+
+The loop is, dynamically, a doall after privatizing the small work array
+``w``: every ``out`` element is written by exactly one iteration (``iw``'s
+read region holds a permutation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PaperExpectation, Workload
+
+
+def _source(n: int) -> str:
+    return f"""
+program track_nlfilt
+  integer n, i, k
+  real data({n}), out({2 * n}), w(8)
+  integer iw({2 * n})
+  real thresh
+  do i = 1, n
+    ! the write position flows through iw: read before any write to iw
+    k = iw(n + i)
+    iw(i) = k
+    w(1) = data(i) * 0.5
+    w(2) = w(1) + data(i) * data(i)
+    w(3) = sqrt(abs(w(2)) + 1.0)
+    w(4) = w(3) * w(1) + exp(0.0 - abs(w(1)))
+    if (data(i) > thresh) then
+      out(k) = w(4) + w(2)
+    else
+      out(k) = w(4) - w(2) * 0.25
+    end if
+  end do
+end
+"""
+
+
+def build_track(n: int = 600, seed: int = 0) -> Workload:
+    """Build the TRACK-like workload with ``n`` tracks."""
+    rng = np.random.default_rng(seed)
+    iw = np.zeros(2 * n, dtype=np.int64)
+    # The read region [n+1 .. 2n] holds n distinct targets drawn from
+    # [1 .. 2n]: every ``out`` element is written by at most one iteration.
+    iw[n:] = (rng.permutation(2 * n) + 1)[:n]
+    data = rng.normal(size=n)
+    return Workload(
+        name="TRACK_NLFILT_do300",
+        source=_source(n),
+        inputs={"n": n, "iw": iw, "data": data, "thresh": 0.0},
+        expectation=PaperExpectation(
+            transforms=("privatization",),
+            inspector_extractable=False,
+            test_passes=True,
+            notes="addresses computed by the loop; speculative mode only",
+        ),
+        description="conditional writes at positions read from loop-written storage",
+        check_arrays=("out", "iw"),
+    )

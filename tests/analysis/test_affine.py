@@ -1,0 +1,66 @@
+"""Affine subscript extraction tests."""
+
+import pytest
+
+from repro.analysis.affine import Affine, affine_of
+from repro.dsl.parser import parse
+from repro.dsl.ast_nodes import Assign
+
+
+def subscript(expr_text, decls="integer i, k\n  real a(100)"):
+    program = parse(
+        f"program t\n  {decls}\n  a({expr_text}) = 0.0\nend\n"
+    )
+    stmt = program.body[0]
+    assert isinstance(stmt, Assign)
+    return stmt.target.index
+
+
+@pytest.mark.parametrize(
+    "text,coef,const",
+    [
+        ("i", 1, 0),
+        ("5", 0, 5),
+        ("i + 3", 1, 3),
+        ("3 + i", 1, 3),
+        ("i - 2", 1, -2),
+        ("2 * i", 2, 0),
+        ("i * 2", 2, 0),
+        ("2 * i + 7", 2, 7),
+        ("-i", -1, 0),
+        ("-(2 * i - 1)", -2, 1),
+        ("4 - i", -1, 4),
+        ("i + i", 2, 0),
+        ("3 * (i + 1)", 3, 3),
+    ],
+)
+def test_affine_forms(text, coef, const):
+    assert affine_of(subscript(text), "i") == Affine(coef, const)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "k",              # a scalar the compiler does not know
+        "i * i",          # nonlinear
+        "i * k",          # symbolic coefficient
+        "a(i)",           # subscripted subscript
+        "mod(i, 4)",      # intrinsic
+        "i / 2",          # division is not affine extraction
+    ],
+)
+def test_non_affine_forms(text):
+    assert affine_of(subscript(text), "i") is None
+
+
+def test_real_literal_not_affine():
+    # A 2.0 literal cannot be an integer-affine constant.
+    assert affine_of(subscript("i + 1"), "i") is not None
+    program = parse("program t\n  integer i\n  real a(10)\n  a(int(2.0)) = 0.0\nend\n")
+    assert affine_of(program.body[0].target.index, "i") is None
+
+
+def test_affine_evaluation():
+    form = Affine(coef=3, const=-2)
+    assert form.at(1) == 1
+    assert form.at(10) == 28

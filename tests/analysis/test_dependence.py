@@ -1,0 +1,141 @@
+"""Static dependence testing (GCD / Banerjee / loop verdict)."""
+
+import pytest
+
+from repro.analysis.affine import Affine
+from repro.analysis.dependence import (
+    StaticVerdict,
+    analyze_loop_statically,
+    banerjee_test,
+    cross_iteration_solution_exists,
+    gcd_test,
+    may_cross_depend,
+)
+from repro.dsl.parser import parse
+from repro.interp.interpreter import find_target_loop
+
+
+def verdict(source, trip_count=None):
+    program = parse(source)
+    loop = find_target_loop(program)
+    return analyze_loop_statically(loop, trip_count=trip_count)
+
+
+class TestGcd:
+    def test_gcd_allows_when_divisible(self):
+        # 2i = 2j + 4 has integer solutions.
+        assert gcd_test(Affine(2, 0), Affine(2, 4))
+
+    def test_gcd_refutes_when_not_divisible(self):
+        # 2i = 2j + 1: parity mismatch.
+        assert not gcd_test(Affine(2, 0), Affine(2, 1))
+
+    def test_gcd_constant_subscripts(self):
+        assert gcd_test(Affine(0, 3), Affine(0, 3))
+        assert not gcd_test(Affine(0, 3), Affine(0, 4))
+
+
+class TestBanerjee:
+    def test_banerjee_refutes_disjoint_ranges(self):
+        # i and i + 100 never meet for i in [1, 50].
+        assert not banerjee_test(Affine(1, 0), Affine(1, 100), n=50)
+
+    def test_banerjee_allows_overlap(self):
+        assert banerjee_test(Affine(1, 0), Affine(1, 10), n=50)
+
+
+class TestExactOracle:
+    def test_same_subscript_never_cross(self):
+        assert not cross_iteration_solution_exists(Affine(1, 0), Affine(1, 0), 20)
+
+    def test_shifted_subscript_crosses(self):
+        assert cross_iteration_solution_exists(Affine(1, 0), Affine(1, 1), 20)
+
+    def test_constant_vs_affine(self):
+        # a(3) and a(i): i == 3 for any other iteration -> cross.
+        assert cross_iteration_solution_exists(Affine(0, 3), Affine(1, 0), 20)
+
+
+class TestMayCrossDepend:
+    def test_identical_injective_subscripts_safe(self):
+        assert not may_cross_depend(Affine(1, 0), Affine(1, 0), None)
+
+    def test_shift_conflicts(self):
+        assert may_cross_depend(Affine(1, 0), Affine(1, 1), None)
+
+    def test_strided_parity_disjoint(self):
+        assert not may_cross_depend(Affine(2, 0), Affine(2, 1), None)
+
+    def test_exact_check_used_for_small_bounds(self):
+        # 3i and 5j meet at 15 with i=5, j=3 <= 10.
+        assert may_cross_depend(Affine(3, 0), Affine(5, 0), 10)
+        # ... but not within 2 iterations.
+        assert not may_cross_depend(Affine(3, 0), Affine(5, 0), 2)
+
+    def test_conservative_against_oracle(self):
+        # may_cross_depend must never be False when a solution exists.
+        for ac in range(-3, 4):
+            for bc in range(-3, 4):
+                for aconst in range(0, 5):
+                    a, b = Affine(ac, aconst), Affine(bc, 2)
+                    if cross_iteration_solution_exists(a, b, 8):
+                        assert may_cross_depend(a, b, 8)
+
+
+class TestLoopVerdicts:
+    def test_independent_affine_loop_parallel(self):
+        source = (
+            "program p\n  integer i, n\n  real a(100), b(100)\n"
+            "  do i = 1, n\n    a(i) = b(i) * 2.0\n  end do\nend\n"
+        )
+        assert verdict(source).verdict is StaticVerdict.PARALLEL
+
+    def test_shifted_read_not_parallel(self):
+        source = (
+            "program p\n  integer i, n\n  real a(100)\n"
+            "  do i = 2, n\n    a(i) = a(i - 1) + 1.0\n  end do\nend\n"
+        )
+        assert verdict(source, trip_count=50).verdict is StaticVerdict.NOT_PARALLEL
+
+    def test_subscripted_subscript_unknown(self):
+        source = (
+            "program p\n  integer i, n, idx(100)\n  real a(100)\n"
+            "  do i = 1, n\n    a(idx(i)) = 1.0\n  end do\nend\n"
+        )
+        report = verdict(source)
+        assert report.verdict is StaticVerdict.UNKNOWN
+        assert "a" in report.unknown_subscripts
+
+    def test_loop_carried_scalar_not_parallel(self):
+        source = (
+            "program p\n  integer i, n\n  real s, a(100)\n"
+            "  do i = 1, n\n    a(i) = s\n    s = a(i) + 1.0\n  end do\nend\n"
+        )
+        report = verdict(source)
+        assert report.verdict is StaticVerdict.NOT_PARALLEL
+        assert "s" in report.carried_scalars
+
+    def test_private_scalar_ok(self):
+        source = (
+            "program p\n  integer i, n\n  real t, a(100), b(100)\n"
+            "  do i = 1, n\n    t = b(i) * 2.0\n    a(i) = t\n  end do\nend\n"
+        )
+        assert verdict(source).verdict is StaticVerdict.PARALLEL
+
+    def test_reduction_statements_excluded_when_given(self):
+        source = (
+            "program p\n  integer i, n, idx(100)\n  real a(100)\n"
+            "  do i = 1, n\n    a(idx(i)) = a(idx(i)) + 1.0\n  end do\nend\n"
+        )
+        program = parse(source)
+        loop = find_target_loop(program)
+        stmt_ids = frozenset(id(s) for s in loop.body)
+        report = analyze_loop_statically(loop, reduction_stmt_ids=stmt_ids)
+        assert report.verdict is StaticVerdict.PARALLEL
+
+    def test_explain_mentions_arrays(self):
+        source = (
+            "program p\n  integer i, n, idx(100)\n  real a(100)\n"
+            "  do i = 1, n\n    a(idx(i)) = 1.0\n  end do\nend\n"
+        )
+        assert "a" in verdict(source).explain()

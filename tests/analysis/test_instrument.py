@@ -1,0 +1,131 @@
+"""Instrumentation plan tests: ref numbering, slices, inspector verdicts."""
+
+import pytest
+
+from repro.analysis.instrument import build_plan, number_refs, require_inspector
+from repro.dsl.ast_nodes import ArrayRef, walk_expressions
+from repro.dsl.parser import parse
+from repro.errors import InspectorNotExtractable
+
+
+def plan_for(source, trip_count=None):
+    return build_plan(parse(source), trip_count=trip_count)
+
+
+class TestNumberRefs:
+    def test_all_refs_numbered_uniquely(self):
+        program = parse(
+            "program p\n  integer i, n, idx(10)\n  real a(10), b(10)\n"
+            "  do i = 1, n\n    a(idx(i)) = b(i) + a(i)\n  end do\nend\n"
+        )
+        count = number_refs(program)
+        seen = set()
+        for stmt in program.body:
+            pass
+        from repro.analysis.instrument import _walk_program, _stmt_expr_roots
+
+        for stmt in _walk_program(program.body):
+            for root in _stmt_expr_roots(stmt):
+                for node in walk_expressions(root):
+                    if isinstance(node, ArrayRef):
+                        assert node.ref_id >= 0
+                        assert node.ref_id not in seen
+                        seen.add(node.ref_id)
+        assert len(seen) == count == 4
+
+
+class TestPlanContents:
+    SOURCE = (
+        "program p\n  integer i, n, idx(10)\n  real a(10), b(10), t\n"
+        "  n = 10\n"
+        "  do i = 1, n\n    t = b(i)\n    a(idx(i)) = t\n  end do\n"
+        "  t = t + 1.0\nend\n"
+    )
+
+    def test_tested_and_checkpoint(self):
+        plan = plan_for(self.SOURCE)
+        assert plan.tested_arrays == {"a"}
+        assert plan.checkpoint_arrays == {"a"}
+
+    def test_live_out_scalars(self):
+        plan = plan_for(self.SOURCE)
+        assert "t" in plan.live_out_scalars
+
+    def test_summary_mentions_everything(self):
+        text = plan_for(self.SOURCE).summary()
+        assert "tested=['a']" in text
+        assert "static=" in text
+
+    def test_parallelizable_scalars_flag(self):
+        carried = (
+            "program p\n  integer i, n\n  real s, a(10)\n"
+            "  do i = 1, n\n    a(i) = s\n    s = a(i) + 1.0\n  end do\nend\n"
+        )
+        assert not plan_for(carried).parallelizable_scalars
+        assert plan_for(self.SOURCE).parallelizable_scalars
+
+
+class TestInspectorExtraction:
+    def test_plain_indirection_extractable(self):
+        plan = plan_for(
+            "program p\n  integer i, n, idx(10)\n  real a(10)\n"
+            "  do i = 1, n\n    a(idx(i)) = 1.0\n  end do\nend\n"
+        )
+        assert plan.inspector_extractable
+        assert plan.inspector_recompute_arrays == frozenset()
+
+    def test_work_array_recomputed(self):
+        plan = plan_for(
+            "program p\n  integer i, j, n, m, ind(4), nbr(40)\n  real a(40)\n"
+            "  do i = 1, n\n    do j = 1, m\n      ind(j) = nbr(j)\n"
+            "      a(ind(j)) = 1.0\n    end do\n  end do\nend\n"
+        )
+        assert plan.inspector_extractable
+        assert "ind" in plan.inspector_recompute_arrays
+
+    def test_cross_iteration_address_blocks_inspector(self):
+        # Addresses read from a region the loop writes (TRACK situation).
+        plan = plan_for(
+            "program p\n  integer i, k, n, iw(20)\n  real out(20)\n"
+            "  do i = 1, n\n    k = iw(n + i)\n    iw(i) = k\n"
+            "    out(k) = 1.0\n  end do\nend\n"
+        )
+        assert not plan.inspector_extractable
+        assert plan.inspector_obstacles
+        with pytest.raises(InspectorNotExtractable):
+            require_inspector(plan)
+
+    def test_order_dependent_scalar_blocks_inspector(self):
+        plan = plan_for(
+            "program p\n  integer i, n\n  real s, out(100), v(10)\n"
+            "  do i = 1, n\n    s = s + v(i)\n"
+            "    out(int(s) + i) = 1.0\n  end do\nend\n"
+        )
+        assert not plan.inspector_extractable
+
+    def test_slice_contains_address_chain(self):
+        program = parse(
+            "program p\n  integer i, j, n, idx(10)\n  real a(10), b(10)\n"
+            "  do i = 1, n\n    j = idx(i)\n    b(i) = 7.0\n"
+            "    a(j) = 1.0\n  end do\nend\n"
+        )
+        plan = build_plan(program)
+        # j = idx(i) is in the slice; b(i) = 7.0 is not.
+        loop = plan.loop
+        slice_targets = []
+        from repro.dsl.ast_nodes import Assign, Var
+
+        for stmt in loop.body:
+            if isinstance(stmt, Assign) and id(stmt) in plan.slice_stmt_ids:
+                slice_targets.append(stmt)
+        assert len(slice_targets) == 1
+        assert isinstance(slice_targets[0].target, Var)
+        assert slice_targets[0].target.name == "j"
+
+    def test_statically_safe_loop_has_no_tested_arrays(self):
+        plan = plan_for(
+            "program p\n  integer i, n\n  real a(10), b(10)\n"
+            "  do i = 1, n\n    a(i) = b(i)\n  end do\nend\n"
+        )
+        assert plan.tested_arrays == frozenset()
+        assert plan.statically_parallel

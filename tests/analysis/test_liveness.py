@@ -1,0 +1,113 @@
+"""Definite-assignment / liveness analysis tests."""
+
+from repro.analysis.liveness import (
+    array_exposed_reads,
+    exposed_scalar_reads,
+    scalars_read_after,
+)
+from repro.dsl.parser import parse
+from repro.interp.interpreter import find_target_loop
+
+
+def body_of(source):
+    return find_target_loop(parse(source)).body
+
+
+DECLS = "integer i, j, n\n  real s, t, x\n  real a(10), b(10)"
+
+
+def loop_body(stmts):
+    return body_of(
+        f"program p\n  {DECLS}\n  do i = 1, n\n{stmts}\n  end do\nend\n"
+    )
+
+
+class TestExposedScalarReads:
+    def test_write_before_read_not_exposed(self):
+        body = loop_body("    t = 1.0\n    x = t")
+        assert "t" not in exposed_scalar_reads(body, {"i"})
+
+    def test_read_before_write_exposed(self):
+        body = loop_body("    x = t\n    t = 1.0")
+        assert "t" in exposed_scalar_reads(body, {"i"})
+
+    def test_branch_must_assign_on_both_paths(self):
+        body = loop_body(
+            "    if (i > 1) then\n      t = 1.0\n    end if\n    x = t"
+        )
+        assert "t" in exposed_scalar_reads(body, {"i"})
+
+    def test_both_branches_assign_covers(self):
+        body = loop_body(
+            "    if (i > 1) then\n      t = 1.0\n    else\n      t = 2.0\n"
+            "    end if\n    x = t"
+        )
+        assert "t" not in exposed_scalar_reads(body, {"i"})
+
+    def test_inner_loop_may_run_zero_times(self):
+        body = loop_body(
+            "    do j = 1, n\n      t = 1.0\n    end do\n    x = t"
+        )
+        assert "t" in exposed_scalar_reads(body, {"i"})
+
+    def test_init_then_accumulate_not_exposed(self):
+        body = loop_body(
+            "    s = 0.0\n    do j = 1, n\n      s = s + a(j)\n    end do\n"
+            "    x = s"
+        )
+        assert "s" not in exposed_scalar_reads(body, {"i"})
+
+    def test_read_in_subscript_counts(self):
+        body = loop_body("    a(j) = 1.0")
+        assert "j" in exposed_scalar_reads(body, {"i"})
+
+    def test_initial_assigned_respected(self):
+        body = loop_body("    x = i")
+        assert "i" not in exposed_scalar_reads(body, {"i"})
+
+
+class TestArrayExposedReads:
+    def test_written_then_read_not_exposed(self):
+        body = loop_body("    a(i) = 1.0\n    x = a(i)")
+        assert "a" not in array_exposed_reads(body)
+
+    def test_read_before_write_exposed(self):
+        body = loop_body("    x = a(i)\n    a(i) = 1.0")
+        assert "a" in array_exposed_reads(body)
+
+    def test_inner_loop_write_counts_optimistically(self):
+        # Whole-array heuristic assumes the inner loop runs at least once.
+        body = loop_body(
+            "    do j = 1, n\n      a(j) = b(j)\n    end do\n"
+            "    do j = 1, n\n      x = a(j)\n    end do"
+        )
+        assert "a" not in array_exposed_reads(body)
+
+    def test_read_only_array_exposed(self):
+        body = loop_body("    x = b(i)")
+        assert "b" in array_exposed_reads(body)
+
+
+class TestScalarsReadAfter:
+    def test_reads_collected(self):
+        program = parse(
+            f"program p\n  {DECLS}\n  do i = 1, n\n    t = 1.0\n  end do\n"
+            "  x = t + s\nend\n"
+        )
+        loop = find_target_loop(program)
+        from repro.interp.interpreter import split_at_loop
+
+        _before, after = split_at_loop(program, loop)
+        reads = scalars_read_after(after)
+        assert {"t", "s"} <= reads
+
+    def test_subscripts_counted(self):
+        program = parse(
+            f"program p\n  {DECLS}\n  do i = 1, n\n    j = 1\n  end do\n"
+            "  a(j) = 1.0\nend\n"
+        )
+        loop = find_target_loop(program)
+        from repro.interp.interpreter import split_at_loop
+
+        _before, after = split_at_loop(program, loop)
+        assert "j" in scalars_read_after(after)

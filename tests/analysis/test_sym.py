@@ -1,0 +1,122 @@
+"""Symbolic-expression machinery tests (forward-substitution substrate)."""
+
+import pytest
+
+from repro.analysis.sym import (
+    MAX_LEAVES,
+    SConst,
+    SGamma,
+    SInit,
+    SLoad,
+    SOp,
+    SUnknown,
+    SymExpr,
+    contains_array_load,
+    contains_init,
+    gamma_leaves,
+    inits_in,
+    loads_in,
+    make_op,
+    node_count,
+)
+
+
+def load(array="a", sub=None, ref_id=0, version=0):
+    return SLoad(ref_id, array, sub if sub is not None else SConst(1), version)
+
+
+class TestEquality:
+    def test_const_equality_distinguishes_types(self):
+        assert SConst(1) == SConst(1)
+        assert SConst(1) != SConst(1.0)
+
+    def test_load_equality_ignores_ref_id(self):
+        assert load(ref_id=1) == load(ref_id=2)
+
+    def test_load_equality_respects_version(self):
+        assert load(version=0) != load(version=1)
+
+    def test_load_equality_respects_subscript(self):
+        assert load(sub=SConst(1)) != load(sub=SConst(2))
+
+    def test_unknowns_equal_only_by_uid(self):
+        u = SUnknown()
+        assert u == SUnknown(u.uid)
+        assert u != SUnknown()
+
+    def test_op_structural(self):
+        a = SOp("+", (SConst(1), SInit("x")))
+        b = SOp("+", (SConst(1), SInit("x")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_gamma_structural(self):
+        cond = SUnknown()
+        assert SGamma(cond, SConst(1), SConst(2)) == SGamma(cond, SConst(1), SConst(2))
+
+
+class TestTraversal:
+    def test_loads_in_finds_nested(self):
+        expr = SOp("+", (load(ref_id=1), SOp("*", (load("b", ref_id=2), SConst(2)))))
+        assert {l.ref_id for l in loads_in(expr)} == {1, 2}
+
+    def test_loads_in_subscripts(self):
+        nested = load("a", sub=load("idx", ref_id=9), ref_id=3)
+        assert {l.array for l in loads_in(nested)} == {"a", "idx"}
+
+    def test_inits_in_gamma(self):
+        expr = SGamma(SUnknown(), SInit("s"), SConst(0))
+        assert {i.name for i in inits_in(expr)} == {"s"}
+
+    def test_contains_helpers(self):
+        expr = SOp("+", (load("f"), SInit("s")))
+        assert contains_array_load(expr, "f")
+        assert not contains_array_load(expr, "g")
+        assert contains_init(expr, "s")
+        assert not contains_init(expr, "t")
+
+
+class TestGammaLeaves:
+    def test_no_gamma_single_leaf(self):
+        expr = SOp("+", (SConst(1), SConst(2)))
+        assert gamma_leaves(expr) == [expr]
+
+    def test_top_level_gamma_splits(self):
+        expr = SGamma(SUnknown(), SConst(1), SConst(2))
+        assert gamma_leaves(expr) == [SConst(1), SConst(2)]
+
+    def test_gamma_distributes_over_ops(self):
+        expr = SOp("+", (SGamma(SUnknown(), SConst(1), SConst(2)), SConst(10)))
+        leaves = gamma_leaves(expr)
+        assert leaves == [
+            SOp("+", (SConst(1), SConst(10))),
+            SOp("+", (SConst(2), SConst(10))),
+        ]
+
+    def test_nested_gammas_multiply(self):
+        g = lambda: SGamma(SUnknown(), SConst(1), SConst(2))
+        expr = SOp("+", (g(), g()))
+        assert len(gamma_leaves(expr)) == 4
+
+    def test_leaf_explosion_returns_none(self):
+        expr = SGamma(SUnknown(), SConst(1), SConst(2))
+        for _ in range(8):  # 2^9 alternatives > MAX_LEAVES
+            expr = SOp("+", (expr, SGamma(SUnknown(), SConst(1), SConst(2))))
+        assert gamma_leaves(expr) is None
+
+
+class TestSizeControl:
+    def test_node_count(self):
+        expr = SOp("+", (SConst(1), SOp("*", (SConst(2), SInit("x")))))
+        assert node_count(expr) == 5
+
+    def test_make_op_collapses_oversized(self):
+        wide = make_op("+", tuple(SConst(i) for i in range(500)))
+        assert isinstance(wide, SUnknown)
+
+    def test_collapse_resets_growth(self):
+        # Once collapsed, further composition stays small (the collapse
+        # replaces the oversized subtree with one opaque node).
+        expr: SymExpr = make_op("+", tuple(SConst(i) for i in range(500)))
+        grown = make_op("+", (expr, SConst(1)))
+        assert node_count(grown) <= 3

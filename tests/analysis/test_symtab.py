@@ -1,0 +1,90 @@
+"""Use/def summary tests."""
+
+from repro.analysis.symtab import (
+    arrays_in,
+    iter_array_refs,
+    scalar_reads_in,
+    summarize_body,
+)
+from repro.dsl.parser import parse
+from repro.interp.interpreter import find_target_loop
+
+SOURCE = """
+program s
+  integer i, j, n, m
+  integer idx(8)
+  real a(8), b(8), c(8)
+  real t, u
+  do i = 1, n
+    t = b(idx(i)) + u
+    do j = 1, m
+      c(j) = t
+    end do
+    if (t > 0.0) then
+      a(i) = t
+    end if
+  end do
+end
+"""
+
+
+def body():
+    return find_target_loop(parse(SOURCE)).body
+
+
+class TestSummary:
+    def test_arrays_written(self):
+        summary = summarize_body(body())
+        assert summary.arrays_written == {"a", "c"}
+
+    def test_arrays_read(self):
+        summary = summarize_body(body())
+        assert summary.arrays_read == {"b", "idx"}
+
+    def test_scalars(self):
+        summary = summarize_body(body())
+        assert "t" in summary.scalars_written
+        assert {"u", "t", "m", "i", "j", "n"} >= summary.scalars_read
+        assert "u" in summary.scalars_read
+
+    def test_inner_loop_vars(self):
+        summary = summarize_body(body())
+        assert summary.inner_loop_vars == {"j"}
+
+
+class TestRefIteration:
+    def test_store_flags(self):
+        sites = list(iter_array_refs(body()))
+        stores = [s for s in sites if s.is_store]
+        loads = [s for s in sites if not s.is_store]
+        assert {s.ref.name for s in stores} == {"a", "c"}
+        assert {s.ref.name for s in loads} == {"b", "idx"}
+
+    def test_store_sites_carry_statement(self):
+        sites = list(iter_array_refs(body()))
+        for site in sites:
+            if site.is_store:
+                assert site.stmt is not None
+            else:
+                assert site.stmt is None
+
+    def test_subscript_refs_yielded(self):
+        # idx(i) inside b(idx(i)) must appear as a load site.
+        sites = list(iter_array_refs(body()))
+        assert any(s.ref.name == "idx" for s in sites)
+
+
+class TestExprHelpers:
+    def test_scalar_reads_in(self):
+        program = parse(
+            "program p\n  integer i\n  real a(4), x, y\n  a(i) = x + y * 2.0\nend\n"
+        )
+        stmt = program.body[0]
+        assert scalar_reads_in(stmt.expr) == {"x", "y"}
+        assert scalar_reads_in(stmt.target.index) == {"i"}
+
+    def test_arrays_in(self):
+        program = parse(
+            "program p\n  integer i\n  real a(4), b(4), x\n  x = a(b(i))\nend\n"
+        )
+        assert arrays_in(program.body[0].expr) == {"a", "b"}

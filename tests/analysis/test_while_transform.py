@@ -1,0 +1,144 @@
+"""While-loop parallelization transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.while_transform import (
+    detect_list_traversal,
+    transform_list_traversal,
+)
+from repro.dsl.ast_nodes import Do, While
+from repro.dsl.parser import parse
+from repro.errors import AnalysisError
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+
+LIST_SOURCE = """
+program walker
+  integer p, head, n
+  integer nxt(16), node(16)
+  real y(8), g(16)
+  real t
+  p = head
+  do while (p > 0)
+    t = g(p) * 2.0
+    y(node(p)) = y(node(p)) + t
+    p = nxt(p)
+  end do
+end
+"""
+
+
+def make_list_inputs(n=16, m=8, seed=0):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n) + 1
+    nxt = np.zeros(n, dtype=np.int64)
+    for a, b in zip(perm[:-1], perm[1:]):
+        nxt[a - 1] = b
+    nxt[perm[-1] - 1] = 0
+    return {
+        "head": int(perm[0]),
+        "nxt": nxt,
+        "node": rng.integers(1, m + 1, n),
+        "g": rng.normal(size=n),
+        "y": rng.normal(size=m),
+    }
+
+
+def first_while(program):
+    return next(s for s in program.body if isinstance(s, While))
+
+
+class TestDetection:
+    def test_canonical_shape_detected(self):
+        program = parse(LIST_SOURCE)
+        pattern = detect_list_traversal(program, first_while(program))
+        assert pattern is not None
+        assert pattern.cursor == "p"
+        assert pattern.next_array == "nxt"
+        assert len(pattern.body) == 2
+
+    def test_nonzero_condition_detected(self):
+        source = LIST_SOURCE.replace("p > 0", "p /= 0")
+        program = parse(source)
+        assert detect_list_traversal(program, first_while(program)) is not None
+
+    def test_cursor_mutated_in_body_rejected(self):
+        source = LIST_SOURCE.replace("t = g(p) * 2.0", "p = p\n    t = g(p) * 2.0")
+        program = parse(source)
+        assert detect_list_traversal(program, first_while(program)) is None
+
+    def test_link_array_written_rejected(self):
+        source = LIST_SOURCE.replace(
+            "y(node(p)) = y(node(p)) + t", "nxt(p) = nxt(p)"
+        )
+        program = parse(source)
+        assert detect_list_traversal(program, first_while(program)) is None
+
+    def test_non_advance_tail_rejected(self):
+        source = LIST_SOURCE.replace("    p = nxt(p)\n", "    p = nxt(p)\n    t = 0.0\n")
+        program = parse(source)
+        assert detect_list_traversal(program, first_while(program)) is None
+
+    def test_real_cursor_rejected(self):
+        source = (
+            "program w\n  real p, nxt2(4)\n  real nxt(4)\n"
+            "  do while (p > 0)\n    p = nxt(p)\n  end do\nend\n"
+        )
+        program = parse(source)
+        assert detect_list_traversal(program, first_while(program)) is None
+
+
+class TestTransform:
+    def test_transform_preserves_serial_semantics(self):
+        inputs = make_list_inputs()
+        original = parse(LIST_SOURCE)
+        env_orig = Environment(original, inputs)
+        Interpreter(original, env_orig, value_based=False).run()
+
+        transformed = transform_list_traversal(parse(LIST_SOURCE))
+        env_new = Environment(transformed, inputs)
+        Interpreter(transformed, env_new, value_based=False).run()
+
+        np.testing.assert_allclose(env_new.arrays["y"], env_orig.arrays["y"])
+        assert env_new.scalars["p"] == env_orig.scalars["p"]
+
+    def test_transformed_program_has_do_target(self):
+        transformed = transform_list_traversal(parse(LIST_SOURCE))
+        assert any(isinstance(s, Do) for s in transformed.body)
+
+    def test_fresh_names_avoid_collisions(self):
+        source = LIST_SOURCE.replace("  integer p, head, n\n",
+                                     "  integer p, head, n, lw_i\n")
+        transformed = transform_list_traversal(parse(source))
+        names = [d.name for d in transformed.decls]
+        assert "lw_i1" in names
+        assert names.count("lw_i") == 1
+
+    def test_no_matching_while_raises(self):
+        program = parse("program p\n  integer i\n  i = 1\nend\n")
+        with pytest.raises(AnalysisError):
+            transform_list_traversal(program)
+
+    def test_empty_list_handled(self):
+        inputs = make_list_inputs()
+        inputs["head"] = 0  # empty list: zero-trip traversal
+        transformed = transform_list_traversal(parse(LIST_SOURCE))
+        env = Environment(transformed, inputs)
+        Interpreter(transformed, env, value_based=False).run()
+        assert env.scalars["p"] == 0
+
+
+class TestEndToEnd:
+    def test_transformed_loop_parallelizes(self):
+        inputs = make_list_inputs()
+        transformed = transform_list_traversal(parse(LIST_SOURCE))
+        runner = LoopRunner(transformed, inputs)
+        assert "y" in runner.plan.reduction_arrays  # through-temporary redux
+        model = CostModel(num_procs=4)
+        serial = runner.serial_run(model)
+        report = runner.run(Strategy.SPECULATIVE, RunConfig(model=model))
+        assert report.passed
+        np.testing.assert_allclose(report.env.arrays["y"], serial.env.arrays["y"])

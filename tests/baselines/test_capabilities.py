@@ -1,0 +1,31 @@
+"""Table II capability-row consistency tests."""
+
+from repro.baselines.capabilities import TABLE_II_ROWS
+from repro.baselines.methods import ALL_METHODS
+
+
+def test_all_executable_methods_have_a_row():
+    row_methods = " ".join(r.method for r in TABLE_II_ROWS)
+    for name in ALL_METHODS:
+        key = name.split("/")[0].split(" ")[0]
+        assert key in row_methods, f"missing Table II row for {name}"
+
+
+def test_this_work_present_with_priv_and_reductions():
+    ours = [r for r in TABLE_II_ROWS if "this work" in r.method]
+    assert len(ours) == 1
+    assert ours[0].priv_or_reductions == "P,R"
+    assert ours[0].global_sync == "No"
+
+
+def test_saltz_rows_marked_restricted():
+    saltz_rows = [r for r in TABLE_II_ROWS if "Saltz" in r.method]
+    assert saltz_rows
+    assert all(r.restricts_loop.startswith("Yes") for r in saltz_rows)
+
+
+def test_row_fields_nonempty():
+    for row in TABLE_II_ROWS:
+        assert row.method
+        assert row.optimal_schedule
+        assert row.priv_or_reductions

@@ -1,0 +1,79 @@
+"""DOACROSS simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.doacross import simulate_doacross
+from repro.baselines.trace import extract_trace
+from repro.dsl.parser import parse
+from repro.errors import BaselineInapplicable
+from repro.machine.costmodel import CostModel
+from repro.workloads.synthetic import build_wavefront_chain
+
+MODEL = CostModel(num_procs=4)
+
+
+def chain_setup(n=32, num_chains=4):
+    workload = build_wavefront_chain(n=n, num_chains=num_chains)
+    trace = extract_trace(workload.program(), workload.inputs)
+    return trace
+
+
+def test_independent_loop_pipelines_fully():
+    source = (
+        "program p\n  integer i, n, w(16)\n  real a(16), v(16)\n"
+        "  do i = 1, n\n    a(w(i)) = v(i) * 2.0\n  end do\nend\n"
+    )
+    trace = extract_trace(
+        parse(source), {"n": 16, "w": np.arange(16, 0, -1), "v": np.zeros(16)}
+    )
+    result = simulate_doacross(trace, trace.iteration_costs, MODEL)
+    assert result.sync_waits == 0
+    serial = sum(MODEL.iteration_cycles(c) for c in trace.iteration_costs)
+    assert result.total < serial / 2  # real pipeline parallelism at p=4
+
+
+def test_chained_loop_serializes_with_sync_penalty():
+    trace = chain_setup(n=32, num_chains=1)  # one long chain
+    result = simulate_doacross(trace, trace.iteration_costs, MODEL)
+    serial = sum(MODEL.iteration_cycles(c) for c in trace.iteration_costs)
+    # Every hop pays the producer-wait penalty: slower than serial.
+    assert result.sync_waits >= 30
+    assert result.total > serial
+
+
+def test_more_chains_more_parallelism():
+    slow = simulate_doacross(
+        chain_setup(num_chains=1),
+        chain_setup(num_chains=1).iteration_costs, MODEL,
+    )
+    fast_trace = chain_setup(num_chains=8)
+    fast = simulate_doacross(fast_trace, fast_trace.iteration_costs, MODEL)
+    assert fast.total < slow.total
+
+
+def test_output_dependences_rejected():
+    source = (
+        "program p\n  integer i, n, w(8)\n  real a(8)\n"
+        "  do i = 1, n\n    a(w(i)) = 1.0\n  end do\nend\n"
+    )
+    trace = extract_trace(parse(source), {"n": 8, "w": np.array([1, 1, 2, 3, 4, 5, 6, 7])})
+    with pytest.raises(BaselineInapplicable):
+        simulate_doacross(trace, trace.iteration_costs, MODEL)
+
+
+def test_completion_times_monotone_per_processor():
+    trace = chain_setup()
+    result = simulate_doacross(trace, trace.iteration_costs, MODEL)
+    p = MODEL.num_procs
+    for proc in range(p):
+        own = result.completion[proc::p]
+        assert all(a < b for a, b in zip(own, own[1:]))
+
+
+def test_dependences_respected():
+    trace = chain_setup()
+    result = simulate_doacross(trace, trace.iteration_costs, MODEL)
+    for i, preds in enumerate(trace.flow_predecessors()):
+        for pred in preds:
+            assert result.completion[pred] < result.completion[i]

@@ -1,0 +1,61 @@
+"""Staged-execution pricing tests."""
+
+import pytest
+
+from repro.baselines.executor import staged_execution_time
+from repro.baselines.methods import MethodSchedule
+from repro.interp.costs import IterationCost
+from repro.machine.costmodel import CostModel
+
+
+def schedule(stages, **kw):
+    defaults = dict(method="test", inspector_accesses=0, parallel_inspector=True,
+                    critical_sections=0)
+    defaults.update(kw)
+    return MethodSchedule(stages=stages, **defaults)
+
+
+def costs(n, flops=10):
+    return [IterationCost(flops=flops) for _ in range(n)]
+
+
+def test_single_stage_cheaper_than_many():
+    model = CostModel(num_procs=4)
+    one = staged_execution_time(schedule([list(range(8))]), costs(8), model)
+    many = staged_execution_time(schedule([[i] for i in range(8)]), costs(8), model)
+    assert one.total() < many.total()
+
+
+def test_barrier_per_stage():
+    model = CostModel(num_procs=4)
+    two = staged_execution_time(schedule([[0, 1], [2, 3]]), costs(4), model)
+    assert two.barriers == pytest.approx(2 * model.barrier(4))
+
+
+def test_sequential_inspector_not_divided():
+    model = CostModel(num_procs=4)
+    parallel = staged_execution_time(
+        schedule([[0]], inspector_accesses=100, parallel_inspector=True),
+        costs(1), model,
+    )
+    sequential = staged_execution_time(
+        schedule([[0]], inspector_accesses=100, parallel_inspector=False),
+        costs(1), model,
+    )
+    assert sequential.inspector == pytest.approx(4 * parallel.inspector)
+
+
+def test_critical_sections_priced():
+    model = CostModel(num_procs=2)
+    without = staged_execution_time(schedule([[0, 1]]), costs(2), model)
+    with_cs = staged_execution_time(
+        schedule([[0, 1]], critical_sections=10), costs(2), model
+    )
+    assert with_cs.synchronization > without.synchronization
+
+
+def test_stage_time_respects_iteration_costs():
+    model = CostModel(num_procs=2)
+    cheap = staged_execution_time(schedule([[0, 1]]), costs(2, flops=1), model)
+    dear = staged_execution_time(schedule([[0, 1]]), costs(2, flops=100), model)
+    assert dear.stages > cheap.stages

@@ -1,0 +1,127 @@
+"""Wavefront scheduler tests: validity and method-specific behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.methods import (
+    ALL_METHODS,
+    schedule_leung_zahorjan,
+    schedule_midkiff_padua,
+    schedule_polychronopoulos,
+    schedule_saltz,
+    schedule_zhu_yew,
+)
+from repro.baselines.trace import extract_trace
+from repro.errors import BaselineInapplicable
+from repro.workloads.synthetic import build_wavefront_chain
+
+
+def chain_trace(n=48, num_chains=4, **kw):
+    workload = build_wavefront_chain(n=n, num_chains=num_chains, **kw)
+    return extract_trace(workload.program(), workload.inputs), workload
+
+
+def assert_valid(schedule, preds):
+    """Every tracked predecessor must land in a strictly earlier stage."""
+    stage_of = schedule.iteration_stage()
+    executed = sorted(stage_of)
+    assert executed == list(range(len(preds)))
+    for iteration, pred_set in enumerate(preds):
+        for pred in pred_set:
+            assert stage_of[pred] < stage_of[iteration], (
+                f"{schedule.method}: {pred} !< {iteration}"
+            )
+
+
+class TestAllMethodsValidity:
+    @pytest.mark.parametrize("name", list(ALL_METHODS))
+    def test_schedule_respects_flow_dependences(self, name):
+        trace, _ = chain_trace()
+        try:
+            schedule = ALL_METHODS[name](trace)
+        except BaselineInapplicable:
+            pytest.skip(f"{name} inapplicable to this loop")
+        assert_valid(schedule, trace.flow_predecessors())
+
+    @pytest.mark.parametrize("name", list(ALL_METHODS))
+    def test_depth_at_least_chain_length(self, name):
+        trace, _ = chain_trace(n=40, num_chains=5)
+        try:
+            schedule = ALL_METHODS[name](trace)
+        except BaselineInapplicable:
+            pytest.skip(f"{name} inapplicable")
+        assert schedule.depth >= 8
+
+
+class TestMethodSpecifics:
+    def test_minimal_depth_methods_hit_optimum(self):
+        trace, _ = chain_trace(n=40, num_chains=5)
+        optimal = 8
+        assert schedule_midkiff_padua(trace).depth == optimal
+        assert schedule_saltz(trace).depth == optimal
+
+    def test_zhu_yew_serializes_shared_reads(self):
+        trace, _ = chain_trace(n=24, num_chains=4, shared_read=True)
+        zy = schedule_zhu_yew(trace)
+        mp = schedule_midkiff_padua(trace)
+        assert zy.depth > mp.depth
+        assert zy.depth == 24  # every iteration reads the hot element
+
+    def test_sectioning_suboptimal_on_scrambled_chains(self):
+        trace, _ = chain_trace(n=64, num_chains=4, scramble=True, seed=5)
+        sectioned = schedule_leung_zahorjan(trace, num_sections=4)
+        optimal = schedule_midkiff_padua(trace)
+        assert sectioned.depth >= optimal.depth
+
+    def test_polychronopoulos_blocks_are_contiguous(self):
+        trace, _ = chain_trace(n=32, num_chains=4, scramble=True)
+        schedule = schedule_polychronopoulos(trace)
+        for stage in schedule.stages:
+            assert stage == list(range(stage[0], stage[-1] + 1))
+
+    def test_polychronopoulos_suboptimal_on_scrambled_chains(self):
+        trace, _ = chain_trace(n=64, num_chains=8, scramble=True, seed=2)
+        poly = schedule_polychronopoulos(trace)
+        optimal = schedule_midkiff_padua(trace)
+        assert poly.depth > optimal.depth
+
+    def test_saltz_rejects_output_dependences(self):
+        source = (
+            "program p\n  integer i, n, w(4)\n  real a(4)\n"
+            "  do i = 1, n\n    a(w(i)) = 1.0\n  end do\nend\n"
+        )
+        from repro.dsl.parser import parse
+
+        trace = extract_trace(parse(source), {"n": 4, "w": np.array([1, 1, 2, 3])})
+        with pytest.raises(BaselineInapplicable):
+            schedule_saltz(trace)
+        with pytest.raises(BaselineInapplicable):
+            schedule_leung_zahorjan(trace)
+
+    def test_saltz_inspector_is_sequential(self):
+        trace, _ = chain_trace()
+        assert not schedule_saltz(trace).parallel_inspector
+
+    def test_fully_parallel_loop_single_stage(self):
+        source = (
+            "program p\n  integer i, n, w(8)\n  real a(8)\n"
+            "  do i = 1, n\n    a(w(i)) = 1.0\n  end do\nend\n"
+        )
+        from repro.dsl.parser import parse
+
+        trace = extract_trace(
+            parse(source), {"n": 8, "w": np.arange(8, 0, -1)}
+        )
+        for name, scheduler in ALL_METHODS.items():
+            try:
+                schedule = scheduler(trace)
+            except BaselineInapplicable:
+                continue
+            if name == "Leung/Zahorjan":
+                # Sectioning concatenates per-section schedules even when
+                # the loop is fully parallel: depth == number of sections.
+                assert schedule.depth == 8
+            else:
+                assert schedule.depth == 1, name

@@ -1,0 +1,80 @@
+"""Access-trace extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trace import extract_trace
+from repro.dsl.parser import parse
+
+SOURCE = (
+    "program p\n  integer i, n, w(4), r(4)\n  real a(8), v(4)\n"
+    "  do i = 1, n\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+)
+
+
+def trace_for(w, r, n=4):
+    return extract_trace(
+        parse(SOURCE),
+        {"n": n, "w": np.asarray(w), "r": np.asarray(r), "v": np.zeros(4)},
+    )
+
+
+def test_reads_and_writes_recorded():
+    trace = trace_for([1, 2, 3, 4], [5, 6, 7, 8])
+    assert trace.num_iterations == 4
+    assert trace.writes(0) == {("a", 1)}
+    assert trace.reads(0) == {("a", 5)}
+
+
+def test_output_dependences_detected():
+    assert trace_for([1, 1, 2, 3], [5, 6, 7, 8]).has_output_dependences()
+    assert not trace_for([1, 2, 3, 4], [5, 6, 7, 8]).has_output_dependences()
+
+
+def test_flow_predecessors():
+    # iteration 2 reads what iteration 0 wrote.
+    trace = trace_for([1, 2, 3, 4], [5, 6, 1, 7])
+    preds = trace.flow_predecessors()
+    assert preds[2] == {0}
+    assert preds[0] == set()
+
+
+def test_conflict_predecessors_reads_conflict_mode():
+    # Iterations 0 and 1 both read element 5.
+    trace = trace_for([1, 2, 3, 4], [5, 5, 6, 7])
+    with_reads = trace.conflict_predecessors(reads_conflict=True)
+    without = trace.conflict_predecessors(reads_conflict=False)
+    assert with_reads[1] == {0}
+    assert without[1] == set()
+
+
+def test_anti_dependence_in_conflicts_not_flow():
+    # iteration 1 writes what iteration 0 read.
+    trace = trace_for([1, 5, 2, 3], [5, 6, 7, 8])
+    assert trace.flow_predecessors()[1] == set()
+    assert trace.conflict_predecessors(reads_conflict=False)[1] == {0}
+
+
+def test_total_accesses():
+    trace = trace_for([1, 2, 3, 4], [5, 6, 7, 8])
+    assert trace.total_accesses() == 8  # one read + one write per iteration
+
+
+def test_reduction_accesses_counted_as_both():
+    source = (
+        "program p\n  integer i, n, idx(4)\n  real f(4)\n"
+        "  do i = 1, n\n    f(idx(i)) = f(idx(i)) + 1.0\n  end do\nend\n"
+    )
+    trace = extract_trace(parse(source), {"n": 4, "idx": np.array([1, 1, 2, 2])})
+    assert trace.writes(0) == {("f", 1)}
+    assert trace.reads(0) == {("f", 1)}
+
+
+def test_setup_statements_executed_before_loop():
+    source = (
+        "program p\n  integer i, n, w(4)\n  real a(4)\n"
+        "  n = 4\n"
+        "  do i = 1, n\n    a(w(i)) = 1.0\n  end do\nend\n"
+    )
+    trace = extract_trace(parse(source), {"w": np.array([4, 3, 2, 1])})
+    assert trace.num_iterations == 4

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.interp.env import Environment
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+
+
+@pytest.fixture
+def small_model() -> CostModel:
+    """A 4-processor machine for quick runtime tests."""
+    return CostModel(name="test4", num_procs=4)
+
+
+def make_runner(source: str, inputs: dict) -> LoopRunner:
+    """Parse ``source`` and build a LoopRunner over ``inputs``."""
+    return LoopRunner(parse(source), inputs)
+
+
+def run_program(source: str, inputs: dict) -> Environment:
+    """Serially execute a program and return its final environment."""
+    from repro.interp.interpreter import Interpreter
+
+    program = parse(source)
+    env = Environment(program, inputs)
+    Interpreter(program, env, value_based=False).run()
+    return env
+
+
+def assert_env_matches(actual: Environment, expected: Environment,
+                       arrays=(), scalars=()) -> None:
+    """Assert selected final state matches between two environments."""
+    for name in arrays:
+        np.testing.assert_allclose(
+            actual.arrays[name], expected.arrays[name],
+            err_msg=f"array {name} diverged",
+        )
+    for name in scalars:
+        assert actual.scalars[name] == pytest.approx(expected.scalars[name]), (
+            f"scalar {name} diverged"
+        )
+
+
+def speculative_vs_serial(
+    source: str,
+    inputs: dict,
+    *,
+    procs: int = 4,
+    arrays=(),
+    scalars=(),
+    config: RunConfig | None = None,
+):
+    """Run a loop speculatively and assert the final state matches serial.
+
+    Returns the speculative report for further assertions.
+    """
+    runner = make_runner(source, inputs)
+    model = (config.model if config else CostModel(name="t", num_procs=procs))
+    cfg = config or RunConfig(model=model)
+    serial = runner.serial_run(cfg.model)
+    report = runner.run(Strategy.SPECULATIVE, cfg)
+    assert_env_matches(report.env, serial.env, arrays=arrays, scalars=scalars)
+    return report

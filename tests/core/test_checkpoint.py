@@ -1,0 +1,56 @@
+"""Checkpoint/rollback tests."""
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.dsl.parser import parse
+from repro.interp.env import Environment
+
+PROGRAM = parse("program p\n  integer n\n  real a(4), b(4)\nend\n")
+
+
+def test_restore_arrays_and_scalars():
+    env = Environment(PROGRAM, {"a": np.ones(4), "n": 5})
+    checkpoint = Checkpoint(env, ["a"])
+    env.store("a", 1, 99.0)
+    env.set_scalar("n", 77)
+    checkpoint.restore()
+    assert env.load("a", 1) == 1.0
+    assert env.scalars["n"] == 5
+
+
+def test_only_selected_arrays_protected():
+    env = Environment(PROGRAM, {})
+    checkpoint = Checkpoint(env, ["a"])
+    env.store("b", 1, 5.0)
+    checkpoint.restore()
+    assert env.load("b", 1) == 5.0  # b was not checkpointed
+
+
+def test_elements_saved_counts():
+    env = Environment(PROGRAM, {})
+    checkpoint = Checkpoint(env, ["a", "b"])
+    assert checkpoint.elements_saved == 8
+
+
+def test_duplicate_names_saved_once():
+    env = Environment(PROGRAM, {})
+    checkpoint = Checkpoint(env, ["a", "a"])
+    assert checkpoint.elements_saved == 4
+    assert checkpoint.array_names == ("a",)
+
+
+def test_saved_array_view():
+    env = Environment(PROGRAM, {"a": np.arange(4.0)})
+    checkpoint = Checkpoint(env, ["a"])
+    env.store("a", 1, -1.0)
+    assert checkpoint.saved_array("a")[0] == 0.0
+
+
+def test_restore_idempotent():
+    env = Environment(PROGRAM, {"a": np.ones(4)})
+    checkpoint = Checkpoint(env, ["a"])
+    env.store("a", 2, 42.0)
+    checkpoint.restore()
+    checkpoint.restore()
+    assert env.load("a", 2) == 1.0

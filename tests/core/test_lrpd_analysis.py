@@ -1,0 +1,141 @@
+"""Analysis-phase tests: the LRPD/PD pass-fail logic over shadows."""
+
+import pytest
+
+from repro.core.lrpd import analyze_shadows
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity, ShadowMarker
+
+
+def marker_with(marks, size=8, granularity=Granularity.ITERATION):
+    """marks: list of (op, element(1-based), granule [, redux op])."""
+    marker = ShadowMarker({"a": size}, granularity=granularity)
+    for mark in marks:
+        kind, element, granule = mark[0], mark[1], mark[2]
+        marker.set_granule(granule)
+        if kind == "w":
+            marker.on_write("a", element)
+        elif kind == "r":
+            marker.on_read("a", element)
+        else:
+            marker.on_redux("a", element, mark[3])
+    return marker
+
+
+def analyze(marks, mode=TestMode.LRPD, granularity=Granularity.ITERATION, **kw):
+    return analyze_shadows(marker_with(marks, granularity=granularity), mode, **kw)
+
+
+class TestFullyParallel:
+    def test_disjoint_writes_pass_fully_parallel(self):
+        result = analyze([("w", 1, 0), ("w", 2, 1), ("r", 3, 0)])
+        assert result.passed
+        assert result.fully_parallel
+
+    def test_no_marks_is_trivially_parallel(self):
+        result = analyze([])
+        assert result.passed
+
+    def test_multi_written_element_not_fully_parallel(self):
+        result = analyze([("w", 1, 0), ("w", 1, 1)])
+        assert result.passed          # dynamic last-value handles it
+        assert not result.fully_parallel
+
+
+class TestFlowFailures:
+    def test_write_then_exposed_read_fails(self):
+        result = analyze([("w", 1, 0), ("r", 1, 1)])
+        assert not result.passed
+        assert result.failed_arrays() == ["a"]
+
+    def test_anti_direction_passes_directionally(self):
+        result = analyze([("r", 1, 0), ("w", 1, 1)])
+        assert result.passed
+
+    def test_anti_direction_fails_bit_version(self):
+        result = analyze([("r", 1, 0), ("w", 1, 1)], directional=False)
+        assert not result.passed
+
+    def test_same_granule_rmw_passes(self):
+        result = analyze([("r", 1, 3), ("w", 1, 3)])
+        assert result.passed
+
+    def test_covered_read_passes(self):
+        result = analyze([("w", 1, 2), ("r", 1, 2)])
+        assert result.passed
+        assert result.details["a"].privatized_elements == 1
+
+
+class TestReductions:
+    def test_pure_reduction_passes(self):
+        result = analyze([("x", 1, 0, "+"), ("x", 1, 1, "+"), ("x", 1, 2, "+")])
+        assert result.passed
+        assert result.details["a"].reduction_elements == 1
+
+    def test_mixed_ops_fail(self):
+        result = analyze([("x", 1, 0, "+"), ("x", 1, 1, "*")])
+        assert not result.passed
+
+    def test_redux_plus_plain_access_fails(self):
+        result = analyze([("x", 1, 0, "+"), ("w", 1, 1)])
+        assert not result.passed
+
+    def test_redux_plus_plain_same_granule_fails(self):
+        # Order dependence within one granule (write + reduction update on
+        # the same element) must fail even directionally.
+        result = analyze([("w", 1, 3), ("x", 1, 3, "+")])
+        assert not result.passed
+
+    def test_pd_mode_ignores_reduction_exemption(self):
+        marks = [("x", 1, 0, "+"), ("x", 1, 1, "+")]
+        assert analyze(marks, mode=TestMode.LRPD).passed
+        assert not analyze(marks, mode=TestMode.PD).passed
+
+
+class TestProcessorWise:
+    def test_covered_within_processor_passes(self):
+        result = analyze(
+            [("w", 1, 0), ("r", 1, 0)], granularity=Granularity.PROCESSOR
+        )
+        assert result.passed
+
+    def test_multi_proc_write_with_read_fails(self):
+        # Element written by two processors and read (even covered): the
+        # reading processor may need the other's value.
+        result = analyze(
+            [("w", 1, 0), ("r", 1, 0), ("w", 1, 1)],
+            granularity=Granularity.PROCESSOR,
+        )
+        assert not result.passed
+
+    def test_multi_proc_write_only_passes(self):
+        result = analyze(
+            [("w", 1, 0), ("w", 1, 1)], granularity=Granularity.PROCESSOR
+        )
+        assert result.passed
+
+
+class TestStrictPaperMode:
+    def test_multi_write_fails_without_dynamic_last_value(self):
+        marks = [("w", 1, 0), ("w", 1, 1)]
+        assert analyze(marks).passed
+        assert not analyze(marks, dynamic_last_value=False).passed
+
+    def test_redux_elements_exempt_from_strict_tw(self):
+        marks = [("x", 1, 0, "+"), ("x", 1, 1, "+")]
+        assert analyze(marks, dynamic_last_value=False).passed
+
+
+class TestResultRecords:
+    def test_tw_tm_reported(self):
+        result = analyze([("w", 1, 0), ("w", 1, 1), ("w", 2, 1)])
+        detail = result.details["a"]
+        assert detail.tw == 3
+        assert detail.tm == 2
+
+    def test_describe_mentions_outcome(self):
+        passed = analyze([("w", 1, 0)])
+        failed = analyze([("w", 1, 0), ("r", 1, 1)])
+        assert "passed" in passed.describe()
+        assert "failed" in failed.describe()
+        assert "a" in failed.describe()

@@ -1,0 +1,74 @@
+"""PrivateCopies: copy-in, stamping, dynamic last-value copy-out."""
+
+import numpy as np
+import pytest
+
+from repro.core.privatize import PrivateCopies
+
+
+def test_copy_in_initialization():
+    base = np.array([1.0, 2.0, 3.0])
+    copies = PrivateCopies("a", base, num_procs=2)
+    assert copies.load(0, 1) == 2.0
+    assert copies.load(1, 2) == 3.0
+
+
+def test_store_isolated_per_processor():
+    copies = PrivateCopies("a", np.zeros(3), num_procs=2)
+    copies.store(0, 1, 5.0, iteration=0)
+    assert copies.load(0, 1) == 5.0
+    assert copies.load(1, 1) == 0.0
+
+
+def test_copy_out_last_value_wins():
+    shared = np.zeros(3)
+    copies = PrivateCopies("a", shared, num_procs=3)
+    copies.store(0, 1, 10.0, iteration=2)
+    copies.store(1, 1, 20.0, iteration=7)   # highest iteration wins
+    copies.store(2, 1, 30.0, iteration=5)
+    count = copies.copy_out(shared)
+    assert count == 1
+    assert shared[1] == 20.0
+
+
+def test_copy_out_untouched_elements_left_alone():
+    shared = np.array([1.0, 2.0, 3.0])
+    copies = PrivateCopies("a", shared, num_procs=2)
+    copies.store(0, 0, 9.0, iteration=0)
+    copies.copy_out(shared)
+    assert shared.tolist() == [9.0, 2.0, 3.0]
+
+
+def test_copy_out_exclusion_mask():
+    shared = np.zeros(3)
+    copies = PrivateCopies("a", shared, num_procs=1)
+    copies.store(0, 0, 5.0, iteration=0)
+    copies.store(0, 2, 7.0, iteration=1)
+    exclude = np.array([True, False, False])
+    count = copies.copy_out(shared, exclude=exclude)
+    assert count == 1
+    assert shared.tolist() == [0.0, 0.0, 7.0]
+
+
+def test_written_mask():
+    copies = PrivateCopies("a", np.zeros(4), num_procs=2)
+    copies.store(1, 3, 1.0, iteration=0)
+    assert copies.written_mask().tolist() == [False, False, False, True]
+
+
+def test_integer_array_preserved():
+    base = np.array([1, 2, 3], dtype=np.int64)
+    copies = PrivateCopies("idx", base, num_procs=2)
+    copies.store(0, 0, 7, iteration=0)
+    assert copies.load(0, 0) == 7
+    assert isinstance(copies.load(0, 0), int)
+
+
+def test_invalid_proc_count_rejected():
+    with pytest.raises(ValueError):
+        PrivateCopies("a", np.zeros(2), num_procs=0)
+
+
+def test_elements_initialized_accounting():
+    copies = PrivateCopies("a", np.zeros(5), num_procs=3)
+    assert copies.elements_initialized == 15

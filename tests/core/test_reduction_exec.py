@@ -1,0 +1,93 @@
+"""ReductionPartials: identities, accumulation, merge."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reduction_exec import REDUCTION_IDENTITY, ReductionPartials
+
+
+class TestIdentities:
+    @pytest.mark.parametrize(
+        "op,identity",
+        [("+", 0.0), ("*", 1.0), ("min", math.inf), ("max", -math.inf)],
+    )
+    def test_identity_values(self, op, identity):
+        assert REDUCTION_IDENTITY[op] == identity
+
+    def test_untouched_load_returns_identity(self):
+        partials = ReductionPartials("a", num_procs=2)
+        assert partials.load(0, 3, "+") == 0.0
+        assert partials.load(1, 3, "*") == 1.0
+
+
+class TestAccumulation:
+    def test_load_modify_store_chain(self):
+        partials = ReductionPartials("a", num_procs=1)
+        # Emulates t = a(j); a(j) = t + 5 executed twice.
+        for contribution in (5.0, 3.0):
+            current = partials.load(0, 2, "+")
+            partials.store(0, 2, "+", current + contribution)
+        assert partials.load(0, 2, "+") == 8.0
+
+    def test_processors_isolated(self):
+        partials = ReductionPartials("a", num_procs=2)
+        partials.store(0, 1, "+", 4.0)
+        assert partials.load(1, 1, "+") == 0.0
+
+
+class TestMerge:
+    def test_sum_merge_into_initial(self):
+        shared = np.array([10.0, 20.0])
+        partials = ReductionPartials("a", num_procs=2)
+        partials.store(0, 0, "+", 1.0)
+        partials.store(1, 0, "+", 2.0)
+        merged = partials.merge_into(shared)
+        assert merged == 1
+        assert shared[0] == 13.0
+        assert shared[1] == 20.0
+
+    def test_product_merge(self):
+        shared = np.array([2.0])
+        partials = ReductionPartials("a", num_procs=2)
+        partials.store(0, 0, "*", 3.0)
+        partials.store(1, 0, "*", 5.0)
+        partials.merge_into(shared)
+        assert shared[0] == 30.0
+
+    def test_min_merge(self):
+        shared = np.array([5.0])
+        partials = ReductionPartials("a", num_procs=2)
+        partials.store(0, 0, "min", 7.0)
+        partials.store(1, 0, "min", 2.0)
+        partials.merge_into(shared)
+        assert shared[0] == 2.0
+
+    def test_max_merge(self):
+        shared = np.array([5.0])
+        partials = ReductionPartials("a", num_procs=1)
+        partials.store(0, 0, "max", 9.0)
+        partials.merge_into(shared)
+        assert shared[0] == 9.0
+
+    def test_valid_mask_restricts_merge(self):
+        shared = np.array([1.0, 1.0])
+        partials = ReductionPartials("a", num_procs=1)
+        partials.store(0, 0, "+", 5.0)
+        partials.store(0, 1, "+", 5.0)
+        mask = np.array([True, False])
+        merged = partials.merge_into(shared, valid_mask=mask)
+        assert merged == 1
+        assert shared.tolist() == [6.0, 1.0]
+
+    def test_touched_helpers(self):
+        partials = ReductionPartials("a", num_procs=2)
+        partials.store(0, 1, "+", 1.0)
+        partials.store(1, 3, "+", 1.0)
+        assert partials.touched_elements() == {1, 3}
+        assert partials.touched_mask(5).tolist() == [False, True, False, True, False]
+
+    def test_invalid_proc_count_rejected(self):
+        with pytest.raises(ValueError):
+            ReductionPartials("a", num_procs=0)

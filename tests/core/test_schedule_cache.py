@@ -1,0 +1,91 @@
+"""Schedule reuse cache and pattern signature tests."""
+
+import numpy as np
+
+from repro.analysis.instrument import build_plan
+from repro.core.outcomes import LrpdResult, TestMode
+from repro.core.schedule_cache import ScheduleCache, pattern_signature
+from repro.dsl.parser import parse
+from repro.interp.env import Environment
+
+SOURCE = (
+    "program p\n  integer i, n, idx(8)\n  real a(8), v(8)\n"
+    "  do i = 1, n\n    a(idx(i)) = v(i)\n  end do\nend\n"
+)
+
+
+def make(idx=None, n=8, v=None):
+    program = parse(SOURCE)
+    plan = build_plan(program)
+    env = Environment(
+        program,
+        {
+            "n": n,
+            "idx": idx if idx is not None else np.arange(1, 9),
+            "v": v if v is not None else np.zeros(8),
+        },
+    )
+    return plan, env
+
+
+class TestSignature:
+    def test_same_pattern_same_signature(self):
+        plan_a, env_a = make()
+        plan_b, env_b = make()
+        assert pattern_signature(plan_a, env_a) == pattern_signature(plan_b, env_b)
+
+    def test_indirection_change_changes_signature(self):
+        plan_a, env_a = make(idx=np.arange(1, 9))
+        plan_b, env_b = make(idx=np.arange(8, 0, -1))
+        assert pattern_signature(plan_a, env_a) != pattern_signature(plan_b, env_b)
+
+    def test_bound_change_changes_signature(self):
+        plan_a, env_a = make(n=8)
+        plan_b, env_b = make(n=4)
+        assert pattern_signature(plan_a, env_a) != pattern_signature(plan_b, env_b)
+
+    def test_data_change_does_not_change_signature(self):
+        # v feeds values, not addresses: the pattern is unchanged.
+        plan_a, env_a = make(v=np.zeros(8))
+        plan_b, env_b = make(v=np.ones(8))
+        assert pattern_signature(plan_a, env_a) == pattern_signature(plan_b, env_b)
+
+    def test_unextractable_pattern_gives_none(self):
+        source = (
+            "program p\n  integer i, k, n, iw(16)\n  real out(16)\n"
+            "  do i = 1, n\n    k = iw(n + i)\n    iw(i) = k\n"
+            "    out(k) = 1.0\n  end do\nend\n"
+        )
+        program = parse(source)
+        plan = build_plan(program)
+        env = Environment(program, {"n": 4})
+        assert pattern_signature(plan, env) is None
+
+
+class TestCache:
+    def _result(self):
+        return LrpdResult(mode=TestMode.LRPD, granularity="iteration")
+
+    def test_record_and_lookup(self):
+        cache = ScheduleCache()
+        result = self._result()
+        cache.record("loop1", "sig", result)
+        assert cache.lookup("loop1", "sig") is result
+        assert cache.hits == 1
+
+    def test_miss_on_other_signature(self):
+        cache = ScheduleCache()
+        cache.record("loop1", "sig", self._result())
+        assert cache.lookup("loop1", "other") is None
+
+    def test_none_signature_never_cached(self):
+        cache = ScheduleCache()
+        cache.record("loop1", None, self._result())
+        assert len(cache) == 0
+        assert cache.lookup("loop1", None) is None
+
+    def test_lookups_counted(self):
+        cache = ScheduleCache()
+        cache.lookup("x", "y")
+        cache.lookup("x", "y")
+        assert cache.lookups == 2

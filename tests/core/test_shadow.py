@@ -1,0 +1,164 @@
+"""Shadow array marking semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.shadow import Granularity, ShadowArray, ShadowMarker
+
+
+class TestMarkWrite:
+    def test_sets_w_and_nx(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(2, granule=0)
+        assert shadow.w[2]
+        assert shadow.nx[2]
+        assert not shadow.w[0]
+
+    def test_tw_counts_per_element_granule_pair(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, 0)
+        shadow.mark_write(1, 0)  # same granule: not recounted
+        shadow.mark_write(1, 1)  # new granule: counted
+        shadow.mark_write(2, 1)
+        assert shadow.tw == 3
+
+    def test_tm_distinct_elements(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, 0)
+        shadow.mark_write(1, 5)
+        shadow.mark_write(3, 2)
+        assert shadow.tm == 2
+
+    def test_multi_w_tracked(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, 0)
+        assert not shadow.multi_w[1]
+        shadow.mark_write(1, 3)
+        assert shadow.multi_w[1]
+
+
+class TestMarkRead:
+    def test_exposed_read_sets_np(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_read(1, granule=0)
+        assert shadow.r[1]
+        assert shadow.np_[1]
+
+    def test_covered_read_does_not_set_np(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, granule=0)
+        shadow.mark_read(1, granule=0)
+        assert shadow.r[1]
+        assert not shadow.np_[1]
+
+    def test_read_covered_only_by_same_granule(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, granule=0)
+        shadow.mark_read(1, granule=1)
+        assert shadow.np_[1]
+
+
+class TestMarkRedux:
+    def test_redux_sets_wrnp_but_not_nx(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_redux(1, 0, "+")
+        assert shadow.w[1] and shadow.r[1] and shadow.np_[1]
+        assert not shadow.nx[1]
+        assert shadow.redux_touched[1]
+
+    def test_consistent_op_stays_valid(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_redux(1, 0, "+")
+        shadow.mark_redux(1, 3, "+")
+        assert not shadow.nx[1]
+        assert shadow.reduction_mask()[1]
+
+    def test_conflicting_op_invalidates(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_redux(1, 0, "+")
+        shadow.mark_redux(1, 1, "*")
+        assert shadow.nx[1]
+        assert not shadow.reduction_mask()[1]
+
+    def test_redux_then_plain_access_invalidates(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_redux(1, 0, "+")
+        shadow.mark_read(1, 1)
+        assert shadow.nx[1]
+
+    def test_reduction_op_of(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_redux(2, 0, "max")
+        assert shadow.reduction_op_of(2) == "max"
+        assert shadow.reduction_op_of(0) is None
+
+    def test_redux_does_not_count_tw(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_redux(1, 0, "+")
+        shadow.mark_redux(1, 1, "+")
+        assert shadow.tw == 0
+
+
+class TestDirectionalStamps:
+    def test_flow_when_write_before_exposed_read(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, granule=2)
+        shadow.mark_read(1, granule=5)
+        assert shadow.flow_mask()[1]
+
+    def test_no_flow_for_anti_direction(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_read(1, granule=2)   # exposed read first (earlier granule)
+        shadow.mark_write(1, granule=5)  # write in a later granule
+        assert not shadow.flow_mask()[1]
+
+    def test_no_flow_same_granule_read_modify_write(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_read(1, granule=3)
+        shadow.mark_write(1, granule=3)
+        assert not shadow.flow_mask()[1]
+
+    def test_marking_order_does_not_matter(self):
+        shadow = ShadowArray("a", 4)
+        # Granule 5's read marked before granule 2's write (emulated
+        # interleaving): the flow must still be detected.
+        shadow.mark_read(1, granule=5)
+        shadow.mark_write(1, granule=2)
+        assert shadow.flow_mask()[1]
+
+
+class TestMasks:
+    def test_privatized_mask(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, 0)
+        shadow.mark_read(1, 0)   # covered
+        shadow.mark_write(2, 0)
+        shadow.mark_read(2, 1)   # exposed
+        mask = shadow.privatized_mask()
+        assert mask[1]
+        assert not mask[2]
+
+    def test_conflict_mask_bit_version(self):
+        shadow = ShadowArray("a", 4)
+        shadow.mark_write(1, 0)
+        shadow.mark_read(1, 1)
+        assert shadow.conflict_mask()[1]
+
+
+class TestShadowMarker:
+    def test_marker_translates_one_based_indices(self):
+        marker = ShadowMarker({"a": 4})
+        marker.set_granule(0)
+        marker.on_write("a", 1)
+        assert marker.shadows["a"].w[0]
+
+    def test_marker_counts_marks(self):
+        marker = ShadowMarker({"a": 4})
+        marker.on_write("a", 1)
+        marker.on_read("a", 2)
+        marker.on_redux("a", 3, "+")
+        assert marker.cost.marks == 3
+
+    def test_granularity_recorded(self):
+        marker = ShadowMarker({"a": 4}, granularity=Granularity.PROCESSOR)
+        assert marker.granularity is Granularity.PROCESSOR

@@ -1,0 +1,153 @@
+"""ProgramBuilder tests: built trees equal parsed trees."""
+
+import pytest
+
+from repro.dsl.builder import ProgramBuilder, call, neg
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_source
+
+
+def test_build_simple_loop_equals_parsed():
+    b = ProgramBuilder("saxpy")
+    b.integer("i", "n").real("alpha")
+    b.real_array("x", 10).real_array("y", 10)
+    i = b.var("i")
+    with b.do("i", 1, b.var("n")):
+        b.assign(b.aref("y", i), b.var("alpha") * b.aref("x", i) + b.aref("y", i))
+    built = b.build()
+
+    parsed = parse(
+        "program saxpy\n  integer i, n\n  real alpha\n  real x(10)\n  real y(10)\n"
+        "  do i = 1, n\n    y(i) = alpha * x(i) + y(i)\n  end do\nend\n"
+    )
+    assert built == parsed
+
+
+def test_if_else_builder():
+    b = ProgramBuilder("p")
+    b.integer("i").real("x")
+    with b.if_(b.var("i").eq_(1)):
+        b.assign("x", 1.0)
+    with b.else_():
+        b.assign("x", 2.0)
+    program = b.build()
+    parsed = parse(
+        "program p\n  integer i\n  real x\n"
+        "  if (i == 1) then\n    x = 1.0\n  else\n    x = 2.0\n  end if\nend\n"
+    )
+    assert program == parsed
+
+
+def test_while_builder():
+    b = ProgramBuilder("p")
+    b.integer("i")
+    with b.while_(b.var("i").gt_(0)):
+        b.assign("i", b.var("i") - 1)
+    assert b.build() == parse(
+        "program p\n  integer i\n  do while (i > 0)\n    i = i - 1\n  end do\nend\n"
+    )
+
+
+def test_negative_literals_match_parser_shape():
+    b = ProgramBuilder("p")
+    b.real("x")
+    b.assign("x", -2.5)
+    assert b.build() == parse("program p\n  real x\n  x = -2.5\nend\n")
+
+
+def test_neg_and_call_helpers():
+    b = ProgramBuilder("p")
+    b.real("x", "y")
+    b.assign("x", neg(b.var("y")) + call("abs", b.var("y")))
+    assert b.build() == parse("program p\n  real x, y\n  x = -y + abs(y)\nend\n")
+
+
+def test_built_program_prints_and_reparses():
+    b = ProgramBuilder("p")
+    b.integer("i", "n").real_array("a", 8)
+    with b.do("i", 1, "n"):
+        b.assign(b.aref("a", b.var("i")), call("mod", b.var("i"), 3) + 0.5)
+    program = b.build()
+    assert parse(to_source(program)) == program
+
+
+def test_else_without_if_rejected():
+    b = ProgramBuilder("p")
+    b.real("x")
+    with pytest.raises(ValueError):
+        with b.else_():
+            pass
+
+
+def test_double_else_rejected():
+    b = ProgramBuilder("p")
+    b.integer("i").real("x")
+    with b.if_(b.var("i").eq_(1)):
+        b.assign("x", 1.0)
+    with b.else_():
+        b.assign("x", 2.0)
+    with pytest.raises(ValueError):
+        with b.else_():
+            pass
+
+
+def test_duplicate_declaration_rejected():
+    b = ProgramBuilder("p")
+    b.real("x")
+    with pytest.raises(ValueError):
+        b.integer("x")
+
+
+def test_aref_requires_declared_array():
+    b = ProgramBuilder("p")
+    with pytest.raises(ValueError):
+        b.aref("ghost", 1)
+
+
+def test_unclosed_block_rejected():
+    b = ProgramBuilder("p")
+    b.integer("i", "n")
+    cm = b.do("i", 1, "n")
+    cm.__enter__()
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_boolean_literal_rejected():
+    b = ProgramBuilder("p")
+    b.real("x")
+    with pytest.raises(TypeError):
+        b.assign("x", True)
+
+
+def test_multidim_builder_matches_parser():
+    b = ProgramBuilder("grid")
+    b.integer("i", "j").real_array("a", 4, 3)
+    b.assign(b.aref("a", b.var("i"), b.var("j")), 1.0)
+    built = b.build()
+    parsed = parse(
+        "program grid\n  integer i, j\n  real a(4, 3)\n  a(i, j) = 1.0\nend\n"
+    )
+    assert built == parsed
+
+
+def test_multidim_builder_arity_checked():
+    b = ProgramBuilder("p")
+    b.integer("i").real_array("t", 2, 3, 4)
+    with pytest.raises(ValueError):
+        b.aref("t", b.var("i"), b.var("i"))
+
+
+def test_builder_flat_access_to_multidim():
+    b = ProgramBuilder("p")
+    b.integer("i").real_array("a", 4, 3)
+    ref = b.aref("a", b.var("i"))
+    assert ref.index == b.var("i")
+
+
+def test_builder_rejects_bad_extents():
+    b = ProgramBuilder("p")
+    with pytest.raises(ValueError):
+        b.real_array("z")
+    with pytest.raises(ValueError):
+        b.real_array("q", 4, 0)

@@ -1,0 +1,100 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import EOF, INT, NAME, NEWLINE, OP, REAL
+from repro.errors import DslSyntaxError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind not in (NEWLINE, EOF)]
+
+
+class TestBasics:
+    def test_empty_source_gives_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_names_are_lowercased(self):
+        assert texts("Foo BAR") == ["foo", "bar"]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind == INT
+        assert token.text == "42"
+
+    def test_real_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.kind == REAL
+
+    def test_real_with_exponent(self):
+        assert tokenize("1e6")[0].kind == REAL
+        assert tokenize("2.5e-3")[0].kind == REAL
+        assert tokenize("1E+2")[0].kind == REAL
+
+    def test_integer_not_real_when_dot_starts_operator(self):
+        # "1.and." must lex as INT(1), NAME(and), not a real literal
+        tokens = tokenize("1.and.2")
+        assert tokens[0].kind == INT
+        assert tokens[1].text == "and"
+
+    def test_leading_dot_real(self):
+        assert tokenize(".5")[0].kind == REAL
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["**", "==", "/=", "<=", ">="])
+    def test_multi_char_operator(self, op):
+        token = tokenize(f"a {op} b")[1]
+        assert token.kind == OP
+        assert token.text == op
+
+    def test_dotted_logical_normalized_to_word(self):
+        assert texts("a .and. b") == ["a", "and", "b"]
+        assert texts("a .or. b") == ["a", "or", "b"]
+        assert texts(".not. a") == ["not", "a"]
+
+    def test_power_not_two_stars(self):
+        tokens = texts("a ** b")
+        assert tokens == ["a", "**", "b"]
+
+
+class TestLinesAndComments:
+    def test_comment_runs_to_end_of_line(self):
+        assert texts("a = 1 ! the answer\nb = 2") == ["a", "=", "1", "b", "=", "2"]
+
+    def test_blank_lines_collapse(self):
+        tokens = tokenize("a = 1\n\n\nb = 2")
+        newline_count = sum(1 for t in tokens if t.kind == NEWLINE)
+        assert newline_count == 2
+
+    def test_semicolon_acts_as_newline(self):
+        tokens = tokenize("a = 1; b = 2")
+        assert any(t.kind == NEWLINE and t.text == ";" for t in tokens)
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a = 1\nb = 2\nc = 3")
+        c_token = [t for t in tokens if t.text == "c"][0]
+        assert c_token.line == 3
+
+    def test_trailing_newline_synthesized(self):
+        tokens = tokenize("a = 1")
+        assert tokens[-2].kind == NEWLINE
+        assert tokens[-1].kind == EOF
+
+
+class TestErrors:
+    def test_unexpected_character_raises_with_line(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("a = 1\nb = @")
+        assert excinfo.value.line == 2
+
+    def test_unknown_unicode_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("a = π")

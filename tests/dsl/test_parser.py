@@ -1,0 +1,217 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    If,
+    Num,
+    ScalarDecl,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.dsl.parser import parse
+from repro.errors import DslSyntaxError
+
+
+def parse_stmt(body: str, decls: str = "integer i, j, n\n  real x, y\n  real a(10)"):
+    program = parse(f"program t\n  {decls}\n{body}\nend\n")
+    return program.body
+
+
+def parse_expr(expr: str, decls: str = "integer i, j, n\n  real x, y\n  real a(10)"):
+    body = parse_stmt(f"  x = {expr}", decls)
+    assert isinstance(body[0], Assign)
+    return body[0].expr
+
+
+class TestDeclarations:
+    def test_scalar_declarations(self):
+        program = parse("program p\n  integer n\n  real x\nend\n")
+        assert program.decls == [ScalarDecl("n", "integer"), ScalarDecl("x", "real")]
+
+    def test_array_declaration_with_size(self):
+        program = parse("program p\n  real a(100)\nend\n")
+        assert program.decls == [ArrayDecl("a", "real", 100)]
+
+    def test_comma_separated_mixed_declarations(self):
+        program = parse("program p\n  integer n, idx(5), m\nend\n")
+        assert [d.name for d in program.decls] == ["n", "idx", "m"]
+        assert isinstance(program.decls[1], ArrayDecl)
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse("program p\n  integer n\n  real n\nend\n")
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        (stmt,) = parse_stmt("  x = 1.5")
+        assert isinstance(stmt, Assign)
+        assert stmt.target == Var("x")
+        assert stmt.expr == Num(1.5)
+
+    def test_array_assignment(self):
+        (stmt,) = parse_stmt("  a(i) = x")
+        assert isinstance(stmt.target, ArrayRef)
+        assert stmt.target.name == "a"
+
+    def test_assignment_to_undeclared_array_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_stmt("  q(i) = 1.0")
+
+    def test_do_loop(self):
+        (stmt,) = parse_stmt("  do i = 1, n\n    x = x + 1.0\n  end do")
+        assert isinstance(stmt, Do)
+        assert stmt.var == "i"
+        assert stmt.step is None
+        assert len(stmt.body) == 1
+
+    def test_do_loop_with_step(self):
+        (stmt,) = parse_stmt("  do i = 1, n, 2\n    x = 1.0\n  end do")
+        assert stmt.step == Num(2.0, is_int=True)
+
+    def test_enddo_one_word(self):
+        (stmt,) = parse_stmt("  do i = 1, n\n    x = 1.0\n  enddo")
+        assert isinstance(stmt, Do)
+
+    def test_do_while(self):
+        (stmt,) = parse_stmt("  do while (i > 0)\n    i = i - 1\n  end do")
+        assert isinstance(stmt, While)
+
+    def test_if_then_endif(self):
+        (stmt,) = parse_stmt("  if (x > 0.0) then\n    y = 1.0\n  end if")
+        assert isinstance(stmt, If)
+        assert stmt.else_body == []
+
+    def test_if_else(self):
+        (stmt,) = parse_stmt(
+            "  if (x > 0.0) then\n    y = 1.0\n  else\n    y = 2.0\n  end if"
+        )
+        assert len(stmt.else_body) == 1
+
+    def test_elseif_chain_nests(self):
+        (stmt,) = parse_stmt(
+            "  if (i == 1) then\n    y = 1.0\n"
+            "  else if (i == 2) then\n    y = 2.0\n"
+            "  else\n    y = 3.0\n  end if"
+        )
+        assert isinstance(stmt.else_body[0], If)
+        inner = stmt.else_body[0]
+        assert len(inner.else_body) == 1
+
+    def test_elseif_one_word(self):
+        (stmt,) = parse_stmt(
+            "  if (i == 1) then\n    y = 1.0\n  elseif (i == 2) then\n"
+            "    y = 2.0\n  endif"
+        )
+        assert isinstance(stmt.else_body[0], If)
+
+    def test_nested_loops(self):
+        (stmt,) = parse_stmt(
+            "  do i = 1, n\n    do j = 1, n\n      x = x + 1.0\n"
+            "    end do\n  end do"
+        )
+        assert isinstance(stmt.body[0], Do)
+
+    def test_mismatched_terminator_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_stmt("  do i = 1, n\n    x = 1.0\n  end if")
+
+    def test_loop_variable_cannot_be_array(self):
+        with pytest.raises(DslSyntaxError):
+            parse_stmt("  do a = 1, n\n    x = 1.0\n  end do")
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse("program p\n  integer i, n\n  do i = 1, n\n    i = i\nend\n")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinOp)
+        assert expr.right.op == "*"
+
+    def test_left_associative_subtraction(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+        assert expr.left.op == "-"
+
+    def test_power_right_associative(self):
+        expr = parse_expr("2 ** 3 ** 2")
+        assert expr.op == "**"
+        assert isinstance(expr.right, BinOp)
+
+    def test_power_binds_tighter_than_unary_minus(self):
+        expr = parse_expr("-2 ** 2")
+        assert isinstance(expr, UnaryOp)
+        assert isinstance(expr.operand, BinOp)
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp)
+
+    def test_comparison_below_arithmetic(self):
+        expr = parse_expr("i + 1 < j * 2")
+        assert expr.op == "<"
+
+    def test_and_or_precedence(self):
+        expr = parse_expr("i < 1 or j < 2 and x < 3.0")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expr("not i == 1 and j == 2")
+        assert expr.op == "and"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_unary_plus_is_dropped(self):
+        assert parse_expr("+5") == Num(5.0, is_int=True)
+
+    def test_intrinsic_call(self):
+        expr = parse_expr("mod(i, 3)")
+        assert isinstance(expr, Call)
+        assert expr.func == "mod"
+        assert len(expr.args) == 2
+
+    def test_intrinsic_arity_checked(self):
+        with pytest.raises(DslSyntaxError):
+            parse_expr("mod(i)")
+
+    def test_array_ref_vs_intrinsic_disambiguation(self):
+        expr = parse_expr("a(i) + min(i, j)")
+        assert isinstance(expr.left, ArrayRef)
+        assert isinstance(expr.right, Call)
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_expr("frobnicate(i)")
+
+    def test_nested_array_subscript(self):
+        expr = parse_expr("a(a(i))", decls="integer i\n  real x\n  real a(10)")
+        assert isinstance(expr.index, ArrayRef)
+
+
+class TestProgramStructure:
+    def test_program_name(self):
+        assert parse("program widget\nend\n").name == "widget"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse("program p\nend\nx = 1\n")
+
+    def test_statements_before_declarations_not_allowed(self):
+        # Declarations must precede statements; a decl keyword later is an error.
+        with pytest.raises(DslSyntaxError):
+            parse("program p\n  integer i\n  i = 1\n  real x\nend\n")

@@ -1,0 +1,65 @@
+"""Printer tests: output re-parses to a structurally equal AST."""
+
+import pytest
+
+from repro.dsl.parser import parse
+from repro.dsl.printer import expr_to_source, stmt_to_source, to_source
+
+ROUND_TRIP_SOURCES = [
+    "program p\n  integer i, n\n  real a(10)\n  do i = 1, n\n    a(i) = a(i) + 1.0\n  end do\nend\n",
+    "program p\n  real x\n  x = 1.0 + 2.0 * 3.0\nend\n",
+    "program p\n  real x\n  x = (1.0 + 2.0) * 3.0\nend\n",
+    "program p\n  real x\n  x = 2.0 ** 3.0 ** 2.0\nend\n",
+    "program p\n  real x\n  x = (2.0 ** 3.0) ** 2.0\nend\n",
+    "program p\n  real x\n  x = -x ** 2.0\nend\n",
+    "program p\n  real x\n  x = (-x) ** 2.0\nend\n",
+    "program p\n  real x\n  x = 1.0 - (2.0 - 3.0)\nend\n",
+    "program p\n  integer i\n  real x\n  if (i == 1 and not i > 2) then\n    x = 1.0\n  else\n    x = 2.0\n  end if\nend\n",
+    "program p\n  integer i\n  do while (i > 0)\n    i = i - 1\n  end do\nend\n",
+    "program p\n  integer i, n\n  real a(5)\n  do i = 1, n, 2\n    a(mod(i, 5) + 1) = abs(a(i))\n  end do\nend\n",
+    "program p\n  real x\n  x = min(max(x, 0.0), 1.0)\nend\n",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip(source):
+    program = parse(source)
+    printed = to_source(program)
+    assert parse(printed) == program
+
+
+def test_second_print_is_stable():
+    program = parse(ROUND_TRIP_SOURCES[0])
+    once = to_source(program)
+    twice = to_source(parse(once))
+    assert once == twice
+
+
+def test_precedence_parentheses_emitted_only_when_needed():
+    program = parse("program p\n  real x\n  x = (1.0 + 2.0) * 3.0\nend\n")
+    out = to_source(program)
+    assert "(1.0 + 2.0) * 3.0" in out
+    program = parse("program p\n  real x\n  x = 1.0 + 2.0 * 3.0\nend\n")
+    out = to_source(program)
+    assert "(" not in out.splitlines()[2]
+
+
+def test_expr_to_source_simple():
+    program = parse("program p\n  real x\n  x = 1.0 + x\nend\n")
+    assert expr_to_source(program.body[0].expr) == "1.0 + x"
+
+
+def test_stmt_to_source_if():
+    program = parse(
+        "program p\n  real x\n  if (x > 0.0) then\n    x = 1.0\n  end if\nend\n"
+    )
+    text = stmt_to_source(program.body[0])
+    assert text.startswith("if (x > 0.0) then")
+    assert text.endswith("end if")
+
+
+def test_declarations_printed():
+    src = "program p\n  integer n\n  real a(7)\nend\n"
+    out = to_source(parse(src))
+    assert "integer n" in out
+    assert "real a(7)" in out

@@ -1,0 +1,130 @@
+"""Figure-series builders: shapes the paper's plots must exhibit."""
+
+import pytest
+
+from repro.core.shadow import Granularity
+from repro.evalx.figures import (
+    failure_cost_series,
+    ideal_series,
+    loop_figure,
+    marking_overhead_series,
+    pd_vs_lpd_comparison,
+    procwise_qualification,
+    schedule_reuse_series,
+    speedup_series,
+)
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import Strategy
+from repro.workloads.bdna import build_bdna
+
+MODEL = CostModel(name="fig", num_procs=8)
+PROCS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def bdna_figure():
+    return loop_figure(build_bdna(n=80), procs=PROCS, model=MODEL)
+
+
+class TestLoopFigure:
+    def test_series_present(self, bdna_figure):
+        assert {"speculative", "inspector", "ideal"} <= set(bdna_figure)
+
+    def test_speedup_grows_with_procs(self, bdna_figure):
+        for series in bdna_figure.values():
+            speedups = series.speedups()
+            assert speedups[-1] > speedups[0]
+
+    def test_ideal_dominates_strategies(self, bdna_figure):
+        ideal = bdna_figure["ideal"].speedups()
+        for key in ("speculative", "inspector"):
+            for measured, bound in zip(bdna_figure[key].speedups(), ideal):
+                assert measured <= bound + 1e-9
+
+    def test_track_has_no_inspector_series(self):
+        from repro.workloads.track import build_track
+
+        figure = loop_figure(build_track(n=100), procs=(1, 2), model=MODEL)
+        assert "inspector" not in figure
+
+
+class TestFailureCost:
+    def test_zero_fraction_passes_rest_fail(self):
+        points = failure_cost_series(fractions=(0.0, 0.2), n=120, model=MODEL)
+        assert points[0].passed
+        assert not points[1].passed
+
+    def test_failed_speculation_bounded(self):
+        points = failure_cost_series(fractions=(0.2,), n=200, model=MODEL)
+        assert 1.0 < points[0].slowdown_vs_serial < 3.0
+
+
+class TestPdVsLpd:
+    def test_dead_reads_separate_the_tests(self):
+        (point,) = pd_vs_lpd_comparison(live_fractions=(0.0,), model=MODEL)
+        assert point.lpd_passed
+        assert not point.pd_passed
+
+    def test_live_reads_fail_both(self):
+        (point,) = pd_vs_lpd_comparison(live_fractions=(1.0,), model=MODEL)
+        assert not point.lpd_passed
+        assert not point.pd_passed
+
+
+class TestProcwise:
+    def test_qualification_depends_on_blocking(self):
+        points = procwise_qualification(procs=(2, 4, 8), n=240, model=MODEL)
+        for point in points:
+            assert not point.iteration_wise_passed
+            # 240 divides evenly by 2/4/8 into even blocks: pairs stay
+            # together and the processor-wise test qualifies the loop.
+            assert point.processor_wise_passed
+            assert point.processor_wise_speedup > 0.5
+
+    def test_misaligned_blocks_fail_processor_wise(self):
+        points = procwise_qualification(procs=(7,), n=240, model=MODEL)
+        # 240 / 7 gives odd block sizes: some pair straddles a boundary.
+        assert not points[0].processor_wise_passed
+
+
+class TestMarkingOverhead:
+    def test_overhead_grows_with_mark_cost(self):
+        points = marking_overhead_series(mark_costs=(0.0, 8.0), procs=8, model=MODEL)
+        assert points[1].overhead_factor > points[0].overhead_factor
+        assert points[0].overhead_factor == pytest.approx(1.0)
+
+    def test_speedup_falls_with_mark_cost(self):
+        points = marking_overhead_series(mark_costs=(0.0, 16.0), procs=8, model=MODEL)
+        assert points[1].speedup_at_p < points[0].speedup_at_p
+
+
+class TestScheduleReuse:
+    def test_reuse_cuts_per_invocation_time(self):
+        without, with_cache = schedule_reuse_series(invocations=4, model=MODEL)
+        assert not any(p.reused for p in without)
+        assert all(p.reused for p in with_cache[1:])
+        assert with_cache[1].time < without[1].time
+
+
+class TestSpeedupSeries:
+    def test_include_setup_lowers_speedup(self):
+        workload = build_bdna(n=60)
+        plain = speedup_series(
+            workload, Strategy.SPECULATIVE, procs=(4,), model=MODEL
+        )
+        charged = speedup_series(
+            workload, Strategy.SPECULATIVE, procs=(4,), model=MODEL,
+            include_setup=True,
+        )
+        assert charged.speedups()[0] <= plain.speedups()[0]
+
+    def test_labels(self):
+        workload = build_bdna(n=40)
+        series = speedup_series(workload, Strategy.SPECULATIVE, procs=(2,), model=MODEL)
+        assert "BDNA" in series.label
+        assert "speculative" in series.label
+
+    def test_ideal_series_near_linear_at_low_p(self):
+        series = ideal_series(build_bdna(n=120), procs=(1, 2), model=MODEL)
+        s1, s2 = series.speedups()
+        assert s2 > 1.5 * s1

@@ -1,0 +1,33 @@
+"""format_figure rendering tests."""
+
+from repro.evalx.render import format_figure
+from repro.machine.stats import SpeedupPoint, SpeedupSeries
+
+
+def make_series(label, pairs):
+    series = SpeedupSeries(label=label)
+    for procs, speedup in pairs:
+        series.add(SpeedupPoint(procs=procs, speedup=speedup, time=1.0))
+    return series
+
+
+def test_rows_are_processor_counts():
+    figure = {
+        "a": make_series("a", [(1, 1.0), (2, 1.9)]),
+        "b": make_series("b", [(1, 1.0), (2, 1.5)]),
+    }
+    text = format_figure(figure, title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].split()[:3] == ["procs", "a", "b"]
+    assert lines[3].split()[0] == "1"
+    assert lines[4].split()[0] == "2"
+
+
+def test_short_series_padded_with_dash():
+    figure = {
+        "long": make_series("long", [(1, 1.0), (2, 2.0)]),
+        "short": make_series("short", [(1, 1.0)]),
+    }
+    text = format_figure(figure)
+    assert "-" in text.splitlines()[-1]

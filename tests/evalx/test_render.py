@@ -1,0 +1,66 @@
+"""Text-table renderer tests."""
+
+from repro.evalx.render import format_table
+
+
+def test_alignment_and_header():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "long-name" in lines[3]
+    # Columns align: 'value' header column starts at the same offset.
+    assert lines[0].index("value") == lines[2].index("1")
+
+
+def test_floats_formatted():
+    text = format_table(["x"], [[1.23456]])
+    assert "1.23" in text
+    assert "1.2345" not in text
+
+
+def test_bools_rendered_yes_no():
+    text = format_table(["ok"], [[True], [False]])
+    assert "yes" in text
+    assert "no" in text
+
+
+def test_title_prepended():
+    text = format_table(["a"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+class TestAsciiChart:
+    def _figure(self):
+        from repro.machine.stats import SpeedupPoint, SpeedupSeries
+
+        series = SpeedupSeries(label="s")
+        ideal = SpeedupSeries(label="ideal")
+        for p, s in ((1, 1.0), (2, 1.8), (4, 3.1)):
+            series.add(SpeedupPoint(procs=p, speedup=s, time=1.0 / s))
+            ideal.add(SpeedupPoint(procs=p, speedup=float(p), time=1.0 / p))
+        return {"measured": series, "ideal": ideal}
+
+    def test_chart_has_axes_and_legend(self):
+        from repro.evalx.render import ascii_chart
+
+        text = ascii_chart(self._figure(), title="demo")
+        assert text.splitlines()[0] == "demo"
+        assert "+---" in text
+        assert "* measured" in text
+        assert "o ideal" in text
+
+    def test_chart_marks_every_series(self):
+        from repro.evalx.render import ascii_chart
+
+        text = ascii_chart(self._figure())
+        assert "*" in text
+        assert "o" in text
+
+    def test_x_axis_lists_proc_counts(self):
+        from repro.evalx.render import ascii_chart
+
+        text = ascii_chart(self._figure())
+        axis = text.splitlines()[-2]
+        for p in ("1", "2", "4"):
+            assert p in axis

@@ -1,0 +1,100 @@
+"""Table I and Table II builders (reduced-size versions for speed)."""
+
+import pytest
+
+from repro.evalx.table1 import build_table1, render_table1
+from repro.evalx.table2 import build_table2, render_table2
+from repro.machine.costmodel import CostModel
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    from repro.workloads.bdna import build_bdna
+    from repro.workloads.track import build_track
+
+    loops = {
+        "TRACK_NLFILT_do300": lambda: build_track(n=120),
+        "BDNA_ACTFOR_do240": lambda: build_bdna(n=80),
+    }
+    return build_table1(
+        loops,
+        model8=CostModel(name="m8", num_procs=8),
+        model14=CostModel(name="m14", num_procs=14),
+    )
+
+
+class TestTable1:
+    def test_rows_cover_requested_loops(self, table1_rows):
+        assert [r.loop for r in table1_rows] == [
+            "TRACK_NLFILT_do300", "BDNA_ACTFOR_do240",
+        ]
+
+    def test_all_tests_pass(self, table1_rows):
+        assert all(r.test_passed for r in table1_rows)
+
+    def test_track_has_no_inspector_numbers(self, table1_rows):
+        track = table1_rows[0]
+        assert not track.inspector_ok
+        assert track.speedup_insp_8 is None
+
+    def test_bdna_inspector_present(self, table1_rows):
+        bdna = table1_rows[1]
+        assert bdna.inspector_ok
+        assert bdna.speedup_insp_8 is not None
+
+    def test_speedups_below_ideal(self, table1_rows):
+        for row in table1_rows:
+            assert row.speedup_spec_8 <= row.ideal_8 + 1e-9
+            assert row.speedup_spec_14 <= row.ideal_14 + 1e-9
+
+    def test_more_procs_helps(self, table1_rows):
+        for row in table1_rows:
+            assert row.speedup_spec_14 > row.speedup_spec_8 * 0.9
+
+    def test_render_contains_all_rows(self, table1_rows):
+        text = render_table1(table1_rows)
+        assert "TRACK_NLFILT_do300" in text
+        assert "n/a" in text  # TRACK's inspector cells
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return build_table2(n=80, num_chains=8, model=CostModel(num_procs=8))
+
+    def test_all_methods_present(self, table2):
+        from repro.baselines.methods import ALL_METHODS
+
+        methods = {r.method for r in table2.empirical}
+        assert set(ALL_METHODS) <= methods
+        assert "Saltz/Mirchandaney (DOACROSS)" in methods
+
+    def test_applicable_methods_have_valid_depths(self, table2):
+        for row in table2.empirical:
+            if row.applicable and row.depth is not None:
+                assert row.depth >= row.optimal_depth
+
+    def test_doacross_pipelined_no_depth(self, table2):
+        row = next(
+            r for r in table2.empirical if "DOACROSS" in r.method
+        )
+        assert row.applicable
+        assert row.depth is None
+        assert row.time is not None and row.time > 0
+
+    def test_minimal_methods_reach_optimal(self, table2):
+        by_name = {r.method: r for r in table2.empirical}
+        assert by_name["Midkiff/Padua"].depth == by_name["Midkiff/Padua"].optimal_depth
+
+    def test_zhu_yew_serializes_on_shared_read(self, table2):
+        by_name = {r.method: r for r in table2.empirical}
+        assert by_name["Zhu/Yew"].depth > by_name["Midkiff/Padua"].depth
+
+    def test_lrpd_falls_back_to_serial(self, table2):
+        assert table2.lrpd_time > table2.serial_time
+
+    def test_render_has_both_halves(self, table2):
+        text = render_table2(table2)
+        assert "qualitative" in text
+        assert "empirical" in text
+        assert "this work" in text

@@ -1,0 +1,126 @@
+"""End-to-end integration: source text → compiled plan → all strategies.
+
+Walks the complete pipeline exactly the way a user would, on a program
+combining every feature at once: setup statements, an inner loop,
+privatizable work arrays, an array reduction through a temporary, a
+scalar reduction, input-dependent control flow and live-out state.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Granularity,
+    LoopRunner,
+    RunConfig,
+    Strategy,
+    TestMode,
+    fx80,
+    fx2800,
+    parse,
+    to_source,
+)
+
+SOURCE = """
+program everything
+  integer i, j, n, m
+  integer idx(24), cnt(24)
+  real grid(48), acc(16), wk(6), src(24)
+  real s, t, total
+  n = 24
+  do i = 1, n
+    do j = 1, cnt(i)
+      wk(j) = src(i) * real(j)
+    end do
+    s = 0.0
+    do j = 1, cnt(i)
+      s = s + wk(j)
+    end do
+    if (src(i) > 0.0) then
+      t = acc(mod(idx(i), 16) + 1) + s
+    else
+      t = acc(mod(idx(i), 16) + 1) - s * 0.5
+    end if
+    acc(mod(idx(i), 16) + 1) = t
+    grid(idx(i)) = s * 2.0
+    total = total + s
+  end do
+  total = total * 1.0
+end
+"""
+
+
+def make_inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "idx": rng.permutation(24) + 1,
+        "cnt": rng.integers(1, 7, 24),
+        "src": rng.normal(size=24),
+        "acc": rng.normal(scale=0.1, size=16),
+        "total": 5.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return LoopRunner(parse(SOURCE), make_inputs())
+
+
+class TestPipeline:
+    def test_source_round_trips(self):
+        program = parse(SOURCE)
+        assert parse(to_source(program)) == program
+
+    def test_plan_finds_all_features(self, runner):
+        plan = runner.plan
+        assert "grid" in plan.tested_arrays
+        assert "acc" in plan.reduction_arrays
+        assert plan.scalar_reductions == {"total": "+"}
+        assert "total" in plan.live_out_scalars
+        assert not plan.statically_parallel
+
+    def test_speculative_passes_and_matches(self, runner):
+        serial = runner.serial_run(fx80())
+        report = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx80()))
+        assert report.passed
+        np.testing.assert_allclose(report.env.arrays["grid"], serial.env.arrays["grid"])
+        np.testing.assert_allclose(report.env.arrays["acc"], serial.env.arrays["acc"])
+        assert report.env.scalars["total"] == pytest.approx(serial.env.scalars["total"])
+
+    def test_inspector_agrees(self, runner):
+        serial = runner.serial_run(fx80())
+        report = runner.run(Strategy.INSPECTOR, RunConfig(model=fx80()))
+        assert report.passed
+        np.testing.assert_allclose(report.env.arrays["acc"], serial.env.arrays["acc"])
+
+    def test_fx2800_faster_than_fx80(self, runner):
+        small = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx80()))
+        large = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx2800()))
+        assert large.speedup > small.speedup
+
+    def test_pd_mode_conservative_but_correct(self, runner):
+        serial = runner.serial_run(fx80())
+        report = runner.run(
+            Strategy.SPECULATIVE, RunConfig(model=fx80(), test_mode=TestMode.PD)
+        )
+        np.testing.assert_allclose(report.env.arrays["grid"], serial.env.arrays["grid"])
+
+    def test_processor_wise_correct(self, runner):
+        serial = runner.serial_run(fx80())
+        report = runner.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=fx80(), granularity=Granularity.PROCESSOR),
+        )
+        np.testing.assert_allclose(report.env.arrays["acc"], serial.env.arrays["acc"])
+
+    def test_different_seeds_all_consistent(self):
+        for seed in (1, 2, 3):
+            runner = LoopRunner(parse(SOURCE), make_inputs(seed))
+            serial = runner.serial_run(fx80())
+            report = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx80()))
+            np.testing.assert_allclose(
+                report.env.arrays["grid"], serial.env.arrays["grid"]
+            )
+            np.testing.assert_allclose(
+                report.env.arrays["acc"], serial.env.arrays["acc"]
+            )

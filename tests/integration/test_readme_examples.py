@@ -1,0 +1,39 @@
+"""Documentation integrity: the README's code must actually run."""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_readme_quickstart_snippet_runs():
+    readme = (REPO / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.S)
+    assert blocks, "README lost its quickstart snippet"
+    snippet = blocks[0]
+    result = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "speedup" in result.stdout
+
+
+def test_readme_mentions_every_artifact_bench():
+    readme = (REPO / "README.md").read_text()
+    for bench in (REPO / "benchmarks").glob("bench_*.py"):
+        short = bench.name
+        # Per-loop figure benches are referenced via a brace glob.
+        if re.match(r"bench_fig_(track|bdna|mdg|adm|ocean|spice|dyfesm)\.py", short):
+            continue
+        assert short in readme, f"README does not mention {short}"
+
+
+def test_design_experiment_index_covers_benches():
+    design = (REPO / "DESIGN.md").read_text()
+    for bench in (REPO / "benchmarks").glob("bench_*.py"):
+        if bench.name == "bench_engine_speed.py":
+            continue  # infrastructure bench, not a paper artifact
+        assert bench.name in design, f"DESIGN.md index misses {bench.name}"

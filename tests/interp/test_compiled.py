@@ -1,0 +1,140 @@
+"""Closure-compiled engine: unit tests + equivalence with the walker."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.errors import InterpError
+from repro.interp.compiled import compile_program
+from repro.interp.costs import CostCounter
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter, find_target_loop
+from repro.machine.costmodel import CostModel
+from repro.runtime.serial import run_serial
+
+
+def run_both(source, inputs):
+    program_a = parse(source)
+    env_a = Environment(program_a, inputs)
+    walker = Interpreter(program_a, env_a, value_based=False)
+    walker.run()
+
+    program_b = parse(source)
+    env_b = Environment(program_b, inputs)
+    cost_b = compile_program(program_b).run(env_b)
+    return env_a, walker.cost, env_b, cost_b
+
+
+def assert_equivalent(source, inputs):
+    env_a, cost_a, env_b, cost_b = run_both(source, inputs)
+    assert env_a.scalars == env_b.scalars
+    for name in env_a.arrays:
+        np.testing.assert_array_equal(env_a.arrays[name], env_b.arrays[name])
+    assert cost_a.total() == cost_b.total()
+
+
+class TestEquivalence:
+    def test_arithmetic_program(self):
+        assert_equivalent(
+            "program p\n  integer i, n\n  real a(10), s\n  s = 0.5\n"
+            "  do i = 1, n\n    a(i) = s * real(i) ** 2 + 1.0 / real(i)\n"
+            "    s = s + a(i)\n  end do\nend\n",
+            {"n": 10},
+        )
+
+    def test_control_flow(self):
+        assert_equivalent(
+            "program p\n  integer i, n\n  real a(10), x\n"
+            "  do i = 1, n\n    if (mod(i, 2) == 0 and i > 3) then\n"
+            "      a(i) = 1.0\n    else if (i == 1 or i == 7) then\n"
+            "      a(i) = 2.0\n    else\n      a(i) = 3.0\n    end if\n"
+            "  end do\nend\n",
+            {"n": 10},
+        )
+
+    def test_while_and_indirection(self):
+        assert_equivalent(
+            "program p\n  integer i, k\n  integer nxt(6)\n  real y(6)\n"
+            "  k = 1\n  i = 0\n  do while (k > 0)\n    y(k) = y(k) + 1.0\n"
+            "    k = nxt(k)\n    i = i + 1\n  end do\nend\n",
+            {"nxt": np.array([3, 0, 5, 0, 2, 0])},
+        )
+
+    def test_short_circuit_counting_matches(self):
+        # The RHS of 'and' must not be evaluated (or counted) when the
+        # LHS is false — both engines must agree on the counts.
+        assert_equivalent(
+            "program p\n  integer i, n\n  real a(8), x\n"
+            "  do i = 1, n\n    if (i > 4 and a(i) == 0.0) then\n"
+            "      x = x + 1.0\n    end if\n  end do\nend\n",
+            {"n": 8},
+        )
+
+    def test_iteration_costs_match_walker(self):
+        source = (
+            "program p\n  integer i, n\n  real a(8)\n"
+            "  do i = 1, n\n    a(i) = a(i) * 2.0 + 1.0\n  end do\nend\n"
+        )
+        walk = run_serial(parse(source), {"n": 8}, CostModel(), engine="walk")
+        fast = run_serial(parse(source), {"n": 8}, CostModel(), engine="compiled")
+        assert walk.loop_iteration_costs == fast.loop_iteration_costs
+        assert walk.loop_time == fast.loop_time
+        assert walk.setup_time == fast.setup_time
+
+
+class TestErrors:
+    def test_out_of_bounds(self):
+        program = parse("program p\n  real a(3)\n  a(5) = 1.0\nend\n")
+        with pytest.raises(InterpError):
+            compile_program(program).run(Environment(program, {}))
+
+    def test_zero_step(self):
+        program = parse(
+            "program p\n  integer i\n  do i = 1, 3, 0\n    i = i\n  end do\nend\n"
+        )
+        with pytest.raises(InterpError):
+            compile_program(program).run(Environment(program, {}))
+
+    def test_division_by_zero(self):
+        program = parse("program p\n  real x\n  x = 1.0 / 0.0\nend\n")
+        with pytest.raises(InterpError):
+            compile_program(program).run(Environment(program, {}))
+
+    def test_run_loop_requires_compiled_loop(self):
+        program = parse(
+            "program p\n  integer i\n  do i = 1, 3\n    i = i\n  end do\nend\n"
+        )
+        other = parse(
+            "program p\n  integer i\n  do i = 1, 3\n    i = i\n  end do\nend\n"
+        )
+        compiled = compile_program(program)
+        env = Environment(program, {})
+        with pytest.raises(InterpError):
+            compiled.run_loop(find_target_loop(other), env, CostCounter(), [1])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_serial(
+                parse("program p\n  integer i\n  do i = 1, 2\n    i = i\n  end do\nend\n"),
+                {}, CostModel(), engine="jit",
+            )
+
+
+class TestRunStatements:
+    def test_partial_execution(self):
+        program = parse(
+            "program p\n  integer n\n  real x\n  n = 5\n  x = 2.0\nend\n"
+        )
+        compiled = compile_program(program)
+        env = Environment(program, {})
+        compiled.run_statements(program.body[:1], env, CostCounter())
+        assert env.scalars["n"] == 5
+        assert env.scalars["x"] == 0.0
+
+    def test_foreign_statement_rejected(self):
+        program = parse("program p\n  integer n\n  n = 5\nend\n")
+        other = parse("program p\n  integer n\n  n = 7\nend\n")
+        compiled = compile_program(program)
+        env = Environment(program, {})
+        with pytest.raises(InterpError):
+            compiled.run_statements(other.body, env, CostCounter())

@@ -1,0 +1,62 @@
+"""CostCounter / IterationCost tests."""
+
+import pytest
+
+from repro.interp.costs import CostCounter, IterationCost
+
+
+class TestIterationCost:
+    def test_total_ops(self):
+        cost = IterationCost(flops=2, mem_reads=1, mem_writes=1, marks=3)
+        assert cost.total_ops() == 7
+
+    def test_addition(self):
+        a = IterationCost(flops=1, branches=2)
+        b = IterationCost(flops=3, intrinsics=1)
+        combined = a + b
+        assert combined.flops == 4
+        assert combined.branches == 2
+        assert combined.intrinsics == 1
+
+    def test_without_marks(self):
+        cost = IterationCost(flops=5, marks=7)
+        stripped = cost.without_marks()
+        assert stripped.marks == 0
+        assert stripped.flops == 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            IterationCost().flops = 1
+
+
+class TestCostCounter:
+    def test_iteration_bracketing_captures_delta(self):
+        counter = CostCounter()
+        counter.flops += 10
+        counter.start_iteration()
+        counter.flops += 3
+        counter.mem_reads += 2
+        delta = counter.end_iteration()
+        assert delta.flops == 3
+        assert delta.mem_reads == 2
+        assert counter.iteration_costs == [delta]
+
+    def test_multiple_iterations(self):
+        counter = CostCounter()
+        for increment in (1, 2, 3):
+            counter.start_iteration()
+            counter.flops += increment
+            counter.end_iteration()
+        assert [c.flops for c in counter.iteration_costs] == [1, 2, 3]
+
+    def test_end_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            CostCounter().end_iteration()
+
+    def test_total_snapshot(self):
+        counter = CostCounter()
+        counter.marks += 4
+        counter.branches += 1
+        total = counter.total()
+        assert total.marks == 4
+        assert total.branches == 1

@@ -1,0 +1,127 @@
+"""Environment tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.errors import InterpError
+from repro.interp.env import Environment
+
+PROGRAM = parse(
+    "program p\n  integer n, idx(4)\n  real x, a(5)\nend\n"
+)
+
+
+def make_env(**inputs):
+    return Environment(PROGRAM, inputs)
+
+
+class TestInitialization:
+    def test_defaults_are_zero(self):
+        env = make_env()
+        assert env.scalars["n"] == 0
+        assert env.scalars["x"] == 0.0
+        assert env.arrays["a"].tolist() == [0.0] * 5
+
+    def test_integer_array_dtype(self):
+        env = make_env()
+        assert env.arrays["idx"].dtype == np.int64
+
+    def test_inputs_copy_not_alias(self):
+        data = np.ones(5)
+        env = make_env(a=data)
+        data[0] = 99.0
+        assert env.arrays["a"][0] == 1.0
+
+    def test_scalar_input_kind_conversion(self):
+        env = make_env(n=3.0, x=2)
+        assert env.scalars["n"] == 3
+        assert isinstance(env.scalars["n"], int)
+        assert env.scalars["x"] == 2.0
+        assert isinstance(env.scalars["x"], float)
+
+    def test_wrong_shape_input_rejected(self):
+        with pytest.raises(InterpError):
+            make_env(a=np.ones(6))
+
+    def test_undeclared_input_rejected(self):
+        with pytest.raises(InterpError):
+            make_env(ghost=1)
+
+
+class TestAccess:
+    def test_one_based_load_store(self):
+        env = make_env()
+        env.store("a", 1, 7.5)
+        env.store("a", 5, 2.5)
+        assert env.load("a", 1) == 7.5
+        assert env.load("a", 5) == 2.5
+
+    @pytest.mark.parametrize("index", [0, 6, -1])
+    def test_out_of_bounds_rejected(self, index):
+        env = make_env()
+        with pytest.raises(InterpError):
+            env.load("a", index)
+
+    def test_integer_array_store_truncates(self):
+        env = make_env()
+        env.store("idx", 1, 2.9)
+        assert env.load("idx", 1) == 2
+
+    def test_load_returns_python_types(self):
+        env = make_env()
+        env.store("a", 1, 1.5)
+        env.store("idx", 1, 3)
+        assert type(env.load("a", 1)) is float
+        assert type(env.load("idx", 1)) is int
+
+    def test_integer_scalar_assignment_truncates(self):
+        env = make_env()
+        env.set_scalar("n", 4.7)
+        assert env.scalars["n"] == 4
+
+    def test_undeclared_scalar_raises(self):
+        env = make_env()
+        with pytest.raises(InterpError):
+            env.get_scalar("ghost")
+        with pytest.raises(InterpError):
+            env.set_scalar("ghost", 1)
+
+
+class TestSnapshots:
+    def test_snapshot_restore_arrays(self):
+        env = make_env()
+        env.store("a", 1, 1.0)
+        snap = env.snapshot_arrays(["a"])
+        env.store("a", 1, 2.0)
+        env.restore_arrays(snap)
+        assert env.load("a", 1) == 1.0
+
+    def test_snapshot_is_deep(self):
+        env = make_env()
+        snap = env.snapshot_arrays(["a"])
+        env.store("a", 1, 9.0)
+        assert snap["a"][0] == 0.0
+
+    def test_scalar_snapshot_restore(self):
+        env = make_env(n=5)
+        snap = env.snapshot_scalars()
+        env.set_scalar("n", 9)
+        env.restore_scalars(snap)
+        assert env.scalars["n"] == 5
+
+    def test_copy_is_independent(self):
+        env = make_env(n=1)
+        clone = env.copy()
+        clone.store("a", 1, 3.0)
+        clone.set_scalar("n", 2)
+        assert env.load("a", 1) == 0.0
+        assert env.scalars["n"] == 1
+
+    def test_fork_scalars_shares_arrays(self):
+        env = make_env()
+        fork = env.fork_scalars()
+        fork.store("a", 1, 3.0)
+        assert env.load("a", 1) == 3.0
+        fork.set_scalar("n", 7)
+        assert env.scalars["n"] == 0

@@ -1,0 +1,61 @@
+"""Access-observer plumbing tests."""
+
+from repro.interp.events import (
+    READ,
+    REDUX,
+    WRITE,
+    Access,
+    NullObserver,
+    TeeObserver,
+    TraceRecorder,
+)
+
+
+class TestTraceRecorder:
+    def test_records_kinds_and_iterations(self):
+        recorder = TraceRecorder()
+        recorder.iteration = 3
+        recorder.on_read("a", 1)
+        recorder.on_write("a", 2)
+        recorder.on_redux("f", 5, "+")
+        kinds = [access.kind for access in recorder.accesses]
+        assert kinds == [READ, WRITE, REDUX]
+        assert all(access.iteration == 3 for access in recorder.accesses)
+        assert recorder.accesses[2].op == "+"
+
+    def test_by_iteration_grouping(self):
+        recorder = TraceRecorder()
+        recorder.iteration = 0
+        recorder.on_read("a", 1)
+        recorder.iteration = 2
+        recorder.on_write("a", 1)
+        grouped = recorder.by_iteration()
+        assert set(grouped) == {0, 2}
+        assert grouped[0][0].kind == READ
+
+    def test_access_records_are_frozen(self):
+        access = Access(READ, "a", 1, 0)
+        try:
+            access.index = 2
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestTee:
+    def test_forwards_to_all(self):
+        first, second = TraceRecorder(), TraceRecorder()
+        tee = TeeObserver(first, second)
+        tee.on_read("a", 1)
+        tee.on_write("a", 2)
+        tee.on_redux("a", 3, "max")
+        assert len(first.accesses) == len(second.accesses) == 3
+
+
+class TestNull:
+    def test_null_observer_accepts_everything(self):
+        observer = NullObserver()
+        observer.on_read("a", 1)
+        observer.on_write("a", 1)
+        observer.on_redux("a", 1, "*")

@@ -1,0 +1,229 @@
+"""Interpreter semantics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.errors import InterpError
+from repro.interp.env import Environment
+from repro.interp.interpreter import (
+    Interpreter,
+    find_target_loop,
+    split_at_loop,
+)
+
+
+def run(source, **inputs):
+    program = parse(source)
+    env = Environment(program, inputs)
+    Interpreter(program, env, value_based=False).run()
+    return env
+
+
+def eval_scalar(expr, decls="integer i, j\n  real x, y", **inputs):
+    env = run(f"program t\n  {decls}\n  real result\n  result = {expr}\nend\n", **inputs)
+    return env.scalars["result"]
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        assert eval_scalar("7 / 2") == 3.0
+        assert eval_scalar("-7 / 2") == -3.0
+        assert eval_scalar("7 / -2") == -3.0
+
+    def test_real_division(self):
+        assert eval_scalar("7.0 / 2.0") == pytest.approx(3.5)
+
+    def test_mixed_arithmetic_promotes(self):
+        assert eval_scalar("3 / 2.0") == pytest.approx(1.5)
+
+    def test_power_integer(self):
+        assert eval_scalar("2 ** 10") == 1024.0
+
+    def test_power_negative_exponent_is_real(self):
+        assert eval_scalar("2 ** (0 - 1)") == pytest.approx(0.5)
+
+    def test_unary_minus(self):
+        assert eval_scalar("-(3 + 4)") == -7.0
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            eval_scalar("1 / 0")
+        with pytest.raises(InterpError):
+            eval_scalar("1.0 / 0.0")
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons_yield_zero_one(self):
+        assert eval_scalar("3 < 4") == 1.0
+        assert eval_scalar("3 > 4") == 0.0
+        assert eval_scalar("3 /= 4") == 1.0
+        assert eval_scalar("3 == 3") == 1.0
+
+    def test_and_or_not(self):
+        assert eval_scalar("1 < 2 and 2 < 3") == 1.0
+        assert eval_scalar("1 > 2 or 2 < 3") == 1.0
+        assert eval_scalar("not 1 < 2") == 0.0
+
+    def test_short_circuit_and_skips_rhs(self):
+        # The RHS would divide by zero if evaluated.
+        assert eval_scalar("0 == 1 and 1 / 0 == 1") == 0.0
+
+    def test_short_circuit_or_skips_rhs(self):
+        assert eval_scalar("1 == 1 or 1 / 0 == 1") == 1.0
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("abs(-3.5)", 3.5),
+            ("sqrt(16.0)", 4.0),
+            ("exp(0.0)", 1.0),
+            ("log(1.0)", 0.0),
+            ("sin(0.0)", 0.0),
+            ("cos(0.0)", 1.0),
+            ("floor(2.7)", 2.0),
+            ("floor(-2.3)", -3.0),
+            ("int(2.9)", 2.0),
+            ("int(-2.9)", -2.0),
+            ("real(3)", 3.0),
+            ("sign(5.0, -1.0)", -5.0),
+            ("sign(-5.0, 1.0)", 5.0),
+            ("mod(7, 3)", 1.0),
+            ("mod(-7, 3)", -1.0),
+            ("min(2.0, 3.0)", 2.0),
+            ("max(2.0, 3.0)", 3.0),
+        ],
+    )
+    def test_intrinsic_values(self, expr, expected):
+        assert eval_scalar(expr) == pytest.approx(expected)
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(InterpError):
+            eval_scalar("sqrt(-1.0)")
+
+    def test_log_nonpositive_raises(self):
+        with pytest.raises(InterpError):
+            eval_scalar("log(0.0)")
+
+    def test_mod_real(self):
+        assert eval_scalar("mod(7.5, 2.0)") == pytest.approx(math.fmod(7.5, 2.0))
+
+
+class TestControlFlow:
+    def test_do_loop_accumulates(self):
+        env = run(
+            "program p\n  integer i, n\n  real s\n  s = 0.0\n"
+            "  do i = 1, n\n    s = s + real(i)\n  end do\nend\n",
+            n=10,
+        )
+        assert env.scalars["s"] == 55.0
+
+    def test_do_loop_zero_trips(self):
+        env = run(
+            "program p\n  integer i\n  real s\n  s = 1.0\n"
+            "  do i = 5, 1\n    s = 2.0\n  end do\nend\n"
+        )
+        assert env.scalars["s"] == 1.0
+
+    def test_do_loop_negative_step(self):
+        env = run(
+            "program p\n  integer i\n  real s\n  s = 0.0\n"
+            "  do i = 5, 1, -2\n    s = s + real(i)\n  end do\nend\n"
+        )
+        assert env.scalars["s"] == 9.0  # 5 + 3 + 1
+
+    def test_loop_variable_final_value(self):
+        env = run(
+            "program p\n  integer i\n  do i = 1, 3\n    i = i\n  end do\nend\n"
+        )
+        assert env.scalars["i"] == 4
+
+    def test_zero_step_raises(self):
+        with pytest.raises(InterpError):
+            run("program p\n  integer i\n  do i = 1, 3, 0\n    i = i\n  end do\nend\n")
+
+    def test_if_branches(self):
+        src = (
+            "program p\n  integer i\n  real x\n"
+            "  if (i > 0) then\n    x = 1.0\n  else\n    x = 2.0\n  end if\nend\n"
+        )
+        assert run(src, i=1).scalars["x"] == 1.0
+        assert run(src, i=-1).scalars["x"] == 2.0
+
+    def test_while_loop(self):
+        env = run(
+            "program p\n  integer i\n  real s\n  i = 4\n  s = 0.0\n"
+            "  do while (i > 0)\n    s = s + 1.0\n    i = i - 1\n  end do\nend\n"
+        )
+        assert env.scalars["s"] == 4.0
+
+    def test_non_integral_subscript_raises(self):
+        with pytest.raises(InterpError):
+            run(
+                "program p\n  real a(3), x\n  x = 1.5\n  a(x) = 1.0\nend\n"
+            )
+
+
+class TestArraysAndPrograms:
+    def test_indirection_chain(self):
+        env = run(
+            "program p\n  integer i, n\n  integer idx(4)\n  real a(4), b(4)\n"
+            "  do i = 1, n\n    b(idx(i)) = a(i) * 2.0\n  end do\nend\n",
+            n=4, idx=np.array([4, 3, 2, 1]), a=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        assert env.arrays["b"].tolist() == [8.0, 6.0, 4.0, 2.0]
+
+    def test_find_target_loop_and_split(self):
+        program = parse(
+            "program p\n  integer i, n\n  real a(4)\n  n = 4\n"
+            "  do i = 1, n\n    a(i) = 1.0\n  end do\n  n = 0\nend\n"
+        )
+        loop = find_target_loop(program)
+        before, after = split_at_loop(program, loop)
+        assert len(before) == 1
+        assert len(after) == 1
+
+    def test_find_target_loop_missing_raises(self):
+        with pytest.raises(InterpError):
+            find_target_loop(parse("program p\n  real x\n  x = 1.0\nend\n"))
+
+    def test_eval_loop_bounds(self):
+        program = parse(
+            "program p\n  integer i, n\n  do i = 2, n, 3\n    i = i\n  end do\nend\n"
+        )
+        env = Environment(program, {"n": 11})
+        interp = Interpreter(program, env)
+        assert interp.eval_loop_bounds(find_target_loop(program)) == (2, 11, 3)
+
+
+class TestCostAccounting:
+    def test_iteration_costs_recorded(self):
+        program = parse(
+            "program p\n  integer i, n\n  real a(8)\n"
+            "  do i = 1, n\n    a(i) = a(i) * 2.0 + 1.0\n  end do\nend\n"
+        )
+        env = Environment(program, {"n": 8})
+        interp = Interpreter(program, env, value_based=False)
+        loop = find_target_loop(program)
+        for i in range(1, 9):
+            interp.exec_iteration(loop, i)
+        costs = interp.cost.iteration_costs
+        assert len(costs) == 8
+        assert all(c.flops == costs[0].flops for c in costs)
+        assert costs[0].mem_reads == 1
+        assert costs[0].mem_writes == 1
+        assert costs[0].flops == 2
+
+    def test_branch_counting(self):
+        program = parse(
+            "program p\n  integer i\n  real x\n"
+            "  if (i > 0) then\n    x = 1.0\n  end if\nend\n"
+        )
+        env = Environment(program, {"i": 1})
+        interp = Interpreter(program, env, value_based=False)
+        interp.run()
+        assert interp.cost.branches == 1

@@ -1,0 +1,39 @@
+"""DirectMemory tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.errors import InterpError
+from repro.interp.env import Environment
+from repro.interp.memory import DirectMemory
+
+PROGRAM = parse("program p\n  real a(4)\n  integer idx(4)\nend\n")
+
+
+def test_load_store_roundtrip():
+    env = Environment(PROGRAM, {})
+    memory = DirectMemory(env)
+    memory.store("a", 2, 3.5)
+    assert memory.load("a", 2) == 3.5
+    assert env.load("a", 2) == 3.5
+
+
+def test_ref_id_is_ignored():
+    env = Environment(PROGRAM, {})
+    memory = DirectMemory(env)
+    memory.store("a", 1, 1.0, ref_id=99)
+    assert memory.load("a", 1, ref_id=3) == 1.0
+
+
+def test_bounds_propagate():
+    memory = DirectMemory(Environment(PROGRAM, {}))
+    with pytest.raises(InterpError):
+        memory.load("a", 9)
+
+
+def test_kind_conversion_applies():
+    env = Environment(PROGRAM, {})
+    memory = DirectMemory(env)
+    memory.store("idx", 1, 2.9)
+    assert memory.load("idx", 1) == 2

@@ -1,0 +1,148 @@
+"""Value-based (taint) marking discipline tests.
+
+These pin down the LPD improvement over the PD test: with
+``value_based=True`` a read is reported only when its value reaches
+shared state, an address, or a control decision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl.parser import parse
+from repro.interp.env import Environment
+from repro.interp.events import TraceRecorder
+from repro.interp.interpreter import Interpreter, find_target_loop
+
+
+def marked_reads(source, inputs, *, value_based, tested=("a",)):
+    program = parse(source)
+    env = Environment(program, inputs)
+    recorder = TraceRecorder()
+    interp = Interpreter(
+        program, env, observer=recorder, tested=set(tested), value_based=value_based
+    )
+    loop = find_target_loop(program)
+    start, stop, step = interp.eval_loop_bounds(loop)
+    value = start
+    position = 0
+    while value <= stop:
+        recorder.iteration = position
+        interp.exec_iteration(loop, value)
+        value += step
+        position += 1
+    return [(a.array, a.index, a.iteration) for a in recorder.accesses if a.kind == "R"]
+
+
+DEAD_READ_SOURCE = (
+    "program p\n  integer i, n\n  real a(4), t\n"
+    "  do i = 1, n\n    t = a(i) * 2.0\n  end do\nend\n"
+)
+
+
+def test_dead_read_not_marked_value_based():
+    reads = marked_reads(DEAD_READ_SOURCE, {"n": 4}, value_based=True)
+    assert reads == []
+
+
+def test_dead_read_marked_reference_based():
+    reads = marked_reads(DEAD_READ_SOURCE, {"n": 4}, value_based=False)
+    assert len(reads) == 4
+
+
+def test_read_marked_when_stored_to_array():
+    source = (
+        "program p\n  integer i, n\n  real a(4), b(4), t\n"
+        "  do i = 1, n\n    t = a(i)\n    b(i) = t\n  end do\nend\n"
+    )
+    reads = marked_reads(source, {"n": 4}, value_based=True)
+    assert len(reads) == 4
+
+
+def test_read_marked_when_used_in_branch_condition():
+    source = (
+        "program p\n  integer i, n\n  real a(4), t, x\n"
+        "  do i = 1, n\n    t = a(i)\n    if (t > 0.0) then\n      x = 1.0\n"
+        "    end if\n  end do\nend\n"
+    )
+    reads = marked_reads(source, {"n": 4, "a": np.ones(4)}, value_based=True)
+    assert len(reads) == 4
+
+
+def test_read_marked_when_used_as_subscript():
+    source = (
+        "program p\n  integer i, n, k\n  integer a(4)\n  real b(4)\n"
+        "  do i = 1, n\n    k = a(i)\n    b(k) = 1.0\n  end do\nend\n"
+    )
+    reads = marked_reads(
+        source, {"n": 4, "a": np.array([1, 2, 3, 4])}, value_based=True
+    )
+    assert len(reads) == 4
+
+
+def test_conditionally_used_read_marked_only_when_used():
+    source = (
+        "program p\n  integer i, n\n  integer gate(4)\n  real a(4), out(4), t\n"
+        "  do i = 1, n\n    t = a(i)\n"
+        "    if (gate(i) == 1) then\n      out(i) = t\n    end if\n  end do\nend\n"
+    )
+    gate = np.array([1, 0, 1, 0])
+    reads = marked_reads(source, {"n": 4, "gate": gate}, value_based=True)
+    assert sorted(index for _a, index, _it in reads) == [1, 3]
+
+
+def test_taint_attributed_to_reading_iteration():
+    source = (
+        "program p\n  integer i, n\n  real a(4), b(4), t\n"
+        "  do i = 1, n\n    t = a(i)\n    b(i) = t\n  end do\nend\n"
+    )
+    reads = marked_reads(source, {"n": 4}, value_based=True)
+    assert [(idx, it) for _a, idx, it in reads] == [(1, 0), (2, 1), (3, 2), (4, 3)]
+
+
+def test_taints_die_at_iteration_end():
+    # The value read in iteration i is stored only in iteration i's scalar;
+    # by the next iteration the scalar is overwritten, so exactly one read
+    # is reported per used value, never duplicated.
+    source = (
+        "program p\n  integer i, n\n  real a(4), b(4), t\n"
+        "  do i = 1, n\n    t = a(i)\n    b(i) = t + t\n  end do\nend\n"
+    )
+    reads = marked_reads(source, {"n": 4}, value_based=True)
+    assert len(reads) == 4
+
+
+def test_taint_through_arithmetic_chain():
+    source = (
+        "program p\n  integer i, n\n  real a(4), b(4), t, u, v\n"
+        "  do i = 1, n\n    t = a(i)\n    u = t * 2.0\n    v = u + 1.0\n"
+        "    b(i) = v\n  end do\nend\n"
+    )
+    reads = marked_reads(source, {"n": 4}, value_based=True)
+    assert len(reads) == 4
+
+
+def test_taint_cleared_by_overwriting_scalar():
+    source = (
+        "program p\n  integer i, n\n  real a(4), b(4), t\n"
+        "  do i = 1, n\n    t = a(i)\n    t = 0.0\n    b(i) = t\n  end do\nend\n"
+    )
+    reads = marked_reads(source, {"n": 4}, value_based=True)
+    assert reads == []
+
+
+def test_flush_live_out_scalars():
+    program = parse(
+        "program p\n  integer i, n\n  real a(4), t\n"
+        "  do i = 1, n\n    t = a(i)\n  end do\nend\n"
+    )
+    env = Environment(program, {"n": 4})
+    recorder = TraceRecorder()
+    interp = Interpreter(
+        program, env, observer=recorder, tested={"a"}, value_based=True
+    )
+    loop = find_target_loop(program)
+    for position, value in enumerate(range(1, 5)):
+        recorder.iteration = position
+        interp.exec_iteration(loop, value, flush_live_out=("t",))
+    # t is declared live-out: each iteration's read must be reported.
+    assert len([a for a in recorder.accesses if a.kind == "R"]) == 4

@@ -1,0 +1,92 @@
+"""Scheduling policy tests."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine.schedule import ScheduleKind, assign_iterations, makespan
+
+
+def flat(assignment):
+    return sorted(i for chunk in assignment for i in chunk)
+
+
+class TestBlock:
+    def test_partition_complete_and_disjoint(self):
+        assignment = assign_iterations(10, 3, ScheduleKind.BLOCK)
+        assert flat(assignment) == list(range(10))
+
+    def test_blocks_are_contiguous_and_balanced(self):
+        assignment = assign_iterations(10, 3, ScheduleKind.BLOCK)
+        assert assignment == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_more_procs_than_iterations(self):
+        assignment = assign_iterations(2, 4, ScheduleKind.BLOCK)
+        assert flat(assignment) == [0, 1]
+        assert sum(1 for chunk in assignment if chunk) == 2
+
+    def test_within_proc_order_ascending(self):
+        for chunk in assign_iterations(17, 4, ScheduleKind.BLOCK):
+            assert chunk == sorted(chunk)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        assignment = assign_iterations(7, 3, ScheduleKind.CYCLIC)
+        assert assignment == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_partition_complete(self):
+        assert flat(assign_iterations(23, 5, ScheduleKind.CYCLIC)) == list(range(23))
+
+
+class TestDynamic:
+    def test_requires_costs(self):
+        with pytest.raises(MachineConfigError):
+            assign_iterations(5, 2, ScheduleKind.DYNAMIC)
+
+    def test_partition_complete(self):
+        costs = [1.0] * 9
+        assignment = assign_iterations(9, 2, ScheduleKind.DYNAMIC, costs=costs)
+        assert flat(assignment) == list(range(9))
+
+    def test_balances_skewed_costs(self):
+        # One huge iteration first: dynamic should give the rest to the
+        # other processor.
+        costs = [100.0] + [1.0] * 10
+        assignment = assign_iterations(11, 2, ScheduleKind.DYNAMIC, costs=costs)
+        span_dynamic = makespan(assignment, costs)
+        block = assign_iterations(11, 2, ScheduleKind.BLOCK)
+        span_block = makespan(block, costs)
+        assert span_dynamic <= span_block
+
+    def test_chunked_dispatch(self):
+        costs = [1.0] * 8
+        assignment = assign_iterations(8, 2, ScheduleKind.DYNAMIC, costs=costs, chunk=4)
+        assert all(len(chunk) == 4 for chunk in assignment)
+
+
+class TestMakespan:
+    def test_max_of_loads(self):
+        assignment = [[0, 1], [2]]
+        costs = [1.0, 2.0, 5.0]
+        assert makespan(assignment, costs) == 5.0
+
+    def test_dispatch_charged_per_iteration(self):
+        assignment = [[0, 1], [2]]
+        costs = [1.0, 1.0, 1.0]
+        assert makespan(assignment, costs, dispatch_per_iteration=0.5) == 3.0
+
+    def test_never_below_max_cost(self):
+        costs = [3.0, 1.0, 7.0, 2.0]
+        for p in (1, 2, 3, 4):
+            assignment = assign_iterations(4, p, ScheduleKind.BLOCK)
+            assert makespan(assignment, costs) >= max(costs)
+
+    def test_never_above_total(self):
+        costs = [3.0, 1.0, 7.0, 2.0]
+        for p in (1, 2, 4):
+            assignment = assign_iterations(4, p, ScheduleKind.BLOCK)
+            assert makespan(assignment, costs) <= sum(costs)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(MachineConfigError):
+            assign_iterations(4, 0, ScheduleKind.BLOCK)

@@ -1,0 +1,90 @@
+"""Doall simulator tests."""
+
+import pytest
+
+from repro.interp.costs import IterationCost
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import DoallSimulator
+from repro.machine.stats import TimeBreakdown
+
+
+def sim(procs=4, **kw):
+    return DoallSimulator(CostModel(num_procs=procs, **kw))
+
+
+def costs(n, flops=10):
+    return [IterationCost(flops=flops) for _ in range(n)]
+
+
+class TestDoallTime:
+    def test_serial_time_is_sum(self):
+        simulator = sim()
+        assert simulator.serial_time(costs(10)) == 100.0
+
+    def test_parallel_body_shrinks_with_procs(self):
+        work = costs(64)
+        body2, _, _ = DoallSimulator(CostModel(num_procs=2)).doall_time(work)
+        body8, _, _ = DoallSimulator(CostModel(num_procs=8)).doall_time(work)
+        assert body8 < body2
+
+    def test_body_bounded_by_serial(self):
+        work = costs(13)
+        body, _, _ = sim().doall_time(work)
+        assert body <= sim().serial_time(work)
+        assert body >= sim().serial_time(work) / 4
+
+    def test_explicit_assignment_used(self):
+        work = costs(4)
+        lopsided = [[0, 1, 2, 3], [], [], []]
+        body, _, _ = sim().doall_time(work, assignment=lopsided)
+        assert body == 40.0
+
+    def test_empty_loop(self):
+        body, dispatch, barrier = sim().doall_time([])
+        assert body == 0.0
+        assert dispatch == 0.0
+        assert barrier > 0.0
+
+
+class TestPhaseTimes:
+    def test_checkpoint_scales_with_elements(self):
+        simulator = sim()
+        assert simulator.checkpoint_time(1000) > simulator.checkpoint_time(10)
+
+    def test_analysis_includes_log_term(self):
+        simulator = sim()
+        assert simulator.analysis_time(0) > 0.0  # the barrier at least
+
+    def test_reduction_merge_zero_elements_free(self):
+        assert sim().reduction_merge_time(0) == 0.0
+
+    def test_reduction_merge_scales(self):
+        simulator = sim()
+        assert simulator.reduction_merge_time(1000) > simulator.reduction_merge_time(10)
+
+    def test_private_init_per_proc_elements(self):
+        simulator = sim()
+        assert simulator.private_init_time(100) == pytest.approx(
+            100 * simulator.model.private_init_per_element
+        )
+
+
+class TestTimeBreakdown:
+    def test_total_sums_all_phases(self):
+        breakdown = TimeBreakdown(body=10.0, barrier=2.0, analysis=3.0)
+        assert breakdown.total() == 15.0
+
+    def test_overhead_excludes_body(self):
+        breakdown = TimeBreakdown(body=10.0, barrier=2.0, checkpoint=1.0)
+        assert breakdown.overhead() == 3.0
+
+    def test_merged_with(self):
+        a = TimeBreakdown(body=1.0)
+        b = TimeBreakdown(body=2.0, analysis=5.0)
+        merged = a.merged_with(b)
+        assert merged.body == 3.0
+        assert merged.analysis == 5.0
+
+    def test_nonzero_phases(self):
+        breakdown = TimeBreakdown(body=1.0)
+        assert breakdown.nonzero_phases() == {"body": 1.0}

@@ -1,0 +1,47 @@
+"""Conservativeness of the static dependence tests (vs exact oracle)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import Affine
+from repro.analysis.dependence import (
+    banerjee_test,
+    cross_iteration_solution_exists,
+    gcd_test,
+    may_cross_depend,
+)
+
+coef = st.integers(min_value=-6, max_value=6)
+const = st.integers(min_value=-10, max_value=10)
+bound = st.integers(min_value=1, max_value=30)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ac=coef, a0=const, bc=coef, b0=const, n=bound)
+def test_gcd_test_never_misses_a_solution(ac, a0, bc, b0, n):
+    a, b = Affine(ac, a0), Affine(bc, b0)
+    if cross_iteration_solution_exists(a, b, n):
+        assert gcd_test(a, b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ac=coef, a0=const, bc=coef, b0=const, n=bound)
+def test_banerjee_never_misses_a_solution(ac, a0, bc, b0, n):
+    a, b = Affine(ac, a0), Affine(bc, b0)
+    if cross_iteration_solution_exists(a, b, n):
+        assert banerjee_test(a, b, n)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ac=coef, a0=const, bc=coef, b0=const, n=bound)
+def test_may_cross_depend_is_exact_for_small_bounds(ac, a0, bc, b0, n):
+    a, b = Affine(ac, a0), Affine(bc, b0)
+    assert may_cross_depend(a, b, n) == cross_iteration_solution_exists(a, b, n)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ac=coef, a0=const, bc=coef, b0=const, n=bound)
+def test_unknown_bound_is_conservative(ac, a0, bc, b0, n):
+    a, b = Affine(ac, a0), Affine(bc, b0)
+    if cross_iteration_solution_exists(a, b, n):
+        assert may_cross_depend(a, b, None)

@@ -1,0 +1,79 @@
+"""Property: the closure-compiled engine ≡ the tree walker.
+
+Random execution-safe programs (guarded arithmetic, in-range subscripts)
+must produce identical final state AND identical operation counts under
+both engines — the compiled fast path may not drift semantically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.parser import parse
+from repro.interp.compiled import compile_program
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+
+N = 8
+SIZE = 10
+
+TEMPLATE = f"""
+program randexec
+  integer i, j, n
+  integer idx({N}), gate({N})
+  real a({SIZE}), b({SIZE}), x, y
+  do i = 1, n
+    x = a(idx(i)) * {{c1}} + real(i)
+    if (gate(i) == 1 and x > {{c2}}) then
+      b(idx(i)) = x - y
+      y = y + {{c3}}
+    else
+      do j = 1, {{inner}}
+        b(j) = b(j) * {{c4}} + x
+      end do
+    end if
+    a(idx(i)) = min(max(x, -100.0), 100.0)
+  end do
+end
+"""
+
+constants = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+indices = st.lists(st.integers(min_value=1, max_value=SIZE), min_size=N, max_size=N)
+gates = st.lists(st.integers(min_value=0, max_value=1), min_size=N, max_size=N)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    c1=constants, c2=constants, c3=constants, c4=constants,
+    inner=st.integers(min_value=0, max_value=4),
+    idx=indices, gate=gates,
+)
+def test_engines_agree(c1, c2, c3, c4, inner, idx, gate):
+    source = TEMPLATE.format(c1=repr(abs(c1)), c2=repr(abs(c2)),
+                             c3=repr(abs(c3)), c4=repr(abs(c4)), inner=inner)
+    inputs = {
+        "n": N,
+        "idx": np.array(idx),
+        "gate": np.array(gate),
+        "a": np.linspace(-1.0, 1.0, SIZE),
+        "b": np.linspace(2.0, 3.0, SIZE),
+        "y": 0.25,
+    }
+
+    program_a = parse(source)
+    env_a = Environment(program_a, inputs)
+    walker = Interpreter(program_a, env_a, value_based=False)
+    walker.run()
+
+    program_b = parse(source)
+    env_b = Environment(program_b, inputs)
+    cost_b = compile_program(program_b).run(env_b)
+
+    assert env_a.scalars == env_b.scalars
+    np.testing.assert_array_equal(env_a.arrays["a"], env_b.arrays["a"])
+    np.testing.assert_array_equal(env_a.arrays["b"], env_b.arrays["b"])
+    assert walker.cost.total() == cost_b.total()

@@ -1,0 +1,132 @@
+"""Property: print → parse is the identity on random programs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    Expr,
+    If,
+    Num,
+    Program,
+    ScalarDecl,
+    ArrayDecl,
+    UnaryOp,
+    Var,
+    While,
+)
+from repro.dsl.parser import INTRINSICS, parse
+from repro.dsl.printer import to_source
+
+SCALARS = ("x", "y", "z")
+INT_SCALARS = ("i", "j", "n")
+ARRAYS = ("a", "b")
+
+_numbers = st.one_of(
+    st.integers(min_value=0, max_value=999).map(
+        lambda v: Num(value=float(v), is_int=True)
+    ),
+    st.floats(
+        min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+    ).map(lambda v: Num(value=v, is_int=False)),
+)
+_variables = st.sampled_from(SCALARS + INT_SCALARS).map(lambda n: Var(name=n))
+_arith_ops = st.sampled_from(["+", "-", "*", "/", "**"])
+_cmp_ops = st.sampled_from(["==", "/=", "<", "<=", ">", ">="])
+_unary = st.sampled_from(["-", "not"])
+_intrinsics = st.sampled_from(sorted(INTRINSICS))
+
+
+def _expressions(depth: int) -> st.SearchStrategy[Expr]:
+    if depth <= 0:
+        return st.one_of(_numbers, _variables)
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        _numbers,
+        _variables,
+        st.builds(lambda n, e: ArrayRef(name=n, index=e), st.sampled_from(ARRAYS), sub),
+        st.builds(lambda o, l, r: BinOp(op=o, left=l, right=r), _arith_ops, sub, sub),
+        st.builds(lambda o, l, r: BinOp(op=o, left=l, right=r), _cmp_ops, sub, sub),
+        st.builds(
+            lambda o, l, r: BinOp(op=o, left=l, right=r),
+            st.sampled_from(["and", "or"]), sub, sub,
+        ),
+        st.builds(lambda o, e: UnaryOp(op=o, operand=e), _unary, sub),
+        st.builds(
+            lambda f, args: Call(func=f, args=args[: INTRINSICS[f]]),
+            _intrinsics,
+            st.lists(sub, min_size=2, max_size=2),
+        ),
+    )
+
+
+def _statements(depth: int) -> st.SearchStrategy:
+    assign = st.one_of(
+        st.builds(
+            lambda n, e: Assign(target=Var(name=n), expr=e),
+            st.sampled_from(SCALARS),
+            _expressions(2),
+        ),
+        st.builds(
+            lambda n, idx, e: Assign(target=ArrayRef(name=n, index=idx), expr=e),
+            st.sampled_from(ARRAYS),
+            _expressions(1),
+            _expressions(2),
+        ),
+    )
+    if depth <= 0:
+        return assign
+    sub = st.lists(_statements(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        assign,
+        st.builds(
+            lambda c, t, e: If(cond=c, then_body=t, else_body=e),
+            _expressions(1),
+            sub,
+            st.one_of(st.just([]), sub),
+        ),
+        st.builds(
+            lambda v, a, b, body: Do(var=v, start=a, stop=b, body=body),
+            st.sampled_from(INT_SCALARS),
+            _expressions(1),
+            _expressions(1),
+            sub,
+        ),
+        st.builds(
+            lambda c, body: While(cond=c, body=body),
+            _expressions(1),
+            sub,
+        ),
+    )
+
+
+_programs = st.lists(_statements(2), min_size=1, max_size=5).map(
+    lambda body: Program(
+        name="randprog",
+        decls=(
+            [ScalarDecl(name=n, kind="real") for n in SCALARS]
+            + [ScalarDecl(name=n, kind="integer") for n in INT_SCALARS]
+            + [ArrayDecl(name=n, kind="real", size=10) for n in ARRAYS]
+        ),
+        body=body,
+    )
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=_programs)
+def test_print_parse_identity(program):
+    assert parse(to_source(program)) == program
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=_programs)
+def test_printing_is_stable(program):
+    once = to_source(program)
+    assert to_source(parse(once)) == once

@@ -1,0 +1,104 @@
+"""Scheduling and baseline-schedule properties."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.methods import ALL_METHODS
+from repro.baselines.trace import extract_trace
+from repro.dsl.parser import parse
+from repro.errors import BaselineInapplicable
+from repro.machine.schedule import ScheduleKind, assign_iterations, makespan
+
+N_MAX = 40
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=N_MAX),
+    p=st.integers(min_value=1, max_value=9),
+    kind=st.sampled_from([ScheduleKind.BLOCK, ScheduleKind.CYCLIC]),
+)
+def test_static_assignments_partition_iterations(n, p, kind):
+    assignment = assign_iterations(n, p, kind)
+    flat = [i for chunk in assignment for i in chunk]
+    assert sorted(flat) == list(range(n))
+    assert len(assignment) == p
+    for chunk in assignment:
+        assert chunk == sorted(chunk)  # per-proc serial order preserved
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        min_size=1, max_size=N_MAX,
+    ),
+    p=st.integers(min_value=1, max_value=8),
+    chunk=st.integers(min_value=1, max_value=5),
+)
+def test_dynamic_assignment_partitions_and_bounds(costs, p, chunk):
+    assignment = assign_iterations(
+        len(costs), p, ScheduleKind.DYNAMIC, costs=costs, chunk=chunk
+    )
+    flat = [i for c in assignment for i in c]
+    assert sorted(flat) == list(range(len(costs)))
+    span = makespan(assignment, costs)
+    assert span >= max(costs) - 1e-9
+    assert span <= sum(costs) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        min_size=1, max_size=N_MAX,
+    ),
+    p=st.integers(min_value=1, max_value=8),
+)
+def test_makespan_between_avg_and_sum(costs, p):
+    assignment = assign_iterations(len(costs), p, ScheduleKind.BLOCK)
+    span = makespan(assignment, costs)
+    assert span >= sum(costs) / p - 1e-9
+    assert span <= sum(costs) + 1e-9
+
+
+# -- baseline schedule validity over random gather/scatter traces -----------
+
+TRACE_SOURCE = """
+program randtrace
+  integer i, n
+  integer wloc(16), rloc(16)
+  real a(12)
+  do i = 1, n
+    a(wloc(i)) = a(rloc(i)) + 1.0
+  end do
+end
+"""
+
+locs = st.lists(
+    st.integers(min_value=1, max_value=12), min_size=16, max_size=16
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(wloc=locs, rloc=locs)
+def test_baseline_schedules_valid_on_random_traces(wloc, rloc):
+    trace = extract_trace(
+        parse(TRACE_SOURCE),
+        {"n": 16, "wloc": np.array(wloc), "rloc": np.array(rloc)},
+    )
+    flow_preds = trace.flow_predecessors()
+    for name, scheduler in ALL_METHODS.items():
+        try:
+            schedule = scheduler(trace)
+        except BaselineInapplicable:
+            continue
+        stage_of = schedule.iteration_stage()
+        assert sorted(stage_of) == list(range(16)), name
+        for iteration, preds in enumerate(flow_preds):
+            for pred in preds:
+                assert stage_of[pred] < stage_of[iteration], name
+        assert all(schedule.stages), f"{name}: empty stage"

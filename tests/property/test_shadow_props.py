@@ -1,0 +1,152 @@
+"""Property: the shadow analysis agrees with a reference model.
+
+The reference model keeps, per element, the full ordered access list and
+decides pass/fail from first principles:
+
+* a *flow conflict* exists when some granule's exposed read (no earlier
+  same-granule write) follows — in granule order — another granule's
+  write;
+* reduction validity: an element is a valid reduction iff it is touched
+  only by reduction accesses with one operator.
+
+The shadow implementation must reach exactly the same verdict from its
+O(1)-per-mark state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lrpd import analyze_shadows
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity, ShadowMarker
+
+SIZE = 6
+MAX_GRANULE = 5
+
+#: one mark: (kind, element 1-based, granule); kind r/w/x
+marks_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["r", "w", "x+", "x*"]),
+        st.integers(min_value=1, max_value=SIZE),
+        st.integers(min_value=0, max_value=MAX_GRANULE),
+    ),
+    min_size=0,
+    max_size=24,
+)
+
+
+@dataclass
+class _RefElement:
+    accesses: list = field(default_factory=list)  # (granule, kind, op)
+
+    def verdict(self) -> bool:
+        """True = element passes the (directional, reduction-aware) test."""
+        redux_ops = {op for _g, kind, op in self.accesses if kind == "x"}
+        plain = [(g, kind) for g, kind, _op in self.accesses if kind != "x"]
+        if redux_ops:
+            if plain or len(redux_ops) > 1:
+                return False
+            return True
+        # Exposed reads: not preceded (in the per-granule access sequence)
+        # by a write of the same granule.
+        writes_seen: set[int] = set()
+        exposed: list[int] = []
+        write_granules: list[int] = []
+        for granule, kind in plain:
+            if kind == "w":
+                writes_seen.add(granule)
+                write_granules.append(granule)
+            else:
+                if granule not in writes_seen:
+                    exposed.append(granule)
+        if not write_granules:
+            return True
+        return not any(r > w for r in exposed for w in write_granules)
+
+
+def reference_passes(marks) -> bool:
+    elements = [_RefElement() for _ in range(SIZE)]
+    for kind, element, granule in marks:
+        if kind == "r":
+            elements[element - 1].accesses.append((granule, "r", None))
+        elif kind == "w":
+            elements[element - 1].accesses.append((granule, "w", None))
+        else:
+            elements[element - 1].accesses.append((granule, "x", kind[1]))
+    return all(e.verdict() for e in elements)
+
+
+def shadow_passes(marks) -> bool:
+    marker = ShadowMarker({"a": SIZE})
+    ordered = sorted(range(len(marks)), key=lambda i: marks[i][2])
+    # Marks must be applied granule-by-granule in each granule's program
+    # order (an iteration executes atomically); order across granules is
+    # free, so sort by granule (stable) like the block executor would.
+    for position in ordered:
+        kind, element, granule = marks[position]
+        marker.set_granule(granule)
+        if kind == "r":
+            marker.on_read("a", element)
+        elif kind == "w":
+            marker.on_write("a", element)
+        else:
+            marker.on_redux("a", element, kind[1])
+    return analyze_shadows(marker, TestMode.LRPD).passed
+
+
+@settings(max_examples=400, deadline=None)
+@given(marks=marks_strategy)
+def test_shadow_analysis_matches_reference_model(marks):
+    assert shadow_passes(marks) == reference_passes(marks)
+
+
+@settings(max_examples=200, deadline=None)
+@given(marks=marks_strategy)
+def test_tw_tm_invariants(marks):
+    marker = ShadowMarker({"a": SIZE})
+    for kind, element, granule in sorted(marks, key=lambda m: m[2]):
+        marker.set_granule(granule)
+        if kind == "r":
+            marker.on_read("a", element)
+        elif kind == "w":
+            marker.on_write("a", element)
+        else:
+            marker.on_redux("a", element, kind[1])
+    shadow = marker.shadows["a"]
+    # tw counts (element, granule) pairs of *plain* writes; tm counts
+    # distinct elements with the write bit set, which includes reduction
+    # accesses (markredux sets A_w) — so tm is exactly the union below.
+    write_pairs = {
+        (element, granule) for kind, element, granule in marks if kind == "w"
+    }
+    redux_written = {
+        element for kind, element, _g in marks if kind.startswith("x")
+    }
+    plain_written = {element for kind, element, _g in marks if kind == "w"}
+    assert shadow.tw == len(write_pairs)
+    assert shadow.tm == len(plain_written | redux_written)
+
+
+@settings(max_examples=150, deadline=None)
+@given(marks=marks_strategy)
+def test_pd_mode_is_conservative(marks):
+    """PD failing predicate dominates: PD pass => LRPD pass."""
+    def run(mode):
+        marker = ShadowMarker({"a": SIZE})
+        for kind, element, granule in sorted(marks, key=lambda m: m[2]):
+            marker.set_granule(granule)
+            if kind == "r":
+                marker.on_read("a", element)
+            elif kind == "w":
+                marker.on_write("a", element)
+            else:
+                marker.on_redux("a", element, kind[1])
+        return analyze_shadows(marker, mode).passed
+
+    if run(TestMode.PD):
+        assert run(TestMode.LRPD)

@@ -1,0 +1,207 @@
+"""The central soundness property of the LRPD framework.
+
+For *any* loop (random access patterns, random control flow, reductions,
+collisions, any processor count and granularity): after the speculative
+protocol completes, the program state equals the serial execution's state
+— because either the test passed and the emulated doall (privatization,
+reduction partials, dynamic last-value) was semantically equivalent, or
+the test failed and the checkpoint rollback + serial re-execution
+restored serial semantics.  Any marking or analysis unsoundness breaks
+this equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+
+N = 12
+SIZE = 16
+
+GATHER_SCATTER = f"""
+program randloop
+  integer i, n
+  integer wloc({N}), rloc({N}), gate({N})
+  real a({SIZE}), b({SIZE}), src({N}), t
+  do i = 1, n
+    t = a(rloc(i)) * 0.5 + src(i)
+    if (gate(i) == 1) then
+      a(wloc(i)) = t + 1.0
+    else
+      b(wloc(i)) = t * 2.0
+    end if
+  end do
+end
+"""
+
+REDUCTION_MIX = f"""
+program randredux
+  integer i, n
+  integer wloc({N}), rloc({N}), gate({N})
+  real a({SIZE}), f({SIZE}), src({N}), s, t
+  do i = 1, n
+    t = src(i) * src(i)
+    if (gate(i) == 1) then
+      f(rloc(i)) = f(rloc(i)) + t
+    else
+      a(wloc(i)) = t
+    end if
+    s = s + src(i)
+  end do
+end
+"""
+
+RMW_PATTERN = f"""
+program randrmw
+  integer i, n
+  integer wloc({N}), rloc({N})
+  real a({SIZE}), src({N})
+  do i = 1, n
+    a(wloc(i)) = a(wloc(i)) * 0.5 + a(rloc(i)) + src(i)
+  end do
+end
+"""
+
+indices = st.lists(
+    st.integers(min_value=1, max_value=SIZE), min_size=N, max_size=N
+)
+gates = st.lists(st.integers(min_value=0, max_value=1), min_size=N, max_size=N)
+procs_st = st.integers(min_value=1, max_value=6)
+
+
+def run_and_compare(source, inputs, config, check_arrays, check_scalars=()):
+    runner = LoopRunner(source_to_program(source), inputs)
+    serial = runner.serial_run(config.model)
+    report = runner.run(Strategy.SPECULATIVE, config)
+    for name in check_arrays:
+        np.testing.assert_allclose(
+            report.env.arrays[name],
+            serial.env.arrays[name],
+            err_msg=f"array {name} diverged (passed={report.passed})",
+        )
+    for name in check_scalars:
+        assert abs(report.env.scalars[name] - serial.env.scalars[name]) < 1e-9
+    return report
+
+
+def source_to_program(source):
+    from repro.dsl.parser import parse
+
+    return parse(source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(wloc=indices, rloc=indices, gate=gates, procs=procs_st)
+def test_gather_scatter_always_matches_serial(wloc, rloc, gate, procs):
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "gate": np.array(gate),
+        "src": np.linspace(0.1, 1.2, N),
+        "a": np.linspace(-1.0, 1.0, SIZE),
+        "b": np.zeros(SIZE),
+    }
+    config = RunConfig(model=CostModel(name="h", num_procs=procs))
+    run_and_compare(GATHER_SCATTER, inputs, config, ("a", "b"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(wloc=indices, rloc=indices, gate=gates, procs=procs_st)
+def test_reduction_mix_always_matches_serial(wloc, rloc, gate, procs):
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "gate": np.array(gate),
+        "src": np.linspace(0.2, 1.5, N),
+        "a": np.zeros(SIZE),
+        "f": np.linspace(1.0, 2.0, SIZE),
+        "s": 3.0,
+    }
+    config = RunConfig(model=CostModel(name="h", num_procs=procs))
+    run_and_compare(REDUCTION_MIX, inputs, config, ("a", "f"), ("s",))
+
+
+@settings(max_examples=60, deadline=None)
+@given(wloc=indices, rloc=indices, procs=procs_st)
+def test_read_modify_write_always_matches_serial(wloc, rloc, procs):
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "src": np.linspace(0.3, 0.9, N),
+        "a": np.linspace(1.0, 4.0, SIZE),
+    }
+    config = RunConfig(model=CostModel(name="h", num_procs=procs))
+    run_and_compare(RMW_PATTERN, inputs, config, ("a",))
+
+
+@settings(max_examples=40, deadline=None)
+@given(wloc=indices, rloc=indices, procs=st.integers(min_value=1, max_value=4))
+def test_processor_wise_granularity_sound(wloc, rloc, procs):
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "src": np.linspace(0.3, 0.9, N),
+        "a": np.linspace(1.0, 4.0, SIZE),
+    }
+    config = RunConfig(
+        model=CostModel(name="h", num_procs=procs),
+        granularity=Granularity.PROCESSOR,
+    )
+    run_and_compare(RMW_PATTERN, inputs, config, ("a",))
+
+
+@settings(max_examples=40, deadline=None)
+@given(wloc=indices, rloc=indices, gate=gates)
+def test_pd_pass_implies_lrpd_pass(wloc, rloc, gate):
+    """The PD test is strictly more conservative than the LRPD test."""
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "gate": np.array(gate),
+        "src": np.linspace(0.1, 1.2, N),
+        "a": np.linspace(-1.0, 1.0, SIZE),
+        "b": np.zeros(SIZE),
+    }
+    model = CostModel(name="h", num_procs=3)
+    pd = run_and_compare(
+        GATHER_SCATTER, dict(inputs), RunConfig(model=model, test_mode=TestMode.PD),
+        ("a", "b"),
+    )
+    lrpd = run_and_compare(
+        GATHER_SCATTER, dict(inputs), RunConfig(model=model), ("a", "b")
+    )
+    if pd.passed:
+        assert lrpd.passed
+
+
+@settings(max_examples=30, deadline=None)
+@given(wloc=indices, rloc=indices)
+def test_strict_paper_mode_pass_implies_default_pass(wloc, rloc):
+    """Disabling dynamic last-value / direction only removes passes."""
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "src": np.linspace(0.3, 0.9, N),
+        "a": np.linspace(1.0, 4.0, SIZE),
+    }
+    model = CostModel(name="h", num_procs=3)
+    strict = run_and_compare(
+        RMW_PATTERN, dict(inputs),
+        RunConfig(model=model, dynamic_last_value=False, directional=False),
+        ("a",),
+    )
+    default = run_and_compare(RMW_PATTERN, dict(inputs), RunConfig(model=model), ("a",))
+    if strict.passed:
+        assert default.passed

@@ -1,0 +1,134 @@
+"""Properties of the source-to-source transforms and eager detection."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.while_transform import transform_list_traversal
+from repro.dsl.parser import parse
+from repro.interp.env import Environment
+from repro.interp.interpreter import Interpreter
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+
+N = 10
+M = 6
+
+WALKER = f"""
+program walker
+  integer p, head, n
+  integer nxt({N}), node({N})
+  real y({M}), g({N})
+  real t
+  p = head
+  do while (p > 0)
+    t = g(p) + 1.0
+    y(node(p)) = y(node(p)) + t
+    p = nxt(p)
+  end do
+end
+"""
+
+
+@st.composite
+def linked_lists(draw):
+    """A random acyclic list over a random subset of the N nodes."""
+    length = draw(st.integers(min_value=0, max_value=N))
+    order = draw(st.permutations(list(range(1, N + 1))))[:length]
+    nxt = np.zeros(N, dtype=np.int64)
+    for a, b in zip(order[:-1], order[1:]):
+        nxt[a - 1] = b
+    head = order[0] if order else 0
+    return head, nxt
+
+
+nodes_strategy = st.lists(
+    st.integers(min_value=1, max_value=M), min_size=N, max_size=N
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lst=linked_lists(), node=nodes_strategy)
+def test_while_transform_preserves_semantics(lst, node):
+    head, nxt = lst
+    inputs = {
+        "head": head,
+        "nxt": nxt,
+        "node": np.array(node),
+        "g": np.linspace(0.1, 1.0, N),
+        "y": np.linspace(-1.0, 1.0, M),
+    }
+
+    original = parse(WALKER)
+    env_a = Environment(original, inputs)
+    Interpreter(original, env_a, value_based=False).run()
+
+    transformed = transform_list_traversal(parse(WALKER))
+    env_b = Environment(transformed, inputs)
+    Interpreter(transformed, env_b, value_based=False).run()
+
+    np.testing.assert_allclose(env_b.arrays["y"], env_a.arrays["y"])
+    assert env_b.scalars["p"] == env_a.scalars["p"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(lst=linked_lists(), node=nodes_strategy, procs=st.integers(1, 4))
+def test_transformed_walker_parallelizes_soundly(lst, node, procs):
+    head, nxt = lst
+    inputs = {
+        "head": head,
+        "nxt": nxt,
+        "node": np.array(node),
+        "g": np.linspace(0.1, 1.0, N),
+        "y": np.linspace(-1.0, 1.0, M),
+    }
+    transformed = transform_list_traversal(parse(WALKER))
+    runner = LoopRunner(transformed, inputs)
+    model = CostModel(name="h", num_procs=procs)
+    serial = runner.serial_run(model)
+    report = runner.run(Strategy.SPECULATIVE, RunConfig(model=model))
+    np.testing.assert_allclose(report.env.arrays["y"], serial.env.arrays["y"])
+
+
+GATHER = f"""
+program eagerprop
+  integer i, n
+  integer wloc({N}), rloc({N})
+  real a(16), src({N})
+  do i = 1, n
+    a(wloc(i)) = a(rloc(i)) * 0.5 + src(i)
+  end do
+end
+"""
+
+locs = st.lists(st.integers(min_value=1, max_value=16), min_size=N, max_size=N)
+
+
+@settings(max_examples=60, deadline=None)
+@given(wloc=locs, rloc=locs, procs=st.integers(1, 4))
+def test_eager_and_lazy_agree(wloc, rloc, procs):
+    """Eager detection changes the cost, never the verdict or the state."""
+    inputs = {
+        "n": N,
+        "wloc": np.array(wloc),
+        "rloc": np.array(rloc),
+        "src": np.linspace(0.2, 1.0, N),
+        "a": np.linspace(1.0, 2.0, 16),
+    }
+    model = CostModel(name="h", num_procs=procs)
+
+    def run(eager):
+        runner = LoopRunner(parse(GATHER), dict(inputs))
+        return runner.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=model, eager_failure_detection=eager),
+        )
+
+    lazy = run(False)
+    eager = run(True)
+    assert lazy.passed == eager.passed
+    np.testing.assert_allclose(eager.env.arrays["a"], lazy.env.arrays["a"])
+    if not lazy.passed:
+        assert eager.loop_time <= lazy.loop_time + 1e-9

@@ -1,0 +1,144 @@
+"""Adaptive strategy engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.runtime.adaptive import AdaptivePolicy, AdaptiveRunner
+from repro.runtime.orchestrator import RunConfig, Strategy
+
+from tests.conftest import make_runner
+
+PERMUTED = (
+    "program p\n  integer i, n, idx(8)\n  real a(8), v(8)\n"
+    "  do i = 1, n\n    a(idx(i)) = v(i) * 2.0\n  end do\nend\n"
+)
+FLOWDEP = (
+    "program p\n  integer i, n, w(8), r(8)\n  real a(16), v(8)\n"
+    "  do i = 1, n\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+)
+
+GOOD_INPUTS = {
+    "n": 8, "idx": np.array([3, 1, 4, 2, 8, 6, 5, 7]), "v": np.arange(8.0),
+}
+BAD_INPUTS = {
+    "n": 8,
+    "w": np.arange(1, 9),
+    "r": np.array([9, 1, 10, 2, 11, 3, 12, 4]),  # reads earlier writes
+    "v": np.arange(8.0),
+}
+
+
+def adaptive(source, inputs, **policy_kw):
+    from repro.dsl.parser import parse
+
+    return AdaptiveRunner(
+        parse(source),
+        dict(inputs),
+        config=RunConfig(model=CostModel(num_procs=4)),
+        policy=AdaptivePolicy(**policy_kw),
+    )
+
+
+class TestHappyPath:
+    def test_starts_speculative(self):
+        runner = adaptive(PERMUTED, GOOD_INPUTS)
+        assert runner.choose_strategy() is Strategy.SPECULATIVE
+
+    def test_passing_loop_stays_speculative_and_reuses(self):
+        runner = adaptive(PERMUTED, GOOD_INPUTS)
+        for _ in range(3):
+            report = runner.invoke()
+            assert report.passed
+        assert runner.stats.passes == 3
+        assert runner.stats.reuses == 2  # invocations 2 and 3 reuse
+
+    def test_total_time_accumulates(self):
+        runner = adaptive(PERMUTED, GOOD_INPUTS)
+        runner.invoke()
+        first = runner.stats.total_time
+        runner.invoke()
+        assert runner.stats.total_time > first
+
+
+class TestFailureEscalation:
+    def test_failure_switches_to_inspector(self):
+        runner = adaptive(FLOWDEP, BAD_INPUTS, max_consecutive_failures=3,
+                          use_schedule_cache=False)
+        first = runner.invoke()
+        assert not first.passed
+        assert runner.choose_strategy() is Strategy.INSPECTOR
+        second = runner.invoke()
+        assert second.strategy == "inspector"
+        assert not second.passed
+
+    def test_gives_up_after_max_failures(self):
+        runner = adaptive(FLOWDEP, BAD_INPUTS, max_consecutive_failures=2,
+                          use_schedule_cache=False)
+        runner.invoke()
+        runner.invoke()
+        assert runner.choose_strategy() is Strategy.SERIAL
+        report = runner.invoke()
+        assert report.strategy == "serial"
+        assert runner.stats.serial_runs == 1
+
+    def test_pattern_change_restores_optimism(self):
+        runner = adaptive(FLOWDEP, BAD_INPUTS, max_consecutive_failures=1,
+                          use_schedule_cache=False)
+        runner.invoke()
+        assert runner.choose_strategy() is Strategy.SERIAL
+        # Fix the access pattern: the reads move to untouched elements.
+        runner.set_input("r", np.array([9, 10, 11, 12, 13, 14, 15, 16]))
+        assert runner.choose_strategy() is not Strategy.SERIAL
+        report = runner.invoke()
+        assert report.passed
+
+    def test_pass_resets_failure_counter(self):
+        runner = adaptive(FLOWDEP, BAD_INPUTS, max_consecutive_failures=2,
+                          use_schedule_cache=False)
+        runner.invoke()  # failure 1
+        runner.set_input("r", np.array([9, 10, 11, 12, 13, 14, 15, 16]))
+        report = runner.invoke()  # pass
+        assert report.passed
+        runner.set_input("r", BAD_INPUTS["r"])
+        runner.invoke()  # failure again -> only 1 consecutive
+        assert runner.choose_strategy() is not Strategy.SERIAL
+
+
+class TestNonParallelizable:
+    def test_carried_scalar_goes_straight_to_serial(self):
+        source = (
+            "program p\n  integer i, n\n  real s, a(8)\n"
+            "  do i = 1, n\n    a(i) = s\n    s = a(i) + 1.0\n  end do\nend\n"
+        )
+        runner = adaptive(source, {"n": 8, "s": 1.0})
+        assert runner.choose_strategy() is Strategy.SERIAL
+
+
+class TestInspectorPreference:
+    def test_unextractable_inspector_never_chosen(self):
+        # TRACK-like loop: after failures the engine must not pick the
+        # inspector (it would raise); it keeps speculating, then serial.
+        source = (
+            "program p\n  integer i, k, n, iw(16)\n  real out(16), x(16)\n"
+            "  do i = 1, n\n    k = iw(n + i)\n    iw(i) = k\n"
+            "    out(k) = out(k) + x(i)\n  end do\nend\n"
+        )
+        iw = np.zeros(16, dtype=np.int64)
+        iw[8:] = np.array([1, 1, 2, 2, 3, 3, 4, 4])  # colliding reduction targets
+        inputs = {"n": 8, "iw": iw, "x": np.arange(16.0)}
+        runner = adaptive(source, inputs, use_schedule_cache=False)
+        first = runner.invoke()
+        assert runner.choose_strategy() in (Strategy.SPECULATIVE, Strategy.SERIAL)
+
+    def test_thin_slice_prefers_inspector_after_failure(self):
+        runner = adaptive(FLOWDEP, BAD_INPUTS, inspector_slice_threshold=0.9,
+                          use_schedule_cache=False)
+        runner.invoke()
+        assert runner.choose_strategy() is Strategy.INSPECTOR
+
+    def test_negative_threshold_disables_inspector_preference(self):
+        runner = adaptive(FLOWDEP, BAD_INPUTS, inspector_slice_threshold=-1.0,
+                          use_schedule_cache=False)
+        runner.invoke()
+        assert runner.choose_strategy() is Strategy.SPECULATIVE

@@ -1,0 +1,95 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import SHORT_NAMES, main
+
+
+class TestList:
+    def test_lists_all_seven(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for short in ("track", "bdna", "mdg", "adm", "ocean", "spice", "dyfesm"):
+            assert short in out
+
+
+class TestAnalyze:
+    def test_analyze_file(self, tmp_path, capsys):
+        source = (
+            "program demo\n  integer i, n, idx(8)\n  real a(8)\n"
+            "  do i = 1, n\n    a(idx(i)) = 1.0\n  end do\nend\n"
+        )
+        path = tmp_path / "demo.f"
+        path.write_text(source)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis" in out
+        assert "tested=['a']" in out
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/loop.f"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_analyze_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.f"
+        path.write_text("program p\n  do od\nend\n")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_dyfesm_speculative(self, capsys):
+        assert main(["run", "dyfesm", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speculative" in out
+        assert "speedup" in out
+        assert "phase breakdown" in out
+
+    def test_run_inspector_on_track_fails_cleanly(self, capsys):
+        assert main(["run", "track", "--strategy", "inspector", "--procs", "2"]) == 1
+        assert "inspector strategy unavailable" in capsys.readouterr().err
+
+    def test_run_with_machine_choice(self, capsys):
+        assert main(["run", "ocean", "--machine", "fx2800"]) == 0
+        assert "fx2800" in capsys.readouterr().out
+
+    def test_run_pd_mode(self, capsys):
+        assert main(["run", "adm", "--procs", "2", "--test-mode", "pd"]) == 0
+        assert "pd test" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuch"])
+
+
+class TestFigure:
+    def test_figure_output(self, capsys):
+        assert main(["figure", "dyfesm"]) == 0
+        out = capsys.readouterr().out
+        assert "procs" in out
+        assert "speculative" in out
+        assert "ideal" in out
+
+
+def test_short_names_cover_paper_loops():
+    assert len(SHORT_NAMES) == 7
+
+
+class TestReport:
+    def test_quick_report_writes_artifacts(self, tmp_path, capsys):
+        assert main(["report", "--quick", "--out", str(tmp_path / "r")]) == 0
+        produced = {p.name for p in (tmp_path / "r").iterdir()}
+        for expected in (
+            "table1.txt", "table2.txt", "fig_track.txt", "fig_bdna.txt",
+            "fig_failure.txt", "ablation_pd_vs_lpd.txt",
+            "ablation_procwise.txt", "ablation_marking.txt",
+            "fig_ocean_reuse.txt",
+        ):
+            assert expected in produced
+        table1 = (tmp_path / "r" / "table1.txt").read_text()
+        assert "TRACK_NLFILT_do300" in table1
+
+    def test_report_creates_nested_directory(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        assert main(["report", "--quick", "--out", str(target)]) == 0
+        assert (target / "table2.txt").exists()

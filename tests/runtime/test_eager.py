@@ -1,0 +1,131 @@
+"""On-the-fly (eager) failure detection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity, ShadowArray
+from repro.errors import SpeculationFailed
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import RunConfig, Strategy
+
+from tests.conftest import make_runner, speculative_vs_serial
+
+FLOWDEP = (
+    "program p\n  integer i, n, w(40), r(40)\n  real a(80), v(40)\n"
+    "  do i = 1, n\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+)
+
+
+def flow_inputs(n=40):
+    return {
+        "n": n,
+        "w": np.arange(1, n + 1),
+        # Every iteration (except the first) reads its predecessor's write.
+        "r": np.concatenate(([n + 1], np.arange(1, n))),
+        "v": np.arange(float(n)),
+    }
+
+
+class TestShadowEagerChecks:
+    def test_definite_flow_raises(self):
+        shadow = ShadowArray("a", 8, eager=True)
+        shadow.mark_write(2, granule=0)
+        with pytest.raises(SpeculationFailed) as excinfo:
+            shadow.mark_read(2, granule=1)
+        assert excinfo.value.array == "a"
+        assert excinfo.value.element == 2
+
+    def test_anti_direction_does_not_raise(self):
+        shadow = ShadowArray("a", 8, eager=True)
+        shadow.mark_read(2, granule=1)
+        shadow.mark_write(2, granule=3)  # later writer: legal
+
+    def test_covered_read_does_not_raise(self):
+        shadow = ShadowArray("a", 8, eager=True)
+        shadow.mark_write(2, granule=1)
+        shadow.mark_read(2, granule=1)
+
+    def test_redux_mix_raises(self):
+        shadow = ShadowArray("a", 8, eager=True)
+        shadow.mark_redux(2, 0, "+")
+        with pytest.raises(SpeculationFailed):
+            shadow.mark_write(2, granule=1)
+
+    def test_pure_reduction_does_not_raise(self):
+        shadow = ShadowArray("a", 8, eager=True)
+        for granule in range(5):
+            shadow.mark_redux(2, granule, "+")
+
+    def test_lazy_shadow_never_raises(self):
+        shadow = ShadowArray("a", 8)
+        shadow.mark_write(2, granule=0)
+        shadow.mark_read(2, granule=1)  # recorded, not raised
+
+
+class TestEagerExecution:
+    def test_eager_aborts_early_and_recovers(self):
+        report = speculative_vs_serial(
+            FLOWDEP, flow_inputs(), arrays=["a"],
+            config=RunConfig(
+                model=CostModel(num_procs=4), eager_failure_detection=True
+            ),
+        )
+        assert not report.passed
+        assert report.stats["aborted_after"] < 40
+        assert report.times.analysis == 0.0  # no analysis phase ran
+        assert report.times.serial_rerun > 0.0
+
+    def test_eager_cheaper_than_lazy_on_failure(self):
+        lazy = speculative_vs_serial(FLOWDEP, flow_inputs(), arrays=["a"])
+        eager = speculative_vs_serial(
+            FLOWDEP, flow_inputs(), arrays=["a"],
+            config=RunConfig(
+                model=CostModel(num_procs=4), eager_failure_detection=True
+            ),
+        )
+        assert not lazy.passed and not eager.passed
+        assert eager.loop_time < lazy.loop_time
+
+    def test_eager_identical_on_passing_loop(self):
+        source = (
+            "program p\n  integer i, n, idx(16)\n  real a(16), v(16)\n"
+            "  do i = 1, n\n    a(idx(i)) = v(i)\n  end do\nend\n"
+        )
+        inputs = {"n": 16, "idx": np.random.default_rng(0).permutation(16) + 1,
+                  "v": np.arange(16.0)}
+        lazy = speculative_vs_serial(source, dict(inputs), arrays=["a"])
+        eager = speculative_vs_serial(
+            source, dict(inputs), arrays=["a"],
+            config=RunConfig(
+                model=CostModel(num_procs=4), eager_failure_detection=True
+            ),
+        )
+        assert lazy.passed and eager.passed
+        assert eager.loop_time == pytest.approx(lazy.loop_time)
+
+    def test_eager_disabled_for_pd_mode(self):
+        # Eager checks assume the directional LRPD predicates; other modes
+        # silently fall back to lazy analysis.
+        report = speculative_vs_serial(
+            FLOWDEP, flow_inputs(), arrays=["a"],
+            config=RunConfig(
+                model=CostModel(num_procs=4),
+                eager_failure_detection=True,
+                test_mode=TestMode.PD,
+            ),
+        )
+        assert not report.passed
+        assert "aborted_after" not in report.stats
+
+    def test_eager_disabled_for_processor_wise(self):
+        report = speculative_vs_serial(
+            FLOWDEP, flow_inputs(), arrays=["a"],
+            config=RunConfig(
+                model=CostModel(num_procs=4),
+                eager_failure_detection=True,
+                granularity=Granularity.PROCESSOR,
+            ),
+        )
+        assert not report.passed
+        assert "aborted_after" not in report.stats

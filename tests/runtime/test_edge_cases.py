@@ -1,0 +1,180 @@
+"""Runtime edge cases: strides, negative steps, multiple loops, min/max
+reductions through temporaries."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import RunConfig, Strategy
+
+from tests.conftest import assert_env_matches, make_runner, speculative_vs_serial
+
+
+class TestStridedLoops:
+    def test_strided_disjoint_regions_pass(self):
+        # Stride 2: writes on odd offsets of the low half, reads in the
+        # untouched high half — a doall the compiler can't see.
+        source = (
+            "program p\n  integer k, nk, ia, ib, is\n  real data(256), c1, c2\n"
+            "  do k = 1, nk\n"
+            "    data(ia + (k - 1) * is) = data(ia + (k - 1) * is) * c1"
+            " + data(ib + (k - 1) * is) * c2\n"
+            "  end do\nend\n"
+        )
+        inputs = {
+            "nk": 40, "ia": 1, "ib": 129, "is": 2, "c1": 0.5, "c2": 0.25,
+            "data": np.arange(256.0),
+        }
+        report = speculative_vs_serial(source, inputs, arrays=["data"])
+        assert report.passed
+
+    def test_interleaved_strided_regions_with_flow_fail(self):
+        # Stride 2, reads trailing the writes by one iteration: flow deps.
+        source = (
+            "program p\n  integer k, nk, ia, ib, is\n  real data(64)\n"
+            "  do k = 1, nk\n"
+            "    data(ia + (k - 1) * is) = data(ib + (k - 1) * is) + 1.0\n"
+            "  end do\nend\n"
+        )
+        inputs = {"nk": 20, "ia": 3, "ib": 1, "is": 2,
+                  "data": np.arange(64.0)}
+        report = speculative_vs_serial(source, inputs, arrays=["data"])
+        assert not report.passed
+
+
+class TestNegativeStepLoops:
+    SOURCE = (
+        "program p\n  integer i, n, idx(8)\n  real a(8), v(8)\n"
+        "  do i = n, 1, -1\n    a(idx(i)) = v(i) * 2.0\n  end do\nend\n"
+    )
+
+    def test_descending_doall_passes(self):
+        report = speculative_vs_serial(
+            self.SOURCE,
+            {"n": 8, "idx": np.array([3, 1, 4, 2, 8, 6, 5, 7]), "v": np.arange(8.0)},
+            arrays=["a"],
+        )
+        assert report.passed
+
+    def test_descending_output_dependences_respect_serial_order(self):
+        # idx hits element 5 twice; in a descending loop the *lower* i
+        # executes later and must win.
+        report = speculative_vs_serial(
+            self.SOURCE,
+            {"n": 8, "idx": np.array([5, 1, 4, 2, 5, 6, 3, 7]), "v": np.arange(8.0)},
+            arrays=["a"],
+        )
+        assert report.passed
+
+    def test_descending_flow_dependence_fails(self):
+        source = (
+            "program p\n  integer i, n, w(8), r(8)\n  real a(16), v(8)\n"
+            "  do i = n, 1, -1\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+        )
+        # Serial order is i = 8..1: iteration i reads what i+1 wrote.
+        w = np.arange(1, 9)
+        r = np.concatenate((w[1:], [9]))
+        report = speculative_vs_serial(
+            source, {"n": 8, "w": w, "r": r, "v": np.arange(8.0)}, arrays=["a"]
+        )
+        assert not report.passed
+
+
+class TestMultipleTopLevelLoops:
+    SOURCE = (
+        "program p\n  integer i, n, idx(8)\n  real a(8), b(8), v(8)\n"
+        "  do i = 1, n\n    a(idx(i)) = v(i)\n  end do\n"
+        "  do i = 1, n\n    b(i) = a(i) * 2.0\n  end do\nend\n"
+    )
+
+    def test_first_loop_is_target_second_runs_after(self):
+        inputs = {"n": 8, "idx": np.arange(8, 0, -1), "v": np.arange(8.0)}
+        report = speculative_vs_serial(self.SOURCE, inputs, arrays=["a", "b"])
+        assert report.passed
+        # The teardown loop consumed the speculative loop's results.
+        assert report.env.arrays["b"].sum() > 0
+
+
+class TestMinMaxReductions:
+    def test_min_reduction_through_temporary(self):
+        source = (
+            "program p\n  integer i, n, idx(8)\n  real lo(4), v(8), t\n"
+            "  do i = 1, n\n    t = min(lo(idx(i)), v(i))\n"
+            "    lo(idx(i)) = t\n  end do\nend\n"
+        )
+        inputs = {
+            "n": 8,
+            "idx": np.array([1, 2, 1, 3, 2, 1, 4, 4]),
+            "v": np.array([5.0, -1.0, 2.0, 7.0, 0.5, -3.0, 9.0, 1.0]),
+            "lo": np.full(4, 100.0),
+        }
+        report = speculative_vs_serial(source, inputs, arrays=["lo"])
+        assert report.passed
+        assert report.test_result.details["lo"].reduction_elements > 0
+
+    def test_max_reduction_direct(self):
+        source = (
+            "program p\n  integer i, n, idx(8)\n  real hi(4), v(8)\n"
+            "  do i = 1, n\n    hi(idx(i)) = max(hi(idx(i)), v(i))\n  end do\nend\n"
+        )
+        inputs = {
+            "n": 8,
+            "idx": np.array([1, 2, 1, 3, 2, 1, 4, 4]),
+            "v": np.array([5.0, -1.0, 2.0, 7.0, 0.5, -3.0, 9.0, 1.0]),
+            "hi": np.full(4, -100.0),
+        }
+        report = speculative_vs_serial(source, inputs, arrays=["hi"])
+        assert report.passed
+
+    def test_product_reduction_through_branches(self):
+        source = (
+            "program p\n  integer i, n, idx(8), gate(8)\n  real w(4), v(8), t\n"
+            "  do i = 1, n\n"
+            "    if (gate(i) == 1) then\n      t = w(idx(i)) * v(i)\n"
+            "    else\n      t = w(idx(i)) * 0.5\n    end if\n"
+            "    w(idx(i)) = t\n  end do\nend\n"
+        )
+        inputs = {
+            "n": 8,
+            "idx": np.array([1, 2, 1, 3, 2, 1, 4, 4]),
+            "gate": np.array([1, 0, 1, 1, 0, 0, 1, 0]),
+            "v": np.linspace(0.5, 2.0, 8),
+            "w": np.ones(4),
+        }
+        report = speculative_vs_serial(source, inputs, arrays=["w"])
+        assert report.passed
+
+
+class TestEmptyAndTinyLoops:
+    def test_zero_trip_loop_passes_trivially(self):
+        source = (
+            "program p\n  integer i, n, idx(4)\n  real a(4)\n"
+            "  do i = 1, n\n    a(idx(i)) = 1.0\n  end do\nend\n"
+        )
+        report = speculative_vs_serial(
+            source, {"n": 0, "idx": np.arange(1, 5)}, arrays=["a"]
+        )
+        assert report.passed
+
+    def test_single_iteration_loop(self):
+        source = (
+            "program p\n  integer i, n, idx(4)\n  real a(4)\n"
+            "  do i = 1, n\n    a(idx(i)) = a(idx(i)) + 1.0\n  end do\nend\n"
+        )
+        report = speculative_vs_serial(
+            source, {"n": 1, "idx": np.arange(1, 5)}, arrays=["a"]
+        )
+        assert report.passed
+
+    def test_more_procs_than_iterations(self):
+        source = (
+            "program p\n  integer i, n, idx(4)\n  real a(4), v(4)\n"
+            "  do i = 1, n\n    a(idx(i)) = v(i)\n  end do\nend\n"
+        )
+        report = speculative_vs_serial(
+            source,
+            {"n": 3, "idx": np.array([2, 3, 1, 4]), "v": np.arange(4.0)},
+            procs=8,
+            arrays=["a"],
+        )
+        assert report.passed

@@ -1,0 +1,120 @@
+"""Inspector/executor strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InspectorNotExtractable
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import RunConfig, Strategy
+
+from tests.conftest import assert_env_matches, make_runner
+
+PERMUTED = (
+    "program p\n  integer i, n, idx(8)\n  real a(8), v(8)\n"
+    "  do i = 1, n\n    a(idx(i)) = v(i) * 2.0\n  end do\nend\n"
+)
+PERMUTED_INPUTS = {
+    "n": 8, "idx": np.array([3, 1, 4, 2, 8, 6, 5, 7]), "v": np.arange(8.0),
+}
+
+
+def run_inspector(source, inputs, procs=4):
+    runner = make_runner(source, inputs)
+    config = RunConfig(model=CostModel(num_procs=procs))
+    serial = runner.serial_run(config.model)
+    report = runner.run(Strategy.INSPECTOR, config)
+    return runner, serial, report
+
+
+class TestPassingLoops:
+    def test_permuted_writes_pass_and_match_serial(self):
+        _, serial, report = run_inspector(PERMUTED, dict(PERMUTED_INPUTS))
+        assert report.passed
+        assert_env_matches(report.env, serial.env, arrays=["a"])
+
+    def test_no_checkpoint_phase(self):
+        _, _, report = run_inspector(PERMUTED, dict(PERMUTED_INPUTS))
+        assert report.times.checkpoint == 0.0
+        assert report.times.restore == 0.0
+
+    def test_inspector_phase_timed(self):
+        _, _, report = run_inspector(PERMUTED, dict(PERMUTED_INPUTS))
+        assert report.times.inspector > 0.0
+        assert report.times.body > 0.0
+
+    def test_inspector_cheaper_than_body(self):
+        # The inspector executes only the address slice: for a loop with
+        # real arithmetic it must cost less than the executor's body
+        # (compared at a size where per-iteration work dominates the
+        # fixed barrier costs).
+        n = 400
+        rng = np.random.default_rng(0)
+        source = (
+            f"program p\n  integer i, n, idx({n})\n  real a({n}), v({n}), t\n"
+            "  do i = 1, n\n    t = v(i) * v(i) + sqrt(abs(v(i)) + 1.0)\n"
+            "    a(idx(i)) = t * 0.5 + exp(0.0 - v(i) * v(i))\n  end do\nend\n"
+        )
+        inputs = {"n": n, "idx": rng.permutation(n) + 1, "v": rng.normal(size=n)}
+        _, _, report = run_inspector(source, inputs)
+        assert report.times.inspector < report.times.body
+
+    def test_reduction_loop_via_inspector(self):
+        source = (
+            "program p\n  integer i, n, idx(8)\n  real f(4), v(8)\n"
+            "  do i = 1, n\n    f(idx(i)) = f(idx(i)) + v(i)\n  end do\nend\n"
+        )
+        inputs = {"n": 8, "idx": np.array([1, 2, 1, 3, 2, 1, 4, 4]), "v": np.arange(8.0)}
+        _, serial, report = run_inspector(source, inputs)
+        assert report.passed
+        assert_env_matches(report.env, serial.env, arrays=["f"])
+
+    def test_work_array_recomputed_in_scratch(self):
+        # The BDNA pattern: addresses flow through a privatizable work
+        # array; the inspector recomputes it without touching shared state.
+        source = (
+            "program p\n  integer i, j, n, m, ind(4), nbr(8)\n  real a(16), v(16)\n"
+            "  do i = 1, n\n    do j = 1, m\n      ind(j) = nbr(j) + i\n"
+            "      a(ind(j)) = v(ind(j)) * 2.0\n    end do\n  end do\nend\n"
+        )
+        inputs = {
+            "n": 4, "m": 2, "nbr": np.array([0, 4, 0, 0, 0, 0, 0, 0]),
+            "v": np.arange(16.0),
+        }
+        runner, serial, report = run_inspector(source, inputs)
+        assert "ind" in runner.plan.inspector_recompute_arrays
+        # ind values must be identical to serial afterwards (the executor
+        # recomputes them for real).
+        assert_env_matches(report.env, serial.env, arrays=["a", "ind"])
+
+
+class TestFailingLoops:
+    def test_flow_dependence_runs_serial_without_rollback(self):
+        source = (
+            "program p\n  integer i, n, w(6), r(6)\n  real a(12), v(6)\n"
+            "  do i = 1, n\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+        )
+        inputs = {
+            "n": 6,
+            "w": np.array([1, 2, 3, 4, 5, 6]),
+            "r": np.array([7, 1, 8, 9, 3, 10]),
+            "v": np.arange(6.0),
+        }
+        runner, serial, report = run_inspector(source, inputs)
+        assert not report.passed
+        assert report.times.restore == 0.0  # nothing to roll back
+        assert report.times.serial_rerun > 0.0
+        assert_env_matches(report.env, serial.env, arrays=["a"])
+
+
+class TestExtractability:
+    def test_track_like_loop_refuses_inspector(self):
+        source = (
+            "program p\n  integer i, k, n, iw(16)\n  real out(16)\n"
+            "  do i = 1, n\n    k = iw(n + i)\n    iw(i) = k\n"
+            "    out(k) = 1.0\n  end do\nend\n"
+        )
+        iw = np.zeros(16, dtype=np.int64)
+        iw[8:] = np.arange(1, 9)
+        runner = make_runner(source, {"n": 8, "iw": iw})
+        with pytest.raises(InspectorNotExtractable):
+            runner.run(Strategy.INSPECTOR, RunConfig(model=CostModel(num_procs=2)))

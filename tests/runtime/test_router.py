@@ -1,0 +1,84 @@
+"""AccessRouter tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.privatize import PrivateCopies
+from repro.core.reduction_exec import ReductionPartials
+from repro.dsl.parser import parse
+from repro.errors import InterpError
+from repro.interp.env import Environment
+from repro.runtime.access_router import AccessRouter, check_router_config
+
+PROGRAM = parse("program p\n  real a(4), b(4), f(4)\nend\n")
+
+
+def make_router(redux_refs=None):
+    env = Environment(PROGRAM, {"b": np.arange(1.0, 5.0)})
+    privates = {"a": PrivateCopies("a", env.arrays["a"], 2)}
+    partials = {"f": ReductionPartials("f", 2)}
+    router = AccessRouter(env, privates, partials, redux_refs or {})
+    return env, privates, partials, router
+
+
+def test_untested_array_goes_to_shared():
+    env, _, _, router = make_router()
+    router.set_context(proc=0, iteration=0)
+    assert router.load("b", 2) == 2.0
+    router.store("b", 2, 9.0)
+    assert env.load("b", 2) == 9.0
+
+
+def test_tested_array_routed_to_private_copy():
+    env, privates, _, router = make_router()
+    router.set_context(proc=1, iteration=3)
+    router.store("a", 1, 5.0)
+    assert env.load("a", 1) == 0.0           # shared untouched
+    assert privates["a"].load(1, 0) == 5.0   # private holds the value
+    assert privates["a"].wstamp[1, 0] == 3   # stamped with the iteration
+    assert router.load("a", 1) == 5.0
+
+
+def test_private_reads_are_per_processor():
+    _, _, _, router = make_router()
+    router.set_context(proc=0, iteration=0)
+    router.store("a", 2, 7.0)
+    router.set_context(proc=1, iteration=1)
+    assert router.load("a", 2) == 0.0
+
+
+def test_redux_ref_routed_to_partials():
+    _, privates, partials, router = make_router(redux_refs={42: "+"})
+    router.set_context(proc=0, iteration=0)
+    assert router.load("f", 1, ref_id=42) == 0.0  # identity
+    router.store("f", 1, 3.5, ref_id=42)
+    assert partials["f"].load(0, 0, "+") == 3.5
+
+
+def test_non_redux_ref_to_reduction_array_goes_shared():
+    env, _, _, router = make_router(redux_refs={42: "+"})
+    router.set_context(proc=0, iteration=0)
+    # f is not privatized here and ref 7 is not a reduction ref.
+    router.store("f", 2, 1.5, ref_id=7)
+    assert env.load("f", 2) == 1.5
+
+
+def test_bounds_checked():
+    _, _, _, router = make_router()
+    router.set_context(0, 0)
+    with pytest.raises(InterpError):
+        router.load("a", 0)
+    with pytest.raises(InterpError):
+        router.store("a", 5, 1.0)
+
+
+def test_config_validation():
+    env, privates, partials, _ = make_router()
+    with pytest.raises(InterpError):
+        check_router_config(privates, partials, num_procs=3)
+    check_router_config(privates, partials, num_procs=2)
+
+
+def test_private_elements_per_proc():
+    _, _, _, router = make_router()
+    assert router.private_elements_per_proc() == 4

@@ -1,0 +1,198 @@
+"""Speculative strategy tests: pass, fail+rollback, transforms, timing."""
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import TestMode
+from repro.core.shadow import Granularity
+from repro.errors import SpeculationError
+from repro.machine.costmodel import CostModel
+from repro.machine.schedule import ScheduleKind
+from repro.runtime.orchestrator import RunConfig, Strategy
+
+from tests.conftest import make_runner, speculative_vs_serial
+
+PERMUTED_WRITE = (
+    "program p\n  integer i, n, idx(8)\n  real a(8), v(8)\n"
+    "  do i = 1, n\n    a(idx(i)) = v(i) * 2.0\n  end do\nend\n"
+)
+
+FLOW_DEP = (
+    "program p\n  integer i, n, w(6), r(6)\n  real a(12), v(6)\n"
+    "  do i = 1, n\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+)
+
+REDUX = (
+    "program p\n  integer i, n, idx(8)\n  real f(4), v(8)\n"
+    "  do i = 1, n\n    f(idx(i)) = f(idx(i)) + v(i)\n  end do\nend\n"
+)
+
+
+class TestPassingLoops:
+    def test_permuted_writes_pass(self):
+        report = speculative_vs_serial(
+            PERMUTED_WRITE,
+            {"n": 8, "idx": np.array([3, 1, 4, 2, 8, 6, 5, 7]), "v": np.arange(8.0)},
+            arrays=["a"],
+        )
+        assert report.passed
+        assert report.test_result.fully_parallel
+
+    def test_covered_reads_pass_with_privatization(self):
+        source = (
+            "program p\n  integer i, n, idx(8)\n  real a(8), wk(4), v(8)\n"
+            "  do i = 1, n\n    wk(1) = v(i)\n    wk(2) = wk(1) * 2.0\n"
+            "    a(idx(i)) = wk(2)\n  end do\nend\n"
+        )
+        report = speculative_vs_serial(
+            source,
+            {"n": 8, "idx": np.array([5, 2, 7, 1, 3, 8, 4, 6]), "v": np.arange(8.0)},
+            arrays=["a"],
+        )
+        assert report.passed
+        detail = report.test_result.details["wk"]
+        assert detail.privatized_elements > 0
+
+    def test_reduction_passes_and_merges(self):
+        report = speculative_vs_serial(
+            REDUX,
+            {"n": 8, "idx": np.array([1, 2, 1, 3, 2, 1, 4, 4]), "v": np.arange(8.0)},
+            arrays=["f"],
+        )
+        assert report.passed
+        assert report.test_result.details["f"].reduction_elements > 0
+
+    def test_scalar_reduction_merged(self):
+        source = (
+            "program p\n  integer i, n, idx(8)\n  real a(8), s, v(8)\n"
+            "  do i = 1, n\n    a(idx(i)) = v(i)\n    s = s + v(i)\n  end do\nend\n"
+        )
+        report = speculative_vs_serial(
+            source,
+            {"n": 8, "idx": np.arange(8, 0, -1), "v": np.arange(8.0), "s": 100.0},
+            arrays=["a"], scalars=["s"],
+        )
+        assert report.passed
+
+    def test_output_dependences_resolved_by_last_value(self):
+        # Two iterations write element 3; the later one must win.
+        report = speculative_vs_serial(
+            PERMUTED_WRITE,
+            {"n": 8, "idx": np.array([3, 1, 4, 3, 8, 6, 5, 7]), "v": np.arange(8.0)},
+            arrays=["a"],
+        )
+        assert report.passed
+        assert not report.test_result.fully_parallel
+
+
+class TestFailingLoops:
+    INPUTS = {
+        "n": 6,
+        "w": np.array([1, 2, 3, 4, 5, 6]),
+        "r": np.array([7, 1, 8, 9, 3, 10]),  # reads elements 1 and 3 after write
+        "v": np.arange(6.0),
+    }
+
+    def test_flow_dependence_fails_and_recovers(self):
+        report = speculative_vs_serial(FLOW_DEP, dict(self.INPUTS), arrays=["a"])
+        assert not report.passed
+        assert report.times.serial_rerun > 0.0
+        assert report.times.restore > 0.0
+
+    def test_failed_run_slower_than_serial_but_bounded(self):
+        # Use a big enough loop that the fixed phase costs amortize: the
+        # paper's bound is serial + the (parallelizable) attempt overhead.
+        rng = np.random.default_rng(3)
+        n = 200
+        inputs = {
+            "n": n,
+            "w": np.arange(1, n + 1),
+            "r": np.concatenate(([n + 1], np.arange(1, n))),  # reads prior writes
+            "v": rng.normal(size=n),
+        }
+        source = (
+            f"program p\n  integer i, n, w({n}), r({n})\n"
+            f"  real a({2 * n}), v({n})\n"
+            "  do i = 1, n\n    a(w(i)) = a(r(i)) + v(i)\n  end do\nend\n"
+        )
+        report = speculative_vs_serial(source, inputs, arrays=["a"])
+        assert not report.passed
+        assert report.speedup < 1.0
+        assert report.loop_time < 3.0 * report.serial_loop_time
+
+    def test_live_out_scalar_correct_after_rollback(self):
+        source = (
+            "program p\n  integer i, n, w(6), r(6)\n  real a(12), v(6), t\n"
+            "  do i = 1, n\n    t = a(r(i)) + v(i)\n    a(w(i)) = t\n  end do\n"
+            "  v(1) = t\nend\n"
+        )
+        report = speculative_vs_serial(
+            source, dict(self.INPUTS), arrays=["a", "v"]
+        )
+        assert not report.passed
+
+
+class TestConfigurations:
+    def test_processor_wise_requires_block_schedule(self):
+        runner = make_runner(
+            PERMUTED_WRITE,
+            {"n": 8, "idx": np.arange(1, 9), "v": np.zeros(8)},
+        )
+        config = RunConfig(
+            model=CostModel(num_procs=4),
+            granularity=Granularity.PROCESSOR,
+            schedule=ScheduleKind.CYCLIC,
+        )
+        with pytest.raises(SpeculationError):
+            runner.run(Strategy.SPECULATIVE, config)
+
+    def test_pd_mode_is_more_conservative(self):
+        # Dead reads of written elements: LRPD passes, PD fails.
+        source = (
+            "program p\n  integer i, n, w(6), r(6)\n  real a(12), v(6), t\n"
+            "  do i = 1, n\n    t = a(r(i))\n    a(w(i)) = v(i)\n  end do\nend\n"
+        )
+        inputs = {
+            "n": 6,
+            "w": np.array([1, 2, 3, 4, 5, 6]),
+            "r": np.array([2, 3, 4, 5, 6, 1]),
+            "v": np.arange(6.0),
+        }
+        lrpd = speculative_vs_serial(source, dict(inputs), arrays=["a"])
+        assert lrpd.passed
+        pd = speculative_vs_serial(
+            source, dict(inputs), arrays=["a"],
+            config=RunConfig(model=CostModel(num_procs=4), test_mode=TestMode.PD),
+        )
+        assert not pd.passed
+
+    def test_timing_phases_present(self):
+        report = speculative_vs_serial(
+            PERMUTED_WRITE,
+            {"n": 8, "idx": np.arange(1, 9), "v": np.zeros(8)},
+            arrays=["a"],
+        )
+        phases = report.times.nonzero_phases()
+        for phase in ("checkpoint", "body", "analysis", "barrier"):
+            assert phase in phases
+
+    def test_stats_recorded(self):
+        report = speculative_vs_serial(
+            PERMUTED_WRITE,
+            {"n": 8, "idx": np.arange(1, 9), "v": np.zeros(8)},
+            arrays=["a"],
+        )
+        assert report.stats["iterations"] == 8
+        assert report.stats["marks"] > 0
+
+
+class TestVariousProcCounts:
+    @pytest.mark.parametrize("procs", [1, 2, 3, 5, 8])
+    def test_result_independent_of_proc_count(self, procs):
+        report = speculative_vs_serial(
+            REDUX,
+            {"n": 8, "idx": np.array([1, 2, 1, 3, 2, 1, 4, 4]), "v": np.arange(8.0)},
+            procs=procs,
+            arrays=["f"],
+        )
+        assert report.passed

@@ -1,0 +1,52 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BaselineInapplicable,
+    DslSyntaxError,
+    InspectorNotExtractable,
+    InterpError,
+    MachineConfigError,
+    ReproError,
+    SpeculationError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    AnalysisError,
+    BaselineInapplicable,
+    DslSyntaxError,
+    InspectorNotExtractable,
+    InterpError,
+    MachineConfigError,
+    SpeculationError,
+    WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_all_derive_from_repro_error(error):
+    assert issubclass(error, ReproError)
+
+
+def test_inspector_error_is_analysis_error():
+    assert issubclass(InspectorNotExtractable, AnalysisError)
+
+
+def test_syntax_error_carries_line():
+    error = DslSyntaxError("bad token", line=7)
+    assert error.line == 7
+    assert "line 7" in str(error)
+
+
+def test_syntax_error_without_line():
+    error = DslSyntaxError("bad token")
+    assert error.line is None
+    assert str(error) == "bad token"
+
+
+def test_catching_the_base_class():
+    with pytest.raises(ReproError):
+        raise WorkloadError("nope")

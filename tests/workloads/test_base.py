@@ -1,0 +1,48 @@
+"""Workload record plumbing tests."""
+
+from repro.workloads import PAPER_LOOPS
+from repro.workloads.bdna import build_bdna
+
+
+def test_program_returns_fresh_instances():
+    workload = build_bdna(n=20)
+    first = workload.program()
+    second = workload.program()
+    assert first is not second
+    assert first == second  # structurally identical
+
+
+def test_ref_ids_do_not_leak_between_instances():
+    from repro.analysis.instrument import number_refs
+
+    workload = build_bdna(n=20)
+    numbered = workload.program()
+    number_refs(numbered)
+    fresh = workload.program()
+    from repro.dsl.ast_nodes import ArrayRef, walk_expressions
+    from repro.analysis.instrument import _stmt_expr_roots, _walk_program
+
+    for stmt in _walk_program(fresh.body):
+        for root in _stmt_expr_roots(stmt):
+            for node in walk_expressions(root):
+                if isinstance(node, ArrayRef):
+                    assert node.ref_id == -1
+
+
+def test_every_paper_loop_has_expectation_and_checks():
+    for name, builder in PAPER_LOOPS.items():
+        workload = builder()
+        assert workload.name == name
+        assert workload.expectation is not None
+        assert workload.check_arrays or workload.check_scalars
+        assert workload.description
+
+
+def test_builders_are_deterministic():
+    import numpy as np
+
+    a, b = build_bdna(n=30, seed=3), build_bdna(n=30, seed=3)
+    for key in a.inputs:
+        np.testing.assert_array_equal(
+            np.asarray(a.inputs[key]), np.asarray(b.inputs[key])
+        )

@@ -1,0 +1,118 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.costmodel import CostModel
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads.synthetic import (
+    build_blocked_chain,
+    build_conditional_dead_reads,
+    build_dependence_injected,
+    build_hotspot_reduction,
+    build_wavefront_chain,
+)
+
+from tests.conftest import assert_env_matches
+
+MODEL = CostModel(name="t4", num_procs=4)
+
+
+def run_speculative(workload, **config_kw):
+    runner = LoopRunner(workload.program(), workload.inputs)
+    serial = runner.serial_run(MODEL)
+    report = runner.run(Strategy.SPECULATIVE, RunConfig(model=MODEL, **config_kw))
+    assert_env_matches(report.env, serial.env, arrays=workload.check_arrays)
+    return runner, report
+
+
+class TestDependenceInjected:
+    def test_zero_fraction_passes(self):
+        _, report = run_speculative(build_dependence_injected(n=60, dep_fraction=0.0))
+        assert report.passed
+
+    @pytest.mark.parametrize("fraction", [0.05, 0.3, 1.0])
+    def test_positive_fraction_fails(self, fraction):
+        _, report = run_speculative(
+            build_dependence_injected(n=60, dep_fraction=fraction)
+        )
+        assert not report.passed
+
+    def test_fraction_validated(self):
+        with pytest.raises(WorkloadError):
+            build_dependence_injected(dep_fraction=1.5)
+
+    def test_deterministic_for_seed(self):
+        a = build_dependence_injected(n=30, dep_fraction=0.2, seed=7)
+        b = build_dependence_injected(n=30, dep_fraction=0.2, seed=7)
+        np.testing.assert_array_equal(a.inputs["rloc"], b.inputs["rloc"])
+
+
+class TestHotspot:
+    def test_hotspot_reduction_passes(self):
+        _, report = run_speculative(build_hotspot_reduction(n=60))
+        assert report.passed
+        assert report.test_result.details["acc"].reduction_elements > 0
+
+    def test_all_hot_concentrates_elements(self):
+        workload = build_hotspot_reduction(n=60, hot_fraction=1.0, num_hot=2)
+        targets = set(workload.inputs["target"].tolist())
+        assert targets <= {1, 2}
+
+    def test_fraction_validated(self):
+        with pytest.raises(WorkloadError):
+            build_hotspot_reduction(hot_fraction=-0.1)
+
+
+class TestWavefront:
+    def test_wavefront_fails_lrpd(self):
+        _, report = run_speculative(build_wavefront_chain(n=48, num_chains=4))
+        assert not report.passed
+
+    def test_chain_count_validated(self):
+        with pytest.raises(WorkloadError):
+            build_wavefront_chain(n=4, num_chains=9)
+
+    def test_scrambled_chains_still_flow_forward(self):
+        workload = build_wavefront_chain(n=40, num_chains=4, scramble=True)
+        wloc, rloc = workload.inputs["wloc"], workload.inputs["rloc"]
+        writers = {}
+        for it in range(40):
+            if rloc[it] in writers:
+                assert writers[rloc[it]] < it  # reads only earlier writes
+            writers[wloc[it]] = it
+
+
+class TestBlockedChain:
+    def test_fails_iteration_wise(self):
+        _, report = run_speculative(build_blocked_chain(n=40))
+        assert not report.passed
+
+    def test_passes_processor_wise_with_aligned_blocks(self):
+        from repro.core.shadow import Granularity
+
+        _, report = run_speculative(
+            build_blocked_chain(n=40), granularity=Granularity.PROCESSOR
+        )
+        assert report.passed
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_blocked_chain(n=41)
+
+
+class TestConditionalDeadReads:
+    def test_dead_reads_pass(self):
+        _, report = run_speculative(build_conditional_dead_reads(n=40))
+        assert report.passed
+
+    def test_live_reads_fail(self):
+        _, report = run_speculative(
+            build_conditional_dead_reads(n=40, live_fraction=1.0)
+        )
+        assert not report.passed
+
+    def test_fraction_validated(self):
+        with pytest.raises(WorkloadError):
+            build_conditional_dead_reads(live_fraction=2.0)
