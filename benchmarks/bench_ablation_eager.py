@@ -8,7 +8,6 @@ definite conflict, so a failing loop pays far less than the full marked
 doall + analysis, while passing loops are unaffected.
 """
 
-import numpy as np
 
 from conftest import run_once
 

@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--test-mode", choices=[m.value for m in TestMode], default="lrpd"
     )
+    run.add_argument(
+        "--engine", choices=["compiled", "walk"], default="compiled",
+        help="doall iteration executor (walk = reference tree walker)",
+    )
 
     sub.add_parser("table1", help="regenerate Table I (all seven loops)")
     sub.add_parser("table2", help="regenerate Table II (method comparison)")
@@ -138,6 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         model=model,
         granularity=Granularity(args.granularity),
         test_mode=TestMode(args.test_mode),
+        engine=args.engine,
     )
     runner = LoopRunner(workload.program(), workload.inputs)
 

@@ -27,6 +27,21 @@ class PrivateCopies:
         #: (p, s) iteration stamp of the last private write, -1 = never.
         self.wstamp = np.full((num_procs, self.size), -1, dtype=np.int64)
         self.elements_initialized = num_procs * self.size
+        self._rows: list[list] | None = None
+
+    def value_rows(self) -> list[list]:
+        """Per-processor Python-list mirrors of :attr:`data`.
+
+        Scalar fast path for the compiled speculative engine: loads read
+        the mirror (a list index instead of a numpy scalar extraction).
+        ``data`` stays authoritative — a caller that reads the mirror must
+        route *every* write through code that updates both, with the value
+        coerced to the array's kind so mirrored reads equal
+        ``data[p, i].item()`` bit for bit.
+        """
+        if self._rows is None:
+            self._rows = [row.tolist() for row in self.data]
+        return self._rows
 
     def load(self, proc: int, index: int) -> float | int:
         """Read the processor's private element (0-based index)."""

@@ -60,6 +60,14 @@ class ReductionPartials:
             return REDUCTION_IDENTITY[op]
         return entry[1]
 
+    def proc_maps(self) -> list[dict[int, tuple[str, float]]]:
+        """The per-processor partial maps themselves.
+
+        Fast-path surface for the compiled speculative engine; entries
+        must keep the ``(op, value)`` shape :meth:`store` writes.
+        """
+        return self._partials
+
     def store(self, proc: int, index: int, op: str, value: float) -> None:
         self._partials[proc][index] = (op, value)
 

@@ -26,7 +26,8 @@ from repro.core.privatize import PrivateCopies
 from repro.core.reduction_exec import COMBINE, REDUCTION_IDENTITY, ReductionPartials
 from repro.core.shadow import Granularity, ShadowMarker
 from repro.dsl.ast_nodes import Do, Program
-from repro.errors import SpeculationFailed
+from repro.errors import InterpError, SpeculationFailed
+from repro.interp.compiled_spec import CompiledSpecLoop
 from repro.interp.costs import CostCounter, IterationCost
 from repro.interp.env import Environment
 from repro.interp.events import NullObserver
@@ -77,6 +78,7 @@ def run_doall(
     marker: ShadowMarker | None,
     value_based: bool = True,
     schedule: ScheduleKind = ScheduleKind.BLOCK,
+    engine: str = "compiled",
 ) -> DoallRun:
     """Execute the target loop as an emulated doall.
 
@@ -86,7 +88,15 @@ def run_doall(
     through the router (shared arrays directly, tested arrays via private
     copies, reduction arrays via partials) — call :func:`finalize_doall`
     to fold private state back in after a successful test.
+
+    ``engine`` selects the iteration executor: ``"compiled"`` (the
+    closure-compiled speculative engine with batched marking,
+    :mod:`repro.interp.compiled_spec`) or ``"walk"`` (the per-access
+    instrumented tree walker).  Both produce bit-identical state, costs
+    and shadow marks.
     """
+    if engine not in ("compiled", "walk"):
+        raise InterpError(f"unknown doall engine {engine!r}")
     bounds_interp = Interpreter(program, env, value_based=False)
     start, stop, step = bounds_interp.eval_loop_bounds(loop)
     values = loop_iteration_values(start, stop, step)
@@ -106,26 +116,56 @@ def run_doall(
         name: env.scalars[name] for name in plan.scalar_reductions if name in env.scalars
     }
 
+    tested = plan.tested_arrays if marker is not None else frozenset()
     proc_envs: list[Environment] = []
-    interps: list[Interpreter] = []
-    observer = marker if marker is not None else NullObserver()
     for _proc in range(num_procs):
         proc_env = env.fork_scalars()
         for name, op in plan.scalar_reductions.items():
             proc_env.scalars[name] = REDUCTION_IDENTITY[op]
         proc_envs.append(proc_env)
-        interps.append(
+
+    if engine == "compiled":
+        spec = CompiledSpecLoop(
+            program, loop,
+            tested=tested, value_based=value_based, redux_refs=plan.redux_refs,
+            privates=privates, partials=partials, shared_env=env,
+        )
+        runtimes = [
+            spec.new_runtime(proc_env, router, CostCounter(), proc=proc)
+            for proc, proc_env in enumerate(proc_envs)
+        ]
+
+        def proc_cost(proc: int) -> CostCounter:
+            return runtimes[proc].cost
+
+        def execute(proc: int, position: int) -> None:
+            rt = runtimes[proc]
+            rt.iteration = position
+            spec.run_iteration(rt, marker, values[position], plan.live_out_scalars)
+
+    else:
+        observer = marker if marker is not None else NullObserver()
+        interps = [
             Interpreter(
                 program,
                 proc_env,
                 memory=router,
                 observer=observer,
-                tested=plan.tested_arrays if marker is not None else frozenset(),
+                tested=tested,
                 value_based=value_based,
                 cost=CostCounter(),
                 redux_refs=plan.redux_refs,
             )
-        )
+            for proc_env in proc_envs
+        ]
+
+        def proc_cost(proc: int) -> CostCounter:
+            return interps[proc].cost
+
+        def execute(proc: int, position: int) -> None:
+            interps[proc].exec_iteration(
+                loop, values[position], flush_live_out=plan.live_out_scalars
+            )
 
     # Dynamic self-scheduling cannot be pre-assigned (iteration costs are
     # only known after execution): emulate with a cyclic deal — a fair
@@ -148,7 +188,7 @@ def run_doall(
             position = assignment[proc][pointers[proc]]
             pointers[proc] += 1
             remaining -= 1
-            interp = interps[proc]
+            cost = proc_cost(proc)
             router.set_context(proc, position)
             if marker is not None:
                 granule = (
@@ -157,17 +197,15 @@ def run_doall(
                     else proc
                 )
                 marker.set_granule(granule)
-                marker.cost = interp.cost
+                marker.cost = cost
             try:
-                interp.exec_iteration(
-                    loop, values[position], flush_live_out=plan.live_out_scalars
-                )
+                execute(proc, position)
             except SpeculationFailed:
                 # On-the-fly detection: the attempt is over; the partial
                 # iteration's cost bracketing is discarded with it.
                 aborted = True
                 break
-            iteration_costs[position] = interp.cost.iteration_costs[-1]
+            iteration_costs[position] = cost.iteration_costs[-1]
             executed += 1
 
     done_costs = [c if c is not None else IterationCost() for c in iteration_costs]

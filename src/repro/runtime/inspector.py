@@ -183,8 +183,14 @@ def run_inspector_executor(
     schedule: ScheduleKind = ScheduleKind.BLOCK,
     dynamic_last_value: bool = True,
     directional: bool = True,
+    engine: str = "compiled",
 ) -> InspectorOutcome:
-    """Inspector → test → (parallel executor | serial loop)."""
+    """Inspector → test → (parallel executor | serial loop).
+
+    ``engine`` selects the executor-phase doall engine; the marking
+    inspector itself always runs the sliced tree walker (it executes only
+    the address/control slice, which the compiler does not handle).
+    """
     times = TimeBreakdown()
     stats: dict[str, float] = {}
 
@@ -211,7 +217,7 @@ def run_inspector_executor(
     if result.passed:
         run = run_doall(
             program, loop, env, plan, sim.num_procs,
-            marker=None, value_based=False, schedule=schedule,
+            marker=None, value_based=False, schedule=schedule, engine=engine,
         )
         times.private_init = sim.private_init_time(
             sum(p.size for p in run.privates.values())

@@ -53,6 +53,10 @@ class RunConfig:
     #: on-the-fly hardware model [47]); only effective for the default
     #: iteration-wise directional LRPD configuration.
     eager_failure_detection: bool = False
+    #: doall iteration executor: "compiled" (closure-compiled, batched
+    #: marking) or "walk" (the reference tree walker).  Bit-identical
+    #: results; "walk" is kept for ablation and equivalence testing.
+    engine: str = "compiled"
 
     def with_procs(self, p: int) -> "RunConfig":
         import dataclasses
@@ -71,6 +75,9 @@ class LoopRunner:
         self._before, self._after = split_at_loop(program, self.loop)
         self.schedule_cache = ScheduleCache()
         self._serial_runs: dict[str, SerialRun] = {}
+        #: shadow marker recycled across speculative attempts (reset in
+        #: place instead of reallocating the shadow buffers every run).
+        self._spec_marker = None
 
     # -- reference -----------------------------------------------------------
 
@@ -173,7 +180,10 @@ class LoopRunner:
             dynamic_last_value=config.dynamic_last_value,
             directional=config.directional,
             eager=config.eager_failure_detection,
+            engine=config.engine,
+            marker=self._spec_marker,
         )
+        self._spec_marker = outcome.run.marker
         if config.use_schedule_cache:
             self.schedule_cache.record(self._loop_key(), signature, outcome.result)
         self._finish(env)
@@ -204,6 +214,7 @@ class LoopRunner:
             run = run_doall(
                 self.program, self.loop, env, self.plan, sim.num_procs,
                 marker=None, value_based=False, schedule=config.schedule,
+                engine=config.engine,
             )
             times.private_init = sim.private_init_time(
                 sum(p.size for p in run.privates.values())
@@ -250,6 +261,7 @@ class LoopRunner:
             schedule=config.schedule,
             dynamic_last_value=config.dynamic_last_value,
             directional=config.directional,
+            engine=config.engine,
         )
         self._finish(env)
         return ExecutionReport(

@@ -50,11 +50,19 @@ def run_speculative(
     dynamic_last_value: bool = True,
     directional: bool = True,
     eager: bool = False,
+    engine: str = "compiled",
+    marker: ShadowMarker | None = None,
 ) -> SpeculativeOutcome:
     """Run the full speculative protocol; ``env`` must be at loop entry.
 
     On return ``env`` holds the post-loop state regardless of the test's
     outcome (merged on pass, restored + serially recomputed on fail).
+
+    ``engine`` selects the doall iteration executor (see
+    :func:`repro.runtime.doall.run_doall`).  ``marker`` optionally recycles
+    a previous attempt's shadow buffers (reset in place instead of
+    reallocating seven numpy arrays per tested array); it must have been
+    built for the same tested arrays and sizes, else a fresh one is made.
     """
     if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
         raise SpeculationError(
@@ -78,7 +86,14 @@ def run_speculative(
         and directional
         and dynamic_last_value
     )
-    marker = ShadowMarker(shadow_sizes, granularity=granularity, eager=eager_enabled)
+    if marker is not None and {
+        name: shadow.size for name, shadow in marker.shadows.items()
+    } == shadow_sizes:
+        marker.reset(granularity, eager=eager_enabled)
+    else:
+        marker = ShadowMarker(
+            shadow_sizes, granularity=granularity, eager=eager_enabled
+        )
     times.shadow_init = sim.shadow_init_time(sum(shadow_sizes.values()))
 
     run = run_doall(
@@ -90,6 +105,7 @@ def run_speculative(
         marker=marker,
         value_based=(test_mode is TestMode.LRPD),
         schedule=schedule,
+        engine=engine,
     )
     times.private_init = sim.private_init_time(
         sum(p.size for p in run.privates.values())

@@ -1,6 +1,6 @@
 """Scalar classification and transform planning tests."""
 
-from repro.analysis.classify import ScalarClass, classify_scalars, plan_transforms
+from repro.analysis.classify import ScalarClass, plan_transforms
 from repro.analysis.instrument import number_refs
 from repro.analysis.reduction import find_reductions
 from repro.analysis.symtab import summarize_body

@@ -1,6 +1,5 @@
 """Static dependence testing (GCD / Banerjee / loop verdict)."""
 
-import pytest
 
 from repro.analysis.affine import Affine
 from repro.analysis.dependence import (

@@ -1,6 +1,5 @@
 """Reduction recognition tests: syntactic baseline vs forward substitution."""
 
-import pytest
 
 from repro.analysis.instrument import number_refs
 from repro.analysis.reduction import (

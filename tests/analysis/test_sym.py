@@ -1,6 +1,5 @@
 """Symbolic-expression machinery tests (forward-substitution substrate)."""
 
-import pytest
 
 from repro.analysis.sym import (
     MAX_LEAVES,

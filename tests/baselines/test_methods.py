@@ -1,6 +1,5 @@
 """Wavefront scheduler tests: validity and method-specific behaviour."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Access-trace extraction tests."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.trace import extract_trace
 from repro.dsl.parser import parse

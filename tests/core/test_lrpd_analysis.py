@@ -1,6 +1,5 @@
 """Analysis-phase tests: the LRPD/PD pass-fail logic over shadows."""
 
-import pytest
 
 from repro.core.lrpd import analyze_shadows
 from repro.core.outcomes import TestMode

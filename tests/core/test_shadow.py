@@ -1,7 +1,5 @@
 """Shadow array marking semantics tests."""
 
-import numpy as np
-import pytest
 
 from repro.core.shadow import Granularity, ShadowArray, ShadowMarker
 

@@ -1,0 +1,176 @@
+"""Batched shadow marking ≡ per-access marking, and in-place reset.
+
+The compiled speculative engine flushes each granule's buffered access
+stream through the vectorized batch primitives; these must be
+observationally identical to replaying ``mark_write``/``mark_read``/
+``mark_redux`` access by access — including which element an eager
+failure reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.shadow import (
+    KIND_READ,
+    KIND_REDUX,
+    KIND_WRITE,
+    OP_CODES,
+    Granularity,
+    ShadowArray,
+    ShadowMarker,
+)
+from repro.errors import SpeculationFailed
+
+SIZE = 16
+
+FIELDS = (
+    "w", "r", "np_", "nx", "redux_touched", "multi_w",
+    "_redux_op", "_last_write", "_min_write", "_max_exposed_read",
+)
+
+
+def assert_same_shadow(a: ShadowArray, b: ShadowArray) -> None:
+    assert a.tw == b.tw
+    assert a.tm == b.tm
+    for field in FIELDS:
+        np.testing.assert_array_equal(
+            getattr(a, field), getattr(b, field), err_msg=field
+        )
+
+
+def random_stream(rng, length: int):
+    kinds = rng.integers(0, 3, size=length)
+    idx = rng.integers(0, SIZE, size=length)
+    ops = np.where(kinds == KIND_REDUX, rng.integers(1, 5, size=length), 0)
+    pos = np.arange(length, dtype=np.int64)
+    return kinds, idx, ops, pos
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams_match_scalar_replay(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = ShadowArray("a", SIZE)
+        scalar = ShadowArray("a", SIZE)
+        for granule in range(5):
+            kinds, idx, ops, pos = random_stream(rng, int(rng.integers(1, 30)))
+            batch.mark_stream_batch(kinds, idx, ops, pos, granule)
+            scalar.replay_scalar(kinds, idx, ops, pos, granule)
+            assert_same_shadow(batch, scalar)
+
+    def test_mark_write_batch(self):
+        batch = ShadowArray("a", SIZE)
+        scalar = ShadowArray("a", SIZE)
+        indices = [3, 3, 7, 0, 7, 3]
+        batch.mark_write_batch(indices, granule=2)
+        for index in indices:
+            scalar.mark_write(index, granule=2)
+        assert_same_shadow(batch, scalar)
+
+    def test_mark_read_batch(self):
+        batch = ShadowArray("a", SIZE)
+        scalar = ShadowArray("a", SIZE)
+        for shadow in (batch, scalar):
+            shadow.mark_write(5, granule=0)
+        indices = [5, 1, 5, 9]
+        batch.mark_read_batch(indices, granule=0)
+        for index in indices:
+            scalar.mark_read(index, granule=0)
+        assert_same_shadow(batch, scalar)
+
+    def test_mark_redux_batch(self):
+        batch = ShadowArray("a", SIZE)
+        scalar = ShadowArray("a", SIZE)
+        indices = [2, 2, 4]
+        batch.mark_redux_batch(indices, granule=1, op="+")
+        for index in indices:
+            scalar.mark_redux(index, granule=1, op="+")
+        assert_same_shadow(batch, scalar)
+
+    def test_write_then_read_ordering_within_batch(self):
+        # A write covering a later read of the same granule must be seen
+        # in stream order: the read is not exposed.
+        shadow = ShadowArray("a", SIZE)
+        kinds = np.array([KIND_WRITE, KIND_READ])
+        idx = np.array([4, 4])
+        ops = np.zeros(2, dtype=np.int64)
+        pos = np.arange(2, dtype=np.int64)
+        shadow.mark_stream_batch(kinds, idx, ops, pos, granule=0)
+        assert shadow.r[4] and not shadow.np_[4]
+
+    def test_eager_batch_reports_same_element_as_scalar(self):
+        eager_batch = ShadowArray("a", SIZE, eager=True)
+        eager_scalar = ShadowArray("a", SIZE, eager=True)
+        for shadow in (eager_batch, eager_scalar):
+            shadow.mark_write(6, granule=0)
+        # Granule 1 reads element 6 (a definite flow) mid-stream.
+        kinds = np.array([KIND_READ, KIND_READ, KIND_WRITE])
+        idx = np.array([1, 6, 2])
+        ops = np.zeros(3, dtype=np.int64)
+        pos = np.arange(3, dtype=np.int64)
+        with pytest.raises(SpeculationFailed) as batch_fail:
+            eager_batch.mark_stream_batch(kinds, idx, ops, pos, granule=1)
+        with pytest.raises(SpeculationFailed) as scalar_fail:
+            eager_scalar.replay_scalar(kinds, idx, ops, pos, granule=1)
+        assert batch_fail.value.element == scalar_fail.value.element == 6
+        assert batch_fail.value.array == "a"
+
+    def test_redux_opcode_roundtrip(self):
+        # Each operator code marks with the operator it encodes.
+        for op, code in OP_CODES.items():
+            batch = ShadowArray("a", SIZE)
+            scalar = ShadowArray("a", SIZE)
+            kinds = np.array([KIND_REDUX])
+            idx = np.array([3])
+            ops = np.array([code], dtype=np.int64)
+            pos = np.zeros(1, dtype=np.int64)
+            batch.mark_stream_batch(kinds, idx, ops, pos, granule=0)
+            scalar.mark_redux(3, granule=0, op=op)
+            assert_same_shadow(batch, scalar)
+
+
+class TestReset:
+    def test_shadow_reset_equals_fresh(self):
+        shadow = ShadowArray("a", SIZE, eager=True)
+        rng = np.random.default_rng(42)
+        kinds, idx, ops, pos = random_stream(rng, 25)
+        try:
+            shadow.replay_scalar(kinds, idx, ops, pos, granule=0)
+        except SpeculationFailed:
+            pass
+        shadow.reset()
+        assert_same_shadow(shadow, ShadowArray("a", SIZE, eager=True))
+        assert shadow.eager  # preserved unless overridden
+
+    def test_shadow_reset_can_flip_eager(self):
+        shadow = ShadowArray("a", SIZE, eager=False)
+        shadow.reset(eager=True)
+        assert shadow.eager
+        shadow.reset(eager=False)
+        assert not shadow.eager
+
+    def test_reset_shadow_recounts_tw(self):
+        shadow = ShadowArray("a", SIZE)
+        shadow.mark_write(1, granule=0)
+        shadow.reset()
+        # The last-write memory must be gone: the same (element, granule)
+        # pair counts again after reset.
+        shadow.mark_write(1, granule=0)
+        assert shadow.tw == 1
+        assert not shadow.multi_w[1]
+
+    def test_marker_reset_recycles_all_shadows(self):
+        marker = ShadowMarker(
+            {"a": SIZE, "b": 4}, granularity=Granularity.ITERATION, eager=True
+        )
+        marker.set_granule(3)
+        marker.shadows["a"].mark_write(0, granule=3)
+        marker.shadows["b"].mark_read(2, granule=3)
+        marker.cost.marks += 1
+        marker.reset(Granularity.PROCESSOR, eager=False)
+        assert marker.granularity is Granularity.PROCESSOR
+        assert marker.granule == 0
+        assert marker.cost.marks == 0  # fresh cost counter
+        for name, size in (("a", SIZE), ("b", 4)):
+            assert_same_shadow(marker.shadows[name], ShadowArray(name, size))
+            assert not marker.shadows[name].eager

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.shadow import Granularity
 from repro.evalx.figures import (
     failure_cost_series,
     ideal_series,

@@ -1,6 +1,5 @@
 """DirectMemory tests."""
 
-import numpy as np
 import pytest
 
 from repro.dsl.parser import parse

@@ -6,7 +6,6 @@ shared state, an address, or a control decision.
 """
 
 import numpy as np
-import pytest
 
 from repro.dsl.parser import parse
 from repro.interp.env import Environment

@@ -1,6 +1,5 @@
 """Cost model tests."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,10 @@
 
 Random execution-safe programs (guarded arithmetic, in-range subscripts)
 must produce identical final state AND identical operation counts under
-both engines — the compiled fast path may not drift semantically.
+both engines — the compiled fast path may not drift semantically.  The
+same holds for the speculative engines: random workloads with reductions,
+passing and failing speculations (including eager aborts) must yield the
+same LRPD outcome, shadow counts, simulated times and memory state.
 """
 
 from __future__ import annotations
@@ -11,10 +14,15 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.instrument import build_plan
 from repro.dsl.parser import parse
 from repro.interp.compiled import compile_program
 from repro.interp.env import Environment
 from repro.interp.interpreter import Interpreter
+from repro.machine.costmodel import fx80
+from repro.machine.schedule import ScheduleKind
+from repro.machine.simulator import DoallSimulator
+from repro.runtime.speculative import run_speculative
 
 N = 8
 SIZE = 10
@@ -77,3 +85,75 @@ def test_engines_agree(c1, c2, c3, c4, inner, idx, gate):
     np.testing.assert_array_equal(env_a.arrays["a"], env_b.arrays["a"])
     np.testing.assert_array_equal(env_a.arrays["b"], env_b.arrays["b"])
     assert walker.cost.total() == cost_b.total()
+
+
+SPEC_N = 10
+SPEC_SIZE = 12
+
+SPEC_TEMPLATE = f"""
+program randspec
+  integer i, n
+  integer w({SPEC_N}), r({SPEC_N}), ridx({SPEC_N})
+  real a({SPEC_SIZE}), s({SPEC_SIZE}), v({SPEC_N}), x
+  do i = 1, n
+    x = a(r(i)) + v(i)
+    a(w(i)) = x * 0.5
+    s(ridx(i)) = s(ridx(i)) + x
+  end do
+end
+"""
+
+spec_indices = st.lists(
+    st.integers(min_value=1, max_value=SPEC_SIZE),
+    min_size=SPEC_N, max_size=SPEC_N,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(w=spec_indices, r=spec_indices, ridx=spec_indices, eager=st.booleans())
+def test_speculative_engines_agree(w, r, ridx, eager):
+    """Walker ≡ compiled on the full speculative protocol.
+
+    The random w/r vectors produce passing runs (disjoint, privatizable)
+    and failing ones (cross-iteration flow dependences) — with ``eager``
+    the latter abort mid-doall, exercising the batched-marking engine's
+    small-buffer replay path.  Every observable must match: LRPD result
+    (per-array tw/tm/failed elements), simulated time breakdown, run
+    stats (marks, iterations, aborted_after) and the post-loop memory.
+    """
+    source = SPEC_TEMPLATE
+    inputs = {
+        "n": SPEC_N,
+        "w": np.array(w),
+        "r": np.array(r),
+        "ridx": np.array(ridx),
+        "v": np.linspace(0.5, 1.5, SPEC_N),
+        "a": np.linspace(-1.0, 1.0, SPEC_SIZE),
+        "s": np.zeros(SPEC_SIZE),
+        "x": 0.0,
+    }
+
+    outcomes = {}
+    envs = {}
+    for engine in ("walk", "compiled"):
+        program = parse(source)
+        plan = build_plan(program)
+        env = Environment(program, inputs)
+        sim = DoallSimulator(fx80().with_procs(4), ScheduleKind.BLOCK)
+        outcomes[engine] = run_speculative(
+            program, plan.loop, env, plan, sim, eager=eager, engine=engine
+        )
+        envs[engine] = env
+
+    walk, fast = outcomes["walk"], outcomes["compiled"]
+    assert walk.result == fast.result
+    assert walk.times == fast.times
+    assert walk.stats == fast.stats
+    assert walk.run.aborted == fast.run.aborted
+    assert walk.run.executed_iterations == fast.run.executed_iterations
+    assert walk.run.iteration_costs == fast.run.iteration_costs
+    assert envs["walk"].scalars == envs["compiled"].scalars
+    for name in ("a", "s"):
+        np.testing.assert_array_equal(
+            envs["walk"].arrays[name], envs["compiled"].arrays[name]
+        )

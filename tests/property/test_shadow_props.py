@@ -17,13 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.lrpd import analyze_shadows
 from repro.core.outcomes import TestMode
-from repro.core.shadow import Granularity, ShadowMarker
+from repro.core.shadow import ShadowMarker
 
 SIZE = 6
 MAX_GRANULE = 5

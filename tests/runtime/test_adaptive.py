@@ -1,13 +1,11 @@
 """Adaptive strategy engine tests."""
 
 import numpy as np
-import pytest
 
 from repro.machine.costmodel import CostModel
 from repro.runtime.adaptive import AdaptivePolicy, AdaptiveRunner
 from repro.runtime.orchestrator import RunConfig, Strategy
 
-from tests.conftest import make_runner
 
 PERMUTED = (
     "program p\n  integer i, n, idx(8)\n  real a(8), v(8)\n"
@@ -128,7 +126,7 @@ class TestInspectorPreference:
         iw[8:] = np.array([1, 1, 2, 2, 3, 3, 4, 4])  # colliding reduction targets
         inputs = {"n": 8, "iw": iw, "x": np.arange(16.0)}
         runner = adaptive(source, inputs, use_schedule_cache=False)
-        first = runner.invoke()
+        runner.invoke()
         assert runner.choose_strategy() in (Strategy.SPECULATIVE, Strategy.SERIAL)
 
     def test_thin_slice_prefers_inspector_after_failure(self):

@@ -131,7 +131,7 @@ class TestProcessorWiseGranule:
         )
         sizes = {n: env.array_size(n) for n in plan.tested_arrays}
         marker = ShadowMarker(sizes, granularity=Granularity.PROCESSOR)
-        run = run_doall(program, plan.loop, env, plan, 2, marker=marker)
+        run_doall(program, plan.loop, env, plan, 2, marker=marker)
         # With 2 processors, last-write granules must only be 0 or 1.
         granules = set(marker.shadows["a"].last_write_granules().tolist())
         assert granules <= {-1, 0, 1}

@@ -3,13 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.analysis.instrument import build_plan
 from repro.core.outcomes import TestMode
-from repro.core.shadow import Granularity, ShadowArray
+from repro.core.shadow import Granularity, ShadowArray, ShadowMarker
+from repro.dsl.parser import parse
 from repro.errors import SpeculationFailed
+from repro.interp.env import Environment
 from repro.machine.costmodel import CostModel
-from repro.runtime.orchestrator import RunConfig, Strategy
+from repro.runtime.doall import run_doall
+from repro.runtime.orchestrator import RunConfig
 
-from tests.conftest import make_runner, speculative_vs_serial
+from tests.conftest import speculative_vs_serial
 
 FLOWDEP = (
     "program p\n  integer i, n, w(40), r(40)\n  real a(80), v(40)\n"
@@ -129,3 +133,52 @@ class TestEagerExecution:
         )
         assert not report.passed
         assert "aborted_after" not in report.stats
+
+
+class TestEagerEngineParity:
+    """The compiled engine aborts exactly like the instrumented walker.
+
+    In particular the partial iteration whose access raised must leave
+    an *open* cost bracket that is discarded identically: the aborted
+    position keeps a default (zero) IterationCost under both engines
+    and both granularities.
+    """
+
+    def _doall(self, engine, granularity):
+        program = parse(FLOWDEP)
+        plan = build_plan(program)
+        env = Environment(program, flow_inputs())
+        marker = ShadowMarker(
+            {name: env.array_size(name) for name in plan.tested_arrays},
+            granularity=granularity,
+            eager=granularity is Granularity.ITERATION,
+        )
+        run = run_doall(
+            program, plan.loop, env, plan, 4, marker=marker, engine=engine
+        )
+        return run, marker
+
+    @pytest.mark.parametrize(
+        "granularity", [Granularity.ITERATION, Granularity.PROCESSOR]
+    )
+    def test_abort_state_matches_walker(self, granularity):
+        walk, walk_marker = self._doall("walk", granularity)
+        fast, fast_marker = self._doall("compiled", granularity)
+
+        # Iteration-wise eager marking aborts mid-doall; processor-wise
+        # disables eager checks, so the full doall runs under both.
+        assert walk.aborted == (granularity is Granularity.ITERATION)
+        assert fast.aborted == walk.aborted
+        assert fast.executed_iterations == walk.executed_iterations
+        # The partial iteration's bracketing was discarded identically:
+        # unexecuted (and aborted) positions hold default IterationCosts.
+        assert fast.iteration_costs == walk.iteration_costs
+
+        assert walk_marker.shadows.keys() == fast_marker.shadows.keys()
+        for name, ws in walk_marker.shadows.items():
+            fs = fast_marker.shadows[name]
+            assert fs.tw == ws.tw
+            for field in ("w", "r", "np_", "nx", "redux_touched", "multi_w"):
+                np.testing.assert_array_equal(
+                    getattr(fs, field), getattr(ws, field), err_msg=f"{name}.{field}"
+                )

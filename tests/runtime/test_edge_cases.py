@@ -2,12 +2,9 @@
 reductions through temporaries."""
 
 import numpy as np
-import pytest
 
-from repro.machine.costmodel import CostModel
-from repro.runtime.orchestrator import RunConfig, Strategy
 
-from tests.conftest import assert_env_matches, make_runner, speculative_vs_serial
+from tests.conftest import speculative_vs_serial
 
 
 class TestStridedLoops:

@@ -1,7 +1,6 @@
 """Serial executor tests."""
 
 import numpy as np
-import pytest
 
 from repro.dsl.parser import parse
 from repro.interp.interpreter import Interpreter, find_target_loop

@@ -7,7 +7,6 @@ reproduces the serial state bit-for-bit (modulo float reassociation in
 reductions, hence allclose).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.dependence import StaticVerdict
