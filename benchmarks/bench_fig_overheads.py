@@ -33,6 +33,8 @@ def test_fig_overhead_decomposition(benchmark, artifact):
                     "body": report.times.body,
                     "marking_share": marking_cycles / marked_work,
                     "fixed": report.times.overhead(),
+                    # checkpoint scoped to the plan's written arrays only.
+                    "ckpt_elements": report.stats.get("checkpoint_elements", 0.0),
                     "report": report,
                 }
             )
@@ -42,13 +44,15 @@ def test_fig_overhead_decomposition(benchmark, artifact):
     artifact(
         "fig_overheads",
         format_table(
-            ["loop", "body %", "marking % of marked work", "fixed phases %"],
+            ["loop", "body %", "marking % of marked work", "fixed phases %",
+             "ckpt elements"],
             [
                 [
                     r["loop"],
                     100.0 * r["body"] / r["total"],
                     100.0 * r["marking_share"],
                     100.0 * r["fixed"] / r["total"],
+                    r["ckpt_elements"],
                 ]
                 for r in rows
             ],

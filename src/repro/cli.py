@@ -60,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["compiled", "walk"], default="compiled",
         help="doall iteration executor (walk = reference tree walker)",
     )
+    run.add_argument(
+        "--strip-size", type=int, default=None, metavar="N",
+        help="strip-mine speculation into strips of N iterations "
+        "(implies --strategy stripped semantics; with the stripped "
+        "strategy and no size, the whole loop is one strip)",
+    )
+    run.add_argument(
+        "--adaptive-strips", action="store_true",
+        help="grow/shrink the strip size from per-strip pass/fail feedback",
+    )
 
     sub.add_parser("table1", help="regenerate Table I (all seven loops)")
     sub.add_parser("table2", help="regenerate Table II (method comparison)")
@@ -138,11 +148,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     model = _MACHINES[args.machine]()
     if args.procs is not None:
         model = model.with_procs(args.procs)
+    strategy = Strategy(args.strategy)
+    if (args.strip_size is not None or args.adaptive_strips) and strategy in (
+        Strategy.SPECULATIVE,
+        Strategy.STRIPPED,
+    ):
+        strategy = Strategy.STRIPPED
     config = RunConfig(
         model=model,
         granularity=Granularity(args.granularity),
         test_mode=TestMode(args.test_mode),
         engine=args.engine,
+        strip_size=args.strip_size,
+        adaptive_strip_sizing=args.adaptive_strips,
     )
     runner = LoopRunner(workload.program(), workload.inputs)
 
@@ -151,7 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{workload.name}: {workload.description}")
     print("plan:", runner.plan.summary())
     try:
-        report = runner.run(Strategy(args.strategy), config)
+        report = runner.run(strategy, config)
     except InspectorNotExtractable as exc:
         print(f"inspector strategy unavailable: {exc}", file=sys.stderr)
         return 1
@@ -159,6 +177,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("phase breakdown (cycles):")
     for phase, cycles in report.times.nonzero_phases().items():
         print(f"  {phase:16s} {cycles:14.1f}")
+    if report.strips:
+        print("strips (index, first value, iters, outcome, cycles):")
+        for s in report.strips:
+            outcome = "pass" if s.passed else ("abort" if s.aborted else "fail")
+            print(
+                f"  #{s.index:<3d} @{s.first_value:<6d} x{s.iterations:<5d} "
+                f"{outcome:5s} {s.time:14.1f}"
+            )
     return 0
 
 
@@ -184,6 +210,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         failure_cost_series,
         loop_figure,
         marking_overhead_series,
+        partial_parallel_series,
         pd_vs_lpd_comparison,
         procwise_qualification,
         schedule_reuse_series,
@@ -241,6 +268,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ["dep fraction", "passed", "time / serial"],
             [[p.dep_fraction, p.passed, p.slowdown_vs_serial] for p in points],
             title="Failed-speculation cost",
+        ),
+    )
+
+    pp_points = partial_parallel_series(
+        procs=(2, 8) if quick else (2, 4, 8, 14),
+        n=200 if quick else 400,
+        band_length=16 if quick else 24,
+        strip_size=25 if quick else 50,
+    )
+    write(
+        "fig_partial",
+        format_table(
+            ["procs", "unstripped", "stripped", "strips", "rolled back"],
+            [[p.procs, p.unstripped_speedup, p.stripped_speedup,
+              p.strips, p.strips_failed] for p in pp_points],
+            title="Partially parallel loop: all-or-nothing vs strip-mined",
         ),
     )
 

@@ -64,6 +64,93 @@ def analyze_shadows(
     return result
 
 
+class StripAggregator:
+    """Folds per-strip LRPD analyses into a whole-loop verdict.
+
+    The strip-mined pipeline (R-LRPD-style) tests and commits one strip
+    of the iteration space at a time, resetting the shadows in between,
+    so whole-loop quantities must be accumulated *before* each reset:
+
+    * ``tw`` adds up across strips (granules partition by strip, so the
+      per-(element, granule) write count is additive);
+    * ``tm`` is the union of per-strip written-element sets (an element
+      written in two strips counts once, exactly as in an unstripped
+      run); reads, privatized elements and validated reductions union
+      likewise;
+    * ``failed_elements`` adds up per strip — it counts elements that
+      made a *strip* fail (and be re-executed serially), so the
+      aggregate ``passed`` means "no strip needed its rollback";
+    * ``fully_parallel`` is recomputed over the unioned masks
+      (``tw == tm`` and no element both written and read), matching the
+      unstripped predicate.  Cross-strip flows are legal by construction
+      (strips commit in serial order) and are deliberately not flagged
+      as failures.
+
+    When every strip passes, the unioned masks equal the marks an
+    unstripped run would have accumulated, so ``passed``/``tw``/``tm``
+    agree with the unstripped :func:`analyze_shadows` result bit for bit
+    (property-tested on fully parallel inputs).
+    """
+
+    def __init__(self, mode: TestMode, granularity: Granularity):
+        self.mode = mode
+        self.granularity = granularity
+        self._tw: dict[str, int] = {}
+        self._written: dict[str, np.ndarray] = {}
+        self._read: dict[str, np.ndarray] = {}
+        self._privatized: dict[str, np.ndarray] = {}
+        self._reduction: dict[str, np.ndarray] = {}
+        self._failed: dict[str, int] = {}
+        self.strips_failed = 0
+        self.strips = 0
+
+    def add_strip(self, marker: ShadowMarker, result: LrpdResult) -> None:
+        """Fold one strip's shadows + analysis in (call before the reset)."""
+        self.strips += 1
+        if not result.passed:
+            self.strips_failed += 1
+        for name, detail in result.details.items():
+            shadow = marker.shadows[name]
+            if name not in self._written:
+                self._written[name] = shadow.w.copy()
+                self._read[name] = shadow.r.copy()
+                self._privatized[name] = shadow.privatized_mask()
+                self._reduction[name] = shadow.reduction_mask()
+                self._tw[name] = detail.tw
+                self._failed[name] = detail.failed_elements
+            else:
+                self._written[name] |= shadow.w
+                self._read[name] |= shadow.r
+                self._privatized[name] |= shadow.privatized_mask()
+                self._reduction[name] |= shadow.reduction_mask()
+                self._tw[name] += detail.tw
+                self._failed[name] += detail.failed_elements
+
+    def result(self) -> LrpdResult:
+        """The whole-loop verdict over everything folded in so far."""
+        out = LrpdResult(mode=self.mode, granularity=self.granularity.value)
+        for name in self._written:
+            tw = self._tw[name]
+            tm = int(np.count_nonzero(self._written[name]))
+            fully_parallel = tw == tm and not bool(
+                np.any(self._written[name] & self._read[name])
+            )
+            out.details[name] = ArrayTestDetail(
+                name=name,
+                tw=tw,
+                tm=tm,
+                fully_parallel=fully_parallel,
+                privatized_elements=int(np.count_nonzero(self._privatized[name])),
+                reduction_elements=(
+                    0
+                    if self.mode is TestMode.PD
+                    else int(np.count_nonzero(self._reduction[name]))
+                ),
+                failed_elements=self._failed[name],
+            )
+        return out
+
+
 def _analyze_one(
     shadow: ShadowArray,
     mode: TestMode,

@@ -48,7 +48,7 @@ def speedup_series(
     model = model or fx80()
     runner = runner or _runner(workload)
     base_config = config or RunConfig(model=model)
-    serial = runner.serial_run(model)
+    serial = runner.serial_run(model, base_config.engine)
     extra = serial.setup_time if include_setup else 0.0
 
     series = SpeedupSeries(label=f"{workload.name}:{strategy.value}")
@@ -167,6 +167,60 @@ def failure_cost_series(
                 dep_fraction=fraction,
                 passed=bool(report.passed),
                 slowdown_vs_serial=report.loop_time / serial.loop_time,
+            )
+        )
+    return points
+
+
+@dataclass
+class PartialParallelPoint:
+    """One processor count of the strip-mining figure."""
+
+    procs: int
+    unstripped_speedup: float
+    stripped_speedup: float
+    strips: int
+    strips_failed: int
+
+
+def partial_parallel_series(
+    procs: tuple[int, ...] = (2, 4, 8, 14),
+    *,
+    n: int = 400,
+    band_length: int = 24,
+    work: int = 60,
+    strip_size: int = 50,
+    model: CostModel | None = None,
+) -> list[PartialParallelPoint]:
+    """All-or-nothing vs strip-mined speculation on a partially parallel
+    loop (a serial dependence band inside a parallel iteration space).
+
+    The unstripped protocol fails the whole loop on the band and pays
+    serial-plus-attempt (speedup ≤ 1); the strip-mined pipeline rolls
+    back only the strip(s) covering the band, so the parallel regions
+    keep their speedup — the case that motivated the R-LRPD follow-on
+    work to the paper's protocol.
+    """
+    from repro.workloads.synthetic import build_partial_parallel
+
+    model = model or fx80()
+    workload = build_partial_parallel(n=n, band_length=band_length, work=work)
+    points = []
+    for p in procs:
+        m = model.with_procs(p)
+        unstripped = _runner(workload).run(
+            Strategy.SPECULATIVE, RunConfig(model=m)
+        )
+        stripped = _runner(workload).run(
+            Strategy.STRIPPED, RunConfig(model=m, strip_size=strip_size)
+        )
+        points.append(
+            PartialParallelPoint(
+                procs=p,
+                unstripped_speedup=unstripped.speedup,
+                stripped_speedup=stripped.speedup,
+                strips=len(stripped.strips),
+                strips_failed=sum(1 for s in stripped.strips if not s.passed),
             )
         )
     return points

@@ -80,6 +80,25 @@ class DoallSimulator:
     def analysis_time(self, shadow_elements: int) -> float:
         return self.model.analysis_time(shadow_elements, self.num_procs)
 
+    # -- strip-mined phases --------------------------------------------------
+    #
+    # The strip pipeline keeps a per-processor touched-element list while
+    # marking (R-LRPD style), so the per-strip test and the in-place
+    # shadow reset sweep only the elements the strip touched instead of
+    # the full shadow size — without it, an s-element shadow analyzed
+    # once per strip would cost num_strips times the unstripped analysis
+    # and erase the benefit of strip-mining.
+
+    def strip_analysis_time(self, touched_elements: int) -> float:
+        """Per-strip LRPD analysis over the strip's touched elements."""
+        return self.model.analysis_time(touched_elements, self.num_procs)
+
+    def strip_reset_time(self, touched_elements: int) -> float:
+        """In-place shadow reset of the previous strip's touched elements."""
+        return self.model.parallel_sweep(
+            touched_elements, self.num_procs, self.model.shadow_init_per_element
+        )
+
     def reduction_merge_time(self, touched_elements: int) -> float:
         """Recursive-doubling merge of reduction partials [19, 21]."""
         import math

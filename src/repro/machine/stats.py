@@ -49,6 +49,30 @@ class TimeBreakdown:
 
 
 @dataclass
+class StripRecord:
+    """Per-strip accounting of one strip-mined speculative execution.
+
+    One record per strip, in commit order.  ``times`` holds the strip's
+    own phase breakdown (checkpoint, body, analysis, and — on failure —
+    restore + serial_rerun); the pipeline's whole-loop breakdown is the
+    field-wise sum of these, so stripped speedups decompose exactly like
+    the unstripped ones in Table 1/2.
+    """
+
+    index: int
+    first_value: int          # first iteration value of the strip
+    iterations: int
+    strip_size: int           # the sizer's decision (>= iterations)
+    passed: bool
+    aborted: bool             # eager detection fired inside the strip
+    times: TimeBreakdown
+
+    @property
+    def time(self) -> float:
+        return self.times.total()
+
+
+@dataclass
 class SpeedupPoint:
     """One (processors, speedup) sample of a figure series."""
 

@@ -26,6 +26,52 @@ from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
 from repro.runtime.results import ExecutionReport
 
 
+class AdaptiveStripSizer:
+    """Feedback-driven strip sizing for the strip-mined pipeline.
+
+    Grows the strip geometrically after ``grow_after`` consecutive
+    passing strips (per-strip overheads — checkpoint, barrier, analysis —
+    amortize better over bigger strips) and halves it after a failure
+    (smaller strips bound the serial re-execution loss around a
+    dependence cluster).  Sizes stay within ``[min_size, max_size]``.
+    """
+
+    DEFAULT_INITIAL = 16
+
+    def __init__(
+        self,
+        initial_size: int = DEFAULT_INITIAL,
+        *,
+        min_size: int = 2,
+        max_size: int = 4096,
+        grow_after: int = 2,
+    ):
+        if initial_size < 1:
+            raise ValueError("initial strip size must be >= 1")
+        if not (1 <= min_size <= max_size):
+            raise ValueError("need 1 <= min_size <= max_size")
+        if grow_after < 1:
+            raise ValueError("grow_after must be >= 1")
+        self.size = max(min_size, min(initial_size, max_size))
+        self.min_size = min_size
+        self.max_size = max_size
+        self.grow_after = grow_after
+        self._pass_streak = 0
+
+    def next_size(self) -> int:
+        return self.size
+
+    def record(self, passed: bool) -> None:
+        if passed:
+            self._pass_streak += 1
+            if self._pass_streak >= self.grow_after:
+                self.size = min(self.size * 2, self.max_size)
+                self._pass_streak = 0
+        else:
+            self.size = max(self.size // 2, self.min_size)
+            self._pass_streak = 0
+
+
 @dataclass(frozen=True)
 class AdaptivePolicy:
     """Tunable decision thresholds."""
@@ -37,6 +83,11 @@ class AdaptivePolicy:
     inspector_slice_threshold: float = 0.6
     #: memoize test outcomes on the pattern signature.
     use_schedule_cache: bool = True
+    #: speculate in strips of this size instead of all-or-nothing
+    #: (:class:`repro.runtime.orchestrator.Strategy.STRIPPED`); failures
+    #: then roll back one strip, so the give-up counter never trips
+    #: unless *every* strip of an invocation fails.
+    strip_size: int | None = None
 
 
 @dataclass
@@ -71,6 +122,12 @@ class AdaptiveRunner:
         self._given_up_signature: str | None = None
         if self.policy.use_schedule_cache:
             self.config = _with_cache(self.config)
+        if self.policy.strip_size is not None:
+            import dataclasses
+
+            self.config = dataclasses.replace(
+                self.config, strip_size=self.policy.strip_size
+            )
 
     # -- inputs --------------------------------------------------------------
 
@@ -99,6 +156,8 @@ class AdaptiveRunner:
         if self._consecutive_failures > 0 and plan.inspector_extractable:
             if self._slice_fraction() <= self.policy.inspector_slice_threshold:
                 return Strategy.INSPECTOR
+        if self.policy.strip_size is not None:
+            return Strategy.STRIPPED
         return Strategy.SPECULATIVE
 
     def _slice_fraction(self) -> float:

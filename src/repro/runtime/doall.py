@@ -79,6 +79,7 @@ def run_doall(
     value_based: bool = True,
     schedule: ScheduleKind = ScheduleKind.BLOCK,
     engine: str = "compiled",
+    values: list[int] | None = None,
 ) -> DoallRun:
     """Execute the target loop as an emulated doall.
 
@@ -94,12 +95,21 @@ def run_doall(
     :mod:`repro.interp.compiled_spec`) or ``"walk"`` (the per-access
     instrumented tree walker).  Both produce bit-identical state, costs
     and shadow marks.
+
+    ``values`` overrides the iteration values to execute — the
+    strip-mined pipeline passes one strip of the loop's iteration space
+    at a time.  When None the loop bounds are evaluated from ``env``
+    (the full iteration space).  Granules, private write stamps and the
+    returned assignment are positions *within* ``values``; strips
+    preserve serial order because each strip's positions follow its
+    serial iteration order and strips commit in order.
     """
     if engine not in ("compiled", "walk"):
         raise InterpError(f"unknown doall engine {engine!r}")
-    bounds_interp = Interpreter(program, env, value_based=False)
-    start, stop, step = bounds_interp.eval_loop_bounds(loop)
-    values = loop_iteration_values(start, stop, step)
+    if values is None:
+        bounds_interp = Interpreter(program, env, value_based=False)
+        start, stop, step = bounds_interp.eval_loop_bounds(loop)
+        values = loop_iteration_values(start, stop, step)
 
     privates = {
         name: PrivateCopies(name, env.arrays[name], num_procs)

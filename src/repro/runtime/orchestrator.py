@@ -29,13 +29,20 @@ from repro.runtime.doall import finalize_doall, run_doall
 from repro.runtime.inspector import run_inspector_executor
 from repro.runtime.results import ExecutionReport, SerialRun
 from repro.runtime.serial import rerun_loop_serially, run_serial
-from repro.runtime.speculative import run_speculative
+from repro.runtime.speculative import (
+    FixedStripSizer,
+    SpeculationPipeline,
+    run_speculative,
+)
 
 
 class Strategy(Enum):
     SERIAL = "serial"
     SPECULATIVE = "speculative"
     INSPECTOR = "inspector"
+    #: strip-mined speculation: windowed LRPD with incremental commit
+    #: and bounded rollback (see :class:`SpeculationPipeline`).
+    STRIPPED = "stripped"
 
 
 @dataclass
@@ -57,6 +64,14 @@ class RunConfig:
     #: marking) or "walk" (the reference tree walker).  Bit-identical
     #: results; "walk" is kept for ablation and equivalence testing.
     engine: str = "compiled"
+    #: iterations per strip for :attr:`Strategy.STRIPPED`.  ``None``
+    #: degenerates to one whole-loop strip — the report is bit-identical
+    #: to :attr:`Strategy.SPECULATIVE` (the path is delegated wholesale).
+    strip_size: int | None = None
+    #: let the strip sizer grow on consecutive passes and shrink on
+    #: failures (:class:`repro.runtime.adaptive.AdaptiveStripSizer`);
+    #: ``strip_size`` then seeds the initial size.
+    adaptive_strip_sizing: bool = False
 
     def with_procs(self, p: int) -> "RunConfig":
         import dataclasses
@@ -81,17 +96,17 @@ class LoopRunner:
 
     # -- reference -----------------------------------------------------------
 
-    def serial_run(self, model: CostModel) -> SerialRun:
-        """The serial reference execution (cached per machine).
+    def serial_run(self, model: CostModel, engine: str = "compiled") -> SerialRun:
+        """The serial reference execution (cached per machine and engine).
 
-        Uses the closure-compiled engine — property-tested to be state-
-        and count-identical to the tree walker, at roughly half the wall
-        clock.
+        ``engine`` honors :attr:`RunConfig.engine`; the engines are
+        property-tested to be state- and count-identical, so the choice
+        only affects wall clock, not any simulated quantity.
         """
-        key = f"{model.name}"
+        key = f"{model.name}:{engine}"
         if key not in self._serial_runs:
             self._serial_runs[key] = run_serial(
-                self.program, self.inputs, model, loop=self.loop, engine="compiled"
+                self.program, self.inputs, model, loop=self.loop, engine=engine
             )
         return self._serial_runs[key]
 
@@ -104,6 +119,8 @@ class LoopRunner:
             return self._run_serial(config)
         if strategy is Strategy.SPECULATIVE:
             return self._run_speculative(config)
+        if strategy is Strategy.STRIPPED:
+            return self._run_stripped(config)
         if strategy is Strategy.INSPECTOR:
             return self._run_inspector(config)
         raise SpeculationError(f"unknown strategy {strategy!r}")
@@ -120,7 +137,7 @@ class LoopRunner:
         interp.exec_block(self._after)
 
     def _run_serial(self, config: RunConfig) -> ExecutionReport:
-        reference = self.serial_run(config.model)
+        reference = self.serial_run(config.model, config.engine)
         times = TimeBreakdown(serial_rerun=reference.loop_time)
         return ExecutionReport(
             strategy=Strategy.SERIAL.value,
@@ -133,28 +150,34 @@ class LoopRunner:
             env=reference.env,
         )
 
+    def _refuse_serially(
+        self, env: Environment, sim: DoallSimulator, config: RunConfig,
+        reference: SerialRun,
+    ) -> ExecutionReport:
+        """A loop-carried scalar blocks any doall execution: the
+        framework does not even attempt speculation."""
+        serial_interp = Interpreter(self.program, env, value_based=False)
+        serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
+        self._finish(env)
+        return ExecutionReport(
+            strategy=Strategy.SERIAL.value,
+            machine=config.model.name,
+            procs=sim.num_procs,
+            passed=None,
+            test_result=None,
+            times=TimeBreakdown(serial_rerun=serial_time),
+            serial_loop_time=reference.loop_time,
+            env=env,
+            stats={"refused": 1.0},
+        )
+
     def _run_speculative(self, config: RunConfig) -> ExecutionReport:
         sim = DoallSimulator(config.model, config.schedule)
         env, _setup = self._env_at_loop_entry(config.model)
-        reference = self.serial_run(config.model)
+        reference = self.serial_run(config.model, config.engine)
 
         if not self.plan.parallelizable_scalars:
-            # A loop-carried scalar blocks any doall execution: the
-            # framework does not even attempt speculation.
-            serial_interp = Interpreter(self.program, env, value_based=False)
-            serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
-            self._finish(env)
-            return ExecutionReport(
-                strategy=Strategy.SERIAL.value,
-                machine=config.model.name,
-                procs=sim.num_procs,
-                passed=None,
-                test_result=None,
-                times=TimeBreakdown(serial_rerun=serial_time),
-                serial_loop_time=reference.loop_time,
-                env=env,
-                stats={"refused": 1.0},
-            )
+            return self._refuse_serially(env, sim, config, reference)
 
         reused = False
         signature = None
@@ -198,6 +221,61 @@ class LoopRunner:
             env=env,
             reused_schedule=reused,
             stats=outcome.stats,
+        )
+
+    def _run_stripped(self, config: RunConfig) -> ExecutionReport:
+        """Strip-mined speculation (windowed LRPD, incremental commit)."""
+        if config.strip_size is None and not config.adaptive_strip_sizing:
+            # Degenerate configuration: one strip covering the whole loop
+            # *is* the unstripped protocol — delegate wholesale so every
+            # simulated quantity stays bit-identical to SPECULATIVE.
+            return self._run_speculative(config)
+        sim = DoallSimulator(config.model, config.schedule)
+        env, _setup = self._env_at_loop_entry(config.model)
+        reference = self.serial_run(config.model, config.engine)
+
+        if not self.plan.parallelizable_scalars:
+            return self._refuse_serially(env, sim, config, reference)
+
+        if config.adaptive_strip_sizing:
+            # Imported lazily: adaptive.py imports this module at top level.
+            from repro.runtime.adaptive import AdaptiveStripSizer
+
+            sizer = AdaptiveStripSizer(
+                initial_size=config.strip_size or AdaptiveStripSizer.DEFAULT_INITIAL
+            )
+        else:
+            sizer = FixedStripSizer(config.strip_size)
+        pipeline = SpeculationPipeline(
+            self.program,
+            self.loop,
+            env,
+            self.plan,
+            sim,
+            sizer=sizer,
+            test_mode=config.test_mode,
+            granularity=config.granularity,
+            schedule=config.schedule,
+            dynamic_last_value=config.dynamic_last_value,
+            directional=config.directional,
+            eager=config.eager_failure_detection,
+            engine=config.engine,
+            marker=self._spec_marker,
+        )
+        outcome = pipeline.run()
+        self._spec_marker = outcome.marker
+        self._finish(env)
+        return ExecutionReport(
+            strategy=Strategy.STRIPPED.value,
+            machine=config.model.name,
+            procs=sim.num_procs,
+            passed=outcome.result.passed,
+            test_result=outcome.result,
+            times=outcome.times,
+            serial_loop_time=reference.loop_time,
+            env=env,
+            stats=outcome.stats,
+            strips=outcome.strips,
         )
 
     def _run_from_cached(
@@ -250,7 +328,7 @@ class LoopRunner:
     def _run_inspector(self, config: RunConfig) -> ExecutionReport:
         sim = DoallSimulator(config.model, config.schedule)
         env, _setup = self._env_at_loop_entry(config.model)
-        reference = self.serial_run(config.model)
+        reference = self.serial_run(config.model, config.engine)
         outcome = run_inspector_executor(
             self.program,
             self.loop,

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from repro.core.outcomes import LrpdResult
 from repro.interp.costs import IterationCost
 from repro.interp.env import Environment
-from repro.machine.stats import TimeBreakdown
+from repro.machine.stats import StripRecord, TimeBreakdown
 
 
 @dataclass
@@ -26,7 +26,7 @@ class SerialRun:
 class ExecutionReport:
     """Outcome of running the target loop under one strategy."""
 
-    strategy: str                 # serial | speculative | inspector
+    strategy: str                 # serial | speculative | stripped | inspector
     machine: str
     procs: int
     passed: bool | None           # None when no test ran
@@ -36,6 +36,8 @@ class ExecutionReport:
     env: Environment
     reused_schedule: bool = False
     stats: dict[str, float] = field(default_factory=dict)
+    #: per-strip records of a strip-mined execution (empty otherwise).
+    strips: list[StripRecord] = field(default_factory=list)
 
     @property
     def loop_time(self) -> float:
@@ -51,7 +53,11 @@ class ExecutionReport:
 
     def describe(self) -> str:
         test = self.test_result.describe() if self.test_result else "no test"
+        strips = ""
+        if self.strips:
+            failed = sum(1 for s in self.strips if not s.passed)
+            strips = f", {len(self.strips)} strips ({failed} rolled back)"
         return (
             f"{self.strategy} on {self.machine} (p={self.procs}): "
-            f"speedup {self.speedup:.2f} ({test})"
+            f"speedup {self.speedup:.2f} ({test}{strips})"
         )

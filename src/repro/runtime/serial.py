@@ -114,6 +114,34 @@ def _run_serial_compiled(program, env, model, loop, before, after) -> SerialRun:
     )
 
 
+def rerun_values_serially(
+    interp: Interpreter,
+    loop: Do,
+    values: list[int],
+    step: int,
+    model: CostModel,
+) -> tuple[float, list[IterationCost]]:
+    """Serially re-execute one *strip* of the target loop after a
+    strip-local rollback.
+
+    Unlike :func:`rerun_loop_serially` the loop bounds are not
+    re-evaluated — the strip pipeline already knows the iteration values
+    it speculated over — so only the executed iterations are charged.
+    ``step`` positions the loop variable past the strip, exactly where
+    a serial execution of those iterations would leave it.
+    """
+    cost = CostCounter()
+    previous = interp.cost
+    interp.cost = cost
+    for value in values:
+        interp.exec_iteration(loop, value)
+    if values:
+        interp.env.set_scalar(loop.var, values[-1] + step)
+    interp.cost = previous
+    iteration_costs = list(cost.iteration_costs)
+    return sum(model.iteration_cycles(c) for c in iteration_costs), iteration_costs
+
+
 def rerun_loop_serially(
     interp: Interpreter,
     loop: Do,

@@ -1,19 +1,34 @@
-"""Speculative execution strategy (the paper's §III protocol).
+"""Speculative execution strategies (the paper's §III protocol and the
+strip-mined R-LRPD-style pipeline).
 
-Checkpoint → marked doall (with privatization and reduction transforms
+:func:`run_speculative` is the paper's all-or-nothing protocol:
+checkpoint → marked doall (with privatization and reduction transforms
 applied speculatively) → LRPD analysis → on pass, merge private state; on
 fail, restore the checkpoint and re-execute serially.  The paper's key
 property holds by construction: a failed speculation costs roughly the
 serial execution plus the (parallelizable) attempt and rollback overhead.
+
+:class:`SpeculationPipeline` strip-mines that protocol: the iteration
+space is partitioned into strips that are speculated, tested and
+*committed* one at a time, in serial order.  A failed strip rolls back
+and re-executes only itself serially before speculation resumes, so
+misspeculation loss is bounded by one strip and loops that are only
+*partially* parallel (a dependence cluster somewhere in the iteration
+space) still extract speedup from their parallel regions — the
+R-LRPD-style sliding commit later work built on the paper's protocol.
+Cross-strip dependences need no test at all: strips commit in serial
+order, so a later strip always reads earlier strips' committed values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.analysis.instrument import InstrumentationPlan
 from repro.core.checkpoint import Checkpoint
-from repro.core.lrpd import analyze_shadows
+from repro.core.lrpd import StripAggregator, analyze_shadows
 from repro.core.outcomes import LrpdResult, TestMode
 from repro.core.shadow import Granularity, ShadowMarker
 from repro.dsl.ast_nodes import Do, Program
@@ -22,9 +37,13 @@ from repro.interp.env import Environment
 from repro.interp.interpreter import Interpreter
 from repro.machine.schedule import ScheduleKind
 from repro.machine.simulator import DoallSimulator
-from repro.machine.stats import TimeBreakdown
+from repro.machine.stats import StripRecord, TimeBreakdown
 from repro.runtime.doall import DoallRun, finalize_doall, run_doall
-from repro.runtime.serial import rerun_loop_serially
+from repro.runtime.serial import (
+    loop_iteration_values,
+    rerun_loop_serially,
+    rerun_values_serially,
+)
 
 
 @dataclass
@@ -72,11 +91,13 @@ def run_speculative(
     times = TimeBreakdown()
     stats: dict[str, float] = {}
 
-    protected = set(plan.checkpoint_arrays) | set(plan.tested_arrays) | set(
-        plan.reduction_arrays
-    )
+    # Scope the checkpoint to the arrays the instrumentation plan marks
+    # as written (tested and reduction arrays are written arrays too, so
+    # they stay covered) — arrays the loop only reads are never saved.
+    protected = set(plan.checkpoint_arrays)
     checkpoint = Checkpoint(env, protected)
     times.checkpoint = sim.checkpoint_time(checkpoint.elements_saved)
+    stats["checkpoint_elements"] = float(checkpoint.elements_saved)
 
     shadow_sizes = {name: env.array_size(name) for name in plan.tested_arrays}
     eager_enabled = (
@@ -147,3 +168,285 @@ def run_speculative(
         times.serial_rerun = serial_time
 
     return SpeculativeOutcome(result=result, times=times, run=run, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Strip-mined speculation
+# ---------------------------------------------------------------------------
+
+
+class FixedStripSizer:
+    """The trivial strip-sizing policy: every strip has the same size."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise SpeculationError("strip size must be >= 1")
+        self.size = size
+
+    def next_size(self) -> int:
+        return self.size
+
+    def record(self, passed: bool) -> None:  # noqa: ARG002 - policy hook
+        return None
+
+
+@dataclass
+class PipelineOutcome:
+    """What one strip-mined execution produced."""
+
+    #: aggregate whole-loop verdict (see :class:`StripAggregator`):
+    #: ``passed`` means no strip needed its rollback.
+    result: LrpdResult
+    #: field-wise sum of the per-strip breakdowns.
+    times: TimeBreakdown
+    #: per-strip accounting, in commit order.
+    strips: list[StripRecord] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+    #: the (recyclable) shadow marker of the last strip.
+    marker: ShadowMarker | None = None
+
+
+class SpeculationPipeline:
+    """Windowed LRPD: speculate, test and commit one strip at a time.
+
+    Each strip runs the full protocol of :func:`run_speculative` over its
+    slice of the iteration space, with three strip-scoped twists:
+
+    * the checkpoint saves only the state the strip's doall can write *in
+      place*: written arrays that are neither privatized (tested) nor
+      reduction-transformed — those two classes buffer their speculative
+      writes in private copies / partial accumulators and touch shared
+      storage only during the post-test commit, so a failed strip leaves
+      them untouched;
+    * the per-strip analysis and the between-strip shadow reset are
+      priced over the strip's *touched* elements (a touched-element list
+      maintained while marking), not the full shadow size;
+    * on a pass the strip commits immediately (reduction merge, dynamic
+      last-value copy-out, live-out scalars), on a fail it restores the
+      strip checkpoint and re-executes *only its own iterations*
+      serially — then speculation resumes with the next strip.
+
+    Strips commit in serial order, so a dependence whose source and sink
+    fall into different strips is honored without ever being tested:
+    the sink's strip reads the committed value.  Only intra-strip
+    dependences can fail a strip, which is what bounds misspeculation
+    loss to one strip and makes partially parallel loops profitable.
+
+    The shadow marker is recycled across strips (reset in place), and the
+    per-strip privatization copy-in re-reads the committed shared state,
+    which is exactly the copy-in semantics the paper's privatization
+    defines.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        loop: Do,
+        env: Environment,
+        plan: InstrumentationPlan,
+        sim: DoallSimulator,
+        *,
+        sizer: FixedStripSizer,
+        test_mode: TestMode = TestMode.LRPD,
+        granularity: Granularity = Granularity.ITERATION,
+        schedule: ScheduleKind = ScheduleKind.BLOCK,
+        dynamic_last_value: bool = True,
+        directional: bool = True,
+        eager: bool = False,
+        engine: str = "compiled",
+        marker: ShadowMarker | None = None,
+    ):
+        if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
+            raise SpeculationError(
+                "the processor-wise test requires block scheduling (granule "
+                "numbering must follow serial order)"
+            )
+        self.program = program
+        self.loop = loop
+        self.env = env
+        self.plan = plan
+        self.sim = sim
+        self.sizer = sizer
+        self.test_mode = test_mode
+        self.granularity = granularity
+        self.schedule = schedule
+        self.dynamic_last_value = dynamic_last_value
+        self.directional = directional
+        self.eager = eager
+        self.engine = engine
+        self._marker = marker
+
+    # -- pieces --------------------------------------------------------------
+
+    def _strip_checkpoint_arrays(self) -> set[str]:
+        """Arrays the strip's doall mutates in place (see class docs)."""
+        plan = self.plan
+        return (
+            set(plan.checkpoint_arrays)
+            - set(plan.tested_arrays)
+            - set(plan.reduction_arrays)
+        )
+
+    def _prepare_marker(self, shadow_sizes: dict[str, int], eager_enabled: bool) -> ShadowMarker:
+        marker = self._marker
+        if marker is not None and {
+            name: shadow.size for name, shadow in marker.shadows.items()
+        } == shadow_sizes:
+            marker.reset(self.granularity, eager=eager_enabled)
+        else:
+            marker = ShadowMarker(
+                shadow_sizes, granularity=self.granularity, eager=eager_enabled
+            )
+        return marker
+
+    @staticmethod
+    def _touched_elements(marker: ShadowMarker) -> int:
+        """Distinct elements the strip marked (the touched list's length)."""
+        return sum(
+            int(np.count_nonzero(shadow.w | shadow.r))
+            for shadow in marker.shadows.values()
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> PipelineOutcome:
+        """Run the whole loop; ``env`` must be at loop entry.
+
+        On return ``env`` holds the exact serial post-loop state: passed
+        strips committed their speculative state in order, failed strips
+        were rolled back and re-executed serially in place.
+        """
+        env, plan, sim = self.env, self.plan, self.sim
+        bounds_interp = Interpreter(self.program, env, value_based=False)
+        start, stop, step = bounds_interp.eval_loop_bounds(self.loop)
+        values = loop_iteration_values(start, stop, step)
+
+        shadow_sizes = {name: env.array_size(name) for name in plan.tested_arrays}
+        eager_enabled = (
+            self.eager
+            and self.test_mode is TestMode.LRPD
+            and self.granularity is Granularity.ITERATION
+            and self.directional
+            and self.dynamic_last_value
+        )
+        strip_protected = self._strip_checkpoint_arrays()
+        aggregator = StripAggregator(self.test_mode, self.granularity)
+        strips: list[StripRecord] = []
+        total = TimeBreakdown()
+        stats: dict[str, float] = {
+            "iterations": float(len(values)),
+            "marks": 0.0,
+            "reduction_merged": 0.0,
+            "copied_out": 0.0,
+            "serial_iterations": 0.0,
+            "aborted_strips": 0.0,
+        }
+
+        marker: ShadowMarker | None = None
+        prev_touched = 0
+        pos = 0
+        while pos < len(values):
+            size = max(1, int(self.sizer.next_size()))
+            strip_values = values[pos : pos + size]
+            pos += len(strip_values)
+            times = TimeBreakdown()
+
+            checkpoint = Checkpoint(env, strip_protected)
+            times.checkpoint = sim.checkpoint_time(checkpoint.elements_saved)
+            stats["checkpoint_elements"] = float(checkpoint.elements_saved)
+
+            if marker is None:
+                # First strip: allocate (or recycle a donated marker) and
+                # pay the full shadow initialization, as the unstripped
+                # protocol would.
+                marker = self._prepare_marker(shadow_sizes, eager_enabled)
+                times.shadow_init = sim.shadow_init_time(sum(shadow_sizes.values()))
+            else:
+                marker.reset(self.granularity, eager=eager_enabled)
+                times.shadow_init = sim.strip_reset_time(prev_touched)
+
+            run = run_doall(
+                self.program,
+                self.loop,
+                env,
+                plan,
+                sim.num_procs,
+                marker=marker,
+                value_based=(self.test_mode is TestMode.LRPD),
+                schedule=self.schedule,
+                engine=self.engine,
+                values=strip_values,
+            )
+            times.private_init = sim.private_init_time(
+                sum(p.size for p in run.privates.values())
+            )
+            body, dispatch, barrier = sim.doall_time(
+                run.iteration_costs,
+                assignment=(
+                    None if self.schedule is ScheduleKind.DYNAMIC else run.assignment
+                ),
+            )
+            times.body, times.dispatch, times.barrier = body, dispatch, barrier
+
+            result = analyze_shadows(
+                marker,
+                self.test_mode,
+                dynamic_last_value=self.dynamic_last_value,
+                directional=self.directional,
+            )
+            touched = self._touched_elements(marker)
+            if run.aborted:
+                assert not result.passed, "eager abort must imply a failing analysis"
+                times.analysis = 0.0
+                stats["aborted_strips"] += 1.0
+            else:
+                times.analysis = sim.strip_analysis_time(touched)
+            aggregator.add_strip(marker, result)
+            stats["marks"] += float(sum(c.marks for c in run.iteration_costs))
+
+            if result.passed:
+                finalize = finalize_doall(run, env, plan, self.loop)
+                times.reduction_merge = sim.reduction_merge_time(
+                    finalize.reduction_merged
+                )
+                times.copy_out = sim.copy_out_time(finalize.copied_out)
+                stats["reduction_merged"] += float(finalize.reduction_merged)
+                stats["copied_out"] += float(finalize.copied_out)
+            else:
+                checkpoint.restore()
+                times.restore = sim.restore_time(checkpoint.elements_saved)
+                serial_interp = Interpreter(self.program, env, value_based=False)
+                serial_time, _costs = rerun_values_serially(
+                    serial_interp, self.loop, strip_values, step, sim.model
+                )
+                times.serial_rerun = serial_time
+                stats["serial_iterations"] += float(len(strip_values))
+
+            self.sizer.record(result.passed)
+            strips.append(
+                StripRecord(
+                    index=len(strips),
+                    first_value=strip_values[0],
+                    iterations=len(strip_values),
+                    strip_size=size,
+                    passed=result.passed,
+                    aborted=run.aborted,
+                    times=times,
+                )
+            )
+            total = total.merged_with(times)
+            prev_touched = touched
+
+        if values:
+            # Normalize the loop variable's exit value; per-strip commits
+            # cannot know the step when a strip has a single iteration.
+            env.set_scalar(self.loop.var, values[-1] + step)
+        stats["strips"] = float(aggregator.strips)
+        stats["strips_failed"] = float(aggregator.strips_failed)
+        return PipelineOutcome(
+            result=aggregator.result(),
+            times=total,
+            strips=strips,
+            stats=stats,
+            marker=marker,
+        )

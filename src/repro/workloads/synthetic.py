@@ -11,6 +11,10 @@
 * :func:`build_conditional_dead_reads` — reads whose values are used only
   under a rare condition; separates the value-based LPD marking from the
   reference-based PD marking (ablation A-PD).
+* :func:`build_partial_parallel` — a serial dependence band inside an
+  otherwise parallel loop; the strip-mined pipeline's motivating case
+  (all-or-nothing speculation fails the whole loop, strips only lose the
+  band).
 """
 
 from __future__ import annotations
@@ -300,4 +304,80 @@ end
         ),
         description=f"conditionally used reads, {live_fraction:.0%} live",
         check_arrays=("a", "out"),
+    )
+
+
+def build_partial_parallel(
+    n: int = 400,
+    *,
+    band_start: int | None = None,
+    band_length: int = 24,
+    work: int = 60,
+    seed: int = 0,
+) -> Workload:
+    """A *partially parallel* loop: one serial dependence band in an
+    otherwise fully parallel gather/scatter iteration space.
+
+    Iterations in ``[band_start, band_start + band_length)`` form a
+    serial flow chain — each reads the element the previous one wrote —
+    while every other iteration writes and reads disjoint locations.
+    The all-or-nothing speculative protocol fails the whole loop on the
+    band and falls back to serial (speedup ≤ 1); the strip-mined
+    pipeline only rolls back the strip(s) containing the band and keeps
+    the parallel regions' speedup.  ``work`` fattens each iteration with
+    an inner busy loop so per-strip overheads (checkpoint, barrier,
+    analysis) stay small relative to the body, as in the paper's
+    coarse-grained loops.
+    """
+    if band_length < 2 or band_length > n:
+        raise WorkloadError("need 2 <= band_length <= n")
+    if band_start is None:
+        band_start = (n - band_length) // 2
+    if not (0 <= band_start <= n - band_length):
+        raise WorkloadError("band must fit inside the iteration space")
+    rng = np.random.default_rng(seed)
+    size = 2 * n
+    wloc = rng.permutation(n) + 1            # writes land in [1, n]
+    rloc = rng.integers(n + 1, size + 1, n)  # reads land in (n, 2n]
+    # The band: iteration v (0-based) reads what iteration v-1 wrote.
+    for v in range(band_start + 1, band_start + band_length):
+        rloc[v] = wloc[v - 1]
+    source = f"""
+program partial_parallel
+  integer n, i, k, work
+  real a({size}), src({n})
+  integer wloc({n}), rloc({n})
+  real t
+  do i = 1, n
+    t = src(i)
+    do k = 1, work
+      t = t * 0.999 + 0.001
+    end do
+    t = t + a(rloc(i)) * 0.5
+    a(wloc(i)) = t * t + 1.0
+  end do
+end
+"""
+    return Workload(
+        name=f"SYNTH_PARTIAL_{band_length:03d}of{n}",
+        source=source,
+        inputs={
+            "n": n,
+            "work": work,
+            "wloc": wloc,
+            "rloc": rloc,
+            "a": rng.normal(size=size),
+            "src": rng.normal(size=n),
+        },
+        expectation=PaperExpectation(
+            transforms=(),
+            inspector_extractable=True,
+            test_passes=False,
+            notes="partially parallel: fails whole-loop, profits stripped",
+        ),
+        description=(
+            f"gather/scatter with a {band_length}-iteration serial band "
+            f"at {band_start} (work={work})"
+        ),
+        check_arrays=("a",),
     )
