@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-from conftest import run_once
+from conftest import calibrate, run_once, write_bench_json
 from repro.analysis.instrument import build_plan
 from repro.dsl.parser import parse
 from repro.interp.env import Environment
@@ -117,14 +117,22 @@ def test_engine_speed_speculative(benchmark, artifact):
         return outcome, _env_state(env)
 
     def measure():
+        calibration_s = calibrate()
         walk = _min_wall(lambda: speculative("walk"))
         fast = _min_wall(lambda: speculative("compiled"))
-        return walk, fast
+        return calibration_s, walk, fast
 
-    (walk_wall, (walk_out, walk_env)), (fast_wall, (fast_out, fast_env)) = run_once(
-        benchmark, measure
+    calibration_s, (walk_wall, (walk_out, walk_env)), (fast_wall, (fast_out, fast_env)) = (
+        run_once(benchmark, measure)
     )
     ratio = walk_wall / fast_wall
+
+    write_bench_json(
+        "engine_speed",
+        calibration_s,
+        {"walk_speculative": walk_wall, "compiled_speculative": fast_wall},
+        extra={"walk_over_compiled": ratio},
+    )
 
     artifact(
         "engine_speed_speculative",

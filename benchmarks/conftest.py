@@ -7,11 +7,65 @@ EXPERIMENTS.md references) and asserts the *shape* the paper reports.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Machine-speed yardstick: best-of wall clock of a fixed CPU spin.
+
+    ``BENCH_*.json`` files store every measured wall time normalized by
+    this, so the CI regression gate compares machine-portable ratios
+    instead of absolute seconds from whatever runner it landed on.
+    """
+
+    def spin() -> int:
+        acc = 0
+        for i in range(1_500_000):
+            acc += i ^ (i >> 3)
+        return acc
+
+    best = None
+    for _ in range(rounds):
+        begin = time.perf_counter()
+        spin()
+        elapsed = time.perf_counter() - begin
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def write_bench_json(
+    name: str,
+    calibration_s: float,
+    entries: dict[str, float],
+    extra: dict | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` (the regression gate's input).
+
+    ``entries`` maps measurement keys to wall-clock seconds; each is
+    stored with its calibration-normalized ratio, which is what
+    ``check_regression.py`` compares against the checked-in baseline.
+    """
+    ARTIFACTS.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "calibration_s": calibration_s,
+        "entries": {
+            key: {"wall_s": wall, "normalized": wall / calibration_s}
+            for key, wall in entries.items()
+        },
+    }
+    if extra:
+        payload.update(extra)
+    path = ARTIFACTS / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

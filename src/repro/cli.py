@@ -57,8 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--test-mode", choices=[m.value for m in TestMode], default="lrpd"
     )
     run.add_argument(
-        "--engine", choices=["compiled", "walk"], default="compiled",
-        help="doall iteration executor (walk = reference tree walker)",
+        "--engine", choices=["compiled", "walk", "parallel"], default="compiled",
+        help="doall iteration executor (walk = reference tree walker, "
+        "parallel = real worker processes with shared-memory shadows)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --engine parallel "
+        "(default: one per usable core)",
     )
     run.add_argument(
         "--strip-size", type=int, default=None, metavar="N",
@@ -159,6 +165,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         granularity=Granularity(args.granularity),
         test_mode=TestMode(args.test_mode),
         engine=args.engine,
+        workers=args.workers,
         strip_size=args.strip_size,
         adaptive_strip_sizing=args.adaptive_strips,
     )
@@ -177,6 +184,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("phase breakdown (cycles):")
     for phase, cycles in report.times.nonzero_phases().items():
         print(f"  {phase:16s} {cycles:14.1f}")
+    if report.wall is not None and report.wall.total() > 0.0:
+        print(f"measured wall clock (s, engine={args.engine}):")
+        for phase, seconds in report.wall.as_dict().items():
+            if seconds > 0.0:
+                print(f"  {phase:16s} {seconds:14.6f}")
     if report.strips:
         print("strips (index, first value, iters, outcome, cycles):")
         for s in report.strips:

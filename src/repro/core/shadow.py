@@ -23,6 +23,7 @@ by the machine model (see :mod:`repro.machine.simulator`).
 from __future__ import annotations
 
 from enum import Enum
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -63,6 +64,24 @@ class _StagedBatch:
     def __init__(self, **values: object):
         for name, value in values.items():
             setattr(self, name, value)
+
+
+#: the ten per-element shadow buffers of a :class:`ShadowArray`, with
+#: their dtypes — the layout contract of buffer-backed construction
+#: (:meth:`ShadowArray.from_buffers`) and of the shared-memory arena the
+#: multiprocess backend maps worker shadows into.
+SHADOW_FIELDS: tuple[tuple[str, type], ...] = (
+    ("w", np.bool_),
+    ("r", np.bool_),
+    ("np_", np.bool_),
+    ("nx", np.bool_),
+    ("redux_touched", np.bool_),
+    ("multi_w", np.bool_),
+    ("_redux_op", np.int8),
+    ("_last_write", np.int64),
+    ("_min_write", np.int64),
+    ("_max_exposed_read", np.int64),
+)
 
 
 class ShadowArray:
@@ -411,6 +430,84 @@ class ShadowArray:
         """Per-element granule of the last write (-1 if never written)."""
         return self._last_write
 
+    @classmethod
+    def from_buffers(
+        cls,
+        name: str,
+        size: int,
+        buffers: Mapping[str, np.ndarray],
+        *,
+        eager: bool = False,
+    ) -> "ShadowArray":
+        """Build a shadow whose per-element state lives in caller-owned
+        buffers (e.g. ``multiprocessing.shared_memory`` views).
+
+        ``buffers`` must provide one array per :data:`SHADOW_FIELDS` entry,
+        each of length ``size`` and the declared dtype.  The buffers are
+        adopted as-is (no copy) and immediately :meth:`reset`, so a worker
+        process marking into them exposes its shadow state to the parent
+        without any serialization.
+        """
+        shadow = cls.__new__(cls)
+        shadow.name = name
+        shadow.size = size
+        for field, dtype in SHADOW_FIELDS:
+            buf = buffers[field]
+            if buf.shape != (size,) or buf.dtype != np.dtype(dtype):
+                raise ValueError(
+                    f"shadow buffer {field!r} of {name!r}: expected "
+                    f"({size},) {np.dtype(dtype)}, got {buf.shape} {buf.dtype}"
+                )
+            setattr(shadow, field, buf)
+        shadow.tw = 0
+        shadow.reset(eager=eager)
+        return shadow
+
+    def merge_from(self, parts: "Iterable[ShadowArray]") -> None:
+        """The paper's cross-processor shadow merge, folded into ``self``.
+
+        Each worker of the multiprocess backend marks into its own shadow
+        set; afterwards the per-processor shadows are combined exactly as
+        §III's parallel analysis phase prescribes — OR/union of the mark
+        bits, sum of ``tw`` (granules partition across workers, so the
+        per-(element, granule) write counts are disjoint), min/max of the
+        directional granule stamps.  ``self`` must be freshly reset; the
+        merged state is bit-identical to single-shadow marking for every
+        analysis-phase quantity (masks, ``tw``/``tm``, flow stamps).
+
+        Two fields are execution-order artifacts consumed only *during*
+        marking and are merged canonically rather than replaying the
+        emulated interleaving: ``_last_write`` becomes the serial-order
+        last writer (elementwise max), and ``_redux_op`` keeps the first
+        operator in worker order — any cross-worker operator disagreement
+        invalidates the element (``nx``), exactly as a second operator
+        would under single-shadow marking.
+        """
+        write_counts = np.zeros(self.size, dtype=np.int64)
+        for part in parts:
+            np.logical_or(self.w, part.w, out=self.w)
+            np.logical_or(self.r, part.r, out=self.r)
+            np.logical_or(self.np_, part.np_, out=self.np_)
+            np.logical_or(self.nx, part.nx, out=self.nx)
+            np.logical_or(self.redux_touched, part.redux_touched,
+                          out=self.redux_touched)
+            np.logical_or(self.multi_w, part.multi_w, out=self.multi_w)
+            np.minimum(self._min_write, part._min_write, out=self._min_write)
+            np.maximum(self._max_exposed_read, part._max_exposed_read,
+                       out=self._max_exposed_read)
+            np.maximum(self._last_write, part._last_write, out=self._last_write)
+            write_counts += part._last_write != -1
+            self.tw += part.tw
+            part_op = part._redux_op
+            touched = part_op != 0
+            conflict = touched & (self._redux_op != 0) & (self._redux_op != part_op)
+            np.logical_or(self.nx, conflict, out=self.nx)
+            np.copyto(self._redux_op, part_op,
+                      where=(self._redux_op == 0) & touched)
+        # An element written (markwrite) by granules on >= 2 workers is
+        # multiply written even when no single worker saw both writes.
+        np.logical_or(self.multi_w, write_counts >= 2, out=self.multi_w)
+
 
 class ShadowMarker:
     """The run-time marking library: an AccessObserver over shadow arrays.
@@ -435,6 +532,21 @@ class ShadowMarker:
         self.cost = cost if cost is not None else CostCounter()
         self.granularity = granularity
         self.granule = 0
+
+    @classmethod
+    def from_shadows(
+        cls,
+        shadows: dict[str, ShadowArray],
+        granularity: Granularity = Granularity.ITERATION,
+    ) -> "ShadowMarker":
+        """A marker over pre-built shadows (e.g. buffer-backed worker
+        shadows of the multiprocess backend) — no allocation."""
+        marker = cls.__new__(cls)
+        marker.shadows = shadows
+        marker.cost = CostCounter()
+        marker.granularity = granularity
+        marker.granule = 0
+        return marker
 
     def set_granule(self, granule: int) -> None:
         self.granule = granule

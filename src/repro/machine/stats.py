@@ -49,6 +49,38 @@ class TimeBreakdown:
 
 
 @dataclass
+class WallClock:
+    """Measured wall-clock seconds of one strategy execution, by phase.
+
+    The *simulated* cycles in :class:`TimeBreakdown` price the modeled
+    multiprocessor; these are real ``perf_counter`` durations of the
+    host execution, recorded so the measured speedup of the multiprocess
+    backend (``engine="parallel"``) can be reported next to — never
+    mixed into — the simulated numbers.  The doall phase includes
+    shadow/private initialization and, for the parallel engine, task
+    dispatch and the cross-processor shadow merge.
+    """
+
+    checkpoint: float = 0.0
+    doall: float = 0.0
+    analysis: float = 0.0
+    commit: float = 0.0       # reduction merge + copy-out + scalar fold
+    rollback: float = 0.0     # restore + serial re-execution
+
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def merged_with(self, other: "WallClock") -> "WallClock":
+        out = WallClock()
+        for f in fields(WallClock):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
 class StripRecord:
     """Per-strip accounting of one strip-mined speculative execution.
 

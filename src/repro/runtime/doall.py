@@ -80,6 +80,8 @@ def run_doall(
     schedule: ScheduleKind = ScheduleKind.BLOCK,
     engine: str = "compiled",
     values: list[int] | None = None,
+    workers: int | None = None,
+    pool=None,
 ) -> DoallRun:
     """Execute the target loop as an emulated doall.
 
@@ -92,9 +94,16 @@ def run_doall(
 
     ``engine`` selects the iteration executor: ``"compiled"`` (the
     closure-compiled speculative engine with batched marking,
-    :mod:`repro.interp.compiled_spec`) or ``"walk"`` (the per-access
-    instrumented tree walker).  Both produce bit-identical state, costs
-    and shadow marks.
+    :mod:`repro.interp.compiled_spec`), ``"walk"`` (the per-access
+    instrumented tree walker), or ``"parallel"`` (real worker processes
+    with shared-memory shadow sets and the paper's cross-processor
+    merge, :mod:`repro.runtime.parallel_backend`).  All produce
+    bit-identical state, costs and shadow marks on completed runs.
+
+    ``workers``/``pool`` apply to the parallel engine only: a real
+    process count (default: one per usable core) or a persistent
+    :class:`~repro.runtime.parallel_backend.WorkerPool` to reuse across
+    strips.
 
     ``values`` overrides the iteration values to execute — the
     strip-mined pipeline passes one strip of the loop's iteration space
@@ -104,8 +113,17 @@ def run_doall(
     preserve serial order because each strip's positions follow its
     serial iteration order and strips commit in order.
     """
-    if engine not in ("compiled", "walk"):
+    if engine not in ("compiled", "walk", "parallel"):
         raise InterpError(f"unknown doall engine {engine!r}")
+    if engine == "parallel":
+        # Imported lazily: the backend imports DoallRun from this module.
+        from repro.runtime.parallel_backend import run_parallel_doall
+
+        return run_parallel_doall(
+            program, loop, env, plan, num_procs,
+            marker=marker, value_based=value_based, schedule=schedule,
+            values=values, workers=workers, pool=pool,
+        )
     if values is None:
         bounds_interp = Interpreter(program, env, value_based=False)
         start, stop, step = bounds_interp.eval_loop_bounds(loop)

@@ -184,12 +184,14 @@ def run_inspector_executor(
     dynamic_last_value: bool = True,
     directional: bool = True,
     engine: str = "compiled",
+    workers: int | None = None,
 ) -> InspectorOutcome:
     """Inspector → test → (parallel executor | serial loop).
 
-    ``engine`` selects the executor-phase doall engine; the marking
-    inspector itself always runs the sliced tree walker (it executes only
-    the address/control slice, which the compiler does not handle).
+    ``engine`` selects the executor-phase doall engine (``workers`` is
+    its process count when ``"parallel"``); the marking inspector itself
+    always runs the sliced tree walker (it executes only the
+    address/control slice, which the compiler does not handle).
     """
     times = TimeBreakdown()
     stats: dict[str, float] = {}
@@ -218,6 +220,7 @@ def run_inspector_executor(
         run = run_doall(
             program, loop, env, plan, sim.num_procs,
             marker=None, value_based=False, schedule=schedule, engine=engine,
+            workers=workers,
         )
         times.private_init = sim.private_init_time(
             sum(p.size for p in run.privates.values())

@@ -61,9 +61,16 @@ class RunConfig:
     #: iteration-wise directional LRPD configuration.
     eager_failure_detection: bool = False
     #: doall iteration executor: "compiled" (closure-compiled, batched
-    #: marking) or "walk" (the reference tree walker).  Bit-identical
-    #: results; "walk" is kept for ablation and equivalence testing.
+    #: marking), "walk" (the reference tree walker), or "parallel" (real
+    #: worker processes with shared-memory shadows,
+    #: :mod:`repro.runtime.parallel_backend`).  Bit-identical results;
+    #: "walk" is kept for ablation and equivalence testing.
     engine: str = "compiled"
+    #: real worker processes for ``engine="parallel"`` (None: one per
+    #: usable core).  Independent of the *simulated* processor count in
+    #: :attr:`model` — workers are an execution resource, processors are
+    #: what the cost model prices.
+    workers: int | None = None
     #: iterations per strip for :attr:`Strategy.STRIPPED`.  ``None``
     #: degenerates to one whole-loop strip — the report is bit-identical
     #: to :attr:`Strategy.SPECULATIVE` (the path is delegated wholesale).
@@ -101,8 +108,12 @@ class LoopRunner:
 
         ``engine`` honors :attr:`RunConfig.engine`; the engines are
         property-tested to be state- and count-identical, so the choice
-        only affects wall clock, not any simulated quantity.
+        only affects wall clock, not any simulated quantity.  The serial
+        reference has no doall for the parallel backend to shard, so
+        ``"parallel"`` maps to the compiled executor here.
         """
+        if engine == "parallel":
+            engine = "compiled"
         key = f"{model.name}:{engine}"
         if key not in self._serial_runs:
             self._serial_runs[key] = run_serial(
@@ -205,6 +216,7 @@ class LoopRunner:
             eager=config.eager_failure_detection,
             engine=config.engine,
             marker=self._spec_marker,
+            workers=config.workers,
         )
         self._spec_marker = outcome.run.marker
         if config.use_schedule_cache:
@@ -221,6 +233,7 @@ class LoopRunner:
             env=env,
             reused_schedule=reused,
             stats=outcome.stats,
+            wall=outcome.wall,
         )
 
     def _run_stripped(self, config: RunConfig) -> ExecutionReport:
@@ -261,6 +274,7 @@ class LoopRunner:
             eager=config.eager_failure_detection,
             engine=config.engine,
             marker=self._spec_marker,
+            workers=config.workers,
         )
         outcome = pipeline.run()
         self._spec_marker = outcome.marker
@@ -276,6 +290,7 @@ class LoopRunner:
             env=env,
             stats=outcome.stats,
             strips=outcome.strips,
+            wall=outcome.wall,
         )
 
     def _run_from_cached(
@@ -292,7 +307,7 @@ class LoopRunner:
             run = run_doall(
                 self.program, self.loop, env, self.plan, sim.num_procs,
                 marker=None, value_based=False, schedule=config.schedule,
-                engine=config.engine,
+                engine=config.engine, workers=config.workers,
             )
             times.private_init = sim.private_init_time(
                 sum(p.size for p in run.privates.values())
@@ -340,6 +355,7 @@ class LoopRunner:
             dynamic_last_value=config.dynamic_last_value,
             directional=config.directional,
             engine=config.engine,
+            workers=config.workers,
         )
         self._finish(env)
         return ExecutionReport(

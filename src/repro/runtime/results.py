@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from repro.core.outcomes import LrpdResult
 from repro.interp.costs import IterationCost
 from repro.interp.env import Environment
-from repro.machine.stats import StripRecord, TimeBreakdown
+from repro.machine.stats import StripRecord, TimeBreakdown, WallClock
 
 
 @dataclass
@@ -38,6 +38,10 @@ class ExecutionReport:
     stats: dict[str, float] = field(default_factory=dict)
     #: per-strip records of a strip-mined execution (empty otherwise).
     strips: list[StripRecord] = field(default_factory=list)
+    #: measured wall-clock phase durations (None when not recorded);
+    #: real seconds, reported alongside — never mixed into — the
+    #: simulated cycle accounting above.
+    wall: WallClock | None = None
 
     @property
     def loop_time(self) -> float:

@@ -22,6 +22,7 @@ order, so a later strip always reads earlier strips' committed values.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,7 +38,7 @@ from repro.interp.env import Environment
 from repro.interp.interpreter import Interpreter
 from repro.machine.schedule import ScheduleKind
 from repro.machine.simulator import DoallSimulator
-from repro.machine.stats import StripRecord, TimeBreakdown
+from repro.machine.stats import StripRecord, TimeBreakdown, WallClock
 from repro.runtime.doall import DoallRun, finalize_doall, run_doall
 from repro.runtime.serial import (
     loop_iteration_values,
@@ -54,6 +55,9 @@ class SpeculativeOutcome:
     times: TimeBreakdown
     run: DoallRun
     stats: dict[str, float]
+    #: measured wall-clock seconds per phase (real host time, recorded
+    #: for every engine; the interesting one is ``engine="parallel"``).
+    wall: WallClock = field(default_factory=WallClock)
 
 
 def run_speculative(
@@ -71,6 +75,8 @@ def run_speculative(
     eager: bool = False,
     engine: str = "compiled",
     marker: ShadowMarker | None = None,
+    workers: int | None = None,
+    pool=None,
 ) -> SpeculativeOutcome:
     """Run the full speculative protocol; ``env`` must be at loop entry.
 
@@ -78,10 +84,12 @@ def run_speculative(
     outcome (merged on pass, restored + serially recomputed on fail).
 
     ``engine`` selects the doall iteration executor (see
-    :func:`repro.runtime.doall.run_doall`).  ``marker`` optionally recycles
-    a previous attempt's shadow buffers (reset in place instead of
-    reallocating seven numpy arrays per tested array); it must have been
-    built for the same tested arrays and sizes, else a fresh one is made.
+    :func:`repro.runtime.doall.run_doall`); ``workers``/``pool`` are the
+    parallel engine's real process count / persistent worker pool.
+    ``marker`` optionally recycles a previous attempt's shadow buffers
+    (reset in place instead of reallocating seven numpy arrays per
+    tested array); it must have been built for the same tested arrays
+    and sizes, else a fresh one is made.
     """
     if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
         raise SpeculationError(
@@ -89,13 +97,16 @@ def run_speculative(
             "numbering must follow serial order)"
         )
     times = TimeBreakdown()
+    wall = WallClock()
     stats: dict[str, float] = {}
 
     # Scope the checkpoint to the arrays the instrumentation plan marks
     # as written (tested and reduction arrays are written arrays too, so
     # they stay covered) — arrays the loop only reads are never saved.
+    tick = time.perf_counter()
     protected = set(plan.checkpoint_arrays)
     checkpoint = Checkpoint(env, protected)
+    wall.checkpoint = time.perf_counter() - tick
     times.checkpoint = sim.checkpoint_time(checkpoint.elements_saved)
     stats["checkpoint_elements"] = float(checkpoint.elements_saved)
 
@@ -117,6 +128,7 @@ def run_speculative(
         )
     times.shadow_init = sim.shadow_init_time(sum(shadow_sizes.values()))
 
+    tick = time.perf_counter()
     run = run_doall(
         program,
         loop,
@@ -127,7 +139,10 @@ def run_speculative(
         value_based=(test_mode is TestMode.LRPD),
         schedule=schedule,
         engine=engine,
+        workers=workers,
+        pool=pool,
     )
+    wall.doall = time.perf_counter() - tick
     times.private_init = sim.private_init_time(
         sum(p.size for p in run.privates.values())
     )
@@ -137,12 +152,14 @@ def run_speculative(
     )
     times.body, times.dispatch, times.barrier = body, dispatch, barrier
 
+    tick = time.perf_counter()
     result = analyze_shadows(
         marker,
         test_mode,
         dynamic_last_value=dynamic_last_value,
         directional=directional,
     )
+    wall.analysis = time.perf_counter() - tick
     if run.aborted:
         # On-the-fly detection already decided: no analysis phase runs.
         assert not result.passed, "eager abort must imply a failing analysis"
@@ -155,19 +172,25 @@ def run_speculative(
     stats["iterations"] = float(run.num_iterations)
 
     if result.passed:
+        tick = time.perf_counter()
         finalize = finalize_doall(run, env, plan, loop)
+        wall.commit = time.perf_counter() - tick
         times.reduction_merge = sim.reduction_merge_time(finalize.reduction_merged)
         times.copy_out = sim.copy_out_time(finalize.copied_out)
         stats["reduction_merged"] = float(finalize.reduction_merged)
         stats["copied_out"] = float(finalize.copied_out)
     else:
+        tick = time.perf_counter()
         checkpoint.restore()
         times.restore = sim.restore_time(checkpoint.elements_saved)
         serial_interp = Interpreter(program, env, value_based=False)
         serial_time, _costs = rerun_loop_serially(serial_interp, loop, sim.model)
         times.serial_rerun = serial_time
+        wall.rollback = time.perf_counter() - tick
 
-    return SpeculativeOutcome(result=result, times=times, run=run, stats=stats)
+    return SpeculativeOutcome(
+        result=result, times=times, run=run, stats=stats, wall=wall
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +227,8 @@ class PipelineOutcome:
     stats: dict[str, float] = field(default_factory=dict)
     #: the (recyclable) shadow marker of the last strip.
     marker: ShadowMarker | None = None
+    #: measured wall-clock phase durations, summed over the strips.
+    wall: WallClock = field(default_factory=WallClock)
 
 
 class SpeculationPipeline:
@@ -255,6 +280,7 @@ class SpeculationPipeline:
         eager: bool = False,
         engine: str = "compiled",
         marker: ShadowMarker | None = None,
+        workers: int | None = None,
     ):
         if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
             raise SpeculationError(
@@ -274,6 +300,7 @@ class SpeculationPipeline:
         self.directional = directional
         self.eager = eager
         self.engine = engine
+        self.workers = workers
         self._marker = marker
 
     # -- pieces --------------------------------------------------------------
@@ -315,7 +342,35 @@ class SpeculationPipeline:
         On return ``env`` holds the exact serial post-loop state: passed
         strips committed their speculative state in order, failed strips
         were rolled back and re-executed serially in place.
+
+        With ``engine="parallel"`` one persistent worker pool is forked
+        here and reused for every strip (per-strip fork would dwarf the
+        strips' work); its shared-memory segments are unlinked on the
+        way out even when a strip aborts or a worker raises.
         """
+        pool = None
+        if self.engine == "parallel":
+            from repro.runtime.parallel_backend import (
+                ShardSpec,
+                WorkerPool,
+                default_workers,
+            )
+
+            spec = ShardSpec.from_plan(
+                self.program, self.loop, self.plan, self.env, self.sim.num_procs
+            )
+            pool = WorkerPool(
+                spec,
+                self.workers if self.workers is not None
+                else default_workers(self.sim.num_procs),
+            )
+        try:
+            return self._run(pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _run(self, pool) -> PipelineOutcome:
         env, plan, sim = self.env, self.plan, self.sim
         bounds_interp = Interpreter(self.program, env, value_based=False)
         start, stop, step = bounds_interp.eval_loop_bounds(self.loop)
@@ -343,6 +398,7 @@ class SpeculationPipeline:
         }
 
         marker: ShadowMarker | None = None
+        total_wall = WallClock()
         prev_touched = 0
         pos = 0
         while pos < len(values):
@@ -350,8 +406,11 @@ class SpeculationPipeline:
             strip_values = values[pos : pos + size]
             pos += len(strip_values)
             times = TimeBreakdown()
+            wall = WallClock()
 
+            tick = time.perf_counter()
             checkpoint = Checkpoint(env, strip_protected)
+            wall.checkpoint = time.perf_counter() - tick
             times.checkpoint = sim.checkpoint_time(checkpoint.elements_saved)
             stats["checkpoint_elements"] = float(checkpoint.elements_saved)
 
@@ -365,6 +424,7 @@ class SpeculationPipeline:
                 marker.reset(self.granularity, eager=eager_enabled)
                 times.shadow_init = sim.strip_reset_time(prev_touched)
 
+            tick = time.perf_counter()
             run = run_doall(
                 self.program,
                 self.loop,
@@ -376,7 +436,10 @@ class SpeculationPipeline:
                 schedule=self.schedule,
                 engine=self.engine,
                 values=strip_values,
+                workers=self.workers,
+                pool=pool,
             )
+            wall.doall = time.perf_counter() - tick
             times.private_init = sim.private_init_time(
                 sum(p.size for p in run.privates.values())
             )
@@ -388,12 +451,14 @@ class SpeculationPipeline:
             )
             times.body, times.dispatch, times.barrier = body, dispatch, barrier
 
+            tick = time.perf_counter()
             result = analyze_shadows(
                 marker,
                 self.test_mode,
                 dynamic_last_value=self.dynamic_last_value,
                 directional=self.directional,
             )
+            wall.analysis = time.perf_counter() - tick
             touched = self._touched_elements(marker)
             if run.aborted:
                 assert not result.passed, "eager abort must imply a failing analysis"
@@ -405,7 +470,9 @@ class SpeculationPipeline:
             stats["marks"] += float(sum(c.marks for c in run.iteration_costs))
 
             if result.passed:
+                tick = time.perf_counter()
                 finalize = finalize_doall(run, env, plan, self.loop)
+                wall.commit = time.perf_counter() - tick
                 times.reduction_merge = sim.reduction_merge_time(
                     finalize.reduction_merged
                 )
@@ -413,6 +480,7 @@ class SpeculationPipeline:
                 stats["reduction_merged"] += float(finalize.reduction_merged)
                 stats["copied_out"] += float(finalize.copied_out)
             else:
+                tick = time.perf_counter()
                 checkpoint.restore()
                 times.restore = sim.restore_time(checkpoint.elements_saved)
                 serial_interp = Interpreter(self.program, env, value_based=False)
@@ -420,6 +488,7 @@ class SpeculationPipeline:
                     serial_interp, self.loop, strip_values, step, sim.model
                 )
                 times.serial_rerun = serial_time
+                wall.rollback = time.perf_counter() - tick
                 stats["serial_iterations"] += float(len(strip_values))
 
             self.sizer.record(result.passed)
@@ -435,6 +504,7 @@ class SpeculationPipeline:
                 )
             )
             total = total.merged_with(times)
+            total_wall = total_wall.merged_with(wall)
             prev_touched = touched
 
         if values:
@@ -449,4 +519,5 @@ class SpeculationPipeline:
             strips=strips,
             stats=stats,
             marker=marker,
+            wall=total_wall,
         )

@@ -93,3 +93,26 @@ class TestReport:
         target = tmp_path / "a" / "b"
         assert main(["report", "--quick", "--out", str(target)]) == 0
         assert (target / "table2.txt").exists()
+
+
+class TestParallelEngine:
+    def test_run_parallel_engine_reports_wall_clock(self, capsys):
+        assert main(
+            ["run", "mdg", "--procs", "4", "--engine", "parallel",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "measured wall clock" in out
+        assert "engine=parallel" in out
+
+    def test_workers_flag_requires_nothing_else(self, capsys):
+        # --workers is inert under the default compiled engine.
+        assert main(["run", "ocean", "--procs", "2", "--workers", "3"]) == 0
+        assert "speculative" in capsys.readouterr().out
+
+
+def test_module_entry_point_imports():
+    # ``python -m repro`` lives in repro.__main__; importing it covers the
+    # module body (the __main__ guard keeps main() from running).
+    import repro.__main__  # noqa: F401
