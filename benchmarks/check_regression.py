@@ -18,6 +18,12 @@ Entries present in the current run but absent from the baseline are
 reported and allowed (new benchmarks should not need a lockstep
 baseline update to land); entries that regressed past the tolerance
 fail the run with a per-entry report.
+
+``--require BENCH/KEY`` (repeatable) inverts the leniency for named
+entries: the run fails if a required measurement is missing from the
+current results.  Use it for gate-critical entries — a benchmark that
+silently stopped emitting its key would otherwise pass the gate by
+omission.
 """
 
 from __future__ import annotations
@@ -89,6 +95,11 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="allowed fractional slowdown before failing (default: %(default)s)",
     )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="BENCH/KEY",
+        help="fail if this entry is absent from the current results "
+             "(repeatable; e.g. engine_speed/vectorized_speculative)",
+    )
     args = parser.parse_args(argv)
 
     current: dict[str, dict[str, float]] = {}
@@ -98,6 +109,21 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         name, normalized = load_current(path)
         current[name] = normalized
+
+    missing = []
+    for spec in args.require:
+        bench, _, key = spec.partition("/")
+        if not key or key not in current.get(bench, {}):
+            missing.append(spec)
+    if missing:
+        print(
+            f"{len(missing)} required benchmark entr"
+            f"{'y is' if len(missing) == 1 else 'ies are'} missing:",
+            file=sys.stderr,
+        )
+        for spec in missing:
+            print(f"  {spec}", file=sys.stderr)
+        return 1
 
     baseline = json.loads(args.baseline.read_text()) if args.baseline.exists() else {}
     if not baseline:

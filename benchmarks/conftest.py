@@ -45,25 +45,33 @@ def write_bench_json(
     calibration_s: float,
     entries: dict[str, float],
     extra: dict | None = None,
+    merge: bool = False,
 ) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` (the regression gate's input).
 
     ``entries`` maps measurement keys to wall-clock seconds; each is
     stored with its calibration-normalized ratio, which is what
     ``check_regression.py`` compares against the checked-in baseline.
+
+    With ``merge=True`` an existing file's entries are kept and only the
+    given keys replaced — for benchmarks whose measurements come from
+    several tests contributing to one gate file.  Each entry carries its
+    own normalized ratio, so mixing calibrations across tests is sound.
     """
     ARTIFACTS.mkdir(exist_ok=True)
-    payload = {
-        "benchmark": name,
-        "calibration_s": calibration_s,
-        "entries": {
+    path = ARTIFACTS / f"BENCH_{name}.json"
+    payload = {"benchmark": name, "entries": {}}
+    if merge and path.exists():
+        payload = json.loads(path.read_text())
+    payload["calibration_s"] = calibration_s
+    payload["entries"].update(
+        {
             key: {"wall_s": wall, "normalized": wall / calibration_s}
             for key, wall in entries.items()
-        },
-    }
+        }
+    )
     if extra:
         payload.update(extra)
-    path = ARTIFACTS / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

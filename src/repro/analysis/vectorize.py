@@ -1,0 +1,347 @@
+"""Static vectorizability classifier for the whole-block engine.
+
+Decides whether a target loop body can be lowered to NumPy index-vector
+kernels (:mod:`repro.interp.vectorized_spec`): straight-line
+gather/compute/scatter assignments, mask-convertible ``if``s, nested
+counted ``do`` loops, and syntactically matched reductions.  Everything
+else — ``while`` loops, writes to untested shared arrays, reduction
+dataflow through temporaries, intrinsics whose NumPy kernels are not
+bit-identical to the scalar interpreter (``exp``/``log``/``sin``/
+``cos``), dynamic-kind operators (``**``) — is rejected with a recorded
+reason, and the caller falls back to the compiled per-iteration engine.
+
+The classifier is deliberately conservative: acceptance promises that
+the vectorized lowering is *bit-identical* to the compiled engine on
+runs it commits; rejection only costs the fallback's speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dsl.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    Expr,
+    If,
+    Num,
+    Program,
+    Stmt,
+    UnaryOp,
+    Var,
+    While,
+    expr_equal,
+)
+
+#: intrinsics whose NumPy element-wise kernels are bit-identical to the
+#: interpreter's Python/math implementations (IEEE-exact operations).
+#: exp/log/sin/cos are excluded: libm and NumPy's SIMD kernels may
+#: differ in the last ulp, which would break engine parity.
+SAFE_INTRINSICS = frozenset(
+    {"abs", "sqrt", "floor", "int", "real", "sign", "mod", "min", "max"}
+)
+
+
+@dataclass(frozen=True)
+class VectorizeDecision:
+    """Outcome of classifying one loop for the vectorized engine."""
+
+    ok: bool
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _reject(reason: str) -> VectorizeDecision:
+    return VectorizeDecision(False, reason)
+
+
+class _Reject(Exception):
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _Classifier:
+    def __init__(self, program: Program, plan) -> None:
+        self.kinds: dict[str, str] = {d.name: d.kind for d in program.decls}
+        self.arrays = set(program.array_decls())
+        self.tested = set(plan.tested_arrays)
+        self.redux_refs: Mapping[int, str] = plan.redux_refs
+        self.scalar_reductions: Mapping[str, str] = plan.scalar_reductions
+        self._redux_ops_seen: dict[str, set[str]] = {}
+
+    # -- expression kinds ---------------------------------------------------
+
+    def kind_of(self, expr: Expr) -> str:
+        """Static value kind ('integer' | 'real'), mirroring the scalar
+        interpreter's numeric rules; rejects dynamically-kinded forms."""
+        if isinstance(expr, Num):
+            return "integer" if expr.is_int else "real"
+        if isinstance(expr, Var):
+            kind = self.kinds.get(expr.name)
+            if kind is None:
+                raise _Reject(f"undeclared scalar {expr.name!r}")
+            return kind
+        if isinstance(expr, ArrayRef):
+            if expr.name not in self.arrays:
+                raise _Reject(f"undeclared array {expr.name!r}")
+            if self.redux_refs.get(expr.ref_id) is not None:
+                raise _Reject(
+                    "reduction-array load outside its own update statement"
+                )
+            self.check_expr(expr.index)
+            return self.kinds[expr.name]
+        if isinstance(expr, BinOp):
+            if expr.op == "**":
+                raise _Reject("** operator has a value-dependent result kind")
+            left = self.kind_of(expr.left)
+            right = self.kind_of(expr.right)
+            if expr.op in ("==", "/=", "<", "<=", ">", ">=", "and", "or"):
+                return "integer"
+            if expr.op in ("+", "-", "*", "/"):
+                return "integer" if left == right == "integer" else "real"
+            raise _Reject(f"operator {expr.op!r} not vectorizable")
+        if isinstance(expr, UnaryOp):
+            if expr.op == "not":
+                self.kind_of(expr.operand)
+                return "integer"
+            return self.kind_of(expr.operand)
+        if isinstance(expr, Call):
+            return self.kind_of_call(expr)
+        raise _Reject(f"cannot vectorize {type(expr).__name__}")
+
+    def kind_of_call(self, expr: Call) -> str:
+        func = expr.func
+        if func not in SAFE_INTRINSICS:
+            raise _Reject(
+                f"intrinsic {func!r} is not bit-exact under vectorization"
+            )
+        arg_kinds = [self.kind_of(arg) for arg in expr.args]
+        if func in ("min", "max"):
+            if len(set(arg_kinds)) > 1:
+                raise _Reject(
+                    f"{func}() over mixed integer/real arguments has a "
+                    "value-dependent result kind"
+                )
+            return arg_kinds[0]
+        if func == "sqrt":
+            return "real"
+        if func in ("floor", "int"):
+            return "integer"
+        if func == "real":
+            return "real"
+        if func in ("abs", "sign"):
+            return arg_kinds[0]
+        if func == "mod":
+            return "integer" if set(arg_kinds) == {"integer"} else "real"
+        raise _Reject(f"intrinsic {func!r} is not vectorizable")
+
+    def check_expr(self, expr: Expr) -> None:
+        self.kind_of(expr)
+
+    # -- statements ---------------------------------------------------------
+
+    def check_block(self, body: list[Stmt]) -> None:
+        for stmt in body:
+            self.check_stmt(stmt)
+
+    def check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self.check_assign(stmt)
+        elif isinstance(stmt, If):
+            self.check_expr(stmt.cond)
+            self.check_block(stmt.then_body)
+            self.check_block(stmt.else_body)
+        elif isinstance(stmt, Do):
+            self.check_expr(stmt.start)
+            self.check_expr(stmt.stop)
+            if stmt.step is not None:
+                self.check_expr(stmt.step)
+            if self.kinds.get(stmt.var) is None:
+                raise _Reject(f"undeclared scalar {stmt.var!r}")
+            self.check_block(stmt.body)
+        elif isinstance(stmt, While):
+            raise _Reject("while loop (data-dependent trip count)")
+        else:
+            raise _Reject(f"cannot vectorize {type(stmt).__name__}")
+
+    def check_assign(self, stmt: Assign) -> None:
+        target = stmt.target
+        if isinstance(target, Var):
+            if self.kinds.get(target.name) is None:
+                raise _Reject(f"undeclared scalar {target.name!r}")
+            if target.name in self.scalar_reductions:
+                self.check_scalar_reduction(stmt)
+                return
+            self.check_expr(stmt.expr)
+            return
+        assert isinstance(target, ArrayRef)
+        if target.name not in self.arrays:
+            raise _Reject(f"undeclared array {target.name!r}")
+        self.check_expr(target.index)
+        if self.redux_refs.get(target.ref_id) is not None:
+            self.check_array_reduction(stmt, target)
+            return
+        if target.name not in self.tested:
+            raise _Reject(
+                f"writes untested shared array {target.name!r} "
+                "(cross-iteration visibility)"
+            )
+        self._forbid_redux_loads(stmt.expr)
+        self.check_expr(stmt.expr)
+
+    def check_array_reduction(self, stmt: Assign, target: ArrayRef) -> None:
+        """Accept only the direct forms ``A(e) = A(e) ± rest``,
+        ``A(e) = rest + A(e)`` / ``rest * A(e)``, ``A(e) = A(e) * rest``:
+        the per-row contribution is then ``rest`` (negated for ``-``) and
+        the partial is a pure exec-order ufunc fold."""
+        if self.kinds.get(target.name) == "integer":
+            raise _Reject(
+                f"integer-kind reduction array {target.name!r} "
+                "(float64 partial fold would change truncation points)"
+            )
+        ops = self._redux_ops_seen.setdefault(target.name, set())
+        ops.add(self.redux_refs[target.ref_id])
+        if len(ops) > 1:
+            raise _Reject(
+                f"mixed reduction operators on {target.name!r} "
+                "(a single exec-order ufunc fold cannot interleave them)"
+            )
+        rest = self.reduction_rest(stmt, target)
+        self._forbid_redux_loads(rest)
+        self.check_expr(rest)
+
+    def reduction_rest(self, stmt: Assign, target: ArrayRef) -> Expr:
+        """The non-self operand of a direct reduction update (validated)."""
+        expr = stmt.expr
+        op = self.redux_refs[target.ref_id]
+        if op not in ("+", "*"):
+            raise _Reject(f"{op}-reduction is not vectorizable")
+        if not isinstance(expr, BinOp):
+            raise _Reject("reduction dataflow through temporaries")
+
+        def is_self(node: Expr) -> bool:
+            return (
+                isinstance(node, ArrayRef)
+                and node.name == target.name
+                and self.redux_refs.get(node.ref_id) is not None
+                and expr_equal(node.index, target.index)
+            )
+
+        allowed = ("+", "-") if op == "+" else ("*",)
+        if expr.op in allowed and is_self(expr.left):
+            return expr.right
+        if expr.op in ("+", "*") and expr.op in allowed and is_self(expr.right):
+            return expr.left
+        raise _Reject("reduction dataflow through temporaries")
+
+    def check_scalar_reduction(self, stmt: Assign) -> None:
+        rest = self.scalar_reduction_rest(stmt)
+        from repro.analysis.symtab import scalar_reads_in
+
+        used = scalar_reads_in(rest) & set(self.scalar_reductions)
+        if used:
+            raise _Reject(
+                f"scalar reduction {sorted(used)[0]!r} read outside its update"
+            )
+        self.check_expr(rest)
+
+    def scalar_reduction_rest(self, stmt: Assign) -> Expr:
+        """The contribution operand of a direct scalar reduction update."""
+        assert isinstance(stmt.target, Var)
+        name = stmt.target.name
+        expr = stmt.expr
+
+        def is_self(node: Expr) -> bool:
+            return isinstance(node, Var) and node.name == name
+
+        def reads_self(node: Expr) -> bool:
+            from repro.dsl.ast_nodes import walk_expressions
+
+            return any(
+                isinstance(sub, Var) and sub.name == name
+                for sub in walk_expressions(node)
+            )
+
+        if isinstance(expr, BinOp) and expr.op in ("+", "*", "-"):
+            if is_self(expr.left) and not reads_self(expr.right):
+                return expr.right
+            if expr.op in ("+", "*") and is_self(expr.right) and not reads_self(expr.left):
+                return expr.left
+        raise _Reject(
+            f"scalar reduction {name!r} not in direct ``s = s op expr`` form"
+        )
+
+    def _forbid_redux_loads(self, expr: Expr) -> None:
+        from repro.dsl.ast_nodes import walk_expressions
+
+        for node in walk_expressions(expr):
+            if (
+                isinstance(node, ArrayRef)
+                and self.redux_refs.get(node.ref_id) is not None
+            ):
+                raise _Reject(
+                    "reduction-array load outside its own update statement"
+                )
+
+    def check_scalar_reduction_usage(self, body: list[Stmt]) -> None:
+        """Scalar-reduction variables may be read only inside their own
+        update statement (the vectorized fold never materializes the
+        running value per row)."""
+        from repro.analysis.symtab import scalar_reads_in
+        from repro.dsl.ast_nodes import walk_statements
+
+        names = set(self.scalar_reductions)
+        if not names:
+            return
+        for stmt in walk_statements(body):
+            if isinstance(stmt, Assign):
+                if (
+                    isinstance(stmt.target, Var)
+                    and stmt.target.name in names
+                ):
+                    continue  # validated separately by check_scalar_reduction
+                exprs = [stmt.expr]
+                if isinstance(stmt.target, ArrayRef):
+                    exprs.append(stmt.target.index)
+            elif isinstance(stmt, If):
+                exprs = [stmt.cond]
+            elif isinstance(stmt, Do):
+                exprs = [stmt.start, stmt.stop]
+                if stmt.step is not None:
+                    exprs.append(stmt.step)
+            elif isinstance(stmt, While):
+                exprs = [stmt.cond]
+            else:
+                continue
+            for expr in exprs:
+                used = scalar_reads_in(expr) & names
+                if used:
+                    raise _Reject(
+                        "scalar reduction "
+                        f"{sorted(used)[0]!r} read outside its update"
+                    )
+
+
+def classify_loop(program: Program, loop: Do, plan) -> VectorizeDecision:
+    """Classify ``loop`` for whole-block vectorized execution.
+
+    ``plan`` is the loop's :class:`InstrumentationPlan`.  Returns an
+    accepting decision or the first rejection reason encountered (the
+    reason the CLI reports when the engine degrades to compiled).
+    """
+    classifier = _Classifier(program, plan)
+    if classifier.kinds.get(loop.var) is None:
+        return _reject(f"undeclared loop variable {loop.var!r}")
+    try:
+        classifier.check_scalar_reduction_usage(loop.body)
+        classifier.check_block(loop.body)
+    except _Reject as reject:
+        return _reject(reject.reason)
+    return VectorizeDecision(True)

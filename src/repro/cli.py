@@ -57,14 +57,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--test-mode", choices=[m.value for m in TestMode], default="lrpd"
     )
     run.add_argument(
-        "--engine", choices=["compiled", "walk", "parallel"], default="compiled",
+        "--engine",
+        choices=["compiled", "walk", "parallel", "vectorized"],
+        default="compiled",
         help="doall iteration executor (walk = reference tree walker, "
-        "parallel = real worker processes with shared-memory shadows)",
+        "parallel = real worker processes with shared-memory shadows, "
+        "vectorized = whole-block NumPy lowering with bulk marking; "
+        "classifier-rejected loops fall back to compiled)",
     )
     run.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes for --engine parallel "
-        "(default: one per usable core)",
+        help="worker processes for --engine parallel/vectorized "
+        "(default for parallel: one per usable core)",
+    )
+    run.add_argument(
+        "--verbose", action="store_true",
+        help="print per-loop engine fallback decisions and reasons",
     )
     run.add_argument(
         "--strip-size", type=int, default=None, metavar="N",
@@ -181,6 +189,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"inspector strategy unavailable: {exc}", file=sys.stderr)
         return 1
     print(report.describe())
+    if args.verbose:
+        if report.fallbacks:
+            for loop_key, reason in report.fallbacks:
+                print(
+                    f"engine fallback : {loop_key}: "
+                    f"{args.engine} -> compiled ({reason})"
+                )
+        elif args.engine == "vectorized":
+            print("engine fallback : none (vectorized block committed)")
     print("phase breakdown (cycles):")
     for phase, cycles in report.times.nonzero_phases().items():
         print(f"  {phase:16s} {cycles:14.1f}")

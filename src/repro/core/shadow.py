@@ -371,6 +371,239 @@ class ShadowArray:
             granule,
         )
 
+    # -- multi-granule vectorized marking -----------------------------------
+    #
+    # The vectorized whole-block engine executes an entire doall block of
+    # iterations at once, so its access streams span *many* granules.  The
+    # staging below replays the per-access marking semantics with numpy
+    # segment arithmetic: accesses are sorted by (element, stream rank) and
+    # the sequential last-writer chain is reconstructed per element with a
+    # running maximum, which is all the per-access rules depend on.
+
+    def stage_stream_vec(
+        self,
+        kinds: np.ndarray,
+        idx: np.ndarray,
+        ops: np.ndarray,
+        granules: np.ndarray,
+        rank: np.ndarray,
+    ) -> "_StagedBatch":
+        """Stage a multi-granule access stream without committing it.
+
+        ``kinds``/``idx``/``ops``/``granules``/``rank`` are parallel int64
+        arrays: access kind (``KIND_*``), 0-based element, operator code
+        (0 for plain accesses), the access's granule, and a key whose
+        ascending (stable) order is the serial marking order.  The staged
+        result is bit-identical to replaying the stream through
+        ``mark_write``/``mark_read``/``mark_redux`` in rank order.
+        """
+        n = int(idx.size)
+        if n == 0:
+            return _StagedBatch(
+                uniq=np.empty(0, dtype=np.int64),
+                w=np.empty(0, dtype=bool), r=np.empty(0, dtype=bool),
+                np_=np.empty(0, dtype=bool), nx=np.empty(0, dtype=bool),
+                redux_touched=np.empty(0, dtype=bool),
+                multi_w=np.empty(0, dtype=bool),
+                redux_op=np.empty(0, dtype=np.int8),
+                last_write=np.empty(0, dtype=np.int64),
+                min_write=np.empty(0, dtype=np.int64),
+                max_exposed_read=np.empty(0, dtype=np.int64),
+                tw_delta=0, would_fail=False,
+            )
+        # One fused-key stable argsort beats a two-key lexsort (int32
+        # keys when they fit — the sort runs about twice as fast); fall
+        # back to lexsort when the combined key could overflow int64.
+        rank_min = int(rank.min())
+        rank_span = int(rank.max()) - rank_min + 1
+        idx_max = int(idx.max())
+        if idx_max < (2**62) // rank_span:
+            key = idx * rank_span + (rank - rank_min)
+            if (idx_max + 1) * rank_span < 2**31:
+                key = key.astype(np.int32)
+            perm = np.argsort(key, kind="stable")
+        else:
+            perm = np.lexsort((rank, idx))
+        idx_s = idx[perm]
+        kind_s = kinds[perm]
+        ops_s = ops[perm]
+        gran_s = granules[perm]
+
+        seg_start = np.empty(n, dtype=bool)
+        seg_start[0] = True
+        seg_start[1:] = idx_s[1:] != idx_s[:-1]
+        seg_id = np.cumsum(seg_start) - 1
+        uniq = idx_s[seg_start]
+        u = uniq.size
+        first_of_seg = np.flatnonzero(seg_start)
+        seg_first = first_of_seg[seg_id]
+
+        is_w = kind_s == KIND_WRITE
+        is_r = kind_s == KIND_READ
+        is_x = kind_s == KIND_REDUX
+
+        pre_last = self._last_write[uniq]
+
+        # Last-writer chain: index of the latest write strictly before each
+        # access, within the same element segment; fall back to the
+        # pre-batch last-write granule.
+        gidx = np.arange(n, dtype=np.int64)
+        w_at = np.where(is_w, gidx, np.int64(-1))
+        last_w_upto = np.maximum.accumulate(w_at)
+        prev_w = np.empty(n, dtype=np.int64)
+        prev_w[0] = -1
+        prev_w[1:] = last_w_upto[:-1]
+        in_seg = prev_w >= seg_first
+        prev_lw_gran = np.where(
+            in_seg, gran_s[np.maximum(prev_w, 0)], pre_last[seg_id]
+        )
+
+        new_writer = is_w & (prev_lw_gran != gran_s)
+        tw_delta = int(np.count_nonzero(new_writer))
+        multi_contrib = new_writer & (prev_lw_gran != -1)
+        exposed = is_r & (prev_lw_gran != gran_s)
+
+        def seg_any(mask: np.ndarray) -> np.ndarray:
+            out = np.zeros(u, dtype=bool)
+            out[seg_id[mask]] = True
+            return out
+
+        has_w = seg_any(is_w)
+        has_r = seg_any(is_r)
+        has_x = seg_any(is_x)
+        has_exposed = seg_any(exposed)
+        has_multi = seg_any(multi_contrib)
+
+        # Final last-write granule per element: the segment's last write.
+        seg_last = np.empty(u, dtype=np.int64)
+        seg_last[:-1] = first_of_seg[1:] - 1
+        seg_last[-1] = n - 1
+        final_w = last_w_upto[seg_last]
+        final_in_seg = final_w >= first_of_seg
+        last_write = np.where(
+            final_in_seg, gran_s[np.maximum(final_w, 0)], pre_last
+        )
+
+        pre_min = self._min_write[uniq]
+        pre_max = self._max_exposed_read[uniq]
+        new_min = pre_min.copy()
+        wx = is_w | is_x
+        if wx.any():
+            np.minimum.at(new_min, seg_id[wx], gran_s[wx])
+        new_max = pre_max.copy()
+        ex = exposed | is_x
+        if ex.any():
+            np.maximum.at(new_max, seg_id[ex], gran_s[ex])
+
+        # Reduction operators: first-op-wins against the pre-batch stamp,
+        # with the in-batch first op taken in rank order.
+        pre_op = self._redux_op[uniq].astype(np.int64)
+        first_op = np.zeros(u, dtype=np.int64)
+        conflict_any = np.zeros(u, dtype=bool)
+        if is_x.any():
+            first_x = np.full(u, n, dtype=np.int64)
+            np.minimum.at(first_x, seg_id[is_x], gidx[is_x])
+            batch_first = np.where(first_x < n, ops_s[np.minimum(first_x, n - 1)], 0)
+            first_op = batch_first
+            resolved = np.where(pre_op != 0, pre_op, batch_first)
+            conflict = is_x & (ops_s != resolved[seg_id])
+            conflict_any = seg_any(conflict)
+
+        new_nx = self.nx[uniq] | has_w | has_r | conflict_any
+        new_redux = self.redux_touched[uniq] | has_x
+        would_fail = bool(
+            self.eager and np.any(new_nx & ((new_max > new_min) | new_redux))
+        )
+        return _StagedBatch(
+            uniq=uniq,
+            w=self.w[uniq] | has_w | has_x,
+            r=self.r[uniq] | has_r | has_x,
+            np_=self.np_[uniq] | has_exposed | has_x,
+            nx=new_nx,
+            redux_touched=new_redux,
+            multi_w=self.multi_w[uniq] | has_multi,
+            redux_op=np.where(pre_op != 0, pre_op, first_op).astype(np.int8),
+            last_write=last_write,
+            min_write=new_min,
+            max_exposed_read=new_max,
+            tw_delta=tw_delta,
+            would_fail=would_fail,
+        )
+
+    def replay_scalar_vec(
+        self,
+        kinds: np.ndarray,
+        idx: np.ndarray,
+        ops: np.ndarray,
+        granules: np.ndarray,
+        rank: np.ndarray,
+    ) -> None:
+        """Replay a multi-granule stream through the per-access marks."""
+        for at in np.argsort(rank, kind="stable"):
+            kind = kinds[at]
+            index = int(idx[at])
+            granule = int(granules[at])
+            if kind == KIND_WRITE:
+                self.mark_write(index, granule)
+            elif kind == KIND_READ:
+                self.mark_read(index, granule)
+            else:
+                self.mark_redux(index, granule, OP_NAMES[int(ops[at])])
+
+    def mark_stream_vec(
+        self,
+        kinds: np.ndarray,
+        idx: np.ndarray,
+        ops: np.ndarray,
+        granules: np.ndarray,
+        rank: np.ndarray,
+    ) -> None:
+        """Apply a multi-granule ordered access stream in bulk.
+
+        Equivalent to rank-ordered per-access marking.  Under eager
+        detection a failing stream falls back to the scalar replay so the
+        raised :class:`SpeculationFailed` identifies the same element the
+        per-access path would have.
+        """
+        staged = self.stage_stream_vec(kinds, idx, ops, granules, rank)
+        if staged.would_fail:
+            self.replay_scalar_vec(kinds, idx, ops, granules, rank)
+            raise AssertionError("staged stream failed but scalar replay passed")
+        self.commit_batch(staged)
+
+    def mark_write_vec(self, indices, iterations) -> None:
+        """Vectorized ``mark_write`` over parallel index/granule vectors."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self.mark_stream_vec(
+            np.full(idx.size, KIND_WRITE, dtype=np.int64),
+            idx,
+            np.zeros(idx.size, dtype=np.int64),
+            np.asarray(iterations, dtype=np.int64),
+            np.arange(idx.size, dtype=np.int64),
+        )
+
+    def mark_read_vec(self, indices, iterations) -> None:
+        """Vectorized ``mark_read`` over parallel index/granule vectors."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self.mark_stream_vec(
+            np.full(idx.size, KIND_READ, dtype=np.int64),
+            idx,
+            np.zeros(idx.size, dtype=np.int64),
+            np.asarray(iterations, dtype=np.int64),
+            np.arange(idx.size, dtype=np.int64),
+        )
+
+    def mark_red_vec(self, indices, iterations, op: str) -> None:
+        """Vectorized ``mark_redux`` over parallel index/granule vectors."""
+        idx = np.asarray(indices, dtype=np.int64)
+        self.mark_stream_vec(
+            np.full(idx.size, KIND_REDUX, dtype=np.int64),
+            idx,
+            np.full(idx.size, OP_CODES[op], dtype=np.int64),
+            np.asarray(iterations, dtype=np.int64),
+            np.arange(idx.size, dtype=np.int64),
+        )
+
     def _eager_check(self, index: int) -> None:
         """Abort when this element's failure is already certain.
 

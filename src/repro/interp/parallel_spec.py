@@ -37,8 +37,10 @@ from repro.core.reduction_exec import REDUCTION_IDENTITY, ReductionPartials
 from repro.core.shadow import Granularity, ShadowMarker
 from repro.dsl.ast_nodes import Do, Program
 from repro.errors import SpeculationFailed
+from repro.analysis.vectorize import classify_loop
 from repro.interp.compiled_spec import CompiledSpecLoop
 from repro.interp.costs import CostCounter, IterationCost
+from repro.interp.vectorized_spec import VectorizeBail, execute_vectorized_block
 from repro.interp.env import Environment
 from repro.runtime.access_router import AccessRouter
 
@@ -106,6 +108,9 @@ class ShardTask:
     value_based: bool = True
     granularity: Granularity = Granularity.ITERATION
     eager: bool = False
+    #: body executor inside the worker: "compiled" or "vectorized"
+    #: (the latter falls back to compiled per-iteration on a bail).
+    engine: str = "compiled"
 
 
 @dataclass
@@ -128,6 +133,8 @@ class ShardResult:
     tw: dict[str, int] = field(default_factory=dict)
     executed: int = 0
     aborted: bool = False
+    #: why a requested vectorized execution degraded to compiled (if it did).
+    fallback: str | None = None
 
 
 def execute_shard(
@@ -162,6 +169,66 @@ def execute_shard(
         proc_envs[proc] = proc_env
 
     tested = spec.tested_arrays if (marker is not None and task.marking) else frozenset()
+
+    fallback: str | None = None
+    if task.engine == "vectorized":
+        positions = [p for proc in task.procs for p in task.assignment[proc]]
+        decision = classify_loop(spec.program, spec.loop, spec)
+        if decision:
+            try:
+                pairs = execute_vectorized_block(
+                    spec.program, spec.loop,
+                    values=task.values, positions=positions,
+                    assignment=task.assignment, num_procs=spec.num_procs,
+                    tested=tested, redux_refs=spec.redux_refs,
+                    scalar_reductions=spec.scalar_reductions,
+                    live_out_scalars=spec.live_out_scalars,
+                    value_based=task.value_based,
+                    marker=marker if task.marking else None,
+                    privates=privates, partials=partials,
+                    proc_envs=proc_envs, shared_env=env,
+                )
+            except VectorizeBail as bail:
+                fallback = bail.reason
+            else:
+                return ShardResult(
+                    proc_scalars={
+                        proc: dict(pe.scalars) for proc, pe in proc_envs.items()
+                    },
+                    private_rows={
+                        name: {
+                            proc: (copies.data[proc].copy(),
+                                   copies.wstamp[proc].copy())
+                            for proc in task.procs
+                        }
+                        for name, copies in privates.items()
+                    },
+                    partial_maps={
+                        name: {proc: dict(p.proc_maps()[proc])
+                               for proc in task.procs}
+                        for name, p in partials.items()
+                    },
+                    iteration_costs=[
+                        (pos, (c.flops, c.mem_reads, c.mem_writes,
+                               c.scalar_ops, c.intrinsics, c.branches,
+                               c.marks))
+                        for pos, c in pairs
+                    ],
+                    shared_writes={},  # the classifier rejects shared stores
+                    tw={
+                        name: shadow.tw
+                        for name, shadow in (
+                            marker.shadows if marker else {}
+                        ).items()
+                    },
+                    executed=len(positions),
+                    aborted=False,
+                )
+        else:
+            fallback = decision.reason
+        # The block attempt committed nothing: run the owned processors
+        # per-iteration on the compiled engine over the same structures.
+
     spec_loop = CompiledSpecLoop(
         spec.program, spec.loop,
         tested=tested, value_based=task.value_based, redux_refs=spec.redux_refs,
@@ -239,4 +306,5 @@ def execute_shard(
         tw={name: shadow.tw for name, shadow in (marker.shadows if marker else {}).items()},
         executed=executed,
         aborted=aborted,
+        fallback=fallback,
     )

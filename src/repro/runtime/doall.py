@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.instrument import InstrumentationPlan
+from repro.analysis.vectorize import classify_loop
 from repro.core.privatize import PrivateCopies
 from repro.core.reduction_exec import COMBINE, REDUCTION_IDENTITY, ReductionPartials
 from repro.core.shadow import Granularity, ShadowMarker
@@ -31,6 +32,7 @@ from repro.interp.compiled_spec import CompiledSpecLoop
 from repro.interp.costs import CostCounter, IterationCost
 from repro.interp.env import Environment
 from repro.interp.events import NullObserver
+from repro.interp.vectorized_spec import VectorizeBail, execute_vectorized_block
 from repro.interp.interpreter import Interpreter
 from repro.machine.schedule import ScheduleKind, assign_iterations
 from repro.runtime.access_router import AccessRouter, check_router_config
@@ -52,6 +54,10 @@ class DoallRun:
     #: eager (on-the-fly) failure detection fired before completion.
     aborted: bool = False
     executed_iterations: int = 0
+    #: the engine that actually executed the body (``"vectorized"`` may
+    #: degrade to ``"compiled"``; the reason is recorded alongside).
+    engine_used: str = "compiled"
+    fallback_reason: str | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -95,10 +101,14 @@ def run_doall(
     ``engine`` selects the iteration executor: ``"compiled"`` (the
     closure-compiled speculative engine with batched marking,
     :mod:`repro.interp.compiled_spec`), ``"walk"`` (the per-access
-    instrumented tree walker), or ``"parallel"`` (real worker processes
-    with shared-memory shadow sets and the paper's cross-processor
-    merge, :mod:`repro.runtime.parallel_backend`).  All produce
-    bit-identical state, costs and shadow marks on completed runs.
+    instrumented tree walker), ``"vectorized"`` (the whole-block NumPy
+    lowering with bulk shadow marking,
+    :mod:`repro.interp.vectorized_spec`; classifier-rejected loops and
+    runtime bails fall through to ``"compiled"`` with the reason on the
+    outcome), or ``"parallel"`` (real worker processes with
+    shared-memory shadow sets and the paper's cross-processor merge,
+    :mod:`repro.runtime.parallel_backend`).  All produce bit-identical
+    state, costs and shadow marks on completed runs.
 
     ``workers``/``pool`` apply to the parallel engine only: a real
     process count (default: one per usable core) or a persistent
@@ -113,9 +123,11 @@ def run_doall(
     preserve serial order because each strip's positions follow its
     serial iteration order and strips commit in order.
     """
-    if engine not in ("compiled", "walk", "parallel"):
+    if engine not in ("compiled", "walk", "parallel", "vectorized"):
         raise InterpError(f"unknown doall engine {engine!r}")
-    if engine == "parallel":
+    if engine == "parallel" or (
+        engine == "vectorized" and (workers is not None or pool is not None)
+    ):
         # Imported lazily: the backend imports DoallRun from this module.
         from repro.runtime.parallel_backend import run_parallel_doall
 
@@ -123,6 +135,7 @@ def run_doall(
             program, loop, env, plan, num_procs,
             marker=marker, value_based=value_based, schedule=schedule,
             values=values, workers=workers, pool=pool,
+            engine="vectorized" if engine == "vectorized" else "compiled",
         )
     if values is None:
         bounds_interp = Interpreter(program, env, value_based=False)
@@ -151,6 +164,56 @@ def run_doall(
         for name, op in plan.scalar_reductions.items():
             proc_env.scalars[name] = REDUCTION_IDENTITY[op]
         proc_envs.append(proc_env)
+
+    # Dynamic self-scheduling cannot be pre-assigned (iteration costs are
+    # only known after execution): emulate with a cyclic deal — a fair
+    # stand-in for a self-scheduling queue's interleaving — and let the
+    # machine model re-price the makespan with the measured costs.
+    exec_schedule = (
+        ScheduleKind.CYCLIC if schedule is ScheduleKind.DYNAMIC else schedule
+    )
+    assignment = assign_iterations(len(values), num_procs, exec_schedule)
+
+    fallback_reason: str | None = None
+    if engine == "vectorized":
+        decision = classify_loop(program, loop, plan)
+        if decision:
+            try:
+                pairs = execute_vectorized_block(
+                    program, loop,
+                    values=values, positions=range(len(values)),
+                    assignment=assignment, num_procs=num_procs,
+                    tested=tested, redux_refs=plan.redux_refs,
+                    scalar_reductions=plan.scalar_reductions,
+                    live_out_scalars=plan.live_out_scalars,
+                    value_based=value_based, marker=marker,
+                    privates=privates, partials=partials,
+                    proc_envs=proc_envs, shared_env=env,
+                )
+            except VectorizeBail as bail:
+                fallback_reason = bail.reason
+            else:
+                vec_costs = [IterationCost()] * len(values)
+                for position, cost in pairs:
+                    vec_costs[position] = cost
+                return DoallRun(
+                    values=values,
+                    assignment=assignment,
+                    iteration_costs=vec_costs,
+                    privates=privates,
+                    partials=partials,
+                    proc_envs=proc_envs,
+                    marker=marker,
+                    scalar_init=scalar_init,
+                    aborted=False,
+                    executed_iterations=len(values),
+                    engine_used="vectorized",
+                )
+        else:
+            fallback_reason = decision.reason
+        # The whole-block attempt touched nothing: rerun per-iteration on
+        # the compiled engine over the very same structures.
+        engine = "compiled"
 
     if engine == "compiled":
         spec = CompiledSpecLoop(
@@ -195,14 +258,6 @@ def run_doall(
                 loop, values[position], flush_live_out=plan.live_out_scalars
             )
 
-    # Dynamic self-scheduling cannot be pre-assigned (iteration costs are
-    # only known after execution): emulate with a cyclic deal — a fair
-    # stand-in for a self-scheduling queue's interleaving — and let the
-    # machine model re-price the makespan with the measured costs.
-    exec_schedule = (
-        ScheduleKind.CYCLIC if schedule is ScheduleKind.DYNAMIC else schedule
-    )
-    assignment = assign_iterations(len(values), num_procs, exec_schedule)
     iteration_costs: list[IterationCost | None] = [None] * len(values)
 
     pointers = [0] * num_procs
@@ -248,6 +303,7 @@ def run_doall(
         scalar_init=scalar_init,
         aborted=aborted,
         executed_iterations=executed,
+        fallback_reason=fallback_reason,
     )
 
 

@@ -127,6 +127,8 @@ class InspectorOutcome:
     result: LrpdResult
     times: TimeBreakdown
     stats: dict[str, float]
+    #: why a requested vectorized executor run degraded to compiled.
+    fallback_reason: str | None = None
 
 
 def run_inspector_phase(
@@ -216,12 +218,14 @@ def run_inspector_executor(
         directional=directional,
     )
 
+    fallback_reason = None
     if result.passed:
         run = run_doall(
             program, loop, env, plan, sim.num_procs,
             marker=None, value_based=False, schedule=schedule, engine=engine,
             workers=workers,
         )
+        fallback_reason = run.fallback_reason
         times.private_init = sim.private_init_time(
             sum(p.size for p in run.privates.values())
         )
@@ -240,4 +244,5 @@ def run_inspector_executor(
         serial_time, _ = rerun_loop_serially(serial_interp, loop, sim.model)
         times.serial_rerun = serial_time
 
-    return InspectorOutcome(result=result, times=times, stats=stats)
+    return InspectorOutcome(result=result, times=times, stats=stats,
+                            fallback_reason=fallback_reason)

@@ -61,10 +61,14 @@ class RunConfig:
     #: iteration-wise directional LRPD configuration.
     eager_failure_detection: bool = False
     #: doall iteration executor: "compiled" (closure-compiled, batched
-    #: marking), "walk" (the reference tree walker), or "parallel" (real
+    #: marking), "walk" (the reference tree walker), "parallel" (real
     #: worker processes with shared-memory shadows,
-    #: :mod:`repro.runtime.parallel_backend`).  Bit-identical results;
-    #: "walk" is kept for ablation and equivalence testing.
+    #: :mod:`repro.runtime.parallel_backend`), or "vectorized"
+    #: (whole-block NumPy lowering with bulk shadow marking,
+    #: :mod:`repro.interp.vectorized_spec`; classifier-rejected loops
+    #: fall back to compiled with the reason recorded on the report).
+    #: Bit-identical results; "walk" is kept for ablation and
+    #: equivalence testing.
     engine: str = "compiled"
     #: real worker processes for ``engine="parallel"`` (None: one per
     #: usable core).  Independent of the *simulated* processor count in
@@ -109,10 +113,11 @@ class LoopRunner:
         ``engine`` honors :attr:`RunConfig.engine`; the engines are
         property-tested to be state- and count-identical, so the choice
         only affects wall clock, not any simulated quantity.  The serial
-        reference has no doall for the parallel backend to shard, so
-        ``"parallel"`` maps to the compiled executor here.
+        reference has no doall for the parallel backend to shard (nor a
+        block for the vectorized engine to lower), so ``"parallel"`` and
+        ``"vectorized"`` map to the compiled executor here.
         """
-        if engine == "parallel":
+        if engine in ("parallel", "vectorized"):
             engine = "compiled"
         key = f"{model.name}:{engine}"
         if key not in self._serial_runs:
@@ -234,6 +239,7 @@ class LoopRunner:
             reused_schedule=reused,
             stats=outcome.stats,
             wall=outcome.wall,
+            fallbacks=self._fallbacks(outcome.run.fallback_reason),
         )
 
     def _run_stripped(self, config: RunConfig) -> ExecutionReport:
@@ -291,6 +297,7 @@ class LoopRunner:
             stats=outcome.stats,
             strips=outcome.strips,
             wall=outcome.wall,
+            fallbacks=self._fallbacks(outcome.fallback_reason),
         )
 
     def _run_from_cached(
@@ -303,6 +310,7 @@ class LoopRunner:
     ) -> ExecutionReport:
         """Schedule reuse: skip marking and analysis entirely."""
         times = TimeBreakdown()
+        fallback_reason = None
         if cached.passed:
             run = run_doall(
                 self.program, self.loop, env, self.plan, sim.num_procs,
@@ -324,6 +332,7 @@ class LoopRunner:
             finalize = finalize_doall(run, env, self.plan, self.loop)
             times.reduction_merge = sim.reduction_merge_time(finalize.reduction_merged)
             times.copy_out = sim.copy_out_time(finalize.copied_out)
+            fallback_reason = run.fallback_reason
         else:
             serial_interp = Interpreter(self.program, env, value_based=False)
             serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
@@ -338,6 +347,7 @@ class LoopRunner:
             serial_loop_time=reference.loop_time,
             env=env,
             reused_schedule=True,
+            fallbacks=self._fallbacks(fallback_reason),
         )
 
     def _run_inspector(self, config: RunConfig) -> ExecutionReport:
@@ -368,7 +378,14 @@ class LoopRunner:
             serial_loop_time=reference.loop_time,
             env=env,
             stats=outcome.stats,
+            fallbacks=self._fallbacks(outcome.fallback_reason),
         )
+
+    def _fallbacks(self, reason: str | None) -> list[tuple[str, str]]:
+        """Engine-degradation records for the report (empty when none)."""
+        if reason is None:
+            return []
+        return [(self._loop_key(), reason)]
 
     def _loop_key(self) -> str:
         return f"{self.program.name}:{self.loop.var}@{self.loop.line}"

@@ -298,6 +298,7 @@ def run_parallel_doall(
     values: list[int] | None = None,
     workers: int | None = None,
     pool: WorkerPool | None = None,
+    engine: str = "compiled",
 ) -> DoallRun:
     """Execute the marked doall on real worker processes.
 
@@ -352,12 +353,14 @@ def run_parallel_doall(
                     else Granularity.ITERATION
                 ),
                 eager=eager,
+                engine=engine,
             )
             for chunk in pool.chunks
         ]
         results = pool.run(tasks)
         return _merge_results(
-            pool, results, env, plan, num_procs, marker, values, assignment
+            pool, results, env, plan, num_procs, marker, values, assignment,
+            engine=engine,
         )
     finally:
         if owned_pool is not None:
@@ -373,6 +376,7 @@ def _merge_results(
     marker: ShadowMarker | None,
     values: list[int],
     assignment: list[list[int]],
+    engine: str = "compiled",
 ) -> DoallRun:
     """Fold the per-worker shard results into one :class:`DoallRun`.
 
@@ -443,4 +447,13 @@ def _merge_results(
         scalar_init=scalar_init,
         aborted=any(result.aborted for result in results),
         executed_iterations=sum(result.executed for result in results),
+        engine_used=(
+            "vectorized"
+            if engine == "vectorized"
+            and not any(result.fallback for result in results)
+            else "compiled"
+        ),
+        fallback_reason=next(
+            (result.fallback for result in results if result.fallback), None
+        ),
     )

@@ -42,6 +42,10 @@ class ExecutionReport:
     #: real seconds, reported alongside — never mixed into — the
     #: simulated cycle accounting above.
     wall: WallClock | None = None
+    #: per-loop engine fallback decisions: (loop key, reject reason)
+    #: recorded when a requested engine (e.g. "vectorized") silently
+    #: degraded to compiled.  Printed under the CLI's ``--verbose``.
+    fallbacks: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def loop_time(self) -> float:

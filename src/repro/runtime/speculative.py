@@ -229,6 +229,10 @@ class PipelineOutcome:
     marker: ShadowMarker | None = None
     #: measured wall-clock phase durations, summed over the strips.
     wall: WallClock = field(default_factory=WallClock)
+    #: first recorded engine-fallback reason across the strips (set when
+    #: ``engine="vectorized"`` degraded to compiled; kept out of
+    #: ``stats`` so engine parity over stats still holds).
+    fallback_reason: str | None = None
 
 
 class SpeculationPipeline:
@@ -349,7 +353,9 @@ class SpeculationPipeline:
         way out even when a strip aborts or a worker raises.
         """
         pool = None
-        if self.engine == "parallel":
+        if self.engine == "parallel" or (
+            self.engine == "vectorized" and self.workers is not None
+        ):
             from repro.runtime.parallel_backend import (
                 ShardSpec,
                 WorkerPool,
@@ -400,6 +406,7 @@ class SpeculationPipeline:
         marker: ShadowMarker | None = None
         total_wall = WallClock()
         prev_touched = 0
+        fallback_reason: str | None = None
         pos = 0
         while pos < len(values):
             size = max(1, int(self.sizer.next_size()))
@@ -506,6 +513,8 @@ class SpeculationPipeline:
             total = total.merged_with(times)
             total_wall = total_wall.merged_with(wall)
             prev_touched = touched
+            if fallback_reason is None and run.fallback_reason is not None:
+                fallback_reason = run.fallback_reason
 
         if values:
             # Normalize the loop variable's exit value; per-strip commits
@@ -520,4 +529,5 @@ class SpeculationPipeline:
             stats=stats,
             marker=marker,
             wall=total_wall,
+            fallback_reason=fallback_reason,
         )

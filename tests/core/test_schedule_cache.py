@@ -89,3 +89,38 @@ class TestCache:
         cache.lookup("x", "y")
         cache.lookup("x", "y")
         assert cache.lookups == 2
+
+
+class TestCrossEngineReuse:
+    def test_verdict_cached_under_one_engine_reused_under_another(self):
+        """The cache key is (loop, access pattern) — the engine that
+        produced the verdict is irrelevant, so a schedule recorded by a
+        compiled run must be reused by a vectorized run (and the reused
+        run's memory must match a fresh one's)."""
+        from repro.machine.costmodel import fx80
+        from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+        from repro.workloads.bdna import build_bdna
+
+        workload = build_bdna(n=60)
+        runner = LoopRunner(workload.program(), workload.inputs)
+
+        first = runner.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=fx80().with_procs(4), engine="compiled",
+                      use_schedule_cache=True),
+        )
+        assert not first.reused_schedule
+        assert runner.schedule_cache.hits == 0
+
+        second = runner.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=fx80().with_procs(4), engine="vectorized",
+                      use_schedule_cache=True),
+        )
+        assert second.reused_schedule
+        assert runner.schedule_cache.hits == 1
+        assert second.passed == first.passed
+        for name in first.env.arrays:
+            np.testing.assert_array_equal(
+                first.env.arrays[name], second.env.arrays[name], err_msg=name
+            )

@@ -5,7 +5,10 @@ must produce identical final state AND identical operation counts under
 both engines — the compiled fast path may not drift semantically.  The
 same holds for the speculative engines: random workloads with reductions,
 passing and failing speculations (including eager aborts) must yield the
-same LRPD outcome, shadow counts, simulated times and memory state.
+same LRPD outcome, shadow counts, simulated times and memory state —
+for the walker, the compiled engine and the vectorized whole-block
+engine alike (the latter commits in bulk or falls back, both
+bit-identical by contract).
 """
 
 from __future__ import annotations
@@ -112,7 +115,7 @@ spec_indices = st.lists(
 @settings(max_examples=50, deadline=None)
 @given(w=spec_indices, r=spec_indices, ridx=spec_indices, eager=st.booleans())
 def test_speculative_engines_agree(w, r, ridx, eager):
-    """Walker ≡ compiled on the full speculative protocol.
+    """Walker ≡ compiled ≡ vectorized on the full speculative protocol.
 
     The random w/r vectors produce passing runs (disjoint, privatizable)
     and failing ones (cross-iteration flow dependences) — with ``eager``
@@ -135,7 +138,7 @@ def test_speculative_engines_agree(w, r, ridx, eager):
 
     outcomes = {}
     envs = {}
-    for engine in ("walk", "compiled"):
+    for engine in ("walk", "compiled", "vectorized"):
         program = parse(source)
         plan = build_plan(program)
         env = Environment(program, inputs)
@@ -145,15 +148,17 @@ def test_speculative_engines_agree(w, r, ridx, eager):
         )
         envs[engine] = env
 
-    walk, fast = outcomes["walk"], outcomes["compiled"]
-    assert walk.result == fast.result
-    assert walk.times == fast.times
-    assert walk.stats == fast.stats
-    assert walk.run.aborted == fast.run.aborted
-    assert walk.run.executed_iterations == fast.run.executed_iterations
-    assert walk.run.iteration_costs == fast.run.iteration_costs
-    assert envs["walk"].scalars == envs["compiled"].scalars
-    for name in ("a", "s"):
-        np.testing.assert_array_equal(
-            envs["walk"].arrays[name], envs["compiled"].arrays[name]
-        )
+    walk = outcomes["walk"]
+    for engine in ("compiled", "vectorized"):
+        other = outcomes[engine]
+        assert walk.result == other.result
+        assert walk.times == other.times
+        assert walk.stats == other.stats
+        assert walk.run.aborted == other.run.aborted
+        assert walk.run.executed_iterations == other.run.executed_iterations
+        assert walk.run.iteration_costs == other.run.iteration_costs
+        assert envs["walk"].scalars == envs[engine].scalars
+        for name in ("a", "s"):
+            np.testing.assert_array_equal(
+                envs["walk"].arrays[name], envs[engine].arrays[name]
+            )

@@ -94,3 +94,49 @@ def test_parallel_backend_agrees_with_compiled(w, r, ridx, eager):
             np.testing.assert_array_equal(shadow.r, other.r)
             np.testing.assert_array_equal(shadow.np_, other.np_)
             np.testing.assert_array_equal(shadow.nx, other.nx)
+
+
+@settings(max_examples=10, deadline=None)
+@given(w=spec_indices, r=spec_indices, ridx=spec_indices)
+def test_vectorized_worker_backend_agrees_with_compiled(w, r, ridx):
+    """The vectorized engine through real worker shards ≡ compiled.
+
+    Each worker classifies and lowers its shard to the whole-block
+    kernels (or falls back to the compiled per-iteration path inside the
+    worker); either way the merged run must match the serial compiled
+    engine bit for bit.
+    """
+    inputs = {
+        "n": SPEC_N,
+        "w": np.array(w),
+        "r": np.array(r),
+        "ridx": np.array(ridx),
+        "v": np.linspace(0.5, 1.5, SPEC_N),
+        "a": np.linspace(-1.0, 1.0, SPEC_SIZE),
+        "s": np.zeros(SPEC_SIZE),
+        "x": 0.0,
+    }
+
+    outcomes = {}
+    envs = {}
+    for engine in ("compiled", "vectorized"):
+        program = parse(SPEC_TEMPLATE)
+        plan = build_plan(program)
+        env = Environment(program, inputs)
+        sim = DoallSimulator(fx80().with_procs(4), ScheduleKind.BLOCK)
+        outcomes[engine] = run_speculative(
+            program, plan.loop, env, plan, sim,
+            engine=engine, workers=2 if engine == "vectorized" else None,
+        )
+        envs[engine] = env
+
+    ref, vec = outcomes["compiled"], outcomes["vectorized"]
+    assert ref.result == vec.result
+    assert ref.times == vec.times
+    assert ref.stats == vec.stats
+    assert ref.run.iteration_costs == vec.run.iteration_costs
+    assert envs["compiled"].scalars == envs["vectorized"].scalars
+    for name in ("a", "s"):
+        np.testing.assert_array_equal(
+            envs["compiled"].arrays[name], envs["vectorized"].arrays[name]
+        )

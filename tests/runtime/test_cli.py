@@ -62,6 +62,28 @@ class TestRun:
             main(["run", "nosuch"])
 
 
+class TestVerboseFallbacks:
+    def test_rejected_loop_prints_fallback_reason(self, capsys):
+        assert main(
+            ["run", "spice", "--engine", "vectorized", "--verbose", "--procs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine fallback" in out
+        assert "vectorized -> compiled" in out
+        assert "reduction" in out
+
+    def test_committed_block_prints_no_fallback(self, capsys):
+        assert main(
+            ["run", "bdna", "--engine", "vectorized", "--verbose", "--procs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine fallback : none (vectorized block committed)" in out
+
+    def test_quiet_run_omits_fallback_lines(self, capsys):
+        assert main(["run", "spice", "--engine", "vectorized", "--procs", "4"]) == 0
+        assert "engine fallback" not in capsys.readouterr().out
+
+
 class TestFigure:
     def test_figure_output(self, capsys):
         assert main(["figure", "dyfesm"]) == 0
