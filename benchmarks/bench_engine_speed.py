@@ -232,3 +232,76 @@ def test_engine_speed_vectorized(benchmark, artifact):
     _assert_same_env(fast_env, vec_env)
     # The perf target: whole-block lowering is >=3x over closure dispatch.
     assert ratio >= 3.0, f"vectorized speculative engine only {ratio:.2f}x"
+
+
+def test_engine_speed_auto(benchmark, artifact):
+    """The auto planner matches explicit vectorized on BDNA n=800.
+
+    ``engine="auto"`` must pick the vectorized engine here (classifier
+    accepts, trip count far above the threshold) and its one-off
+    planning cost — a classifier pass over the loop body — must be noise
+    next to the block execution, so the wall clock stays within
+    tolerance of the explicit request.  Everything else is the standard
+    parity contract.
+    """
+    workload = build_bdna(n=800)
+    program = parse(workload.source)
+    plan = build_plan(program)
+    loop = plan.loop
+    before, _after = split_at_loop(program, loop)
+
+    def speculative(engine: str):
+        env = Environment(program, workload.inputs)
+        Interpreter(program, env, value_based=False).exec_block(before)
+        sim = DoallSimulator(fx80().with_procs(PROCS), ScheduleKind.BLOCK)
+        outcome = run_speculative(program, loop, env, plan, sim, engine=engine)
+        return outcome, _env_state(env)
+
+    def measure():
+        calibration_s = calibrate()
+        vec = _min_wall(lambda: speculative("vectorized"), rounds=5)
+        auto = _min_wall(lambda: speculative("auto"), rounds=5)
+        return calibration_s, vec, auto
+
+    calibration_s, (vec_wall, (vec_out, vec_env)), (auto_wall, (auto_out, auto_env)) = (
+        run_once(benchmark, measure)
+    )
+    overhead = auto_wall / vec_wall
+
+    write_bench_json(
+        "engine_speed",
+        calibration_s,
+        {"auto_speculative": auto_wall},
+        extra={"auto_over_vectorized": overhead},
+        merge=True,
+    )
+
+    artifact(
+        "engine_speed_auto",
+        "\n".join(
+            [
+                f"Auto engine selection on BDNA n=800 "
+                f"(speculative protocol, p={PROCS}, best of 5)",
+                f"explicit vectorized: {vec_wall * 1000:8.1f} ms wall clock",
+                f"auto (planner)     : {auto_wall * 1000:8.1f} ms wall clock "
+                f"({overhead:.2f}x)",
+                f"planner picked     : {auto_out.run.engine_used} "
+                f"({auto_out.run.engine_decision})",
+                f"identical simulated times : {vec_out.times == auto_out.times}",
+            ]
+        ),
+    )
+
+    # The planner must pick the whole-block engine and say why.
+    assert auto_out.run.engine_used == "vectorized"
+    assert "classifier accepted" in auto_out.run.engine_decision
+    # Bit-identical simulated protocol either way.
+    assert vec_out.result == auto_out.result
+    assert vec_out.result.passed
+    assert vec_out.times == auto_out.times
+    assert vec_out.stats == auto_out.stats
+    assert vec_out.run.iteration_costs == auto_out.run.iteration_costs
+    _assert_same_env(vec_env, auto_env)
+    # Planning overhead is noise: within 25% of the explicit request
+    # (the same tolerance the CI regression gate applies).
+    assert overhead <= 1.25, f"auto planner overhead {overhead:.2f}x"

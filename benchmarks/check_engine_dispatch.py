@@ -1,0 +1,79 @@
+"""CI lint gate: no string-literal engine dispatch outside the registry.
+
+The execution-engine refactor funneled every ``engine == "..."``
+comparison through :mod:`repro.runtime.engines` (capability queries and
+registry lookups).  This check keeps it that way: it fails when a
+string-literal engine comparison reappears anywhere else under
+``src/repro``, so dispatch cannot quietly re-scatter across call sites.
+
+::
+
+    python benchmarks/check_engine_dispatch.py            # lint src/repro
+    python benchmarks/check_engine_dispatch.py --root src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: a string literal compared against something called ``engine`` (or an
+#: attribute/key ending in it), in either order.
+PATTERNS = (
+    re.compile(r"""\bengine\s*[=!]=\s*["']"""),
+    re.compile(r"""["'][A-Za-z_]+["']\s*[=!]=\s*\w*\.?engine\b"""),
+)
+
+#: the one place engine names may be compared/declared.
+ALLOWED = pathlib.PurePosixPath("repro/runtime/engines")
+
+
+def lint(root: pathlib.Path) -> list[str]:
+    """All offending ``path:line: text`` hits under ``root``."""
+    hits: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = pathlib.PurePosixPath("repro") / path.relative_to(root)
+        if ALLOWED in relative.parents:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if any(pattern.search(line) for pattern in PATTERNS):
+                hits.append(f"{path}:{lineno}: {line.strip()}")
+    return hits
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on string-literal engine comparisons outside "
+        "repro/runtime/engines."
+    )
+    parser.add_argument(
+        "--root", type=pathlib.Path, default=pathlib.Path("src/repro"),
+        help="package directory to lint (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.root.is_dir():
+        print(f"error: no such directory {args.root}", file=sys.stderr)
+        return 2
+
+    hits = lint(args.root)
+    if hits:
+        print(
+            f"{len(hits)} string-literal engine comparison(s) outside "
+            f"repro/runtime/engines — use registry capability queries "
+            f"(repro.runtime.engines) instead:",
+            file=sys.stderr,
+        )
+        for hit in hits:
+            print(f"  {hit}", file=sys.stderr)
+        return 1
+    print("engine dispatch clean: no string comparisons outside the registry")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ import sys
 from repro.core.outcomes import TestMode
 from repro.core.shadow import Granularity
 from repro.machine.costmodel import fx80, fx2800
+from repro.runtime.engines import DEFAULT_ENGINE, engine_names, get_engine
 from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
 from repro.workloads import PAPER_LOOPS
 
@@ -58,21 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=["compiled", "walk", "parallel", "vectorized"],
-        default="compiled",
+        choices=engine_names(),
+        default=DEFAULT_ENGINE,
         help="doall iteration executor (walk = reference tree walker, "
         "parallel = real worker processes with shared-memory shadows, "
         "vectorized = whole-block NumPy lowering with bulk marking; "
-        "classifier-rejected loops fall back to compiled)",
+        "classifier-rejected loops fall back to compiled; auto = "
+        "per-loop adaptive selection)",
     )
     run.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes for --engine parallel/vectorized "
+        help="worker processes for the worker-sharding engines "
         "(default for parallel: one per usable core)",
     )
     run.add_argument(
         "--verbose", action="store_true",
-        help="print per-loop engine fallback decisions and reasons",
+        help="print per-loop engine selection and fallback decisions "
+        "with their reasons",
     )
     run.add_argument(
         "--strip-size", type=int, default=None, metavar="N",
@@ -190,13 +193,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     print(report.describe())
     if args.verbose:
+        for loop_key, reason in report.engine_decisions:
+            print(
+                f"engine decision : {loop_key}: "
+                f"{report.engine_used} ({reason})"
+            )
+        requested = get_engine(args.engine)
         if report.fallbacks:
             for loop_key, reason in report.fallbacks:
                 print(
                     f"engine fallback : {loop_key}: "
-                    f"{args.engine} -> compiled ({reason})"
+                    f"{args.engine} -> {report.engine_used} ({reason})"
                 )
-        elif args.engine == "vectorized":
+        elif requested.caps.whole_block or (
+            report.engine_used is not None
+            and get_engine(report.engine_used).caps.whole_block
+        ):
             print("engine fallback : none (vectorized block committed)")
     print("phase breakdown (cycles):")
     for phase, cycles in report.times.nonzero_phases().items():

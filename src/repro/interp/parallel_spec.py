@@ -108,9 +108,10 @@ class ShardTask:
     value_based: bool = True
     granularity: Granularity = Granularity.ITERATION
     eager: bool = False
-    #: body executor inside the worker: "compiled" or "vectorized"
-    #: (the latter falls back to compiled per-iteration on a bail).
-    engine: str = "compiled"
+    #: run the owned lanes through the vectorized whole-block lowering
+    #: (falls back to compiled per-iteration on a bail) instead of the
+    #: per-iteration compiled executor.
+    whole_block: bool = False
 
 
 @dataclass
@@ -171,7 +172,7 @@ def execute_shard(
     tested = spec.tested_arrays if (marker is not None and task.marking) else frozenset()
 
     fallback: str | None = None
-    if task.engine == "vectorized":
+    if task.whole_block:
         positions = [p for proc in task.procs for p in task.assignment[proc]]
         decision = classify_loop(spec.program, spec.loop, spec)
         if decision:

@@ -15,6 +15,12 @@ rely on this).
 Timing is not taken from the emulation's wall clock: per-iteration
 operation counts are priced by the machine model and scheduled onto the
 virtual processors by :mod:`repro.machine`.
+
+Which *body executor* runs the iterations is an execution-engine choice
+resolved through :mod:`repro.runtime.engines`: :func:`run_doall` builds
+an engine-independent :class:`~repro.runtime.engines.DoallContext` and
+hands it to the registry's dispatcher, which selects the engine
+(planning ``"auto"`` per loop) and walks declared fallback chains.
 """
 
 from __future__ import annotations
@@ -22,20 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.instrument import InstrumentationPlan
-from repro.analysis.vectorize import classify_loop
 from repro.core.privatize import PrivateCopies
 from repro.core.reduction_exec import COMBINE, REDUCTION_IDENTITY, ReductionPartials
-from repro.core.shadow import Granularity, ShadowMarker
+from repro.core.shadow import ShadowMarker
 from repro.dsl.ast_nodes import Do, Program
-from repro.errors import InterpError, SpeculationFailed
-from repro.interp.compiled_spec import CompiledSpecLoop
-from repro.interp.costs import CostCounter, IterationCost
+from repro.interp.costs import IterationCost
 from repro.interp.env import Environment
-from repro.interp.events import NullObserver
-from repro.interp.vectorized_spec import VectorizeBail, execute_vectorized_block
 from repro.interp.interpreter import Interpreter
-from repro.machine.schedule import ScheduleKind, assign_iterations
-from repro.runtime.access_router import AccessRouter, check_router_config
+from repro.machine.schedule import ScheduleKind
 from repro.runtime.serial import loop_iteration_values
 
 
@@ -58,6 +58,9 @@ class DoallRun:
     #: degrade to ``"compiled"``; the reason is recorded alongside).
     engine_used: str = "compiled"
     fallback_reason: str | None = None
+    #: the ``auto`` planner's recorded rationale (None for explicit
+    #: engine requests).
+    engine_decision: str | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -98,19 +101,18 @@ def run_doall(
     copies, reduction arrays via partials) — call :func:`finalize_doall`
     to fold private state back in after a successful test.
 
-    ``engine`` selects the iteration executor: ``"compiled"`` (the
-    closure-compiled speculative engine with batched marking,
-    :mod:`repro.interp.compiled_spec`), ``"walk"`` (the per-access
+    ``engine`` names a registered execution engine (see
+    :mod:`repro.runtime.engines`): ``"compiled"`` (the closure-compiled
+    speculative engine with batched marking), ``"walk"`` (the per-access
     instrumented tree walker), ``"vectorized"`` (the whole-block NumPy
-    lowering with bulk shadow marking,
-    :mod:`repro.interp.vectorized_spec`; classifier-rejected loops and
-    runtime bails fall through to ``"compiled"`` with the reason on the
-    outcome), or ``"parallel"`` (real worker processes with
-    shared-memory shadow sets and the paper's cross-processor merge,
-    :mod:`repro.runtime.parallel_backend`).  All produce bit-identical
-    state, costs and shadow marks on completed runs.
+    lowering; classifier-rejected loops and runtime bails walk the
+    declared fallback chain to ``"compiled"`` with the reason on the
+    outcome), ``"parallel"`` (real worker processes with shared-memory
+    shadow sets and the paper's cross-processor merge), or ``"auto"``
+    (the per-loop planner, decision recorded on the run).  All produce
+    bit-identical state, costs and shadow marks on completed runs.
 
-    ``workers``/``pool`` apply to the parallel engine only: a real
+    ``workers``/``pool`` apply to worker-sharding engines only: a real
     process count (default: one per usable core) or a persistent
     :class:`~repro.runtime.parallel_backend.WorkerPool` to reuse across
     strips.
@@ -123,188 +125,30 @@ def run_doall(
     preserve serial order because each strip's positions follow its
     serial iteration order and strips commit in order.
     """
-    if engine not in ("compiled", "walk", "parallel", "vectorized"):
-        raise InterpError(f"unknown doall engine {engine!r}")
-    if engine == "parallel" or (
-        engine == "vectorized" and (workers is not None or pool is not None)
-    ):
-        # Imported lazily: the backend imports DoallRun from this module.
-        from repro.runtime.parallel_backend import run_parallel_doall
+    # Imported lazily: the engine implementations import DoallRun from
+    # this module.
+    from repro.runtime.engines import DoallContext, execute_doall, get_engine
 
-        return run_parallel_doall(
-            program, loop, env, plan, num_procs,
-            marker=marker, value_based=value_based, schedule=schedule,
-            values=values, workers=workers, pool=pool,
-            engine="vectorized" if engine == "vectorized" else "compiled",
-        )
+    get_engine(engine)  # validate before any work starts
     if values is None:
         bounds_interp = Interpreter(program, env, value_based=False)
         start, stop, step = bounds_interp.eval_loop_bounds(loop)
         values = loop_iteration_values(start, stop, step)
 
-    privates = {
-        name: PrivateCopies(name, env.arrays[name], num_procs)
-        for name in sorted(plan.tested_arrays)
-    }
-    partials = {
-        name: ReductionPartials(name, num_procs)
-        for name in sorted(plan.reduction_arrays)
-    }
-    check_router_config(privates, partials, num_procs)
-    router = AccessRouter(env, privates, partials, plan.redux_refs)
-
-    scalar_init = {
-        name: env.scalars[name] for name in plan.scalar_reductions if name in env.scalars
-    }
-
-    tested = plan.tested_arrays if marker is not None else frozenset()
-    proc_envs: list[Environment] = []
-    for _proc in range(num_procs):
-        proc_env = env.fork_scalars()
-        for name, op in plan.scalar_reductions.items():
-            proc_env.scalars[name] = REDUCTION_IDENTITY[op]
-        proc_envs.append(proc_env)
-
-    # Dynamic self-scheduling cannot be pre-assigned (iteration costs are
-    # only known after execution): emulate with a cyclic deal — a fair
-    # stand-in for a self-scheduling queue's interleaving — and let the
-    # machine model re-price the makespan with the measured costs.
-    exec_schedule = (
-        ScheduleKind.CYCLIC if schedule is ScheduleKind.DYNAMIC else schedule
-    )
-    assignment = assign_iterations(len(values), num_procs, exec_schedule)
-
-    fallback_reason: str | None = None
-    if engine == "vectorized":
-        decision = classify_loop(program, loop, plan)
-        if decision:
-            try:
-                pairs = execute_vectorized_block(
-                    program, loop,
-                    values=values, positions=range(len(values)),
-                    assignment=assignment, num_procs=num_procs,
-                    tested=tested, redux_refs=plan.redux_refs,
-                    scalar_reductions=plan.scalar_reductions,
-                    live_out_scalars=plan.live_out_scalars,
-                    value_based=value_based, marker=marker,
-                    privates=privates, partials=partials,
-                    proc_envs=proc_envs, shared_env=env,
-                )
-            except VectorizeBail as bail:
-                fallback_reason = bail.reason
-            else:
-                vec_costs = [IterationCost()] * len(values)
-                for position, cost in pairs:
-                    vec_costs[position] = cost
-                return DoallRun(
-                    values=values,
-                    assignment=assignment,
-                    iteration_costs=vec_costs,
-                    privates=privates,
-                    partials=partials,
-                    proc_envs=proc_envs,
-                    marker=marker,
-                    scalar_init=scalar_init,
-                    aborted=False,
-                    executed_iterations=len(values),
-                    engine_used="vectorized",
-                )
-        else:
-            fallback_reason = decision.reason
-        # The whole-block attempt touched nothing: rerun per-iteration on
-        # the compiled engine over the very same structures.
-        engine = "compiled"
-
-    if engine == "compiled":
-        spec = CompiledSpecLoop(
-            program, loop,
-            tested=tested, value_based=value_based, redux_refs=plan.redux_refs,
-            privates=privates, partials=partials, shared_env=env,
-        )
-        runtimes = [
-            spec.new_runtime(proc_env, router, CostCounter(), proc=proc)
-            for proc, proc_env in enumerate(proc_envs)
-        ]
-
-        def proc_cost(proc: int) -> CostCounter:
-            return runtimes[proc].cost
-
-        def execute(proc: int, position: int) -> None:
-            rt = runtimes[proc]
-            rt.iteration = position
-            spec.run_iteration(rt, marker, values[position], plan.live_out_scalars)
-
-    else:
-        observer = marker if marker is not None else NullObserver()
-        interps = [
-            Interpreter(
-                program,
-                proc_env,
-                memory=router,
-                observer=observer,
-                tested=tested,
-                value_based=value_based,
-                cost=CostCounter(),
-                redux_refs=plan.redux_refs,
-            )
-            for proc_env in proc_envs
-        ]
-
-        def proc_cost(proc: int) -> CostCounter:
-            return interps[proc].cost
-
-        def execute(proc: int, position: int) -> None:
-            interps[proc].exec_iteration(
-                loop, values[position], flush_live_out=plan.live_out_scalars
-            )
-
-    iteration_costs: list[IterationCost | None] = [None] * len(values)
-
-    pointers = [0] * num_procs
-    remaining = len(values)
-    executed = 0
-    aborted = False
-    while remaining and not aborted:
-        for proc in range(num_procs):
-            if pointers[proc] >= len(assignment[proc]):
-                continue
-            position = assignment[proc][pointers[proc]]
-            pointers[proc] += 1
-            remaining -= 1
-            cost = proc_cost(proc)
-            router.set_context(proc, position)
-            if marker is not None:
-                granule = (
-                    position
-                    if marker.granularity is Granularity.ITERATION
-                    else proc
-                )
-                marker.set_granule(granule)
-                marker.cost = cost
-            try:
-                execute(proc, position)
-            except SpeculationFailed:
-                # On-the-fly detection: the attempt is over; the partial
-                # iteration's cost bracketing is discarded with it.
-                aborted = True
-                break
-            iteration_costs[position] = cost.iteration_costs[-1]
-            executed += 1
-
-    done_costs = [c if c is not None else IterationCost() for c in iteration_costs]
-    return DoallRun(
-        values=values,
-        assignment=assignment,
-        iteration_costs=done_costs,
-        privates=privates,
-        partials=partials,
-        proc_envs=proc_envs,
+    ctx = DoallContext(
+        program=program,
+        loop=loop,
+        env=env,
+        plan=plan,
+        num_procs=num_procs,
         marker=marker,
-        scalar_init=scalar_init,
-        aborted=aborted,
-        executed_iterations=executed,
-        fallback_reason=fallback_reason,
+        value_based=value_based,
+        schedule=schedule,
+        values=values,
+        workers=workers,
+        pool=pool,
     )
+    return execute_doall(ctx, engine)
 
 
 @dataclass

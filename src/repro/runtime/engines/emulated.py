@@ -1,0 +1,163 @@
+"""Shared machinery of the in-process (emulated) doall engines.
+
+The walk, compiled and vectorized engines all execute inside one OS
+process against the same structures a real processor would own: private
+copies of the tested arrays, partial reduction accumulators, forked
+per-processor scalar environments and the access router that binds them
+together.  :func:`prepare_state` builds that state; :class:`EmulatedEngine`
+is the template for the per-iteration engines — subclasses supply the
+iteration executor, the deterministic round-robin interleaving and the
+eager-abort handling live here, verbatim the semantics
+:func:`repro.runtime.doall.run_doall` has always had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.privatize import PrivateCopies
+from repro.core.reduction_exec import REDUCTION_IDENTITY, ReductionPartials
+from repro.core.shadow import Granularity
+from repro.errors import SpeculationFailed
+from repro.interp.costs import CostCounter, IterationCost
+from repro.interp.env import Environment
+from repro.machine.schedule import ScheduleKind, assign_iterations
+from repro.runtime.access_router import AccessRouter, check_router_config
+from repro.runtime.doall import DoallRun
+from repro.runtime.engines.base import DoallContext, ExecutionEngine
+
+
+@dataclass
+class EmulationState:
+    """The per-doall structures shared by every in-process engine."""
+
+    privates: dict[str, PrivateCopies]
+    partials: dict[str, ReductionPartials]
+    router: AccessRouter
+    scalar_init: dict[str, float | int]
+    tested: frozenset[str]
+    proc_envs: list[Environment]
+    assignment: list[list[int]]
+
+
+def prepare_state(ctx: DoallContext) -> EmulationState:
+    """Build private copies, partials, router, per-proc environments and
+    the iteration assignment for one emulated doall."""
+    env, plan, num_procs = ctx.env, ctx.plan, ctx.num_procs
+    privates = {
+        name: PrivateCopies(name, env.arrays[name], num_procs)
+        for name in sorted(plan.tested_arrays)
+    }
+    partials = {
+        name: ReductionPartials(name, num_procs)
+        for name in sorted(plan.reduction_arrays)
+    }
+    check_router_config(privates, partials, num_procs)
+    router = AccessRouter(env, privates, partials, plan.redux_refs)
+
+    scalar_init = {
+        name: env.scalars[name]
+        for name in plan.scalar_reductions
+        if name in env.scalars
+    }
+
+    tested = plan.tested_arrays if ctx.marker is not None else frozenset()
+    proc_envs: list[Environment] = []
+    for _proc in range(num_procs):
+        proc_env = env.fork_scalars()
+        for name, op in plan.scalar_reductions.items():
+            proc_env.scalars[name] = REDUCTION_IDENTITY[op]
+        proc_envs.append(proc_env)
+
+    # Dynamic self-scheduling cannot be pre-assigned (iteration costs are
+    # only known after execution): emulate with a cyclic deal — a fair
+    # stand-in for a self-scheduling queue's interleaving — and let the
+    # machine model re-price the makespan with the measured costs.
+    exec_schedule = (
+        ScheduleKind.CYCLIC if ctx.schedule is ScheduleKind.DYNAMIC
+        else ctx.schedule
+    )
+    assignment = assign_iterations(len(ctx.values), num_procs, exec_schedule)
+
+    return EmulationState(
+        privates=privates,
+        partials=partials,
+        router=router,
+        scalar_init=scalar_init,
+        tested=tested,
+        proc_envs=proc_envs,
+        assignment=assignment,
+    )
+
+
+class EmulatedEngine(ExecutionEngine):
+    """Template for the per-iteration in-process engines.
+
+    Subclasses implement :meth:`_executors`, returning the pair of
+    callbacks the round-robin emulation drives: ``proc_cost(proc)`` (the
+    processor's live cost counter) and ``execute(proc, position)`` (run
+    one iteration).
+    """
+
+    def _executors(
+        self, ctx: DoallContext, state: EmulationState
+    ) -> tuple[Callable[[int], CostCounter], Callable[[int, int], None]]:
+        raise NotImplementedError
+
+    def execute_doall(self, ctx: DoallContext) -> DoallRun:
+        state = prepare_state(ctx)
+        proc_cost, execute = self._executors(ctx, state)
+
+        values, marker, router = ctx.values, ctx.marker, state.router
+        assignment = state.assignment
+        iteration_costs: list[IterationCost | None] = [None] * len(values)
+
+        pointers = [0] * ctx.num_procs
+        remaining = len(values)
+        executed = 0
+        aborted = False
+        while remaining and not aborted:
+            for proc in range(ctx.num_procs):
+                if pointers[proc] >= len(assignment[proc]):
+                    continue
+                position = assignment[proc][pointers[proc]]
+                pointers[proc] += 1
+                remaining -= 1
+                cost = proc_cost(proc)
+                router.set_context(proc, position)
+                if marker is not None:
+                    granule = (
+                        position
+                        if marker.granularity is Granularity.ITERATION
+                        else proc
+                    )
+                    marker.set_granule(granule)
+                    marker.cost = cost
+                try:
+                    execute(proc, position)
+                except SpeculationFailed:
+                    # On-the-fly detection: the attempt is over; the
+                    # partial iteration's cost bracketing is discarded
+                    # with it.
+                    aborted = True
+                    break
+                iteration_costs[position] = cost.iteration_costs[-1]
+                executed += 1
+
+        done_costs = [
+            c if c is not None else IterationCost() for c in iteration_costs
+        ]
+        return DoallRun(
+            values=values,
+            assignment=assignment,
+            iteration_costs=done_costs,
+            privates=state.privates,
+            partials=state.partials,
+            proc_envs=state.proc_envs,
+            marker=marker,
+            scalar_init=state.scalar_init,
+            aborted=aborted,
+            executed_iterations=executed,
+            engine_used=self.name,
+        )

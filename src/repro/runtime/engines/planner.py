@@ -1,0 +1,88 @@
+"""Adaptive per-loop engine selection (``engine="auto"``).
+
+The planner turns static signals into an execution-engine pick, made
+fresh for every doall (so each strip of a strip-mined run is planned
+over its own trip count):
+
+* the vectorize classifier's verdict — an accepted loop runs on the
+  whole-block engine, a rejected one records the reject reason;
+* the trip count — below :data:`MIN_VECTOR_TRIP` iterations the
+  whole-block setup outweighs the lowering, so small (strips of) loops
+  stay on the compiled per-iteration engine;
+* worker availability — an explicit worker request routes
+  classifier-rejected loops to the multiprocess backend instead of the
+  single-process compiled engine.
+
+Engine parity makes the pick *safe* by construction: every engine is
+bit-identical on all simulated observables, so the planner can only
+ever cost wall clock, never correctness — the decision and its reason
+are still recorded on the report for scrutiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.instrument import InstrumentationPlan
+from repro.analysis.vectorize import classify_loop
+from repro.dsl.ast_nodes import Do, Program
+
+#: below this many iterations the whole-block lowering's fixed setup
+#: (lane assembly, stream sorting) dominates — stay per-iteration.
+MIN_VECTOR_TRIP = 16
+
+
+@dataclass(frozen=True)
+class EnginePlan:
+    """One per-loop engine decision and its recorded rationale."""
+
+    engine: str
+    reason: str
+
+
+class EnginePlanner:
+    """Pick the execution engine for one (strip of a) loop."""
+
+    def __init__(self, min_vector_trip: int = MIN_VECTOR_TRIP):
+        self.min_vector_trip = min_vector_trip
+
+    def plan(
+        self,
+        program: Program,
+        loop: Do,
+        plan: InstrumentationPlan,
+        *,
+        trip_count: int,
+        workers: Optional[int] = None,
+    ) -> EnginePlan:
+        decision = classify_loop(program, loop, plan)
+        body_size = len(loop.body)
+        if decision:
+            if trip_count >= self.min_vector_trip:
+                sharding = (
+                    f", sharded across {workers} workers"
+                    if workers is not None
+                    else ""
+                )
+                return EnginePlan(
+                    "vectorized",
+                    f"classifier accepted whole-block lowering "
+                    f"(trip count {trip_count}, body {body_size} "
+                    f"statements{sharding})",
+                )
+            return EnginePlan(
+                "compiled",
+                f"classifier accepted but trip count {trip_count} is below "
+                f"the whole-block threshold ({self.min_vector_trip})",
+            )
+        if workers is not None:
+            return EnginePlan(
+                "parallel",
+                f"classifier rejected whole-block lowering "
+                f"({decision.reason}); {workers} workers requested",
+            )
+        return EnginePlan(
+            "compiled",
+            f"classifier rejected whole-block lowering ({decision.reason})",
+        )

@@ -1,0 +1,101 @@
+"""The vectorized whole-block engine (``engine="vectorized"``).
+
+Classifier-eligible loops are lowered to NumPy index-vector kernels —
+one lane per iteration — with bulk shadow marking
+(:mod:`repro.interp.vectorized_spec`).  Rejected loops and runtime
+bails raise :class:`EngineFallback` strictly pre-commit; the dispatcher
+walks the declared fallback chain (``vectorized -> compiled``) and the
+loop reruns per-iteration over fresh, untouched structures.  With an
+explicit worker count or pool the block is sharded lane-wise onto the
+multiprocess backend instead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.vectorize import classify_loop
+from repro.interp.costs import IterationCost
+from repro.interp.vectorized_spec import VectorizeBail, execute_vectorized_block
+from repro.runtime.doall import DoallRun
+from repro.runtime.engines.base import (
+    DoallContext,
+    EngineCaps,
+    EngineFallback,
+    ExecutionEngine,
+)
+from repro.runtime.engines.emulated import prepare_state
+from repro.runtime.engines.registry import registry
+
+
+class VectorizedEngine(ExecutionEngine):
+    name = "vectorized"
+    caps = EngineCaps(
+        supports_workers=True,
+        needs_classifier=True,
+        whole_block=True,
+        fallback="compiled",
+    )
+    summary = (
+        "whole loop body lowered to NumPy index-vector kernels (one lane "
+        "per iteration) with bulk shadow marking; a static classifier "
+        "gates eligibility, rejects fall back to `compiled` with the "
+        "reason reported (`--verbose`)"
+    )
+    guarantee = "bit-identical to `compiled`, ≥3x faster on eligible loops"
+
+    def execute_doall(self, ctx: DoallContext) -> DoallRun:
+        if ctx.workers is not None or ctx.pool is not None:
+            # Shard the lanes across real worker processes; in-shard
+            # bails degrade to compiled inside the workers and come back
+            # on the merged run's fallback fields.
+            from repro.runtime.parallel_backend import run_parallel_doall
+
+            return run_parallel_doall(
+                ctx.program, ctx.loop, ctx.env, ctx.plan, ctx.num_procs,
+                marker=ctx.marker, value_based=ctx.value_based,
+                schedule=ctx.schedule, values=ctx.values,
+                workers=ctx.workers, pool=ctx.pool,
+                whole_block=True,
+            )
+
+        decision = classify_loop(ctx.program, ctx.loop, ctx.plan)
+        if not decision:
+            raise EngineFallback(decision.reason)
+
+        state = prepare_state(ctx)
+        try:
+            pairs = execute_vectorized_block(
+                ctx.program, ctx.loop,
+                values=ctx.values, positions=range(len(ctx.values)),
+                assignment=state.assignment, num_procs=ctx.num_procs,
+                tested=state.tested, redux_refs=ctx.plan.redux_refs,
+                scalar_reductions=ctx.plan.scalar_reductions,
+                live_out_scalars=ctx.plan.live_out_scalars,
+                value_based=ctx.value_based, marker=ctx.marker,
+                privates=state.privates, partials=state.partials,
+                proc_envs=state.proc_envs, shared_env=ctx.env,
+            )
+        except VectorizeBail as bail:
+            # The whole-block attempt touched nothing: the dispatcher
+            # reruns per-iteration on the fallback engine over fresh
+            # structures built from the very same (unmodified) state.
+            raise EngineFallback(bail.reason) from None
+
+        vec_costs = [IterationCost()] * len(ctx.values)
+        for position, cost in pairs:
+            vec_costs[position] = cost
+        return DoallRun(
+            values=ctx.values,
+            assignment=state.assignment,
+            iteration_costs=vec_costs,
+            privates=state.privates,
+            partials=state.partials,
+            proc_envs=state.proc_envs,
+            marker=ctx.marker,
+            scalar_init=state.scalar_init,
+            aborted=False,
+            executed_iterations=len(ctx.values),
+            engine_used=self.name,
+        )
+
+
+registry.register(VectorizedEngine())

@@ -129,6 +129,11 @@ class InspectorOutcome:
     stats: dict[str, float]
     #: why a requested vectorized executor run degraded to compiled.
     fallback_reason: str | None = None
+    #: the engine that executed the executor-phase doall (None when the
+    #: test failed and the loop ran serially instead).
+    engine_used: str | None = None
+    #: the ``auto`` planner's rationale for the executor phase.
+    engine_decision: str | None = None
 
 
 def run_inspector_phase(
@@ -219,6 +224,8 @@ def run_inspector_executor(
     )
 
     fallback_reason = None
+    engine_used = None
+    engine_decision = None
     if result.passed:
         run = run_doall(
             program, loop, env, plan, sim.num_procs,
@@ -226,6 +233,8 @@ def run_inspector_executor(
             workers=workers,
         )
         fallback_reason = run.fallback_reason
+        engine_used = run.engine_used
+        engine_decision = run.engine_decision
         times.private_init = sim.private_init_time(
             sum(p.size for p in run.privates.values())
         )
@@ -245,4 +254,6 @@ def run_inspector_executor(
         times.serial_rerun = serial_time
 
     return InspectorOutcome(result=result, times=times, stats=stats,
-                            fallback_reason=fallback_reason)
+                            fallback_reason=fallback_reason,
+                            engine_used=engine_used,
+                            engine_decision=engine_decision)

@@ -26,6 +26,7 @@ from repro.machine.schedule import ScheduleKind
 from repro.machine.simulator import DoallSimulator
 from repro.machine.stats import TimeBreakdown
 from repro.runtime.doall import finalize_doall, run_doall
+from repro.runtime.engines import get_engine, serial_engine_for
 from repro.runtime.inspector import run_inspector_executor
 from repro.runtime.results import ExecutionReport, SerialRun
 from repro.runtime.serial import rerun_loop_serially, run_serial
@@ -60,15 +61,18 @@ class RunConfig:
     #: on-the-fly hardware model [47]); only effective for the default
     #: iteration-wise directional LRPD configuration.
     eager_failure_detection: bool = False
-    #: doall iteration executor: "compiled" (closure-compiled, batched
-    #: marking), "walk" (the reference tree walker), "parallel" (real
-    #: worker processes with shared-memory shadows,
-    #: :mod:`repro.runtime.parallel_backend`), or "vectorized"
-    #: (whole-block NumPy lowering with bulk shadow marking,
+    #: doall iteration executor — any engine registered in
+    #: :mod:`repro.runtime.engines`: "compiled" (closure-compiled,
+    #: batched marking), "walk" (the reference tree walker), "parallel"
+    #: (real worker processes with shared-memory shadows,
+    #: :mod:`repro.runtime.parallel_backend`), "vectorized" (whole-block
+    #: NumPy lowering with bulk shadow marking,
     #: :mod:`repro.interp.vectorized_spec`; classifier-rejected loops
-    #: fall back to compiled with the reason recorded on the report).
-    #: Bit-identical results; "walk" is kept for ablation and
-    #: equivalence testing.
+    #: walk the declared fallback chain to compiled with the reason
+    #: recorded on the report), or "auto" (per-loop adaptive selection,
+    #: decision recorded on the report).  Bit-identical results; "walk"
+    #: is kept for ablation and equivalence testing.  Validated at
+    #: construction against the registry.
     engine: str = "compiled"
     #: real worker processes for ``engine="parallel"`` (None: one per
     #: usable core).  Independent of the *simulated* processor count in
@@ -83,6 +87,11 @@ class RunConfig:
     #: failures (:class:`repro.runtime.adaptive.AdaptiveStripSizer`);
     #: ``strip_size`` then seeds the initial size.
     adaptive_strip_sizing: bool = False
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not deep inside a strategy run; the
+        # error lists the registered engines.
+        get_engine(self.engine)
 
     def with_procs(self, p: int) -> "RunConfig":
         import dataclasses
@@ -110,21 +119,28 @@ class LoopRunner:
     def serial_run(self, model: CostModel, engine: str = "compiled") -> SerialRun:
         """The serial reference execution (cached per machine and engine).
 
-        ``engine`` honors :attr:`RunConfig.engine`; the engines are
-        property-tested to be state- and count-identical, so the choice
-        only affects wall clock, not any simulated quantity.  The serial
-        reference has no doall for the parallel backend to shard (nor a
-        block for the vectorized engine to lower), so ``"parallel"`` and
-        ``"vectorized"`` map to the compiled executor here.
+        ``engine`` honors :attr:`RunConfig.engine`; the serial-capable
+        engines are property-tested to be state- and count-identical, so
+        the choice only affects wall clock, not any simulated quantity.
+        Engines without a serial executor (the serial reference has no
+        doall for the parallel backend to shard, nor a block for the
+        vectorized engine to lower) substitute the first serial-capable
+        engine on their registry fallback chain, with the substitution
+        recorded on the returned run instead of silently dropped.
         """
-        if engine in ("parallel", "vectorized"):
-            engine = "compiled"
-        key = f"{model.name}:{engine}"
+        serial_name, substitution = serial_engine_for(engine)
+        key = f"{model.name}:{serial_name}"
         if key not in self._serial_runs:
             self._serial_runs[key] = run_serial(
-                self.program, self.inputs, model, loop=self.loop, engine=engine
+                self.program, self.inputs, model, loop=self.loop,
+                engine=serial_name,
             )
-        return self._serial_runs[key]
+        cached = self._serial_runs[key]
+        if substitution is None:
+            return cached
+        import dataclasses
+
+        return dataclasses.replace(cached, engine_substitution=substitution)
 
     # -- strategies ------------------------------------------------------------
 
@@ -240,6 +256,8 @@ class LoopRunner:
             stats=outcome.stats,
             wall=outcome.wall,
             fallbacks=self._fallbacks(outcome.run.fallback_reason),
+            engine_used=outcome.run.engine_used,
+            engine_decisions=self._decisions(outcome.run.engine_decision),
         )
 
     def _run_stripped(self, config: RunConfig) -> ExecutionReport:
@@ -298,6 +316,8 @@ class LoopRunner:
             strips=outcome.strips,
             wall=outcome.wall,
             fallbacks=self._fallbacks(outcome.fallback_reason),
+            engine_used=outcome.engine_used,
+            engine_decisions=self._decisions(outcome.engine_decision),
         )
 
     def _run_from_cached(
@@ -311,6 +331,8 @@ class LoopRunner:
         """Schedule reuse: skip marking and analysis entirely."""
         times = TimeBreakdown()
         fallback_reason = None
+        engine_used = None
+        engine_decision = None
         if cached.passed:
             run = run_doall(
                 self.program, self.loop, env, self.plan, sim.num_procs,
@@ -333,6 +355,8 @@ class LoopRunner:
             times.reduction_merge = sim.reduction_merge_time(finalize.reduction_merged)
             times.copy_out = sim.copy_out_time(finalize.copied_out)
             fallback_reason = run.fallback_reason
+            engine_used = run.engine_used
+            engine_decision = run.engine_decision
         else:
             serial_interp = Interpreter(self.program, env, value_based=False)
             serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
@@ -348,6 +372,8 @@ class LoopRunner:
             env=env,
             reused_schedule=True,
             fallbacks=self._fallbacks(fallback_reason),
+            engine_used=engine_used,
+            engine_decisions=self._decisions(engine_decision),
         )
 
     def _run_inspector(self, config: RunConfig) -> ExecutionReport:
@@ -379,10 +405,19 @@ class LoopRunner:
             env=env,
             stats=outcome.stats,
             fallbacks=self._fallbacks(outcome.fallback_reason),
+            engine_used=outcome.engine_used,
+            engine_decisions=self._decisions(outcome.engine_decision),
         )
 
     def _fallbacks(self, reason: str | None) -> list[tuple[str, str]]:
         """Engine-degradation records for the report (empty when none)."""
+        if reason is None:
+            return []
+        return [(self._loop_key(), reason)]
+
+    def _decisions(self, reason: str | None) -> list[tuple[str, str]]:
+        """Auto-planner decision records for the report (empty when the
+        engine was requested explicitly)."""
         if reason is None:
             return []
         return [(self._loop_key(), reason)]

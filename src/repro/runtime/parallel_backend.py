@@ -298,17 +298,23 @@ def run_parallel_doall(
     values: list[int] | None = None,
     workers: int | None = None,
     pool: WorkerPool | None = None,
-    engine: str = "compiled",
+    whole_block: bool = False,
 ) -> DoallRun:
     """Execute the marked doall on real worker processes.
 
     Drop-in replacement for the emulated executors behind
-    :func:`repro.runtime.doall.run_doall` (reached via
-    ``engine="parallel"``): same contract, same returned
-    :class:`DoallRun`, with the shadow marks merged into ``marker`` per
-    the paper's cross-processor union.  ``marker`` must be freshly reset
-    (the speculative protocols guarantee this) — the merge folds the
-    workers' marks into it rather than marking incrementally.
+    :func:`repro.runtime.doall.run_doall` (reached via the ``parallel``
+    and worker-sharded ``vectorized`` engines): same contract, same
+    returned :class:`DoallRun`, with the shadow marks merged into
+    ``marker`` per the paper's cross-processor union.  ``marker`` must
+    be freshly reset (the speculative protocols guarantee this) — the
+    merge folds the workers' marks into it rather than marking
+    incrementally.
+
+    ``whole_block`` selects the in-worker body executor: the vectorized
+    whole-block lowering (in-shard bails degrade to compiled inside the
+    worker and surface on the merged run's fallback fields) instead of
+    the per-iteration compiled engine.
 
     ``pool`` reuses a persistent :class:`WorkerPool` (the strip pipeline
     passes one); otherwise an ephemeral pool of ``workers`` processes
@@ -353,14 +359,14 @@ def run_parallel_doall(
                     else Granularity.ITERATION
                 ),
                 eager=eager,
-                engine=engine,
+                whole_block=whole_block,
             )
             for chunk in pool.chunks
         ]
         results = pool.run(tasks)
         return _merge_results(
             pool, results, env, plan, num_procs, marker, values, assignment,
-            engine=engine,
+            whole_block=whole_block,
         )
     finally:
         if owned_pool is not None:
@@ -376,7 +382,7 @@ def _merge_results(
     marker: ShadowMarker | None,
     values: list[int],
     assignment: list[list[int]],
-    engine: str = "compiled",
+    whole_block: bool = False,
 ) -> DoallRun:
     """Fold the per-worker shard results into one :class:`DoallRun`.
 
@@ -449,7 +455,7 @@ def _merge_results(
         executed_iterations=sum(result.executed for result in results),
         engine_used=(
             "vectorized"
-            if engine == "vectorized"
+            if whole_block
             and not any(result.fallback for result in results)
             else "compiled"
         ),

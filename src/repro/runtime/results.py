@@ -20,6 +20,11 @@ class SerialRun:
     setup_time: float
     teardown_time: float
     num_iterations: int
+    #: the serial-capable engine that executed the program.
+    engine: str = "walk"
+    #: set when the requested engine cannot run serially and the registry
+    #: substituted one from its fallback chain (e.g. parallel → compiled).
+    engine_substitution: str | None = None
 
 
 @dataclass
@@ -46,6 +51,11 @@ class ExecutionReport:
     #: recorded when a requested engine (e.g. "vectorized") silently
     #: degraded to compiled.  Printed under the CLI's ``--verbose``.
     fallbacks: list[tuple[str, str]] = field(default_factory=list)
+    #: the engine that actually executed the (first strip of the) loop.
+    engine_used: str | None = None
+    #: per-loop ``auto`` planner decisions: (loop key, reason).  Empty
+    #: for explicit engine requests.  Printed under ``--verbose``.
+    engine_decisions: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def loop_time(self) -> float:

@@ -35,83 +35,27 @@ def run_serial(
 ) -> SerialRun:
     """Execute the program serially, timing the target loop per iteration.
 
-    ``engine`` selects the execution engine: ``"walk"`` (the
-    tree-walking interpreter) or ``"compiled"`` (the closure-compiling
-    fast path of :mod:`repro.interp.compiled`); both produce identical
-    state and identical operation counts.
+    ``engine`` names any registered execution engine; the registry
+    substitutes the first serial-capable engine on its fallback chain
+    for doall-only engines (e.g. ``parallel`` → ``compiled``), recording
+    the substitution on the returned run.  All serial-capable engines
+    produce identical state and identical operation counts.
     """
+    # Imported lazily: the engine modules import SerialRun helpers from
+    # this module.
+    from repro.runtime.engines import get_engine, serial_engine_for
+
+    serial_name, substitution = serial_engine_for(engine)
+    executor = get_engine(serial_name)
+
     env = Environment(program, inputs)
     if loop is None:
         loop = find_target_loop(program)
     before, after = split_at_loop(program, loop)
 
-    if engine == "compiled":
-        return _run_serial_compiled(program, env, model, loop, before, after)
-    if engine != "walk":
-        raise ValueError(f"unknown serial engine {engine!r}")
-
-    setup_cost = CostCounter()
-    interp = Interpreter(program, env, cost=setup_cost, value_based=False)
-    interp.exec_block(before)
-    setup_time = model.iteration_cycles(setup_cost.total())
-
-    loop_cost = CostCounter()
-    interp.cost = loop_cost
-    start, stop, step = interp.eval_loop_bounds(loop)
-    values = loop_iteration_values(start, stop, step)
-    for value in values:
-        interp.exec_iteration(loop, value)
-    env.set_scalar(loop.var, (values[-1] + step) if values else start)
-
-    teardown_cost = CostCounter()
-    interp.cost = teardown_cost
-    interp.exec_block(after)
-    teardown_time = model.iteration_cycles(teardown_cost.total())
-
-    iteration_costs = list(loop_cost.iteration_costs)
-    loop_time = sum(model.iteration_cycles(c) for c in iteration_costs)
-    return SerialRun(
-        env=env,
-        loop_iteration_costs=iteration_costs,
-        loop_time=loop_time,
-        setup_time=setup_time,
-        teardown_time=teardown_time,
-        num_iterations=len(values),
-    )
-
-
-def _run_serial_compiled(program, env, model, loop, before, after) -> SerialRun:
-    from repro.interp.compiled import compile_program
-
-    compiled = compile_program(program)
-
-    setup_cost = CostCounter()
-    compiled.run_statements(before, env, setup_cost)
-    setup_time = model.iteration_cycles(setup_cost.total())
-
-    bounds_interp = Interpreter(program, env, value_based=False)
-    start, stop, step = bounds_interp.eval_loop_bounds(loop)
-    # Bound evaluation is re-done by the walker for simplicity; undo its
-    # count contribution by using a throwaway counter (already the case:
-    # the walker gets a fresh default counter here).
-    values = loop_iteration_values(start, stop, step)
-    loop_cost = CostCounter()
-    compiled.run_loop(loop, env, loop_cost, values)
-    env.set_scalar(loop.var, (values[-1] + step) if values else start)
-
-    teardown_cost = CostCounter()
-    compiled.run_statements(after, env, teardown_cost)
-    teardown_time = model.iteration_cycles(teardown_cost.total())
-
-    iteration_costs = list(loop_cost.iteration_costs)
-    return SerialRun(
-        env=env,
-        loop_iteration_costs=iteration_costs,
-        loop_time=sum(model.iteration_cycles(c) for c in iteration_costs),
-        setup_time=setup_time,
-        teardown_time=teardown_time,
-        num_iterations=len(values),
-    )
+    run = executor.execute_serial(program, env, model, loop, before, after)
+    run.engine_substitution = substitution
+    return run
 
 
 def rerun_values_serially(

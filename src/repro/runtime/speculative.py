@@ -233,6 +233,11 @@ class PipelineOutcome:
     #: ``engine="vectorized"`` degraded to compiled; kept out of
     #: ``stats`` so engine parity over stats still holds).
     fallback_reason: str | None = None
+    #: the engine that executed the first strip's doall.
+    engine_used: str | None = None
+    #: the ``auto`` planner's rationale for the first strip (None for
+    #: explicit engine requests).
+    engine_decision: str | None = None
 
 
 class SpeculationPipeline:
@@ -347,15 +352,18 @@ class SpeculationPipeline:
         strips committed their speculative state in order, failed strips
         were rolled back and re-executed serially in place.
 
-        With ``engine="parallel"`` one persistent worker pool is forked
-        here and reused for every strip (per-strip fork would dwarf the
-        strips' work); its shared-memory segments are unlinked on the
-        way out even when a strip aborts or a worker raises.
+        When the engine shards onto real worker processes (a registry
+        capability query — see
+        :meth:`~repro.runtime.engines.registry.EngineRegistry.needs_worker_pool`)
+        one persistent worker pool is forked here and reused for every
+        strip (per-strip fork would dwarf the strips' work); its
+        shared-memory segments are unlinked on the way out even when a
+        strip aborts or a worker raises.
         """
+        from repro.runtime.engines import needs_worker_pool
+
         pool = None
-        if self.engine == "parallel" or (
-            self.engine == "vectorized" and self.workers is not None
-        ):
+        if needs_worker_pool(self.engine, self.workers):
             from repro.runtime.parallel_backend import (
                 ShardSpec,
                 WorkerPool,
@@ -407,6 +415,8 @@ class SpeculationPipeline:
         total_wall = WallClock()
         prev_touched = 0
         fallback_reason: str | None = None
+        engine_used: str | None = None
+        engine_decision: str | None = None
         pos = 0
         while pos < len(values):
             size = max(1, int(self.sizer.next_size()))
@@ -515,6 +525,9 @@ class SpeculationPipeline:
             prev_touched = touched
             if fallback_reason is None and run.fallback_reason is not None:
                 fallback_reason = run.fallback_reason
+            if engine_used is None:
+                engine_used = run.engine_used
+                engine_decision = run.engine_decision
 
         if values:
             # Normalize the loop variable's exit value; per-strip commits
@@ -530,4 +543,6 @@ class SpeculationPipeline:
             marker=marker,
             wall=total_wall,
             fallback_reason=fallback_reason,
+            engine_used=engine_used,
+            engine_decision=engine_decision,
         )

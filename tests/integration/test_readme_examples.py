@@ -21,6 +21,23 @@ def test_readme_quickstart_snippet_runs():
     assert "speedup" in result.stdout
 
 
+def test_readme_engine_table_matches_registry():
+    """The README engine table is the registry's own rendering, verbatim.
+
+    ``repro.runtime.engines.render_engine_table`` generates the table
+    from the registered engines' ``summary``/``guarantee`` strings, so
+    registering a new engine (or editing a description) without
+    refreshing the README fails here.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.runtime.engines import render_engine_table
+    finally:
+        sys.path.pop(0)
+    readme = (REPO / "README.md").read_text()
+    assert render_engine_table() in readme
+
+
 def test_readme_mentions_every_artifact_bench():
     readme = (REPO / "README.md").read_text()
     for bench in (REPO / "benchmarks").glob("bench_*.py"):

@@ -1,14 +1,17 @@
-"""Property: the closure-compiled engine ≡ the tree walker.
+"""Property: every registered engine ≡ the tree walker.
 
 Random execution-safe programs (guarded arithmetic, in-range subscripts)
 must produce identical final state AND identical operation counts under
-both engines — the compiled fast path may not drift semantically.  The
-same holds for the speculative engines: random workloads with reductions,
-passing and failing speculations (including eager aborts) must yield the
-same LRPD outcome, shadow counts, simulated times and memory state —
-for the walker, the compiled engine and the vectorized whole-block
-engine alike (the latter commits in bulk or falls back, both
-bit-identical by contract).
+every serial-capable engine — the compiled fast path may not drift
+semantically.  The same holds for the speculative engines: random
+workloads with reductions, passing and failing speculations (including
+eager aborts) must yield the same LRPD outcome, shadow counts, simulated
+times and memory state for every registered engine (the vectorized
+whole-block engine commits in bulk or falls back, the ``auto`` planner
+delegates to its pick — all bit-identical by contract).
+
+The engine lists are drawn from the registry, so a newly registered
+engine joins these suites automatically.
 """
 
 from __future__ import annotations
@@ -25,7 +28,20 @@ from repro.interp.interpreter import Interpreter
 from repro.machine.costmodel import fx80
 from repro.machine.schedule import ScheduleKind
 from repro.machine.simulator import DoallSimulator
+from repro.runtime.engines import registry
+from repro.runtime.serial import run_serial
 from repro.runtime.speculative import run_speculative
+
+#: every registered engine that runs without forking real worker
+#: processes (a fork per hypothesis example is prohibitively slow; the
+#: multiprocess backend has its own parity suite in
+#: tests/runtime/test_parallel_backend.py and tests/property/
+#: test_parallel_props.py).
+IN_PROCESS_ENGINES = [
+    engine.name
+    for engine in registry.all()
+    if not engine.caps.requires_workers
+]
 
 N = 8
 SIZE = 10
@@ -89,6 +105,31 @@ def test_engines_agree(c1, c2, c3, c4, inner, idx, gate):
     np.testing.assert_array_equal(env_a.arrays["b"], env_b.arrays["b"])
     assert walker.cost.total() == cost_b.total()
 
+    # Every serial-capable engine in the registry agrees with the walker
+    # on state, iteration costs and phase times.
+    runs = {
+        engine.name: run_serial(
+            parse(source), inputs, fx80(), engine=engine.name
+        )
+        for engine in registry.all()
+        if engine.caps.supports_serial
+    }
+    reference = runs["walk"]
+    for name, other in runs.items():
+        if name == "walk":
+            continue
+        assert reference.env.scalars == other.env.scalars
+        np.testing.assert_array_equal(
+            reference.env.arrays["a"], other.env.arrays["a"]
+        )
+        np.testing.assert_array_equal(
+            reference.env.arrays["b"], other.env.arrays["b"]
+        )
+        assert reference.loop_iteration_costs == other.loop_iteration_costs
+        assert reference.loop_time == other.loop_time
+        assert reference.setup_time == other.setup_time
+        assert reference.teardown_time == other.teardown_time
+
 
 SPEC_N = 10
 SPEC_SIZE = 12
@@ -138,7 +179,7 @@ def test_speculative_engines_agree(w, r, ridx, eager):
 
     outcomes = {}
     envs = {}
-    for engine in ("walk", "compiled", "vectorized"):
+    for engine in IN_PROCESS_ENGINES:
         program = parse(source)
         plan = build_plan(program)
         env = Environment(program, inputs)
@@ -149,7 +190,9 @@ def test_speculative_engines_agree(w, r, ridx, eager):
         envs[engine] = env
 
     walk = outcomes["walk"]
-    for engine in ("compiled", "vectorized"):
+    for engine in IN_PROCESS_ENGINES:
+        if engine == "walk":
+            continue
         other = outcomes[engine]
         assert walk.result == other.result
         assert walk.times == other.times
