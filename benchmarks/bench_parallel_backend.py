@@ -15,11 +15,10 @@ demonstrate multiprocess speedup.
 """
 
 import os
-import time
 
 import numpy as np
 
-from conftest import calibrate, run_once, write_bench_json
+from conftest import calibrate, min_wall, run_once, write_bench_json
 from repro.analysis.instrument import build_plan
 from repro.dsl.parser import parse
 from repro.interp.env import Environment
@@ -42,18 +41,6 @@ def usable_cores() -> int:
         return len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
-
-
-def _min_wall(fn, rounds: int = ROUNDS):
-    best = None
-    result = None
-    for _ in range(rounds):
-        begin = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - begin
-        if best is None or elapsed < best:
-            best = elapsed
-    return best, result
 
 
 def _assert_parity(reference, candidate) -> None:
@@ -80,12 +67,13 @@ def _speculative_runner(workload):
     plan = build_plan(program)
     before, _after = split_at_loop(program, plan.loop)
 
-    def run(engine: str, workers: int | None = None):
+    def run(engine: str, workers: int | None = None, backend: str = "fork"):
         env = Environment(program, workload.inputs)
         Interpreter(program, env, value_based=False).exec_block(before)
         sim = DoallSimulator(fx80().with_procs(PROCS), ScheduleKind.BLOCK)
         outcome = run_speculative(
-            program, plan.loop, env, plan, sim, engine=engine, workers=workers
+            program, plan.loop, env, plan, sim,
+            engine=engine, workers=workers, backend=backend,
         )
         state = (
             {name: arr.copy() for name, arr in env.arrays.items()},
@@ -113,14 +101,14 @@ def test_parallel_backend_speedup(benchmark, artifact):
         ]
         for short, workload in workloads.items():
             run = _speculative_runner(workload)
-            compiled_wall, reference = _min_wall(lambda: run("compiled"))
+            compiled_wall, reference = min_wall(lambda: run("compiled"))
             assert reference[0].result.passed
             entries[f"{short}_compiled"] = compiled_wall
             lines.append(
                 f"{short}: compiled {compiled_wall * 1000:8.1f} ms"
             )
             for workers in WORKER_COUNTS:
-                wall, candidate = _min_wall(
+                wall, candidate = min_wall(
                     lambda w=workers: run("parallel", workers=w)
                 )
                 _assert_parity(reference, candidate)
@@ -150,4 +138,69 @@ def test_parallel_backend_speedup(benchmark, artifact):
         assert speedup > SPEEDUP_TARGET, (
             f"parallel backend only {speedup:.2f}x over compiled on BDNA "
             f"with 4 workers ({cores} cores available)"
+        )
+
+
+def test_thread_backend_small_trip(benchmark, artifact):
+    """No-fork thread workers beat fork where startup dominates.
+
+    The thread pool pays neither the process spawns nor the
+    shared-memory arena; on a small-trip loop those fixed costs dwarf
+    the work, so ``--backend threads`` at w=4 must come in under fork at
+    w=4 (asserted on hosts with >= 4 usable cores; fewer cores only
+    skew the comparison *against* threads, but stay conservative and
+    match the fork gate).  Both backends are parity-checked against the
+    compiled reference, and the measurements merge into
+    ``BENCH_parallel.json`` for the regression gate.
+    """
+    workload = build_bdna(n=120)
+    run = _speculative_runner(workload)
+    cores = usable_cores()
+
+    def measure():
+        calibration_s = calibrate()
+        compiled_wall, reference = min_wall(lambda: run("compiled"))
+        fork_wall, fork = min_wall(lambda: run("parallel", workers=4))
+        threads_wall, threads = min_wall(
+            lambda: run("parallel", workers=4, backend="threads")
+        )
+        return calibration_s, compiled_wall, reference, fork_wall, fork, \
+            threads_wall, threads
+
+    calibration_s, compiled_wall, reference, fork_wall, fork, threads_wall, \
+        threads = run_once(benchmark, measure)
+
+    assert reference[0].result.passed
+    _assert_parity(reference, fork)
+    _assert_parity(reference, threads)
+
+    write_bench_json(
+        "parallel",
+        calibration_s,
+        {
+            "bdna_small_compiled": compiled_wall,
+            "bdna_small_fork_w4": fork_wall,
+            "bdna_small_threads_w4": threads_wall,
+        },
+        extra=None,
+        merge=True,
+    )
+    artifact(
+        "thread_backend_small_trip",
+        "\n".join(
+            [
+                f"Backends on BDNA n=120 (small trip, w=4, "
+                f"{cores} usable cores, best of {ROUNDS})",
+                f"compiled (1 proc): {compiled_wall * 1000:8.1f} ms",
+                f"fork    w=4      : {fork_wall * 1000:8.1f} ms",
+                f"threads w=4      : {threads_wall * 1000:8.1f} ms "
+                f"({fork_wall / threads_wall:.2f}x over fork, bit-identical)",
+            ]
+        ),
+    )
+
+    if cores >= 4:
+        assert threads_wall < fork_wall, (
+            f"thread backend ({threads_wall * 1000:.1f} ms) did not beat "
+            f"fork ({fork_wall * 1000:.1f} ms) on a small-trip loop"
         )

@@ -1,10 +1,14 @@
-"""CI lint gate: no string-literal engine dispatch outside the registry.
+"""CI lint gate: no string-literal engine or backend dispatch outside
+their registries.
 
 The execution-engine refactor funneled every ``engine == "..."``
 comparison through :mod:`repro.runtime.engines` (capability queries and
-registry lookups).  This check keeps it that way: it fails when a
-string-literal engine comparison reappears anywhere else under
-``src/repro``, so dispatch cannot quietly re-scatter across call sites.
+registry lookups), and the worker-pool backends likewise compare
+``backend`` names only inside :mod:`repro.runtime.parallel_backend`
+(``validate_backend`` / ``make_worker_pool``).  This check keeps it
+that way: it fails when a string-literal engine or backend comparison
+reappears anywhere else under ``src/repro``, so dispatch cannot quietly
+re-scatter across call sites.
 
 ::
 
@@ -26,8 +30,17 @@ PATTERNS = (
     re.compile(r"""["'][A-Za-z_]+["']\s*[=!]=\s*\w*\.?engine\b"""),
 )
 
+#: a string literal compared against something called ``backend``.
+BACKEND_PATTERNS = (
+    re.compile(r"""\bbackend\s*[=!]=\s*["']"""),
+    re.compile(r"""["'][A-Za-z_]+["']\s*[=!]=\s*\w*\.?backend\b"""),
+)
+
 #: the one place engine names may be compared/declared.
 ALLOWED = pathlib.PurePosixPath("repro/runtime/engines")
+
+#: the one module backend names may be compared/declared in.
+BACKEND_ALLOWED = pathlib.PurePosixPath("repro/runtime/parallel_backend.py")
 
 
 def lint(root: pathlib.Path) -> list[str]:
@@ -35,12 +48,20 @@ def lint(root: pathlib.Path) -> list[str]:
     hits: list[str] = []
     for path in sorted(root.rglob("*.py")):
         relative = pathlib.PurePosixPath("repro") / path.relative_to(root)
-        if ALLOWED in relative.parents:
+        check_engine = ALLOWED not in relative.parents
+        check_backend = relative != BACKEND_ALLOWED
+        if not (check_engine or check_backend):
             continue
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
         ):
-            if any(pattern.search(line) for pattern in PATTERNS):
+            engine_hit = check_engine and any(
+                pattern.search(line) for pattern in PATTERNS
+            )
+            backend_hit = check_backend and any(
+                pattern.search(line) for pattern in BACKEND_PATTERNS
+            )
+            if engine_hit or backend_hit:
                 hits.append(f"{path}:{lineno}: {line.strip()}")
     return hits
 
@@ -48,7 +69,8 @@ def lint(root: pathlib.Path) -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail on string-literal engine comparisons outside "
-        "repro/runtime/engines."
+        "repro/runtime/engines and backend comparisons outside "
+        "repro/runtime/parallel_backend.py."
     )
     parser.add_argument(
         "--root", type=pathlib.Path, default=pathlib.Path("src/repro"),
@@ -63,15 +85,19 @@ def main(argv: list[str] | None = None) -> int:
     hits = lint(args.root)
     if hits:
         print(
-            f"{len(hits)} string-literal engine comparison(s) outside "
-            f"repro/runtime/engines — use registry capability queries "
-            f"(repro.runtime.engines) instead:",
+            f"{len(hits)} string-literal engine/backend comparison(s) "
+            f"outside their registries — use repro.runtime.engines "
+            f"capability queries or repro.runtime.parallel_backend's "
+            f"validate_backend/make_worker_pool instead:",
             file=sys.stderr,
         )
         for hit in hits:
             print(f"  {hit}", file=sys.stderr)
         return 1
-    print("engine dispatch clean: no string comparisons outside the registry")
+    print(
+        "engine/backend dispatch clean: no string comparisons outside "
+        "the registries"
+    )
     return 0
 
 

@@ -40,6 +40,24 @@ def calibrate(rounds: int = 3) -> float:
     return best
 
 
+def min_wall(fn, rounds: int = 3):
+    """Best-of-``rounds`` wall clock and the last round's result.
+
+    Both sides of every engine/backend comparison are timed this way so
+    the comparison is fair: neither side gets warm-cache rounds the
+    other does not, and one scheduler hiccup cannot fake a regression.
+    """
+    best = None
+    result = None
+    for _ in range(rounds):
+        begin = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - begin
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
 def write_bench_json(
     name: str,
     calibration_s: float,

@@ -64,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="doall iteration executor (walk = reference tree walker, "
         "parallel = real worker processes with shared-memory shadows, "
         "vectorized = whole-block NumPy lowering with bulk marking; "
+        "jit = the vectorized lanes with Numba-compiled native kernels, "
+        "falling back to vectorized when Numba is absent; "
         "classifier-rejected loops fall back to compiled; auto = "
         "per-loop adaptive selection)",
     )
@@ -71,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="worker processes for the worker-sharding engines "
         "(default for parallel: one per usable core)",
+    )
+    from repro.runtime.parallel_backend import BACKENDS, DEFAULT_BACKEND
+
+    run.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="worker-pool flavour for the worker-sharding engines "
+        "(fork = processes over shared-memory shadows, threads = "
+        "in-process workers with no fork or shared-memory setup)",
     )
     run.add_argument(
         "--verbose", action="store_true",
@@ -177,6 +189,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         test_mode=TestMode(args.test_mode),
         engine=args.engine,
         workers=args.workers,
+        backend=args.backend,
         strip_size=args.strip_size,
         adaptive_strip_sizing=args.adaptive_strips,
     )

@@ -1,0 +1,280 @@
+"""Native (Numba-lowered) kernels for the speculative hot paths.
+
+The ``jit`` execution engine lowers the two hot inner loops of the
+whole-block lane executor to native code: the fused shadow-marking
+replay (:meth:`repro.core.shadow.ShadowArray.stage_stream_vec` hands the
+sorted access stream to :func:`stage_stream_kernel`) and the commit-side
+scatters/folds of :class:`repro.interp.vectorized_spec._BlockExecutor`
+(:func:`fold_partials_kernel`, :func:`scatter_writes_kernel`).
+
+The kernels are written as plain Python functions over numpy arrays —
+runnable (and property-tested) without Numba — and lazily compiled with
+``numba.njit(cache=True)`` when Numba is importable.  The dependency is
+strictly optional: :func:`load_kernels` returns ``None`` when Numba is
+absent or compilation fails, and :func:`unavailable_reason` carries the
+reason the jit engine records on its :class:`EngineFallback`.
+
+Bit-identity is by construction, not by luck: marking is independent
+per element, so a sequential replay of the (element, rank)-sorted stream
+segment by segment applies exactly the per-access rules of
+``mark_write``/``mark_read``/``mark_redux`` — the same rules the numpy
+segment arithmetic reproduces — and the commit kernels apply their
+updates in the very same sorted order the numpy scatters/``ufunc.at``
+folds use.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: test hook: when True, :func:`load_kernels` returns the plain-Python
+#: kernel bodies even when Numba is importable (or absent), so the jit
+#: execution lane itself is exercised — and parity-tested — without the
+#: native dependency.
+force_python_kernels = False
+
+
+# ---------------------------------------------------------------------------
+# Kernel bodies (plain Python, numba-njit-compatible)
+# ---------------------------------------------------------------------------
+
+
+def _stage_stream(
+    idx_s, kind_s, ops_s, gran_s,
+    w, r, np_, nx, redux_touched, multi_w, redux_op,
+    last_write, min_write, max_exposed_read,
+    eager,
+    out_uniq, out_w, out_r, out_np, out_nx, out_rt, out_mw,
+    out_op, out_lw, out_minw, out_maxer,
+):
+    """Replay a sorted multi-granule access stream, segment by segment.
+
+    Inputs are the (element, rank)-sorted parallel stream arrays plus the
+    ten pre-batch shadow buffers (read-only here — staging must not
+    mutate shadow state).  Per element segment the per-access marking
+    rules run in rank order over locals; the post-batch element state is
+    written to the ``out_*`` arrays.  Returns ``(u, tw_delta,
+    would_fail)`` where ``u`` is the number of distinct elements staged.
+    """
+    n = idx_s.shape[0]
+    u = 0
+    tw_delta = 0
+    would_fail = False
+    i = 0
+    while i < n:
+        e = idx_s[i]
+        cw = w[e]
+        cr = r[e]
+        cnp = np_[e]
+        cnx = nx[e]
+        crt = redux_touched[e]
+        cmw = multi_w[e]
+        cop = np.int64(redux_op[e])
+        clw = last_write[e]
+        cminw = min_write[e]
+        cmaxer = max_exposed_read[e]
+        j = i
+        while j < n and idx_s[j] == e:
+            g = gran_s[j]
+            kind = kind_s[j]
+            if kind == 1:  # KIND_WRITE
+                cw = True
+                cnx = True
+                if g < cminw:
+                    cminw = g
+                if clw != g:
+                    tw_delta += 1
+                    if clw != -1:
+                        cmw = True
+                    clw = g
+            elif kind == 0:  # KIND_READ
+                cr = True
+                cnx = True
+                if clw != g:
+                    cnp = True
+                    if g > cmaxer:
+                        cmaxer = g
+            else:  # KIND_REDUX
+                cw = True
+                cr = True
+                cnp = True
+                crt = True
+                if g < cminw:
+                    cminw = g
+                if g > cmaxer:
+                    cmaxer = g
+                code = ops_s[j]
+                if cop == 0:
+                    cop = code
+                elif cop != code:
+                    cnx = True
+            j += 1
+        out_uniq[u] = e
+        out_w[u] = cw
+        out_r[u] = cr
+        out_np[u] = cnp
+        out_nx[u] = cnx
+        out_rt[u] = crt
+        out_mw[u] = cmw
+        out_op[u] = cop
+        out_lw[u] = clw
+        out_minw[u] = cminw
+        out_maxer[u] = cmaxer
+        if eager and cnx and ((cmaxer > cminw) or crt):
+            would_fail = True
+        u += 1
+        i = j
+    return u, tw_delta, would_fail
+
+
+def _fold_partials(procs, elems, vals, acc, op_code):
+    """Fold sorted reduction contributions into the (proc, elem) grid.
+
+    Sequential in the given order — the very order ``np.add.at`` /
+    ``np.multiply.at`` accumulate in — so the float results are
+    bit-identical to the numpy fold.  ``op_code`` follows
+    :data:`repro.core.shadow.OP_CODES` (1: ``+``, 2: ``*``).
+    """
+    for i in range(procs.shape[0]):
+        if op_code == 1:
+            acc[procs[i], elems[i]] = acc[procs[i], elems[i]] + vals[i]
+        else:
+            acc[procs[i], elems[i]] = acc[procs[i], elems[i]] * vals[i]
+
+
+def _scatter_writes(procs, elems, vals, stamps, data, wstamp):
+    """Scatter sorted private writes; the last write per (proc, elem) wins.
+
+    Writing every event in sorted order leaves exactly the
+    winner-selection result the numpy group-last scatter computes.
+    """
+    for i in range(procs.shape[0]):
+        data[procs[i], elems[i]] = vals[i]
+        wstamp[procs[i], elems[i]] = stamps[i]
+
+
+# ---------------------------------------------------------------------------
+# Lazy loading / warm-up
+# ---------------------------------------------------------------------------
+
+
+class KernelSet:
+    """The jit engine's kernel bundle (native or plain-Python bodies)."""
+
+    __slots__ = ("stage_stream", "fold_partials", "scatter_writes", "native")
+
+    def __init__(self, stage_stream, fold_partials, scatter_writes, native):
+        self.stage_stream = stage_stream
+        self.fold_partials = fold_partials
+        self.scatter_writes = scatter_writes
+        #: True when the bodies are numba-compiled dispatchers.
+        self.native = native
+
+
+_native: KernelSet | None = None
+_python: KernelSet | None = None
+_reason: str | None = None
+
+
+def load_kernels() -> KernelSet | None:
+    """The kernel set to execute with, or ``None`` when unavailable.
+
+    Memoized.  With :data:`force_python_kernels` set, the plain-Python
+    bodies are returned (the jit lane runs, un-compiled).  Otherwise
+    Numba is imported lazily; an absent module or a failing ``njit``
+    records its reason (see :func:`unavailable_reason`) and disables the
+    jit engine for the process.
+    """
+    global _native, _python, _reason
+    if force_python_kernels:
+        if _python is None:
+            _python = KernelSet(
+                _stage_stream, _fold_partials, _scatter_writes, native=False
+            )
+        return _python
+    if _native is not None:
+        return _native
+    if _reason is not None:
+        return None
+    try:
+        import numba
+    except ImportError as exc:
+        _reason = f"native kernels unavailable: {exc}"
+        return None
+    try:
+        # cache=True persists the compiled machine code on disk (keyed
+        # by signature), so warm-up cost is paid once per host, not per
+        # process — CI caches the directory via NUMBA_CACHE_DIR.
+        jit = numba.njit(cache=True)
+        _native = KernelSet(
+            jit(_stage_stream), jit(_fold_partials), jit(_scatter_writes),
+            native=True,
+        )
+    except Exception as exc:  # pragma: no cover - depends on numba install
+        _reason = f"native kernel compilation failed: {exc}"
+        return None
+    return _native
+
+
+def available() -> bool:
+    """True when :func:`load_kernels` would return a kernel set."""
+    return load_kernels() is not None
+
+
+def unavailable_reason() -> str | None:
+    """Why :func:`load_kernels` returned ``None`` (None when it didn't)."""
+    return _reason
+
+
+def reset_for_tests() -> None:
+    """Drop the memoized kernel sets and reason (test isolation)."""
+    global _native, _python, _reason
+    _native = None
+    _python = None
+    _reason = None
+
+
+def warm_up(kernels: KernelSet) -> float:
+    """Drive every kernel once on tiny representative inputs.
+
+    For native kernels this triggers (or disk-cache-loads) the njit
+    compilation for the dtypes the engine dispatches with, so the first
+    real doall runs at native speed; the measured seconds are what the
+    execution report surfaces as ``jit_compile_s``.
+    """
+    start = time.perf_counter()
+    n = 4
+    stream = np.arange(n, dtype=np.int64) // 2
+    kinds = np.array([1, 0, 2, 2], dtype=np.int64)
+    ops = np.array([0, 0, 1, 1], dtype=np.int64)
+    grans = np.arange(n, dtype=np.int64)
+    size = int(stream.max()) + 1
+    kernels.stage_stream(
+        stream, kinds, ops, grans,
+        np.zeros(size, dtype=bool), np.zeros(size, dtype=bool),
+        np.zeros(size, dtype=bool), np.zeros(size, dtype=bool),
+        np.zeros(size, dtype=bool), np.zeros(size, dtype=bool),
+        np.zeros(size, dtype=np.int8),
+        np.full(size, -1, dtype=np.int64),
+        np.full(size, np.iinfo(np.int64).max, dtype=np.int64),
+        np.full(size, -1, dtype=np.int64),
+        True,
+        np.empty(n, dtype=np.int64),
+        np.empty(n, dtype=np.bool_), np.empty(n, dtype=np.bool_),
+        np.empty(n, dtype=np.bool_), np.empty(n, dtype=np.bool_),
+        np.empty(n, dtype=np.bool_), np.empty(n, dtype=np.bool_),
+        np.empty(n, dtype=np.int8),
+        np.empty(n, dtype=np.int64), np.empty(n, dtype=np.int64),
+        np.empty(n, dtype=np.int64),
+    )
+    pe = np.zeros(n, dtype=np.int64)
+    fv = np.linspace(0.5, 1.0, n)
+    for op_code in (1, 2):
+        kernels.fold_partials(pe, pe, fv, np.ones((1, 1)), op_code)
+    kernels.scatter_writes(
+        pe, pe, fv, np.arange(n, dtype=np.int64),
+        np.zeros((1, 1)), np.zeros((1, 1), dtype=np.int64),
+    )
+    return time.perf_counter() - start

@@ -194,6 +194,7 @@ def execute_vectorized_block(
     partials: Mapping[str, object],
     proc_envs,
     shared_env: Environment,
+    kernels=None,
 ) -> list[tuple[int, IterationCost]]:
     """Execute ``positions`` (a subset of the doall's iteration space, or
     all of it) in lockstep and commit the results.
@@ -210,7 +211,7 @@ def execute_vectorized_block(
         scalar_reductions=scalar_reductions,
         live_out_scalars=live_out_scalars, value_based=value_based,
         marker=marker, privates=privates, partials=partials,
-        proc_envs=proc_envs, shared_env=shared_env,
+        proc_envs=proc_envs, shared_env=shared_env, kernels=kernels,
     )
     return executor.run()
 
@@ -220,6 +221,7 @@ class _BlockExecutor:
         self, program, loop, *, values, positions, assignment, num_procs,
         tested, redux_refs, scalar_reductions, live_out_scalars,
         value_based, marker, privates, partials, proc_envs, shared_env,
+        kernels=None,
     ):
         self.program = program
         self.loop = loop
@@ -236,6 +238,9 @@ class _BlockExecutor:
         self.partials = partials
         self.proc_envs = proc_envs
         self.shared_env = shared_env
+        #: optional native kernel set (the ``jit`` engine passes one);
+        #: None keeps every hot path on the numpy lowering.
+        self.kernels = kernels
 
         self.kinds = {decl.name: decl.kind for decl in program.decls}
         self.sizes = {
@@ -377,11 +382,19 @@ class _BlockExecutor:
                 present &= mask
             rows, lanes = np.nonzero(present)
             idxs = np.stack([a.idx0 for a in group])[rows, lanes]
-            stride = np.int64(self.sizes.get(name, 0) + 1)
-            keys = lanes * stride + idxs
-            if self.R * stride < 2**31:
-                keys = keys.astype(np.int32)
-            _uniq, first = np.unique(keys, return_index=True)
+            # Guard arithmetic in Python ints: a fixed-width product can
+            # wrap for shadow sizes >= 2**31 and silently pick the
+            # narrow key (overflow-tested).
+            stride = self.sizes.get(name, 0) + 1
+            if self.R * stride < 2**62:
+                keys = lanes * np.int64(stride) + idxs
+                if self.R * stride < 2**31:
+                    keys = keys.astype(np.int32)
+                _uniq, first = np.unique(keys, return_index=True)
+            else:  # pragma: no cover - needs a >2**62-element key space
+                _uniq, first = np.unique(
+                    np.stack([lanes, idxs]), axis=1, return_index=True
+                )
             self._emit_pairs(name, lanes[first], idxs[first], KIND_READ)
 
     def _dtype_of(self, kind: str):
@@ -1060,7 +1073,9 @@ class _BlockExecutor:
                 lengths,
             )
             shadow = self.marker.shadows[name]
-            batch = shadow.stage_stream_vec(kinds, idx, ops, grans, rank)
+            batch = shadow.stage_stream_vec(
+                kinds, idx, ops, grans, rank, kernels=self.kernels
+            )
             would_fail = would_fail or batch.would_fail
             staged.append((shadow, batch))
         if would_fail:
@@ -1104,6 +1119,16 @@ class _BlockExecutor:
             procs = self.proc_of[rows]
             ks = self.k_of[rows]
             order = np.lexsort((seqs, ks, idx0, procs))
+            if self.kernels is not None and copies._rows is None:
+                # Native scatter: every sorted event is written, the
+                # last write per (proc, element) wins — the same final
+                # state the group-last winner scatter leaves.
+                self.kernels.scatter_writes(
+                    procs[order], idx0[order], vals[order],
+                    self.positions[rows[order]],
+                    copies.data, copies.wstamp,
+                )
+                continue
             group_last = np.ones(order.size, dtype=bool)
             group_last[:-1] = (procs[order][1:] != procs[order][:-1]) | (
                 idx0[order][1:] != idx0[order][:-1]
@@ -1136,7 +1161,14 @@ class _BlockExecutor:
             acc = np.full(
                 (self.num_procs, size), REDUCTION_IDENTITY[op], dtype=np.float64
             )
-            if op == "+":
+            if self.kernels is not None:
+                # Native fold in the very same sorted order np.*.at
+                # accumulates in — bit-identical float results.
+                self.kernels.fold_partials(
+                    procs, elems, vals.astype(np.float64, copy=False),
+                    acc, OP_CODES[op],
+                )
+            elif op == "+":
                 np.add.at(acc, (procs, elems), vals)
             else:
                 np.multiply.at(acc, (procs, elems), vals)

@@ -66,6 +66,7 @@ class WallClock:
     analysis: float = 0.0
     commit: float = 0.0       # reduction merge + copy-out + scalar fold
     rollback: float = 0.0     # restore + serial re-execution
+    jit_compile: float = 0.0  # jit engine's native-kernel warm-up
 
     def total(self) -> float:
         return sum(getattr(self, f.name) for f in fields(self))

@@ -61,6 +61,9 @@ class DoallRun:
     #: the ``auto`` planner's recorded rationale (None for explicit
     #: engine requests).
     engine_decision: str | None = None
+    #: seconds the jit engine spent warming cold native kernels before
+    #: this doall (0.0 on warm keys and for every other engine).
+    jit_compile_s: float = 0.0
 
     @property
     def num_iterations(self) -> int:
@@ -91,6 +94,7 @@ def run_doall(
     values: list[int] | None = None,
     workers: int | None = None,
     pool=None,
+    backend: str = "fork",
 ) -> DoallRun:
     """Execute the target loop as an emulated doall.
 
@@ -115,7 +119,9 @@ def run_doall(
     ``workers``/``pool`` apply to worker-sharding engines only: a real
     process count (default: one per usable core) or a persistent
     :class:`~repro.runtime.parallel_backend.WorkerPool` to reuse across
-    strips.
+    strips.  ``backend`` picks the pool flavour for owned pools:
+    ``"fork"`` (processes over shared-memory shadows) or ``"threads"``
+    (in-process workers, no fork cost).
 
     ``values`` overrides the iteration values to execute — the
     strip-mined pipeline passes one strip of the loop's iteration space
@@ -147,6 +153,7 @@ def run_doall(
         values=values,
         workers=workers,
         pool=pool,
+        backend=backend,
     )
     return execute_doall(ctx, engine)
 

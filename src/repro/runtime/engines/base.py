@@ -102,6 +102,9 @@ class DoallContext:
     values: list[int]
     workers: Optional[int] = None
     pool: object = None
+    #: worker-pool flavour for sharded execution ("fork" or "threads");
+    #: validated by :func:`repro.runtime.parallel_backend.validate_backend`.
+    backend: str = "fork"
 
 
 class ExecutionEngine(abc.ABC):

@@ -1,0 +1,137 @@
+"""The native-kernel whole-block engine (``engine="jit"``).
+
+Same lane decomposition as ``vectorized`` — the classifier gates
+eligibility, ``_BlockExecutor`` builds the lanes — but the hot inner
+loops run as Numba-compiled machine code: the fused shadow-marking
+replay and the commit-side private scatter / reduction folds
+(:mod:`repro.core.jit_kernels`).  Numba is strictly optional: when the
+import or compilation fails the engine raises
+:class:`EngineFallback` with the reason and the dispatcher degrades
+down the declared chain (``jit -> vectorized -> compiled``), recorded
+on ``ExecutionReport.fallbacks``.
+
+The first doall against a cold ``(loop signature, dtype)`` key pays
+the njit compile (disk-cached via ``cache=True``); the warm-up ledger
+(:data:`repro.core.schedule_cache.kernel_cache`) remembers warmed keys
+and surfaces the seconds paid as ``jit_compile_s`` on the run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.vectorize import classify_loop
+from repro.core.jit_kernels import load_kernels, unavailable_reason
+from repro.core.schedule_cache import kernel_cache
+from repro.interp.costs import IterationCost
+from repro.interp.vectorized_spec import VectorizeBail, execute_vectorized_block
+from repro.runtime.doall import DoallRun
+from repro.runtime.engines.base import (
+    DoallContext,
+    EngineCaps,
+    EngineFallback,
+    ExecutionEngine,
+)
+from repro.runtime.engines.emulated import prepare_state
+from repro.runtime.engines.registry import registry
+
+
+def jit_ready() -> bool:
+    """True when the planner should prefer ``jit`` over ``vectorized``.
+
+    Requires both a loadable kernel set *and* at least one warm
+    dispatch key — a cold first run would charge its compile time to
+    the loop the planner is trying to speed up.
+    """
+    return load_kernels() is not None and kernel_cache.any_warm()
+
+
+def _dispatch_key(ctx: DoallContext) -> str:
+    """Cache key covering the loop signature and the tested dtypes."""
+    dtypes = ",".join(
+        f"{name}:{ctx.env.arrays[name].dtype}"
+        for name in sorted(ctx.plan.tested_arrays)
+        if name in ctx.env.arrays
+    )
+    return f"{ctx.loop.var}/{len(ctx.loop.body)}|{dtypes}"
+
+
+class JitEngine(ExecutionEngine):
+    name = "jit"
+    caps = EngineCaps(
+        supports_workers=True,
+        needs_classifier=True,
+        whole_block=True,
+        fallback="vectorized",
+    )
+    summary = (
+        "the vectorized lanes with the hot inner loops — fused shadow "
+        "marking, private scatters, reduction folds — compiled to native "
+        "code via Numba `@njit` (optional dependency; absent or failing "
+        "compiles fall back to `vectorized` with the reason recorded)"
+    )
+    guarantee = "bit-identical to `vectorized`; native-speed marking when Numba is present"
+
+    def execute_doall(self, ctx: DoallContext) -> DoallRun:
+        kernels = load_kernels()
+        if kernels is None:
+            raise EngineFallback(
+                unavailable_reason() or "native kernels unavailable"
+            )
+
+        if ctx.workers is not None or ctx.pool is not None:
+            # Shard the lanes onto the worker backend; each worker loads
+            # the kernel set in-process and in-shard bails degrade to
+            # compiled inside the worker, as for `vectorized`.
+            from repro.runtime.parallel_backend import run_parallel_doall
+
+            return run_parallel_doall(
+                ctx.program, ctx.loop, ctx.env, ctx.plan, ctx.num_procs,
+                marker=ctx.marker, value_based=ctx.value_based,
+                schedule=ctx.schedule, values=ctx.values,
+                workers=ctx.workers, pool=ctx.pool,
+                whole_block=True, use_jit=True, engine_label=self.name,
+                backend=ctx.backend,
+            )
+
+        decision = classify_loop(ctx.program, ctx.loop, ctx.plan)
+        if not decision:
+            raise EngineFallback(decision.reason)
+
+        compile_s = kernel_cache.ensure(_dispatch_key(ctx), kernels)
+
+        state = prepare_state(ctx)
+        try:
+            pairs = execute_vectorized_block(
+                ctx.program, ctx.loop,
+                values=ctx.values, positions=range(len(ctx.values)),
+                assignment=state.assignment, num_procs=ctx.num_procs,
+                tested=state.tested, redux_refs=ctx.plan.redux_refs,
+                scalar_reductions=ctx.plan.scalar_reductions,
+                live_out_scalars=ctx.plan.live_out_scalars,
+                value_based=ctx.value_based, marker=ctx.marker,
+                privates=state.privates, partials=state.partials,
+                proc_envs=state.proc_envs, shared_env=ctx.env,
+                kernels=kernels,
+            )
+        except VectorizeBail as bail:
+            raise EngineFallback(bail.reason) from None
+
+        vec_costs = [IterationCost()] * len(ctx.values)
+        for position, cost in pairs:
+            vec_costs[position] = cost
+        return DoallRun(
+            values=ctx.values,
+            assignment=state.assignment,
+            iteration_costs=vec_costs,
+            privates=state.privates,
+            partials=state.partials,
+            proc_envs=state.proc_envs,
+            marker=ctx.marker,
+            scalar_init=state.scalar_init,
+            aborted=False,
+            executed_iterations=len(ctx.values),
+            engine_used=self.name,
+            jit_compile_s=compile_s,
+        )
+
+
+registry.register(JitEngine())

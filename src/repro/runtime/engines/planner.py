@@ -65,6 +65,18 @@ class EnginePlanner:
                     if workers is not None
                     else ""
                 )
+                # Imported lazily: the engines package imports this
+                # module before the engine modules exist.
+                from repro.runtime.engines.jit import jit_ready
+
+                if jit_ready():
+                    return EnginePlan(
+                        "jit",
+                        f"classifier accepted whole-block lowering and "
+                        f"native kernels are warm (trip count "
+                        f"{trip_count}, body {body_size} "
+                        f"statements{sharding})",
+                    )
                 return EnginePlan(
                     "vectorized",
                     f"classifier accepted whole-block lowering "

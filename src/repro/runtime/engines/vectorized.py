@@ -54,7 +54,7 @@ class VectorizedEngine(ExecutionEngine):
                 marker=ctx.marker, value_based=ctx.value_based,
                 schedule=ctx.schedule, values=ctx.values,
                 workers=ctx.workers, pool=ctx.pool,
-                whole_block=True,
+                whole_block=True, backend=ctx.backend,
             )
 
         decision = classify_loop(ctx.program, ctx.loop, ctx.plan)

@@ -192,6 +192,7 @@ def run_inspector_executor(
     directional: bool = True,
     engine: str = "compiled",
     workers: int | None = None,
+    backend: str = "fork",
 ) -> InspectorOutcome:
     """Inspector → test → (parallel executor | serial loop).
 
@@ -230,7 +231,7 @@ def run_inspector_executor(
         run = run_doall(
             program, loop, env, plan, sim.num_procs,
             marker=None, value_based=False, schedule=schedule, engine=engine,
-            workers=workers,
+            workers=workers, backend=backend,
         )
         fallback_reason = run.fallback_reason
         engine_used = run.engine_used

@@ -79,6 +79,11 @@ class RunConfig:
     #: :attr:`model` — workers are an execution resource, processors are
     #: what the cost model prices.
     workers: int | None = None
+    #: worker-pool flavour for sharded execution: "fork" (processes over
+    #: shared-memory shadows) or "threads" (in-process workers, no fork
+    #: or shared-memory setup — the small-trip-loop backend).  Validated
+    #: at construction.
+    backend: str = "fork"
     #: iterations per strip for :attr:`Strategy.STRIPPED`.  ``None``
     #: degenerates to one whole-loop strip — the report is bit-identical
     #: to :attr:`Strategy.SPECULATIVE` (the path is delegated wholesale).
@@ -90,8 +95,11 @@ class RunConfig:
 
     def __post_init__(self) -> None:
         # Fail at construction, not deep inside a strategy run; the
-        # error lists the registered engines.
+        # errors list the registered engines / known backends.
         get_engine(self.engine)
+        from repro.runtime.parallel_backend import validate_backend
+
+        validate_backend(self.backend)
 
     def with_procs(self, p: int) -> "RunConfig":
         import dataclasses
@@ -238,6 +246,7 @@ class LoopRunner:
             engine=config.engine,
             marker=self._spec_marker,
             workers=config.workers,
+            backend=config.backend,
         )
         self._spec_marker = outcome.run.marker
         if config.use_schedule_cache:
@@ -299,6 +308,7 @@ class LoopRunner:
             engine=config.engine,
             marker=self._spec_marker,
             workers=config.workers,
+            backend=config.backend,
         )
         outcome = pipeline.run()
         self._spec_marker = outcome.marker
@@ -338,6 +348,7 @@ class LoopRunner:
                 self.program, self.loop, env, self.plan, sim.num_procs,
                 marker=None, value_based=False, schedule=config.schedule,
                 engine=config.engine, workers=config.workers,
+                backend=config.backend,
             )
             times.private_init = sim.private_init_time(
                 sum(p.size for p in run.privates.values())
@@ -392,6 +403,7 @@ class LoopRunner:
             directional=config.directional,
             engine=config.engine,
             workers=config.workers,
+            backend=config.backend,
         )
         self._finish(env)
         return ExecutionReport(

@@ -34,13 +34,23 @@ and the compiled loop spec are inherited, not pickled; a persistent
 strip-mined run.  Segment teardown is robust: :meth:`WorkerPool.close`
 unlinks every segment even when a strip aborted or a worker raised, so
 no ``/dev/shm`` segments outlive the pool.
+
+A ``threads`` sibling (:class:`ThreadWorkerPool`, ``--backend
+threads``) runs the very same shards on ``threading`` workers over
+per-worker in-process :class:`~repro.core.shadow.ShadowArray` sets — no
+fork, no shared memory, no environment pickling — through the identical
+``merge_from`` path, so small-trip loops stop losing their speedup to
+process setup.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
+import queue
 import secrets
+import threading
 from multiprocessing.shared_memory import SharedMemory
 
 import numpy as np
@@ -69,6 +79,21 @@ from repro.runtime.serial import loop_iteration_values
 SEGMENT_PREFIX = "lrpd-shadow"
 
 _ALIGN = 8
+
+#: the selectable worker-pool flavours (``--backend``): forked processes
+#: over shared-memory shadows, or in-process threads over plain shadows.
+BACKENDS = ("fork", "threads")
+DEFAULT_BACKEND = "fork"
+
+
+def validate_backend(backend: str) -> str:
+    """The single backend-name validation point (RunConfig, CLI)."""
+    if backend not in BACKENDS:
+        raise InterpError(
+            f"unknown parallel backend {backend!r}; choose from "
+            f"{', '.join(BACKENDS)}"
+        )
+    return backend
 
 
 def default_workers(num_procs: int) -> int:
@@ -285,6 +310,142 @@ class WorkerPool:
         self.arena.close()
 
 
+class ThreadShadowArena:
+    """Per-worker shadow sets as plain in-process :class:`ShadowArray`\\ s.
+
+    The thread backend's sibling of :class:`SharedShadowArena`: same
+    ``markers`` contract (one :class:`ShadowMarker` per worker that the
+    parent's :func:`_merge_results` reads directly), but the buffers are
+    ordinary numpy arrays — no ``/dev/shm`` segments to allocate or
+    unlink, which is exactly the setup cost the backend exists to avoid.
+    """
+
+    def __init__(self, shadow_sizes: dict[str, int], workers: int):
+        self.shadow_sizes = dict(shadow_sizes)
+        self.markers: list[ShadowMarker] = [
+            ShadowMarker.from_shadows({
+                name: ShadowArray(name, size)
+                for name, size in sorted(self.shadow_sizes.items())
+            })
+            for _ in range(workers)
+        ]
+
+    def close(self) -> None:
+        """Drop the markers (idempotent; nothing external to release)."""
+        self.markers.clear()
+
+
+def _thread_worker_main(spec: ShardSpec, marker: ShadowMarker, inbox, outbox):
+    """One thread worker's serve loop — :func:`_worker_main` minus pipes.
+
+    Unlike a forked worker, a thread shares the parent's address space:
+    the task's environment must be cloned here (fork workers get theirs
+    through the pickle/fork copy) or the shard's in-place writes would
+    mutate the parent environment directly *and* come back again through
+    ``shared_writes`` in the merge.
+    """
+    while True:
+        task = inbox.get()
+        if task is None:
+            return
+        try:
+            task = dataclasses.replace(task, env=task.env.copy())
+            if task.marking:
+                marker.reset(task.granularity, eager=task.eager)
+                result = execute_shard(spec, task, marker)
+            else:
+                result = execute_shard(spec, task, None)
+            reply = ("ok", result)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            reply = ("error", exc)
+        outbox.put(reply)
+
+
+class ThreadWorkerPool:
+    """A persistent set of ``threading`` shard workers — no fork at all.
+
+    Same contract as :class:`WorkerPool` (``spec``, ``chunks``,
+    ``num_workers``, ``arena``, :meth:`run`, :meth:`close`, context
+    manager) over per-worker in-process :class:`ShadowArray` sets, so
+    :func:`_merge_results` runs the identical ``merge_from`` path and
+    the results are bit-identical to the fork backend.  Small-trip
+    loops keep their speedup because there is no process start, no
+    shared-memory allocation and no environment pickling — each worker
+    clones the environment in-process instead.
+    """
+
+    def __init__(self, spec: ShardSpec, workers: int):
+        self.spec = spec
+        self.chunks = partition_procs(spec.num_procs, workers)
+        self.num_workers = len(self.chunks)
+        self.arena = ThreadShadowArena(spec.shadow_sizes, self.num_workers)
+        self._inboxes: list[queue.SimpleQueue] = []
+        self._outboxes: list[queue.SimpleQueue] = []
+        self._threads: list[threading.Thread] = []
+        for marker in self.arena.markers:
+            inbox: queue.SimpleQueue = queue.SimpleQueue()
+            outbox: queue.SimpleQueue = queue.SimpleQueue()
+            thread = threading.Thread(
+                target=_thread_worker_main,
+                args=(spec, marker, inbox, outbox),
+                daemon=True,
+            )
+            thread.start()
+            self._inboxes.append(inbox)
+            self._outboxes.append(outbox)
+            self._threads.append(thread)
+
+    def __enter__(self) -> "ThreadWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        """Dispatch one task per worker; gather results in worker order.
+
+        Same drain-then-raise discipline as :meth:`WorkerPool.run`, so
+        the pool stays reusable after a failed doall.
+        """
+        if len(tasks) != self.num_workers:
+            raise InterpError(
+                f"pool of {self.num_workers} workers got {len(tasks)} shard tasks"
+            )
+        for inbox, task in zip(self._inboxes, tasks):
+            inbox.put(task)
+        results: list[ShardResult] = []
+        errors: list[BaseException] = []
+        for outbox in self._outboxes:
+            status, payload = outbox.get()
+            if status == "ok":
+                results.append(payload)
+            else:
+                errors.append(payload)
+        if errors:
+            raise errors[0]
+        return results
+
+    def close(self) -> None:
+        """Join the worker threads and drop the arena (idempotent)."""
+        inboxes, self._inboxes = self._inboxes, []
+        threads, self._threads = self._threads, []
+        self._outboxes = []
+        for inbox in inboxes:
+            inbox.put(None)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self.arena.close()
+
+
+def make_worker_pool(spec: ShardSpec, workers: int, backend: str = DEFAULT_BACKEND):
+    """Build the requested pool flavour over ``spec`` (the one place
+    backend names are compared)."""
+    validate_backend(backend)
+    if backend == "threads":
+        return ThreadWorkerPool(spec, workers)
+    return WorkerPool(spec, workers)
+
+
 def run_parallel_doall(
     program: Program,
     loop: Do,
@@ -297,8 +458,11 @@ def run_parallel_doall(
     schedule: ScheduleKind = ScheduleKind.BLOCK,
     values: list[int] | None = None,
     workers: int | None = None,
-    pool: WorkerPool | None = None,
+    pool: WorkerPool | ThreadWorkerPool | None = None,
     whole_block: bool = False,
+    use_jit: bool = False,
+    engine_label: str | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> DoallRun:
     """Execute the marked doall on real worker processes.
 
@@ -316,10 +480,16 @@ def run_parallel_doall(
     worker and surface on the merged run's fallback fields) instead of
     the per-iteration compiled engine.
 
-    ``pool`` reuses a persistent :class:`WorkerPool` (the strip pipeline
-    passes one); otherwise an ephemeral pool of ``workers`` processes
-    (default: one per usable core) is forked and torn down around this
-    single doall.
+    ``use_jit`` additionally hands the in-worker whole-block executor
+    the native kernel set (silently absent-safe), and ``engine_label``
+    names the engine the merged run reports on full whole-block success
+    (default ``"vectorized"``).
+
+    ``pool`` reuses a persistent :class:`WorkerPool` /
+    :class:`ThreadWorkerPool` (the strip pipeline passes one); otherwise
+    an ephemeral pool of ``workers`` workers (default: one per usable
+    core) of the requested ``backend`` flavour is built and torn down
+    around this single doall.
     """
     if values is None:
         bounds_interp = Interpreter(program, env, value_based=False)
@@ -334,8 +504,10 @@ def run_parallel_doall(
     owned_pool = None
     if pool is None:
         spec = ShardSpec.from_plan(program, loop, plan, env, num_procs)
-        owned_pool = pool = WorkerPool(
-            spec, workers if workers is not None else default_workers(num_procs)
+        owned_pool = pool = make_worker_pool(
+            spec,
+            workers if workers is not None else default_workers(num_procs),
+            backend,
         )
     elif pool.spec.num_procs != num_procs:
         raise InterpError(
@@ -360,13 +532,14 @@ def run_parallel_doall(
                 ),
                 eager=eager,
                 whole_block=whole_block,
+                use_jit=use_jit,
             )
             for chunk in pool.chunks
         ]
         results = pool.run(tasks)
         return _merge_results(
             pool, results, env, plan, num_procs, marker, values, assignment,
-            whole_block=whole_block,
+            whole_block=whole_block, engine_label=engine_label,
         )
     finally:
         if owned_pool is not None:
@@ -374,7 +547,7 @@ def run_parallel_doall(
 
 
 def _merge_results(
-    pool: WorkerPool,
+    pool: WorkerPool | ThreadWorkerPool,
     results: list[ShardResult],
     env: Environment,
     plan: InstrumentationPlan,
@@ -383,6 +556,7 @@ def _merge_results(
     values: list[int],
     assignment: list[list[int]],
     whole_block: bool = False,
+    engine_label: str | None = None,
 ) -> DoallRun:
     """Fold the per-worker shard results into one :class:`DoallRun`.
 
@@ -454,7 +628,7 @@ def _merge_results(
         aborted=any(result.aborted for result in results),
         executed_iterations=sum(result.executed for result in results),
         engine_used=(
-            "vectorized"
+            (engine_label or "vectorized")
             if whole_block
             and not any(result.fallback for result in results)
             else "compiled"

@@ -77,6 +77,7 @@ def run_speculative(
     marker: ShadowMarker | None = None,
     workers: int | None = None,
     pool=None,
+    backend: str = "fork",
 ) -> SpeculativeOutcome:
     """Run the full speculative protocol; ``env`` must be at loop entry.
 
@@ -141,8 +142,10 @@ def run_speculative(
         engine=engine,
         workers=workers,
         pool=pool,
+        backend=backend,
     )
     wall.doall = time.perf_counter() - tick
+    wall.jit_compile = run.jit_compile_s
     times.private_init = sim.private_init_time(
         sum(p.size for p in run.privates.values())
     )
@@ -290,6 +293,7 @@ class SpeculationPipeline:
         engine: str = "compiled",
         marker: ShadowMarker | None = None,
         workers: int | None = None,
+        backend: str = "fork",
     ):
         if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
             raise SpeculationError(
@@ -310,6 +314,7 @@ class SpeculationPipeline:
         self.eager = eager
         self.engine = engine
         self.workers = workers
+        self.backend = backend
         self._marker = marker
 
     # -- pieces --------------------------------------------------------------
@@ -366,17 +371,18 @@ class SpeculationPipeline:
         if needs_worker_pool(self.engine, self.workers):
             from repro.runtime.parallel_backend import (
                 ShardSpec,
-                WorkerPool,
                 default_workers,
+                make_worker_pool,
             )
 
             spec = ShardSpec.from_plan(
                 self.program, self.loop, self.plan, self.env, self.sim.num_procs
             )
-            pool = WorkerPool(
+            pool = make_worker_pool(
                 spec,
                 self.workers if self.workers is not None
                 else default_workers(self.sim.num_procs),
+                self.backend,
             )
         try:
             return self._run(pool)
@@ -455,8 +461,10 @@ class SpeculationPipeline:
                 values=strip_values,
                 workers=self.workers,
                 pool=pool,
+                backend=self.backend,
             )
             wall.doall = time.perf_counter() - tick
+            wall.jit_compile = run.jit_compile_s
             times.private_init = sim.private_init_time(
                 sum(p.size for p in run.privates.values())
             )

@@ -1,0 +1,221 @@
+"""The native kernel bodies vs their numpy counterparts.
+
+The jit engine's kernels (:mod:`repro.core.jit_kernels`) are plain
+Python functions that Numba compiles when available; these tests drive
+the *bodies* (``force_python_kernels``), so the full kernel semantics —
+the sorted-stream marking replay, the sequential reduction fold, the
+last-write-wins scatter — are pinned bit-identical to the numpy paths
+on every host, with or without Numba installed.  The staging edge cases
+the issue calls out (empty streams, single-element strips, redux
+conflicts) and the ``fused_order`` int64 overflow guard live here too.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.jit_kernels as jit_kernels
+from repro.core.jit_kernels import KernelSet, load_kernels, warm_up
+from repro.core.schedule_cache import KernelCache, kernel_cache
+from repro.core.shadow import (
+    KIND_READ,
+    KIND_REDUX,
+    KIND_WRITE,
+    ShadowArray,
+    fused_order,
+)
+
+SIZE = 24
+
+
+@pytest.fixture
+def kernels():
+    """The plain-Python kernel set (Numba not required)."""
+    jit_kernels.force_python_kernels = True
+    jit_kernels.reset_for_tests()
+    try:
+        yield load_kernels()
+    finally:
+        jit_kernels.force_python_kernels = False
+        jit_kernels.reset_for_tests()
+
+
+def _random_stream(rng, length, size=SIZE):
+    kinds = rng.integers(0, 3, size=length)
+    idx = rng.integers(0, size, size=length)
+    ops = np.where(kinds == KIND_REDUX, rng.integers(1, 3, size=length), 0)
+    grans = rng.integers(0, 6, size=length)
+    rank = rng.permutation(length).astype(np.int64)
+    return (kinds.astype(np.int64), idx.astype(np.int64),
+            ops.astype(np.int64), grans.astype(np.int64), rank)
+
+
+def _state(shadow: ShadowArray) -> tuple:
+    return (
+        shadow.w.copy(), shadow.r.copy(), shadow.np_.copy(), shadow.nx.copy(),
+        shadow.redux_touched.copy(), shadow.multi_w.copy(),
+        shadow._redux_op.copy(), shadow._last_write.copy(),
+        shadow._min_write.copy(), shadow._max_exposed_read.copy(),
+        shadow.tw,
+    )
+
+
+def _assert_same(a: ShadowArray, b: ShadowArray) -> None:
+    for got, want in zip(_state(a), _state(b)):
+        if isinstance(got, np.ndarray):
+            assert np.array_equal(got, want)
+        else:
+            assert got == want
+
+
+class TestStageStreamKernel:
+    def test_random_streams_match_numpy_staging(self, kernels):
+        rng = np.random.default_rng(11)
+        for _ in range(40):
+            stream = _random_stream(rng, int(rng.integers(1, 80)))
+            native = ShadowArray("a", SIZE)
+            ref = ShadowArray("a", SIZE)
+            # Pre-existing marks exercise the pre-batch state loads.
+            for shadow in (native, ref):
+                shadow.mark_write(0, 2)
+                shadow.mark_redux(1, 0, "*")
+            native.mark_stream_vec(*stream, kernels=kernels)
+            ref.mark_stream_vec(*stream)
+            _assert_same(native, ref)
+
+    def test_empty_stream_is_a_noop(self, kernels):
+        shadow = ShadowArray("a", SIZE)
+        empty = np.empty(0, dtype=np.int64)
+        shadow.mark_stream_vec(empty, empty, empty, empty, empty,
+                               kernels=kernels)
+        assert shadow.tw == 0
+        assert not shadow.w.any()
+
+    def test_single_element_strip(self, kernels):
+        native = ShadowArray("a", SIZE)
+        ref = ShadowArray("a", SIZE)
+        one = lambda v: np.array([v], dtype=np.int64)  # noqa: E731
+        args = (one(KIND_WRITE), one(7), one(0), one(3), one(0))
+        native.mark_stream_vec(*args, kernels=kernels)
+        ref.mark_stream_vec(*args)
+        _assert_same(native, ref)
+        assert native.tw == 1
+
+    def test_redux_op_conflict_sets_nx(self, kernels):
+        native = ShadowArray("a", SIZE)
+        kinds = np.array([KIND_REDUX, KIND_REDUX], dtype=np.int64)
+        idx = np.array([5, 5], dtype=np.int64)
+        ops = np.array([1, 2], dtype=np.int64)  # '+' then '*'
+        grans = np.array([0, 1], dtype=np.int64)
+        rank = np.arange(2, dtype=np.int64)
+        native.mark_stream_vec(kinds, idx, ops, grans, rank, kernels=kernels)
+        ref = ShadowArray("a", SIZE)
+        ref.mark_redux(5, 0, "+")
+        ref.mark_redux(5, 1, "*")
+        _assert_same(native, ref)
+        assert bool(native.nx[5])
+
+    def test_eager_would_fail_matches_numpy(self, kernels):
+        stream = (
+            np.array([KIND_WRITE, KIND_READ], dtype=np.int64),
+            np.array([4, 4], dtype=np.int64),
+            np.zeros(2, dtype=np.int64),
+            np.array([0, 2], dtype=np.int64),  # exposed later read
+            np.arange(2, dtype=np.int64),
+        )
+        native = ShadowArray("a", SIZE, eager=True)
+        ref = ShadowArray("a", SIZE, eager=True)
+        staged_native = native.stage_stream_vec(*stream, kernels=kernels)
+        staged_ref = ref.stage_stream_vec(*stream)
+        assert staged_native.would_fail
+        assert staged_ref.would_fail
+
+
+class TestCommitKernels:
+    def test_fold_partials_matches_ufunc_at(self, kernels):
+        rng = np.random.default_rng(3)
+        for op_code, fold in ((1, np.add.at), (2, np.multiply.at)):
+            procs = rng.integers(0, 4, size=50)
+            elems = rng.integers(0, 6, size=50)
+            vals = rng.uniform(0.5, 1.5, size=50)
+            acc = np.ones((4, 6))
+            ref = acc.copy()
+            kernels.fold_partials(procs, elems, vals, acc, op_code)
+            fold(ref, (procs, elems), vals)
+            np.testing.assert_array_equal(acc, ref)
+
+    def test_scatter_writes_last_wins(self, kernels):
+        procs = np.array([0, 1, 0, 0], dtype=np.int64)
+        elems = np.array([2, 2, 2, 3], dtype=np.int64)
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        stamps = np.array([10, 11, 12, 13], dtype=np.int64)
+        data = np.zeros((2, 5))
+        wstamp = np.full((2, 5), -1, dtype=np.int64)
+        kernels.scatter_writes(procs, elems, vals, stamps, data, wstamp)
+        assert data[0, 2] == 3.0 and wstamp[0, 2] == 12  # last write wins
+        assert data[1, 2] == 2.0 and wstamp[1, 2] == 11
+        assert data[0, 3] == 4.0 and wstamp[0, 3] == 13
+
+
+class TestFusedOrder:
+    def test_matches_lexsort_on_small_keys(self):
+        rng = np.random.default_rng(5)
+        idx = rng.integers(0, 100, size=200)
+        rank = rng.integers(0, 50, size=200)
+        np.testing.assert_array_equal(
+            fused_order(idx, rank), np.lexsort((rank, idx))
+        )
+
+    def test_huge_sparse_indices_do_not_overflow(self):
+        # Shadow sizes >= 2**31 must not wrap the fused int32 key; the
+        # guard promotes to int64 (and to lexsort past 2**62).
+        idx = np.array([2**31 + 7, 3, 2**31 + 7, 2**33], dtype=np.int64)
+        rank = np.array([1, 0, 0, 2], dtype=np.int64)
+        np.testing.assert_array_equal(
+            fused_order(idx, rank), np.lexsort((rank, idx))
+        )
+
+    def test_key_space_past_int62_falls_back_to_lexsort(self):
+        idx = np.array([2**61, 0, 2**61], dtype=np.int64)
+        rank = np.array([5, 1, 2], dtype=np.int64)
+        np.testing.assert_array_equal(
+            fused_order(idx, rank), np.lexsort((rank, idx))
+        )
+
+
+class TestLoading:
+    def test_numba_absent_records_reason(self):
+        jit_kernels.reset_for_tests()
+        try:
+            import numba  # noqa: F401
+            pytest.skip("Numba installed: the unavailable path cannot run")
+        except ImportError:
+            pass
+        assert load_kernels() is None
+        assert not jit_kernels.available()
+        assert "numba" in jit_kernels.unavailable_reason()
+        jit_kernels.reset_for_tests()
+
+    def test_force_python_hook_returns_uncompiled_set(self, kernels):
+        assert isinstance(kernels, KernelSet)
+        assert not kernels.native
+        assert load_kernels() is kernels  # memoized
+
+    def test_warm_up_drives_every_kernel(self, kernels):
+        assert warm_up(kernels) >= 0.0
+
+
+class TestKernelCache:
+    def test_ensure_warms_once_per_key(self, kernels):
+        cache = KernelCache()
+        assert not cache.any_warm()
+        first = cache.ensure("loop-a|f8", kernels)
+        assert first >= 0.0
+        assert cache.any_warm()
+        assert cache.ensure("loop-a|f8", kernels) == 0.0
+        assert cache.ensure("loop-b|f8", kernels) >= 0.0
+        assert len(cache) == 2
+        cache.clear()
+        assert not cache.any_warm()
+
+    def test_module_singleton_exists(self):
+        assert isinstance(kernel_cache, KernelCache)

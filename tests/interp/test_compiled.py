@@ -116,7 +116,7 @@ class TestErrors:
         with pytest.raises(ValueError):
             run_serial(
                 parse("program p\n  integer i\n  do i = 1, 2\n    i = i\n  end do\nend\n"),
-                {}, CostModel(), engine="jit",
+                {}, CostModel(), engine="turbo",
             )
 
 

@@ -41,6 +41,18 @@ from tests.runtime.test_vectorized_engine import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _cold_kernel_cache():
+    """Planner picks consult the jit warm-up ledger; keep it cold here
+    so the expected `vectorized` decisions hold even on hosts where
+    Numba is installed and another test warmed a kernel."""
+    from repro.core.schedule_cache import kernel_cache
+
+    kernel_cache.clear()
+    yield
+    kernel_cache.clear()
+
+
 class _StubEngine(ExecutionEngine):
     name = "stub"
     caps = EngineCaps(supports_serial=True)
@@ -54,7 +66,7 @@ class _StubEngine(ExecutionEngine):
 class TestRegistry:
     def test_builtin_engines_registered(self):
         assert engine_names() == [
-            "auto", "compiled", "parallel", "vectorized", "walk"
+            "auto", "compiled", "jit", "parallel", "vectorized", "walk"
         ]
         assert DEFAULT_ENGINE in engine_names()
 
@@ -79,7 +91,7 @@ class TestRegistry:
 
     def test_unknown_name_lists_registered_engines(self):
         with pytest.raises(UnknownEngineError) as excinfo:
-            registry.get("jit")
+            registry.get("turbo")
         message = str(excinfo.value)
         for name in engine_names():
             assert name in message
@@ -90,12 +102,18 @@ class TestRegistry:
         assert not get_engine("vectorized").caps.supports_serial
         assert get_engine("vectorized").caps.whole_block
         assert get_engine("vectorized").caps.needs_classifier
+        assert get_engine("jit").caps.whole_block
+        assert get_engine("jit").caps.needs_classifier
+        assert not get_engine("jit").caps.supports_serial
         assert get_engine("parallel").caps.requires_workers
         assert get_engine("auto").caps.planner
 
     def test_fallback_chain_walk(self):
         assert registry.fallback_chain("vectorized") == [
             "vectorized", "compiled"
+        ]
+        assert registry.fallback_chain("jit") == [
+            "jit", "vectorized", "compiled"
         ]
         assert registry.fallback_chain("compiled") == ["compiled"]
         assert registry.fallback_chain("auto") == ["auto", "compiled"]
@@ -115,7 +133,7 @@ class TestRegistry:
         for name in ("walk", "compiled"):
             assert registry.serial_engine_for(name) == (name, None)
 
-    @pytest.mark.parametrize("name", ["parallel", "vectorized", "auto"])
+    @pytest.mark.parametrize("name", ["parallel", "vectorized", "jit", "auto"])
     def test_serial_engine_for_substitutes(self, name):
         serial_name, reason = registry.serial_engine_for(name)
         assert serial_name == "compiled"
@@ -126,6 +144,8 @@ class TestRegistry:
         assert registry.needs_worker_pool("parallel", 2)
         assert registry.needs_worker_pool("vectorized", 2)
         assert not registry.needs_worker_pool("vectorized", None)
+        assert registry.needs_worker_pool("jit", 2)
+        assert not registry.needs_worker_pool("jit", None)
         assert registry.needs_worker_pool("auto", 2)
         assert not registry.needs_worker_pool("auto", None)
         assert not registry.needs_worker_pool("compiled", 3)
@@ -140,7 +160,7 @@ class TestRegistry:
 class TestValidation:
     def test_run_config_rejects_unknown_engine(self):
         with pytest.raises(UnknownEngineError, match="registered engines"):
-            RunConfig(engine="jit")
+            RunConfig(engine="turbo")
 
     def test_run_config_accepts_registered_engines(self):
         for name in engine_names():

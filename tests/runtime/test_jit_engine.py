@@ -1,0 +1,175 @@
+"""The jit engine: parity, graceful degradation, planner preference.
+
+The engine contract is the vectorized contract verbatim — bit-identical
+outcomes on every observable — with two additions pinned here: when the
+kernel set cannot load, the dispatcher degrades down the declared chain
+(``jit -> vectorized -> compiled``) with the reason recorded on the
+report, and the warm-up ledger charges the kernel compile exactly once
+per dispatch key, surfaced as ``jit_compile_s`` / ``wall.jit_compile``.
+Registration, capabilities and the fallback-chain walk are covered in
+``test_engines``; these tests run the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.jit_kernels as jit_kernels
+from repro.core.jit_kernels import load_kernels
+from repro.core.schedule_cache import kernel_cache
+from repro.machine.costmodel import fx80
+from repro.runtime.engines.planner import EnginePlanner
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.workloads.bdna import build_bdna
+from repro.workloads.mdg import build_mdg
+from repro.workloads.ocean import build_ocean
+
+from tests.runtime.test_vectorized_engine import (
+    _assert_outcomes_identical,
+    _speculative,
+)
+
+WORKLOADS = [
+    pytest.param(lambda: build_bdna(n=120), id="bdna"),
+    pytest.param(lambda: build_mdg(n=80), id="mdg"),
+    pytest.param(lambda: build_ocean(nk=150), id="ocean"),
+    pytest.param(lambda: build_ocean(nk=150, overlap=True), id="ocean-fail"),
+]
+
+
+@pytest.fixture
+def python_kernels():
+    """Force the uncompiled kernel bodies so the engine runs its full
+    native path on hosts without Numba, with a cold warm-up ledger."""
+    jit_kernels.force_python_kernels = True
+    jit_kernels.reset_for_tests()
+    kernel_cache.clear()
+    try:
+        yield load_kernels()
+    finally:
+        jit_kernels.force_python_kernels = False
+        jit_kernels.reset_for_tests()
+        kernel_cache.clear()
+
+
+class TestParity:
+    @pytest.mark.parametrize("build", WORKLOADS)
+    @pytest.mark.parametrize("eager", [False, True], ids=["lazy", "eager"])
+    def test_bit_identical_to_vectorized(self, python_kernels, build, eager):
+        ref, ref_env = _speculative(build(), "vectorized", eager=eager)
+        jit, jit_env = _speculative(build(), "jit", eager=eager)
+        _assert_outcomes_identical(ref, ref_env, jit, jit_env)
+
+    def test_committed_block_reports_jit_engine(self, python_kernels):
+        jit, _env = _speculative(build_bdna(n=60), "jit")
+        assert jit.run.engine_used == "jit"
+        assert jit.run.fallback_reason is None
+
+    def test_worker_sharded_parity(self, python_kernels):
+        ref, ref_env = _speculative(build_bdna(n=60), "vectorized", workers=2)
+        jit, jit_env = _speculative(build_bdna(n=60), "jit", workers=2)
+        assert jit.run.engine_used == "jit"
+        _assert_outcomes_identical(ref, ref_env, jit, jit_env)
+
+    def test_stripped_parity(self, python_kernels):
+        def report(engine):
+            workload = build_bdna(n=60)
+            runner = LoopRunner(workload.program(), workload.inputs)
+            cfg = RunConfig(
+                model=fx80().with_procs(8), engine=engine, strip_size=16
+            )
+            return runner.run(Strategy.STRIPPED, cfg)
+
+        ref = report("vectorized")
+        jit = report("jit")
+        assert jit.engine_used == "jit"
+        assert jit.times.as_dict() == ref.times.as_dict()
+        assert jit.stats == ref.stats
+        for name in ref.env.arrays:
+            np.testing.assert_array_equal(
+                ref.env.arrays[name], jit.env.arrays[name], err_msg=name
+            )
+
+
+class TestDegradation:
+    def test_numba_absent_falls_back_with_reason(self):
+        try:
+            import numba  # noqa: F401
+            pytest.skip("Numba installed: the unavailable path cannot run")
+        except ImportError:
+            pass
+        jit_kernels.reset_for_tests()
+        workload = build_bdna(n=60)
+        runner = LoopRunner(workload.program(), workload.inputs)
+        report = runner.run(
+            Strategy.SPECULATIVE,
+            RunConfig(model=fx80().with_procs(8), engine="jit"),
+        )
+        # Degraded one step down the chain, reason on the report.
+        assert report.engine_used == "vectorized"
+        assert len(report.fallbacks) == 1
+        assert "native kernels unavailable" in report.fallbacks[0][1]
+        assert "numba" in report.fallbacks[0][1]
+
+    def test_degraded_run_matches_vectorized(self):
+        try:
+            import numba  # noqa: F401
+            pytest.skip("Numba installed: the unavailable path cannot run")
+        except ImportError:
+            pass
+        jit_kernels.reset_for_tests()
+        ref, ref_env = _speculative(build_bdna(n=120), "vectorized")
+        jit, jit_env = _speculative(build_bdna(n=120), "jit")
+        _assert_outcomes_identical(ref, ref_env, jit, jit_env)
+
+
+class TestWarmUpLedger:
+    def test_compile_charged_once_per_key(self, python_kernels):
+        first, _ = _speculative(build_bdna(n=60), "jit")
+        assert first.run.jit_compile_s > 0.0
+        assert first.wall.jit_compile == first.run.jit_compile_s
+        second, _ = _speculative(build_bdna(n=60), "jit")
+        assert second.run.jit_compile_s == 0.0
+        assert second.wall.jit_compile == 0.0
+
+    def test_distinct_loops_get_distinct_keys(self, python_kernels):
+        _speculative(build_bdna(n=60), "jit")
+        other, _ = _speculative(build_mdg(n=80), "jit")
+        assert other.run.jit_compile_s > 0.0
+
+    def test_vectorized_runs_never_charge_compile(self, python_kernels):
+        ref, _ = _speculative(build_bdna(n=60), "vectorized")
+        assert ref.run.jit_compile_s == 0.0
+        assert ref.wall.jit_compile == 0.0
+
+
+class TestPlannerPreference:
+    def _plan(self, workload, *, trip_count):
+        from repro.analysis.instrument import build_plan
+        from repro.dsl.parser import parse
+
+        program = parse(workload.source)
+        plan = build_plan(program)
+        return EnginePlanner().plan(
+            program, plan.loop, plan, trip_count=trip_count, workers=None
+        )
+
+    def test_cold_kernels_keep_vectorized(self, python_kernels):
+        decision = self._plan(build_bdna(n=120), trip_count=120)
+        assert decision.engine == "vectorized"
+
+    def test_warm_kernels_prefer_jit(self, python_kernels):
+        kernel_cache.ensure("warm-probe", python_kernels)
+        decision = self._plan(build_bdna(n=120), trip_count=120)
+        assert decision.engine == "jit"
+        assert "classifier accepted" in decision.reason
+        assert "warm" in decision.reason
+
+    def test_auto_runs_jit_bit_identically_when_warm(self, python_kernels):
+        ref, ref_env = _speculative(build_bdna(n=120), "vectorized")
+        kernel_cache.ensure("warm-probe", python_kernels)
+        auto, auto_env = _speculative(build_bdna(n=120), "auto")
+        assert auto.run.engine_used == "jit"
+        assert "classifier accepted" in auto.run.engine_decision
+        _assert_outcomes_identical(ref, ref_env, auto, auto_env)
