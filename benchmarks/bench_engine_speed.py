@@ -232,7 +232,7 @@ def test_engine_speed_jit(benchmark, artifact):
     the measured wall.
     """
     import repro.core.jit_kernels as jit_kernels
-    from repro.core.schedule_cache import kernel_cache
+    from repro.runtime.profile import kernel_cache
 
     workload = build_bdna(n=800)
     program = parse(workload.source)
@@ -326,7 +326,7 @@ def test_engine_speed_auto(benchmark, artifact):
     tolerance of the explicit request.  Everything else is the standard
     parity contract.
     """
-    from repro.core.schedule_cache import kernel_cache
+    from repro.runtime.profile import kernel_cache
 
     workload = build_bdna(n=800)
     program = parse(workload.source)

@@ -1,14 +1,21 @@
-"""CI lint gate: no string-literal engine or backend dispatch outside
-their registries.
+"""CI lint gate: no string-literal engine/backend dispatch outside
+their registries, and no loop-memory caches constructed outside the
+profile package.
 
 The execution-engine refactor funneled every ``engine == "..."``
 comparison through :mod:`repro.runtime.engines` (capability queries and
 registry lookups), and the worker-pool backends likewise compare
 ``backend`` names only inside :mod:`repro.runtime.parallel_backend`
-(``validate_backend`` / ``make_worker_pool``).  This check keeps it
-that way: it fails when a string-literal engine or backend comparison
-reappears anywhere else under ``src/repro``, so dispatch cannot quietly
-re-scatter across call sites.
+(``validate_backend`` / ``make_worker_pool``).  The profile-store
+refactor did the same for the runtime's cross-run memory: the verdict
+cache (``ScheduleCache``) and the jit warm-up ledger (``KernelCache``)
+are internal components of :mod:`repro.runtime.profile` and may only be
+constructed there — everyone else goes through a
+:class:`~repro.runtime.profile.LoopProfileStore`.  This check keeps it
+that way: it fails when a string-literal engine or backend comparison,
+or a direct cache construction, reappears anywhere else under
+``src/repro``, so dispatch and loop memory cannot quietly re-scatter
+across call sites.
 
 ::
 
@@ -36,11 +43,20 @@ BACKEND_PATTERNS = (
     re.compile(r"""["'][A-Za-z_]+["']\s*[=!]=\s*\w*\.?backend\b"""),
 )
 
+#: direct construction of the profile store's internal caches.
+CACHE_PATTERNS = (
+    re.compile(r"\bScheduleCache\s*\("),
+    re.compile(r"\bKernelCache\s*\("),
+)
+
 #: the one place engine names may be compared/declared.
 ALLOWED = pathlib.PurePosixPath("repro/runtime/engines")
 
 #: the one module backend names may be compared/declared in.
 BACKEND_ALLOWED = pathlib.PurePosixPath("repro/runtime/parallel_backend.py")
+
+#: the one package the schedule/kernel caches may be constructed in.
+CACHE_ALLOWED = pathlib.PurePosixPath("repro/runtime/profile")
 
 
 def lint(root: pathlib.Path) -> list[str]:
@@ -50,7 +66,8 @@ def lint(root: pathlib.Path) -> list[str]:
         relative = pathlib.PurePosixPath("repro") / path.relative_to(root)
         check_engine = ALLOWED not in relative.parents
         check_backend = relative != BACKEND_ALLOWED
-        if not (check_engine or check_backend):
+        check_cache = CACHE_ALLOWED not in relative.parents
+        if not (check_engine or check_backend or check_cache):
             continue
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -61,7 +78,10 @@ def lint(root: pathlib.Path) -> list[str]:
             backend_hit = check_backend and any(
                 pattern.search(line) for pattern in BACKEND_PATTERNS
             )
-            if engine_hit or backend_hit:
+            cache_hit = check_cache and any(
+                pattern.search(line) for pattern in CACHE_PATTERNS
+            )
+            if engine_hit or backend_hit or cache_hit:
                 hits.append(f"{path}:{lineno}: {line.strip()}")
     return hits
 
@@ -85,18 +105,21 @@ def main(argv: list[str] | None = None) -> int:
     hits = lint(args.root)
     if hits:
         print(
-            f"{len(hits)} string-literal engine/backend comparison(s) "
-            f"outside their registries — use repro.runtime.engines "
-            f"capability queries or repro.runtime.parallel_backend's "
-            f"validate_backend/make_worker_pool instead:",
+            f"{len(hits)} violation(s): string-literal engine/backend "
+            f"comparisons belong in their registries (use "
+            f"repro.runtime.engines capability queries or "
+            f"repro.runtime.parallel_backend's validate_backend/"
+            f"make_worker_pool) and ScheduleCache/KernelCache may only "
+            f"be constructed inside repro/runtime/profile (go through "
+            f"LoopProfileStore):",
             file=sys.stderr,
         )
         for hit in hits:
             print(f"  {hit}", file=sys.stderr)
         return 1
     print(
-        "engine/backend dispatch clean: no string comparisons outside "
-        "the registries"
+        "engine/backend dispatch and profile-cache construction clean: "
+        "no violations outside the registries"
     )
     return 0
 

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive-strips", action="store_true",
         help="grow/shrink the strip size from per-strip pass/fail feedback",
     )
+    run.add_argument(
+        "--profile-path", default=None, metavar="FILE",
+        help="persist the loop-profile store (cached LRPD verdicts, "
+        "per-engine run observations) as JSON at FILE: loaded before "
+        "the run, saved atomically after; enables schedule reuse so a "
+        "second invocation gets a verdict-cache hit",
+    )
 
     sub.add_parser("table1", help="regenerate Table I (all seven loops)")
     sub.add_parser("table2", help="regenerate Table II (method comparison)")
@@ -192,8 +199,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         strip_size=args.strip_size,
         adaptive_strip_sizing=args.adaptive_strips,
+        # A persistent profile exists to be reused: verdict lookups on.
+        use_schedule_cache=args.profile_path is not None,
     )
-    runner = LoopRunner(workload.program(), workload.inputs)
+    profiles = None
+    if args.profile_path is not None:
+        from repro.runtime.profile import LoopProfileStore
+
+        profiles = LoopProfileStore(path=args.profile_path)
+        if profiles.load_error is not None:
+            print(
+                f"profile store: starting empty ({profiles.load_error})",
+                file=sys.stderr,
+            )
+    runner = LoopRunner(workload.program(), workload.inputs, profiles=profiles)
 
     from repro.errors import InspectorNotExtractable
 
@@ -223,6 +242,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             and get_engine(report.engine_used).caps.whole_block
         ):
             print("engine fallback : none (vectorized block committed)")
+        if report.cache_stats:
+            counters = ", ".join(
+                f"{key}={value}" for key, value in report.cache_stats.items()
+            )
+            print(f"profile cache   : {counters}")
+        if report.reused_schedule:
+            print("schedule reuse  : verdict served from the profile store")
     print("phase breakdown (cycles):")
     for phase, cycles in report.times.nonzero_phases().items():
         print(f"  {phase:16s} {cycles:14.1f}")
@@ -239,6 +265,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"  #{s.index:<3d} @{s.first_value:<6d} x{s.iterations:<5d} "
                 f"{outcome:5s} {s.time:14.1f}"
             )
+    if profiles is not None:
+        profiles.save()
     return 0
 
 

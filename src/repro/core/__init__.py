@@ -8,8 +8,11 @@
 * :mod:`repro.core.privatize` — per-processor private array copies with
   dynamic last-value assignment;
 * :mod:`repro.core.reduction_exec` — per-processor reduction partial
-  accumulators and their parallel merge;
-* :mod:`repro.core.schedule_cache` — schedule reuse across invocations.
+  accumulators and their parallel merge.
+
+Schedule reuse across invocations (paper §IV.D) lives in
+:mod:`repro.runtime.profile` together with the rest of the runtime's
+per-loop memory.
 """
 
 from repro.core.checkpoint import Checkpoint
@@ -17,7 +20,6 @@ from repro.core.lrpd import LrpdResult, analyze_shadows
 from repro.core.outcomes import ArrayTestDetail, TestMode
 from repro.core.privatize import PrivateCopies
 from repro.core.reduction_exec import REDUCTION_IDENTITY, ReductionPartials
-from repro.core.schedule_cache import ScheduleCache
 from repro.core.shadow import Granularity, ShadowArray, ShadowMarker
 
 __all__ = [
@@ -28,7 +30,6 @@ __all__ = [
     "PrivateCopies",
     "REDUCTION_IDENTITY",
     "ReductionPartials",
-    "ScheduleCache",
     "ShadowArray",
     "ShadowMarker",
     "TestMode",

@@ -9,6 +9,7 @@ toward zero).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -32,6 +33,11 @@ class Environment:
         self.arrays: dict[str, np.ndarray] = {}
         self.kinds: dict[str, str] = {}
         self._sizes: dict[str, int] = {}
+        #: per-array mutation counters (bumped by every mutating method)
+        #: and the content-digest memo they invalidate — see
+        #: :meth:`content_digest`.
+        self._versions: dict[str, int] = {}
+        self._digest_memo: dict[str, tuple[tuple, bytes]] = {}
 
         self._dims: dict[str, tuple[int, ...]] = {}
         for decl in program.decls:
@@ -74,6 +80,7 @@ class Environment:
                     f"declared {target.shape}"
                 )
             target[:] = data  # copies + converts dtype
+            self.bump_version(name)
         elif name in self.scalars:
             if self.kinds[name] == "integer":
                 self.scalars[name] = int(value)  # type: ignore[arg-type]
@@ -136,6 +143,44 @@ class Environment:
             self.arrays[name][offset] = int(value)
         else:
             self.arrays[name][offset] = float(value)
+        self.bump_version(name)
+
+    # -- content digests ----------------------------------------------------
+
+    def bump_version(self, name: str) -> None:
+        """Invalidate ``name``'s memoized content digest.
+
+        Every mutating :class:`Environment` method calls this; code that
+        writes ``env.arrays[...]`` directly only ever touches arrays the
+        loop writes, which are never pattern-signature inputs (the
+        signature is disabled for loop-written address arrays), so the
+        memo stays sound.
+        """
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def content_digest(self, name: str) -> bytes:
+        """SHA-256 of ``name``'s contents, memoized on a cheap pre-key.
+
+        The pre-key is (data pointer, shape, dtype, mutation version): a
+        repeated pattern-signature computation over an unchanged array —
+        the schedule-reuse hot path — skips re-reading the contents
+        entirely, and the hash itself reads the buffer in place instead
+        of paying a ``tobytes()`` copy.
+        """
+        arr = self.arrays[name]
+        key = (
+            arr.__array_interface__["data"][0],
+            arr.shape,
+            arr.dtype.str,
+            self._versions.get(name, 0),
+        )
+        memo = self._digest_memo.get(name)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        data = arr if arr.flags["C_CONTIGUOUS"] else np.ascontiguousarray(arr)
+        digest = hashlib.sha256(data).digest()
+        self._digest_memo[name] = (key, digest)
+        return digest
 
     # -- snapshots ----------------------------------------------------------
 
@@ -148,6 +193,7 @@ class Environment:
         """Restore arrays previously captured by :meth:`snapshot_arrays`."""
         for name, data in snapshot.items():
             self.arrays[name][:] = data
+            self.bump_version(name)
 
     def snapshot_scalars(self) -> dict[str, float | int]:
         """Copy of all scalar values."""
@@ -169,6 +215,10 @@ class Environment:
         clone.kinds = self.kinds
         clone._sizes = self._sizes
         clone._dims = self._dims
+        # Shared arrays mean shared versions/digests: a bump through the
+        # fork must invalidate the parent's memo too.
+        clone._versions = self._versions
+        clone._digest_memo = self._digest_memo
         return clone
 
     def copy(self) -> "Environment":
@@ -179,4 +229,6 @@ class Environment:
         clone.kinds = dict(self.kinds)
         clone._sizes = dict(self._sizes)
         clone._dims = dict(self._dims)
+        clone._versions = {}
+        clone._digest_memo = {}
         return clone

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.schedule_cache import pattern_signature
+from repro.runtime.profile import pattern_signature
 from repro.dsl.ast_nodes import Assign, Program
 from repro.interp.env import Environment
 from repro.machine.costmodel import fx80

@@ -95,6 +95,8 @@ def run_doall(
     workers: int | None = None,
     pool=None,
     backend: str = "fork",
+    profiles=None,
+    loop_key: str | None = None,
 ) -> DoallRun:
     """Execute the target loop as an emulated doall.
 
@@ -130,6 +132,10 @@ def run_doall(
     returned assignment are positions *within* ``values``; strips
     preserve serial order because each strip's positions follow its
     serial iteration order and strips commit in order.
+
+    ``profiles``/``loop_key`` hand planner engines the caller's
+    :class:`~repro.runtime.profile.LoopProfileStore` and the loop
+    identity it is keyed by; executing engines ignore both.
     """
     # Imported lazily: the engine implementations import DoallRun from
     # this module.
@@ -154,6 +160,8 @@ def run_doall(
         workers=workers,
         pool=pool,
         backend=backend,
+        profiles=profiles,
+        loop_key=loop_key,
     )
     return execute_doall(ctx, engine)
 

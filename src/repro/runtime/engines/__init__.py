@@ -21,7 +21,13 @@ from repro.runtime.engines.base import (
     ExecutionEngine,
     UnknownEngineError,
 )
-from repro.runtime.engines.planner import MIN_VECTOR_TRIP, EnginePlan, EnginePlanner
+from repro.runtime.engines.planner import (
+    EPSILON_PERIOD,
+    MIN_OBSERVATIONS,
+    MIN_VECTOR_TRIP,
+    EnginePlan,
+    EnginePlanner,
+)
 from repro.runtime.engines.registry import EngineRegistry, registry
 
 # Importing the engine modules is what populates the registry.
@@ -129,6 +135,8 @@ __all__ = [
     "EnginePlanner",
     "EngineRegistry",
     "ExecutionEngine",
+    "EPSILON_PERIOD",
+    "MIN_OBSERVATIONS",
     "MIN_VECTOR_TRIP",
     "UnknownEngineError",
     "all_engines",

@@ -27,9 +27,11 @@ class AutoEngine(ExecutionEngine):
     )
     summary = (
         "per-loop adaptive selection: a planner picks among the "
-        "registered engines from static signals (classifier verdict, "
-        "trip count, worker availability); the decision and reason are "
-        "recorded on the report (`--verbose`)"
+        "registered engines — from static signals (classifier verdict, "
+        "trip count, worker availability) on cold loops, and from the "
+        "loop's recorded profile (per-engine mean doall wall clock, "
+        "deterministic epsilon-greedy) once history exists; the decision "
+        "and its evidence are recorded on the report (`--verbose`)"
     )
     guarantee = (
         "bit-identical to the engine it picks (engine parity makes any "
@@ -43,6 +45,7 @@ class AutoEngine(ExecutionEngine):
         plan = self.planner.plan(
             ctx.program, ctx.loop, ctx.plan,
             trip_count=len(ctx.values), workers=ctx.workers,
+            profiles=ctx.profiles, loop_key=ctx.loop_key,
         )
         return registry.get(plan.engine), plan.reason
 

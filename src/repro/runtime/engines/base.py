@@ -105,6 +105,12 @@ class DoallContext:
     #: worker-pool flavour for sharded execution ("fork" or "threads");
     #: validated by :func:`repro.runtime.parallel_backend.validate_backend`.
     backend: str = "fork"
+    #: the caller's :class:`~repro.runtime.profile.LoopProfileStore`
+    #: (None when no history is available) — planner engines consult its
+    #: per-engine observations; executing engines ignore it.
+    profiles: object = None
+    #: the loop identity the profiles are keyed by.
+    loop_key: Optional[str] = None
 
 
 class ExecutionEngine(abc.ABC):

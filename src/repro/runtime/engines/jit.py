@@ -12,7 +12,7 @@ on ``ExecutionReport.fallbacks``.
 
 The first doall against a cold ``(loop signature, dtype)`` key pays
 the njit compile (disk-cached via ``cache=True``); the warm-up ledger
-(:data:`repro.core.schedule_cache.kernel_cache`) remembers warmed keys
+(:data:`repro.runtime.profile.kernel_cache`) remembers warmed keys
 and surfaces the seconds paid as ``jit_compile_s`` on the run.
 """
 
@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.analysis.vectorize import classify_loop
 from repro.core.jit_kernels import load_kernels, unavailable_reason
-from repro.core.schedule_cache import kernel_cache
+from repro.runtime.profile import kernel_cache
 from repro.interp.costs import IterationCost
 from repro.interp.vectorized_spec import VectorizeBail, execute_vectorized_block
 from repro.runtime.doall import DoallRun

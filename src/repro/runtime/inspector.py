@@ -193,6 +193,8 @@ def run_inspector_executor(
     engine: str = "compiled",
     workers: int | None = None,
     backend: str = "fork",
+    profiles=None,
+    loop_key: str | None = None,
 ) -> InspectorOutcome:
     """Inspector → test → (parallel executor | serial loop).
 
@@ -232,6 +234,7 @@ def run_inspector_executor(
             program, loop, env, plan, sim.num_procs,
             marker=None, value_based=False, schedule=schedule, engine=engine,
             workers=workers, backend=backend,
+            profiles=profiles, loop_key=loop_key,
         )
         fallback_reason = run.fallback_reason
         engine_used = run.engine_used

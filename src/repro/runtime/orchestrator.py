@@ -3,18 +3,25 @@
 :class:`LoopRunner` compiles a program once (instrumentation plan +
 serial reference run) and then executes the target loop under any
 strategy and machine configuration, producing comparable
-:class:`ExecutionReport` records.  It also implements schedule reuse
-across repeated invocations (OCEAN-style loops).
+:class:`ExecutionReport` records.
+
+Everything the runner remembers across invocations lives in one
+:class:`~repro.runtime.profile.LoopProfileStore`: cached LRPD verdicts
+(schedule reuse, OCEAN-style loops), per-run observations (the
+feedback the ``auto`` planner consumes), and the jit warm-up ledger.
+Every ``run()`` leaves one observation behind; loops whose recorded
+history says speculation keeps failing are refused up front when a
+planner engine is in charge.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.analysis.instrument import InstrumentationPlan, build_plan
 from repro.core.outcomes import TestMode
-from repro.core.schedule_cache import ScheduleCache, pattern_signature
 from repro.core.shadow import Granularity
 from repro.dsl.ast_nodes import Program
 from repro.errors import SpeculationError
@@ -24,10 +31,15 @@ from repro.interp.interpreter import Interpreter, split_at_loop
 from repro.machine.costmodel import CostModel, fx80
 from repro.machine.schedule import ScheduleKind
 from repro.machine.simulator import DoallSimulator
-from repro.machine.stats import TimeBreakdown
+from repro.machine.stats import TimeBreakdown, WallClock
 from repro.runtime.doall import finalize_doall, run_doall
 from repro.runtime.engines import get_engine, serial_engine_for
 from repro.runtime.inspector import run_inspector_executor
+from repro.runtime.profile import (
+    LoopProfileStore,
+    RunObservation,
+    pattern_signature,
+)
 from repro.runtime.results import ExecutionReport, SerialRun
 from repro.runtime.serial import rerun_loop_serially, run_serial
 from repro.runtime.speculative import (
@@ -110,13 +122,23 @@ class RunConfig:
 class LoopRunner:
     """Compiles a program and runs its target loop under chosen strategies."""
 
-    def __init__(self, program: Program, inputs: dict, *, trip_count: int | None = None):
+    def __init__(
+        self,
+        program: Program,
+        inputs: dict,
+        *,
+        trip_count: int | None = None,
+        profiles: LoopProfileStore | None = None,
+    ):
         self.program = program
         self.inputs = dict(inputs)
         self.plan: InstrumentationPlan = build_plan(program, trip_count=trip_count)
         self.loop = self.plan.loop
         self._before, self._after = split_at_loop(program, self.loop)
-        self.schedule_cache = ScheduleCache()
+        #: the runner's cross-invocation memory; pass a shared (possibly
+        #: persistent) store to carry verdicts and planner feedback
+        #: across runners and processes.
+        self.profiles = profiles if profiles is not None else LoopProfileStore()
         self._serial_runs: dict[str, SerialRun] = {}
         #: shadow marker recycled across speculative attempts (reset in
         #: place instead of reallocating the shadow buffers every run).
@@ -153,17 +175,40 @@ class LoopRunner:
     # -- strategies ------------------------------------------------------------
 
     def run(self, strategy: Strategy, config: RunConfig | None = None) -> ExecutionReport:
-        """Execute the target loop under ``strategy``; returns the report."""
+        """Execute the target loop under ``strategy``; returns the report.
+
+        Every run feeds the profile store: one
+        :class:`~repro.runtime.profile.RunObservation` (engine, backend,
+        measured wall clock, verdict, strip size) is appended to the
+        loop's ring, and the verdict-cache counters are snapshotted onto
+        ``report.cache_stats``.
+        """
         config = config or RunConfig()
+        tick = time.perf_counter()
         if strategy is Strategy.SERIAL:
-            return self._run_serial(config)
-        if strategy is Strategy.SPECULATIVE:
-            return self._run_speculative(config)
-        if strategy is Strategy.STRIPPED:
-            return self._run_stripped(config)
-        if strategy is Strategy.INSPECTOR:
-            return self._run_inspector(config)
-        raise SpeculationError(f"unknown strategy {strategy!r}")
+            report = self._run_serial(config)
+        elif strategy is Strategy.SPECULATIVE:
+            report = self._run_speculative(config)
+        elif strategy is Strategy.STRIPPED:
+            report = self._run_stripped(config)
+        elif strategy is Strategy.INSPECTOR:
+            report = self._run_inspector(config)
+        else:
+            raise SpeculationError(f"unknown strategy {strategy!r}")
+        wall_s = time.perf_counter() - tick
+        self.profiles.observe(self._loop_key(), RunObservation(
+            strategy=report.strategy,
+            engine=report.engine_used,
+            backend=config.backend,
+            wall_s=wall_s,
+            doall_s=report.wall.doall if report.wall is not None else 0.0,
+            passed=report.passed,
+            fallback_reason=report.fallbacks[0][1] if report.fallbacks else None,
+            strip_size=report.strips[-1].strip_size if report.strips else None,
+            reused=report.reused_schedule,
+        ))
+        report.cache_stats = self.profiles.counters()
+        return report
 
     def _env_at_loop_entry(self, model: CostModel) -> tuple[Environment, float]:
         env = Environment(self.program, self.inputs)
@@ -192,10 +237,12 @@ class LoopRunner:
 
     def _refuse_serially(
         self, env: Environment, sim: DoallSimulator, config: RunConfig,
-        reference: SerialRun,
+        reference: SerialRun, *, reason: str | None = None,
     ) -> ExecutionReport:
-        """A loop-carried scalar blocks any doall execution: the
-        framework does not even attempt speculation."""
+        """Run serially without attempting any doall: either a
+        loop-carried scalar statically blocks speculation, or (with a
+        planner engine and ``reason`` set) the loop's recorded failure
+        history vetoes another attempt."""
         serial_interp = Interpreter(self.program, env, value_based=False)
         serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
         self._finish(env)
@@ -209,7 +256,19 @@ class LoopRunner:
             serial_loop_time=reference.loop_time,
             env=env,
             stats={"refused": 1.0},
+            engine_decisions=self._decisions(reason),
         )
+
+    def _speculation_veto(self, config: RunConfig) -> str | None:
+        """The profile store's eager-serial verdict, for planner engines.
+
+        Only a planner (``engine="auto"``) may act on history — an
+        explicitly requested engine keeps the paper's optimistic
+        protocol, whatever the loop's record says.
+        """
+        if not get_engine(config.engine).caps.planner:
+            return None
+        return self.profiles.speculation_veto(self._loop_key())
 
     def _run_speculative(self, config: RunConfig) -> ExecutionReport:
         sim = DoallSimulator(config.model, config.schedule)
@@ -219,15 +278,25 @@ class LoopRunner:
         if not self.plan.parallelizable_scalars:
             return self._refuse_serially(env, sim, config, reference)
 
+        veto = self._speculation_veto(config)
+        if veto is not None:
+            return self._refuse_serially(env, sim, config, reference, reason=veto)
+
         reused = False
         signature = None
+        signature_s = 0.0
         if config.use_schedule_cache:
             # The signature must be taken at loop entry, before the doall
             # mutates any state it covers.
+            tick = time.perf_counter()
             signature = pattern_signature(self.plan, env)
-            cached = self.schedule_cache.lookup(self._loop_key(), signature)
+            signature_s = time.perf_counter() - tick
+            cached = self.profiles.lookup_verdict(self._loop_key(), signature)
             if cached is not None:
-                report = self._run_from_cached(env, cached, sim, config, reference)
+                report = self._run_from_cached(
+                    env, cached, sim, config, reference,
+                    signature_s=signature_s,
+                )
                 self._finish(env)
                 return report
 
@@ -247,10 +316,13 @@ class LoopRunner:
             marker=self._spec_marker,
             workers=config.workers,
             backend=config.backend,
+            profiles=self.profiles,
+            loop_key=self._loop_key(),
         )
         self._spec_marker = outcome.run.marker
+        outcome.wall.signature = signature_s
         if config.use_schedule_cache:
-            self.schedule_cache.record(self._loop_key(), signature, outcome.result)
+            self.profiles.record_verdict(self._loop_key(), signature, outcome.result)
         self._finish(env)
         return ExecutionReport(
             strategy=Strategy.SPECULATIVE.value,
@@ -283,13 +355,26 @@ class LoopRunner:
         if not self.plan.parallelizable_scalars:
             return self._refuse_serially(env, sim, config, reference)
 
+        veto = self._speculation_veto(config)
+        if veto is not None:
+            return self._refuse_serially(env, sim, config, reference, reason=veto)
+
+        strip_decision = None
         if config.adaptive_strip_sizing:
             # Imported lazily: adaptive.py imports this module at top level.
             from repro.runtime.adaptive import AdaptiveStripSizer
 
-            sizer = AdaptiveStripSizer(
-                initial_size=config.strip_size or AdaptiveStripSizer.DEFAULT_INITIAL
-            )
+            initial = config.strip_size or AdaptiveStripSizer.DEFAULT_INITIAL
+            if config.strip_size is None and get_engine(config.engine).caps.planner:
+                warm = self.profiles.warm_strip_size(self._loop_key())
+                if warm is not None:
+                    initial = warm
+                    strip_decision = (
+                        f"feedback: warm-starting the adaptive strip size "
+                        f"at {warm} (the last passing strip-mined run's "
+                        f"converged size)"
+                    )
+            sizer = AdaptiveStripSizer(initial_size=initial)
         else:
             sizer = FixedStripSizer(config.strip_size)
         pipeline = SpeculationPipeline(
@@ -309,6 +394,8 @@ class LoopRunner:
             marker=self._spec_marker,
             workers=config.workers,
             backend=config.backend,
+            profiles=self.profiles,
+            loop_key=self._loop_key(),
         )
         outcome = pipeline.run()
         self._spec_marker = outcome.marker
@@ -327,7 +414,10 @@ class LoopRunner:
             wall=outcome.wall,
             fallbacks=self._fallbacks(outcome.fallback_reason),
             engine_used=outcome.engine_used,
-            engine_decisions=self._decisions(outcome.engine_decision),
+            engine_decisions=(
+                self._decisions(outcome.engine_decision)
+                + self._decisions(strip_decision)
+            ),
         )
 
     def _run_from_cached(
@@ -337,19 +427,25 @@ class LoopRunner:
         sim: DoallSimulator,
         config: RunConfig,
         reference: SerialRun,
+        *,
+        signature_s: float = 0.0,
     ) -> ExecutionReport:
         """Schedule reuse: skip marking and analysis entirely."""
         times = TimeBreakdown()
+        wall = WallClock(signature=signature_s)
         fallback_reason = None
         engine_used = None
         engine_decision = None
         if cached.passed:
+            tick = time.perf_counter()
             run = run_doall(
                 self.program, self.loop, env, self.plan, sim.num_procs,
                 marker=None, value_based=False, schedule=config.schedule,
                 engine=config.engine, workers=config.workers,
                 backend=config.backend,
+                profiles=self.profiles, loop_key=self._loop_key(),
             )
+            wall.doall = time.perf_counter() - tick
             times.private_init = sim.private_init_time(
                 sum(p.size for p in run.privates.values())
             )
@@ -382,6 +478,7 @@ class LoopRunner:
             serial_loop_time=reference.loop_time,
             env=env,
             reused_schedule=True,
+            wall=wall,
             fallbacks=self._fallbacks(fallback_reason),
             engine_used=engine_used,
             engine_decisions=self._decisions(engine_decision),
@@ -404,6 +501,8 @@ class LoopRunner:
             engine=config.engine,
             workers=config.workers,
             backend=config.backend,
+            profiles=self.profiles,
+            loop_key=self._loop_key(),
         )
         self._finish(env)
         return ExecutionReport(

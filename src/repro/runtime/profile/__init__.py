@@ -1,0 +1,46 @@
+"""Loop profiles: the runtime's unified memory of past loop executions.
+
+This package replaces the old ``repro.core.schedule_cache`` module and
+the scattered per-run telemetry with one store (paper §IV.D motivates
+the verdict-reuse half):
+
+* :class:`LoopProfileStore` — verdict cache (LRU, entry+byte bounded),
+  per-loop observation rings, jit warm-up ledger, optional JSON
+  persistence.
+* :class:`RunObservation` — one run as the profile remembers it.
+* :func:`pattern_signature` — the access-pattern digest keying reuse.
+
+Construction of the internal :class:`ScheduleCache` / :class:`KernelCache`
+components outside this package is rejected by
+``benchmarks/check_engine_dispatch.py``.
+"""
+
+from repro.runtime.profile.observation import RunObservation
+from repro.runtime.profile.signature import pattern_signature
+from repro.runtime.profile.store import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_RING,
+    FAILURE_RATE_THRESHOLD,
+    KernelCache,
+    LoopProfileStore,
+    MIN_VETO_ATTEMPTS,
+    ScheduleCache,
+    VerdictEntry,
+    kernel_cache,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_RING",
+    "FAILURE_RATE_THRESHOLD",
+    "KernelCache",
+    "LoopProfileStore",
+    "MIN_VETO_ATTEMPTS",
+    "RunObservation",
+    "ScheduleCache",
+    "VerdictEntry",
+    "kernel_cache",
+    "pattern_signature",
+]

@@ -1,4 +1,4 @@
-"""Schedule reuse (paper §IV.D / Saltz et al. [37]).
+"""Access-pattern signatures (paper §IV.D / Saltz et al. [37]).
 
 A loop like OCEAN's FTRVMT_do109 executes thousands of times with the
 same access pattern; once the run-time test has decided the loop is (or
@@ -11,16 +11,22 @@ pattern: the arrays and scalars in the inspector slice (the backward
 slice of subscripts and control decisions).  If the slice is not
 computable (inspector not extractable), reuse is disabled — the pattern
 may depend on data the loop itself computes.
+
+Array contents enter the digest through
+:meth:`repro.interp.env.Environment.content_digest`, which memoizes the
+per-array hash on a (data pointer, shape, dtype, mutation version)
+pre-key and hashes the buffer in place — repeated signatures over
+unchanged arrays skip the content read, and no ``tobytes()`` copy is
+ever paid.  Callers that care about the cost time the call and record
+it as ``WallClock.signature``.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
 
 from repro.analysis.instrument import InstrumentationPlan
 from repro.analysis.symtab import scalar_reads_in
-from repro.core.outcomes import LrpdResult
 from repro.dsl.ast_nodes import ArrayRef, walk_expressions
 from repro.interp.env import Environment
 
@@ -41,7 +47,7 @@ def pattern_signature(plan: InstrumentationPlan, env: Environment) -> str | None
     digest = hashlib.sha256()
     for name in sorted(arrays):
         digest.update(name.encode())
-        digest.update(env.arrays[name].tobytes())
+        digest.update(env.content_digest(name))
     for name in sorted(scalars):
         if name in env.scalars:
             digest.update(name.encode())
@@ -96,75 +102,3 @@ def _bounds_key(plan: InstrumentationPlan, env: Environment) -> tuple:
     if loop.step is not None:
         names |= scalar_reads_in(loop.step)
     return tuple(sorted((n, env.scalars.get(n)) for n in names if n in env.scalars))
-
-
-@dataclass
-class CacheEntry:
-    result: LrpdResult
-    hits: int = 0
-
-
-@dataclass
-class ScheduleCache:
-    """Maps (loop identity, pattern signature) to a previous test result."""
-
-    _entries: dict[tuple[str, str], CacheEntry] = field(default_factory=dict)
-    lookups: int = 0
-    hits: int = 0
-
-    def lookup(self, loop_key: str, signature: str | None) -> LrpdResult | None:
-        self.lookups += 1
-        if signature is None:
-            return None
-        entry = self._entries.get((loop_key, signature))
-        if entry is None:
-            return None
-        entry.hits += 1
-        self.hits += 1
-        return entry.result
-
-    def record(self, loop_key: str, signature: str | None, result: LrpdResult) -> None:
-        if signature is None:
-            return
-        self._entries[(loop_key, signature)] = CacheEntry(result=result)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-
-@dataclass
-class KernelCache:
-    """Warm-up ledger for the jit engine's compiled-kernel dispatch keys.
-
-    The first run against a given ``(loop signature, dtype)`` key drives
-    every kernel once (:func:`repro.core.jit_kernels.warm_up`) so njit
-    compiles — or disk-cache-loads — the machine code before the doall
-    is timed; the measured seconds surface as ``jit_compile_s`` on the
-    run.  Repeat runs with a warm key pay nothing, and the planner
-    prefers the jit engine only once some key is warm.
-    """
-
-    _warm: dict[str, float] = field(default_factory=dict)
-
-    def ensure(self, key: str, kernels) -> float:
-        """Warm ``kernels`` for ``key`` if cold; the compile seconds paid."""
-        if key in self._warm:
-            return 0.0
-        from repro.core.jit_kernels import warm_up
-
-        seconds = warm_up(kernels)
-        self._warm[key] = seconds
-        return seconds
-
-    def any_warm(self) -> bool:
-        return bool(self._warm)
-
-    def clear(self) -> None:
-        self._warm.clear()
-
-    def __len__(self) -> int:
-        return len(self._warm)
-
-
-#: process-wide warm-up ledger (cleared by tests needing cold planners).
-kernel_cache = KernelCache()

@@ -56,6 +56,12 @@ class ExecutionReport:
     #: per-loop ``auto`` planner decisions: (loop key, reason).  Empty
     #: for explicit engine requests.  Printed under ``--verbose``.
     engine_decisions: list[tuple[str, str]] = field(default_factory=list)
+    #: profile-store verdict-cache counters (lookups/hits/misses/
+    #: evictions/entries) snapshotted after the run.  Kept out of
+    #: :attr:`stats` on purpose — engine parity asserts ``stats``
+    #: equality across engines, and cache state is cross-run memory,
+    #: not a property of this execution.  Printed under ``--verbose``.
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def loop_time(self) -> float:

@@ -78,6 +78,8 @@ def run_speculative(
     workers: int | None = None,
     pool=None,
     backend: str = "fork",
+    profiles=None,
+    loop_key: str | None = None,
 ) -> SpeculativeOutcome:
     """Run the full speculative protocol; ``env`` must be at loop entry.
 
@@ -143,6 +145,8 @@ def run_speculative(
         workers=workers,
         pool=pool,
         backend=backend,
+        profiles=profiles,
+        loop_key=loop_key,
     )
     wall.doall = time.perf_counter() - tick
     wall.jit_compile = run.jit_compile_s
@@ -294,6 +298,8 @@ class SpeculationPipeline:
         marker: ShadowMarker | None = None,
         workers: int | None = None,
         backend: str = "fork",
+        profiles=None,
+        loop_key: str | None = None,
     ):
         if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
             raise SpeculationError(
@@ -315,6 +321,8 @@ class SpeculationPipeline:
         self.engine = engine
         self.workers = workers
         self.backend = backend
+        self.profiles = profiles
+        self.loop_key = loop_key
         self._marker = marker
 
     # -- pieces --------------------------------------------------------------
@@ -462,6 +470,8 @@ class SpeculationPipeline:
                 workers=self.workers,
                 pool=pool,
                 backend=self.backend,
+                profiles=self.profiles,
+                loop_key=self.loop_key,
             )
             wall.doall = time.perf_counter() - tick
             wall.jit_compile = run.jit_compile_s

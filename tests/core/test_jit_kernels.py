@@ -15,7 +15,7 @@ import pytest
 
 import repro.core.jit_kernels as jit_kernels
 from repro.core.jit_kernels import KernelSet, load_kernels, warm_up
-from repro.core.schedule_cache import KernelCache, kernel_cache
+from repro.runtime.profile import KernelCache, kernel_cache
 from repro.core.shadow import (
     KIND_READ,
     KIND_REDUX,

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.analysis.instrument import build_plan
 from repro.core.outcomes import LrpdResult, TestMode
-from repro.core.schedule_cache import ScheduleCache, pattern_signature
+from repro.runtime.profile import ScheduleCache, pattern_signature
 from repro.dsl.parser import parse
 from repro.interp.env import Environment
 
@@ -110,7 +110,7 @@ class TestCrossEngineReuse:
                       use_schedule_cache=True),
         )
         assert not first.reused_schedule
-        assert runner.schedule_cache.hits == 0
+        assert runner.profiles.hits == 0
 
         second = runner.run(
             Strategy.SPECULATIVE,
@@ -118,7 +118,7 @@ class TestCrossEngineReuse:
                       use_schedule_cache=True),
         )
         assert second.reused_schedule
-        assert runner.schedule_cache.hits == 1
+        assert runner.profiles.hits == 1
         assert second.passed == first.passed
         for name in first.env.arrays:
             np.testing.assert_array_equal(

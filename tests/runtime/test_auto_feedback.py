@@ -1,0 +1,404 @@
+"""Feedback-driven planning: ``engine="auto"`` consuming loop profiles.
+
+Cold runners must reproduce the static planner exactly; once a loop's
+profile holds enough timed observations the planner goes epsilon-greedy
+(deterministically — a per-loop decision counter, no randomness), picks
+are bit-identical to the same engine requested explicitly, loops with a
+recorded failure history are refused up front with the evidence on the
+report, and a persisted store warms a brand-new runner immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import fx80
+from repro.runtime.engines import EPSILON_PERIOD, MIN_OBSERVATIONS
+from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
+from repro.runtime.profile import LoopProfileStore, RunObservation
+from repro.workloads.bdna import build_bdna
+from repro.workloads.mdg import build_mdg
+from repro.workloads.ocean import build_ocean
+
+PROCS = 4
+
+
+@pytest.fixture(autouse=True)
+def _cold_kernel_cache():
+    """Keep the jit warm-up ledger cold so the eligible-engine set is
+    the same on every host (a warm ledger would add "jit" to it)."""
+    from repro.runtime.profile import kernel_cache
+
+    kernel_cache.clear()
+    yield
+    kernel_cache.clear()
+
+
+def _obs(engine, doall_s, *, passed=True, strip_size=None):
+    return RunObservation(
+        strategy="speculative", engine=engine, backend="fork",
+        wall_s=doall_s, doall_s=doall_s, passed=passed,
+        strip_size=strip_size,
+    )
+
+
+def _runner(build, **kwargs):
+    workload = build()
+    return LoopRunner(workload.program(), workload.inputs, **kwargs)
+
+
+def _seed(runner, *observations):
+    for obs in observations:
+        runner.profiles.observe(runner._loop_key(), obs)
+
+
+def _config(engine, **kwargs):
+    return RunConfig(model=fx80().with_procs(PROCS), engine=engine, **kwargs)
+
+
+def _assert_reports_identical(ref, got):
+    assert got.passed == ref.passed
+    assert got.test_result == ref.test_result
+    assert got.times.as_dict() == ref.times.as_dict()
+    assert got.stats == ref.stats
+    assert got.env.scalars == ref.env.scalars
+    assert got.env.arrays.keys() == ref.env.arrays.keys()
+    for name in ref.env.arrays:
+        np.testing.assert_array_equal(
+            ref.env.arrays[name], got.env.arrays[name], err_msg=name
+        )
+
+
+class TestColdStart:
+    def test_cold_auto_uses_static_signals(self):
+        runner = _runner(lambda: build_bdna(n=60))
+        report = runner.run(Strategy.SPECULATIVE, _config("auto"))
+        assert report.engine_used == "vectorized"
+        (_key, reason), = report.engine_decisions
+        assert "classifier accepted" in reason
+        assert "feedback" not in reason
+
+    def test_one_observation_is_still_cold(self):
+        assert MIN_OBSERVATIONS == 2
+        runner = _runner(lambda: build_bdna(n=60))
+        _seed(runner, _obs("compiled", 0.001))
+        report = runner.run(Strategy.SPECULATIVE, _config("auto"))
+        assert "classifier accepted" in report.engine_decisions[0][1]
+
+    def test_untimed_history_does_not_warm_the_planner(self):
+        """Reused-schedule and refused runs carry no doall timing; they
+        must not count toward the warm threshold."""
+        runner = _runner(lambda: build_bdna(n=60))
+        _seed(
+            runner,
+            _obs(None, 0.0, passed=None),
+            RunObservation(strategy="speculative", engine="compiled",
+                           backend="fork", wall_s=0.1, doall_s=0.1,
+                           passed=True, reused=True),
+        )
+        report = runner.run(Strategy.SPECULATIVE, _config("auto"))
+        assert "classifier accepted" in report.engine_decisions[0][1]
+
+
+class TestWarmExploit:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            pytest.param(lambda: build_bdna(n=60), id="bdna"),
+            pytest.param(lambda: build_mdg(n=60), id="mdg"),
+            pytest.param(lambda: build_ocean(nk=150), id="ocean"),
+        ],
+    )
+    def test_picks_best_mean_bit_identically(self, build):
+        """History says compiled is fastest → the warm planner overrides
+        the static vectorized pick, and the run is bit-identical to an
+        explicitly requested compiled run."""
+        auto = _runner(build)
+        _seed(
+            auto,
+            _obs("compiled", 0.001), _obs("compiled", 0.003),
+            _obs("vectorized", 0.5), _obs("vectorized", 0.7),
+        )
+        got = auto.run(Strategy.SPECULATIVE, _config("auto"))
+        ref = _runner(build).run(Strategy.SPECULATIVE, _config("compiled"))
+
+        assert got.engine_used == "compiled"
+        (_key, reason), = got.engine_decisions
+        assert "feedback" in reason
+        assert "best mean doall wall clock" in reason
+        assert "2 runs" in reason and "4 timed runs total" in reason
+        _assert_reports_identical(ref, got)
+
+    def test_failing_loop_parity_when_warm(self):
+        """A warm pick on a loop that then fails the LRPD test backs out
+        exactly like the explicit engine would (first failure — no veto
+        history yet)."""
+        build = lambda: build_ocean(nk=150, overlap=True)  # noqa: E731
+        auto = _runner(build)
+        _seed(auto, _obs("walk", 0.001), _obs("walk", 0.003))
+        got = auto.run(Strategy.SPECULATIVE, _config("auto"))
+        ref = _runner(build).run(Strategy.SPECULATIVE, _config("walk"))
+        assert got.engine_used == "walk"
+        assert got.passed is False
+        _assert_reports_identical(ref, got)
+
+    def test_worker_sharded_warm_pick(self):
+        """With workers requested only sharding-capable engines are
+        eligible, so a compiled history cannot elect compiled."""
+        build = lambda: build_bdna(n=60)  # noqa: E731
+        auto = _runner(build)
+        _seed(
+            auto,
+            _obs("compiled", 0.0001), _obs("compiled", 0.0001),
+            _obs("vectorized", 0.002), _obs("vectorized", 0.002),
+        )
+        cfg = _config("auto", workers=2, backend="threads")
+        got = auto.run(Strategy.SPECULATIVE, cfg)
+        ref = _runner(build).run(
+            Strategy.SPECULATIVE, _config("vectorized", workers=2,
+                                          backend="threads")
+        )
+        assert got.engine_used == "vectorized"
+        _assert_reports_identical(ref, got)
+
+    def test_stripped_warm_parity(self):
+        build = lambda: build_bdna(n=60)  # noqa: E731
+        auto = _runner(build)
+        _seed(
+            auto,
+            _obs("vectorized", 0.001), _obs("vectorized", 0.001),
+            _obs("compiled", 0.4),
+        )
+        got = auto.run(Strategy.STRIPPED, _config("auto", strip_size=16))
+        ref = _runner(build).run(
+            Strategy.STRIPPED, _config("vectorized", strip_size=16)
+        )
+        assert got.engine_used == "vectorized"
+        assert all(
+            "feedback" in reason for _key, reason in got.engine_decisions
+        )
+        _assert_reports_identical(ref, got)
+
+
+class TestExploration:
+    def test_every_nth_decision_explores_least_observed(self):
+        runner = _runner(lambda: build_bdna(n=60))
+        key = runner._loop_key()
+        _seed(runner, _obs("compiled", 0.001), _obs("compiled", 0.001))
+        # Advance the deterministic schedule to the exploration slot.
+        for _ in range(EPSILON_PERIOD - 1):
+            runner.profiles.next_decision(key)
+        report = runner.run(Strategy.SPECULATIVE, _config("auto"))
+        (_key, reason), = report.engine_decisions
+        assert "exploring" in reason
+        assert f"decision #{EPSILON_PERIOD}" in reason
+        # Least-observed eligible engine, ties broken alphabetically:
+        # vectorized and walk are unseen, so vectorized is explored.
+        assert report.engine_used == "vectorized"
+
+    def test_schedule_is_deterministic(self):
+        """Two runners with identical seeded history make identical
+        decision sequences — no randomness anywhere."""
+        build = lambda: build_bdna(n=60)  # noqa: E731
+        picks = []
+        for _ in range(2):
+            runner = _runner(build)
+            _seed(runner, _obs("compiled", 0.001), _obs("walk", 0.3))
+            sequence = []
+            for _ in range(3):
+                report = runner.run(Strategy.SPECULATIVE, _config("auto"))
+                sequence.append(report.engine_used)
+            picks.append(sequence)
+        assert picks[0] == picks[1]
+
+
+class TestFailureVeto:
+    def _fail_config(self):
+        return _config("auto")
+
+    def test_history_of_failures_refuses_speculation(self):
+        runner = _runner(lambda: build_ocean(nk=150, overlap=True))
+        first = runner.run(Strategy.SPECULATIVE, self._fail_config())
+        assert first.passed is False
+        second = runner.run(Strategy.SPECULATIVE, self._fail_config())
+        assert second.passed is False  # 1/1 failed: below min attempts
+
+        third = runner.run(Strategy.SPECULATIVE, self._fail_config())
+        assert third.passed is None
+        assert third.stats.get("refused") == 1.0
+        assert third.strategy == "serial"
+        (_key, reason), = third.engine_decisions
+        assert "failure rate" in reason
+        assert "2/2" in reason
+
+        # The veto is sticky: refused runs are untested and must not
+        # dilute the recorded failure rate.
+        fourth = runner.run(Strategy.SPECULATIVE, self._fail_config())
+        assert fourth.stats.get("refused") == 1.0
+
+    def test_vetoed_run_matches_serial_state(self):
+        build = lambda: build_ocean(nk=150, overlap=True)  # noqa: E731
+        runner = _runner(build)
+        _seed(
+            runner,
+            _obs("compiled", 0.1, passed=False),
+            _obs("compiled", 0.1, passed=False),
+        )
+        vetoed = runner.run(Strategy.SPECULATIVE, self._fail_config())
+        serial = _runner(build).run(Strategy.SERIAL, _config("compiled"))
+        for name in serial.env.arrays:
+            np.testing.assert_array_equal(
+                vetoed.env.arrays[name], serial.env.arrays[name],
+                err_msg=name,
+            )
+
+    def test_explicit_engine_ignores_failure_history(self):
+        """Only the planner may act on history; an explicitly requested
+        engine keeps the paper's optimistic protocol."""
+        runner = _runner(lambda: build_ocean(nk=150, overlap=True))
+        _seed(
+            runner,
+            _obs("vectorized", 0.1, passed=False),
+            _obs("vectorized", 0.1, passed=False),
+        )
+        report = runner.run(Strategy.SPECULATIVE, _config("vectorized"))
+        assert report.passed is False  # it speculated (and failed) anyway
+        assert report.stats.get("refused") is None
+
+    def test_stripped_strategy_respects_veto(self):
+        runner = _runner(lambda: build_ocean(nk=150, overlap=True))
+        _seed(
+            runner,
+            _obs("compiled", 0.1, passed=False),
+            _obs("compiled", 0.1, passed=False),
+        )
+        report = runner.run(
+            Strategy.STRIPPED, _config("auto", strip_size=32)
+        )
+        assert report.stats.get("refused") == 1.0
+        assert "failure rate" in report.engine_decisions[0][1]
+
+
+class TestWarmStartStripSize:
+    def test_adaptive_sizer_warm_starts_from_history(self):
+        runner = _runner(lambda: build_bdna(n=200))
+        _seed(runner, _obs("compiled", 0.1, strip_size=64))
+        report = runner.run(
+            Strategy.STRIPPED,
+            _config("auto", adaptive_strip_sizing=True),
+        )
+        reasons = [reason for _key, reason in report.engine_decisions]
+        assert any("warm-starting the adaptive strip size at 64" in r
+                   for r in reasons)
+        assert report.strips[0].strip_size == 64
+
+    def test_explicit_strip_size_wins_over_history(self):
+        runner = _runner(lambda: build_bdna(n=200))
+        _seed(runner, _obs("compiled", 0.1, strip_size=64))
+        report = runner.run(
+            Strategy.STRIPPED,
+            _config("auto", strip_size=8, adaptive_strip_sizing=True),
+        )
+        assert report.strips[0].strip_size == 8
+
+    def test_explicit_engine_does_not_warm_start(self):
+        runner = _runner(lambda: build_bdna(n=200))
+        _seed(runner, _obs("compiled", 0.1, strip_size=64))
+        report = runner.run(
+            Strategy.STRIPPED,
+            _config("compiled", adaptive_strip_sizing=True),
+        )
+        from repro.runtime.adaptive import AdaptiveStripSizer
+
+        assert report.strips[0].strip_size == AdaptiveStripSizer.DEFAULT_INITIAL
+
+
+class TestPersistenceAcrossRunners:
+    def test_saved_profile_warms_a_fresh_runner(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        build = lambda: build_bdna(n=60)  # noqa: E731
+
+        trainer = _runner(build, profiles=LoopProfileStore(path=path))
+        trainer.run(Strategy.SPECULATIVE, _config("compiled"))
+        trainer.run(Strategy.SPECULATIVE, _config("compiled"))
+        trainer.profiles.save()
+
+        fresh = _runner(build, profiles=LoopProfileStore(path=path))
+        assert fresh.profiles.load_error is None
+        report = fresh.run(Strategy.SPECULATIVE, _config("auto"))
+        assert report.engine_used == "compiled"
+        assert "feedback" in report.engine_decisions[0][1]
+
+    def test_saved_verdict_reused_by_fresh_runner(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        build = lambda: build_ocean(nk=150)  # noqa: E731
+        cfg = _config("compiled", use_schedule_cache=True)
+
+        first_runner = _runner(build, profiles=LoopProfileStore(path=path))
+        first = first_runner.run(Strategy.SPECULATIVE, cfg)
+        assert not first.reused_schedule
+        first_runner.profiles.save()
+
+        second_runner = _runner(build, profiles=LoopProfileStore(path=path))
+        second = second_runner.run(Strategy.SPECULATIVE, cfg)
+        assert second.reused_schedule
+        assert second.cache_stats["hits"] == 1
+        assert second.passed == first.passed
+        for name in first.env.arrays:
+            np.testing.assert_array_equal(
+                first.env.arrays[name], second.env.arrays[name],
+                err_msg=name,
+            )
+
+    def test_failure_history_survives_persistence(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        build = lambda: build_ocean(nk=150, overlap=True)  # noqa: E731
+
+        trainer = _runner(build, profiles=LoopProfileStore(path=path))
+        for _ in range(2):
+            assert trainer.run(
+                Strategy.SPECULATIVE, _config("auto")
+            ).passed is False
+        trainer.profiles.save()
+
+        fresh = _runner(build, profiles=LoopProfileStore(path=path))
+        report = fresh.run(Strategy.SPECULATIVE, _config("auto"))
+        assert report.stats.get("refused") == 1.0
+        assert "failure rate" in report.engine_decisions[0][1]
+
+
+class TestReportTelemetry:
+    def test_every_run_leaves_an_observation(self):
+        runner = _runner(lambda: build_bdna(n=60))
+        runner.run(Strategy.SPECULATIVE, _config("vectorized"))
+        runner.run(Strategy.SERIAL, _config("compiled"))
+        observations = runner.profiles.observations(runner._loop_key())
+        assert len(observations) == 2
+        assert observations[0].engine == "vectorized"
+        assert observations[0].doall_s > 0.0
+        assert observations[0].passed is True
+        assert observations[1].strategy == "serial"
+        assert observations[1].passed is None
+
+    def test_cache_counters_on_report(self):
+        runner = _runner(lambda: build_ocean(nk=150))
+        cfg = _config("compiled", use_schedule_cache=True)
+        first = runner.run(Strategy.SPECULATIVE, cfg)
+        assert first.cache_stats == {
+            "lookups": 1, "hits": 0, "misses": 1,
+            "evictions": 0, "entries": 1,
+        }
+        second = runner.run(Strategy.SPECULATIVE, cfg)
+        assert second.cache_stats["hits"] == 1
+        assert second.cache_stats["entries"] == 1
+
+    def test_stripped_run_records_converged_strip_size(self):
+        runner = _runner(lambda: build_bdna(n=200))
+        runner.run(
+            Strategy.STRIPPED,
+            _config("compiled", strip_size=16, adaptive_strip_sizing=True),
+        )
+        obs, = runner.profiles.observations(runner._loop_key())
+        assert obs.strip_size is not None
+        assert obs.strategy == "stripped"

@@ -84,6 +84,44 @@ class TestVerboseFallbacks:
         assert "engine fallback" not in capsys.readouterr().out
 
 
+class TestProfilePath:
+    def test_profile_persists_across_invocations(self, tmp_path, capsys):
+        """Two CLI runs over the same --profile-path: the first records
+        the verdict, the second serves it from the loaded store."""
+        path = tmp_path / "profiles.json"
+        args = ["run", "ocean", "--procs", "4",
+                "--profile-path", str(path), "--verbose"]
+
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "hits=0" in first
+        assert path.exists()
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "hits=1" in second
+        assert "schedule reuse" in second
+
+    def test_corrupt_profile_warns_and_still_runs(self, tmp_path, capsys):
+        path = tmp_path / "profiles.json"
+        path.write_text("{ not json")
+        assert main(
+            ["run", "ocean", "--procs", "4", "--profile-path", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "profile" in captured.err
+        # The broken file was replaced by a clean save on exit.
+        assert main(
+            ["run", "ocean", "--procs", "4", "--profile-path", str(path),
+             "--verbose"]
+        ) == 0
+        assert "hits=1" in capsys.readouterr().out
+
+    def test_quiet_runs_omit_cache_counters(self, capsys):
+        assert main(["run", "ocean", "--procs", "4"]) == 0
+        assert "profile cache" not in capsys.readouterr().out
+
+
 class TestFigure:
     def test_figure_output(self, capsys):
         assert main(["figure", "dyfesm"]) == 0

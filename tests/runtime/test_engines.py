@@ -46,7 +46,7 @@ def _cold_kernel_cache():
     """Planner picks consult the jit warm-up ledger; keep it cold here
     so the expected `vectorized` decisions hold even on hosts where
     Numba is installed and another test warmed a kernel."""
-    from repro.core.schedule_cache import kernel_cache
+    from repro.runtime.profile import kernel_cache
 
     kernel_cache.clear()
     yield

@@ -17,7 +17,7 @@ import pytest
 
 import repro.core.jit_kernels as jit_kernels
 from repro.core.jit_kernels import load_kernels
-from repro.core.schedule_cache import kernel_cache
+from repro.runtime.profile import kernel_cache
 from repro.machine.costmodel import fx80
 from repro.runtime.engines.planner import EnginePlanner
 from repro.runtime.orchestrator import LoopRunner, RunConfig, Strategy
