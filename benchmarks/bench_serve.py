@@ -1,0 +1,219 @@
+"""Infrastructure benchmark — the serve daemon's measured throughput.
+
+Not a paper artifact: boots a real ``repro serve`` daemon subprocess and
+drives it with 1, 8 and 64 concurrent socket clients, measuring jobs/sec
+and per-request p50/p95 latency, cold (``schedule_cache=False`` — every
+job pays the full LRPD test) versus profile-warmed (the fleet store
+already holds the verdicts, so repeats reuse the schedule and skip the
+test).  The warmed-vs-cold ratio is the service's reason to exist: the
+acceptance gate asserts warmed single-client throughput at >= 2x cold.
+
+Writes ``BENCH_serve.json`` for the CI regression gate.  The gate treats
+higher normalized values as regressions, so the ``*_jobs_per_sec``
+entries store *seconds per job* (inverse throughput — lower is better);
+the human-readable jobs/sec figures live in the payload's ``extra``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from conftest import calibrate, run_once, write_bench_json
+from repro.service.client import ReproClient
+from repro.service.protocol import JobRequest
+
+CONCURRENCIES = (1, 8, 64)
+#: job grid: distinct processor counts so a batch is a mix of jobs, not
+#: sixty-four copies of one (identical in-flight jobs would coalesce
+#: into a single execution and fake the throughput number).
+PROC_GRID = (2, 4, 8)
+WORKLOAD = "synthpass"
+ENGINE = "compiled"
+WARM_SPEEDUP_TARGET = 2.0
+STARTUP_DEADLINE_S = 30.0
+
+
+def start_daemon(socket_path: str, *, queue_size: int = 128):
+    """Boot ``repro serve`` as a subprocess and wait until it answers."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path, "--queue-size", str(queue_size),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path):
+            try:
+                with ReproClient(socket_path, timeout=5.0) as client:
+                    client.ping()
+                return proc
+            except Exception:
+                pass
+        if proc.poll() is not None:
+            raise RuntimeError(f"daemon died at startup (rc={proc.returncode})")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon did not come up in time")
+
+
+def _jobs(count: int, *, schedule_cache: bool) -> list[JobRequest]:
+    """``count`` jobs round-robining the processor grid."""
+    return [
+        JobRequest(
+            workload=WORKLOAD,
+            engine=ENGINE,
+            procs=PROC_GRID[i % len(PROC_GRID)],
+            schedule_cache=schedule_cache,
+        )
+        for i in range(count)
+    ]
+
+
+def run_batch(
+    socket_path: str, concurrency: int, jobs: list[JobRequest]
+) -> dict[str, float]:
+    """Drive ``jobs`` through ``concurrency`` client connections.
+
+    Each worker thread owns one socket connection and submits its share
+    sequentially — the unit under load is the daemon, not the clients.
+    Returns jobs/sec plus client-observed p50/p95 latency in seconds.
+    """
+    shares = [jobs[i::concurrency] for i in range(concurrency)]
+    latencies: list[float] = []
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker(share: list[JobRequest]) -> None:
+        try:
+            with ReproClient(socket_path, timeout=120.0) as client:
+                mine = []
+                for job in share:
+                    begin = time.perf_counter()
+                    report = client.submit(job)
+                    mine.append(time.perf_counter() - begin)
+                    assert report.passed, "benchmark job unexpectedly failed"
+            with lock:
+                latencies.extend(mine)
+        except BaseException as exc:  # noqa: BLE001 - reported by the caller
+            with lock:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(share,))
+        for share in shares if share
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - begin
+    if failures:
+        raise failures[0]
+    assert len(latencies) == len(jobs)
+    ordered = sorted(latencies)
+    return {
+        "jobs_per_sec": len(jobs) / wall,
+        "job_s": wall / len(jobs),
+        "p50_s": statistics.median(ordered),
+        "p95_s": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
+    }
+
+
+def test_serve_throughput(benchmark, artifact):
+    tmp = tempfile.mkdtemp(prefix="repro-bench-", dir="/tmp")
+    socket_path = os.path.join(tmp, "serve.sock")
+
+    def measure():
+        calibration_s = calibrate()
+        proc = start_daemon(socket_path)
+        try:
+            cold: dict[int, dict[str, float]] = {}
+            warm: dict[int, dict[str, float]] = {}
+            for concurrency in CONCURRENCIES:
+                count = max(2 * concurrency, 24)
+                cold[concurrency] = run_batch(
+                    socket_path, concurrency,
+                    _jobs(count, schedule_cache=False),
+                )
+            # Warm the fleet store: one pass over the job grid records
+            # every (loop, configuration) verdict...
+            run_batch(socket_path, 1, _jobs(len(PROC_GRID), schedule_cache=True))
+            # ...so these batches reuse schedules and skip the test.
+            for concurrency in CONCURRENCIES:
+                count = max(2 * concurrency, 24)
+                warm[concurrency] = run_batch(
+                    socket_path, concurrency,
+                    _jobs(count, schedule_cache=True),
+                )
+            with ReproClient(socket_path, timeout=10.0) as client:
+                stats = client.stats()
+                client.shutdown_server()
+            rc = proc.wait(timeout=30.0)
+            assert rc == 0, f"daemon exited {rc}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        return calibration_s, cold, warm, stats
+
+    calibration_s, cold, warm, stats = run_once(benchmark, measure)
+
+    lines = [
+        f"repro serve throughput ({WORKLOAD}/{ENGINE}, procs grid "
+        f"{PROC_GRID}, daemon stats: executed={stats['executed']} "
+        f"coalesced={stats['coalesced']})"
+    ]
+    extra_rates: dict[str, float] = {}
+    for label, results in (("cold", cold), ("warm", warm)):
+        for concurrency, r in results.items():
+            lines.append(
+                f"{label} c={concurrency:<3d}: {r['jobs_per_sec']:7.1f} "
+                f"jobs/s  p50 {r['p50_s'] * 1000:7.2f} ms  "
+                f"p95 {r['p95_s'] * 1000:7.2f} ms"
+            )
+            extra_rates[f"{label}_c{concurrency}_jobs_per_sec"] = \
+                r["jobs_per_sec"]
+            extra_rates[f"{label}_c{concurrency}_p95_ms"] = r["p95_s"] * 1000
+    warm_speedup = warm[1]["jobs_per_sec"] / cold[1]["jobs_per_sec"]
+    lines.append(f"warm/cold throughput at c=1: {warm_speedup:.2f}x")
+    artifact("serve_throughput", "\n".join(lines))
+
+    write_bench_json(
+        "serve",
+        calibration_s,
+        {
+            # seconds per job (inverse throughput): lower is better,
+            # which is the direction the regression gate understands.
+            "cold_jobs_per_sec": cold[1]["job_s"],
+            "warm_jobs_per_sec": warm[1]["job_s"],
+            "warm_p95_c64": warm[64]["p95_s"],
+        },
+        extra={
+            "rates": extra_rates,
+            "warm_speedup_c1": warm_speedup,
+            "daemon_stats": stats,
+        },
+    )
+
+    # The acceptance gate: profile-warmed throughput must at least
+    # double cold throughput (measured single-client, where in-flight
+    # coalescing cannot flatter either side).
+    assert warm_speedup >= WARM_SPEEDUP_TARGET, (
+        f"warmed daemon only {warm_speedup:.2f}x cold "
+        f"({warm[1]['jobs_per_sec']:.1f} vs {cold[1]['jobs_per_sec']:.1f} "
+        f"jobs/s)"
+    )

@@ -49,6 +49,18 @@ CACHE_PATTERNS = (
     re.compile(r"\bKernelCache\s*\("),
 )
 
+#: direct construction of engines, worker pools or shadow arenas — the
+#: service layer must stay a pure front end over the orchestrator, so
+#: every engine comes from the registry and every pool from
+#: ``make_worker_pool`` / a :class:`WorkerPoolCache`.  (``WorkerPool(``
+#: deliberately does not match ``WorkerPoolCache(``.)
+SERVICE_PATTERNS = (
+    re.compile(r"\b[A-Z]\w*Engine\s*\("),
+    re.compile(r"\b(?:Thread)?WorkerPool\s*\("),
+    re.compile(r"\b(?:Shared|Thread)ShadowArena\s*\("),
+    re.compile(r"\brun_parallel_doall\s*\("),
+)
+
 #: the one place engine names may be compared/declared.
 ALLOWED = pathlib.PurePosixPath("repro/runtime/engines")
 
@@ -57,6 +69,9 @@ BACKEND_ALLOWED = pathlib.PurePosixPath("repro/runtime/parallel_backend.py")
 
 #: the one package the schedule/kernel caches may be constructed in.
 CACHE_ALLOWED = pathlib.PurePosixPath("repro/runtime/profile")
+
+#: the package held to the stricter no-direct-construction rule.
+SERVICE_CHECKED = pathlib.PurePosixPath("repro/service")
 
 
 def lint(root: pathlib.Path) -> list[str]:
@@ -67,7 +82,8 @@ def lint(root: pathlib.Path) -> list[str]:
         check_engine = ALLOWED not in relative.parents
         check_backend = relative != BACKEND_ALLOWED
         check_cache = CACHE_ALLOWED not in relative.parents
-        if not (check_engine or check_backend or check_cache):
+        check_service = SERVICE_CHECKED in relative.parents
+        if not (check_engine or check_backend or check_cache or check_service):
             continue
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -81,7 +97,10 @@ def lint(root: pathlib.Path) -> list[str]:
             cache_hit = check_cache and any(
                 pattern.search(line) for pattern in CACHE_PATTERNS
             )
-            if engine_hit or backend_hit or cache_hit:
+            service_hit = check_service and any(
+                pattern.search(line) for pattern in SERVICE_PATTERNS
+            )
+            if engine_hit or backend_hit or cache_hit or service_hit:
                 hits.append(f"{path}:{lineno}: {line.strip()}")
     return hits
 
@@ -109,9 +128,10 @@ def main(argv: list[str] | None = None) -> int:
             f"comparisons belong in their registries (use "
             f"repro.runtime.engines capability queries or "
             f"repro.runtime.parallel_backend's validate_backend/"
-            f"make_worker_pool) and ScheduleCache/KernelCache may only "
+            f"make_worker_pool), ScheduleCache/KernelCache may only "
             f"be constructed inside repro/runtime/profile (go through "
-            f"LoopProfileStore):",
+            f"LoopProfileStore), and repro/service may not construct "
+            f"engines, pools or arenas directly:",
             file=sys.stderr,
         )
         for hit in hits:

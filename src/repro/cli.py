@@ -8,6 +8,8 @@
     python -m repro table1                       # regenerate Table I
     python -m repro table2                       # regenerate Table II
     python -m repro figure mdg                   # speedup-vs-procs series
+    python -m repro serve --socket /tmp/repro.sock   # loop-execution daemon
+    python -m repro submit ocean --socket /tmp/repro.sock
 
 Workload names are the short forms: track, bdna, mdg, adm, ocean,
 spice, dyfesm.
@@ -107,6 +109,64 @@ def build_parser() -> argparse.ArgumentParser:
         "second invocation gets a verdict-cache hit",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the loop-execution daemon (unix socket, many clients)",
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix-domain socket path to listen on",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=None, metavar="N",
+        help="bound on accepted-but-unfinished jobs; a full queue "
+        "rejects new jobs with a clean queue-full reply (default 64)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline before the daemon answers with a "
+        "timeout error (the job keeps running and warms the profile "
+        "store; default 120)",
+    )
+    serve.add_argument(
+        "--profile-path", default=None, metavar="FILE",
+        help="persist the fleet-shared loop-profile store at FILE: "
+        "loaded at startup, flushed on graceful shutdown, so verdicts "
+        "learned by one daemon lifetime seed the next",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running repro serve daemon"
+    )
+    submit.add_argument("workload", help="servable workload name")
+    submit.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's unix-domain socket path",
+    )
+    submit.add_argument(
+        "--strategy", choices=[s.value for s in Strategy], default="speculative"
+    )
+    submit.add_argument("--machine", choices=sorted(_MACHINES), default="fx80")
+    submit.add_argument("--procs", type=int, default=None)
+    submit.add_argument(
+        "--engine", choices=engine_names(), default=DEFAULT_ENGINE
+    )
+    submit.add_argument("--workers", type=int, default=None, metavar="N")
+    submit.add_argument("--strip-size", type=int, default=None, metavar="N")
+    submit.add_argument(
+        "--no-schedule-cache", action="store_true",
+        help="force a fresh LRPD test even if the daemon's fleet store "
+        "already holds a verdict for this loop",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="client-side wait for the reply (default: forever)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the raw report payload as JSON instead of a summary",
+    )
+
     sub.add_parser("table1", help="regenerate Table I (all seven loops)")
     sub.add_parser("table2", help="regenerate Table II (method comparison)")
 
@@ -135,6 +195,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyze(args.file)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "table2":
@@ -267,6 +331,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
     if profiles is not None:
         profiles.save()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import (
+        DEFAULT_QUEUE_SIZE,
+        DEFAULT_REQUEST_TIMEOUT,
+        serve_forever,
+    )
+
+    return serve_forever(
+        args.socket,
+        queue_size=(
+            args.queue_size if args.queue_size is not None
+            else DEFAULT_QUEUE_SIZE
+        ),
+        request_timeout=(
+            args.timeout if args.timeout is not None
+            else DEFAULT_REQUEST_TIMEOUT
+        ),
+        profile_path=args.profile_path,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service.client import ReproClient
+    from repro.service.protocol import JobRequest
+
+    job = JobRequest(
+        workload=args.workload,
+        strategy=args.strategy,
+        machine=args.machine,
+        procs=args.procs,
+        engine=args.engine,
+        workers=args.workers,
+        strip_size=args.strip_size,
+        schedule_cache=not args.no_schedule_cache,
+    )
+    try:
+        with ReproClient(args.socket, timeout=args.timeout) as client:
+            if args.json:
+                print(json.dumps(
+                    client.submit_raw(job), indent=2, sort_keys=True
+                ))
+                return 0
+            report = client.submit(job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    if report.reused_schedule:
+        print("schedule reuse  : verdict served from the daemon's fleet store")
+    print("phase breakdown (cycles):")
+    for phase, cycles in report.times.nonzero_phases().items():
+        print(f"  {phase:16s} {cycles:14.1f}")
+    print(f"post-loop state : sha256 {report.env_digest[:16]}…")
     return 0
 
 

@@ -76,3 +76,41 @@ class BaselineInapplicable(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was given inconsistent parameters."""
+
+
+class ServiceError(ReproError):
+    """Base class of the loop-parallelization service's errors.
+
+    Everything the ``repro serve`` daemon and its clients raise derives
+    from this (see :mod:`repro.service`): protocol violations, rejected
+    jobs, connection and timeout failures.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed, foreign or wrong-version service message."""
+
+
+class JobRejected(ServiceError):
+    """The daemon replied with an error instead of a report.
+
+    Carries the protocol error ``code`` (``queue-full``, ``timeout``,
+    ``invalid-job``, ``unknown-workload``, ``shutting-down``,
+    ``internal``) so callers can react per failure class.
+    """
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        #: the bare reason, without the bracketed code prefix ``str()``
+        #: adds (what goes onto the wire — the receiving client re-adds
+        #: the prefix, so keeping both would double it).
+        self.message = message
+        super().__init__(f"[{code}] {message}")
+
+
+class ServiceConnectionError(ServiceError):
+    """The daemon's socket could not be reached (or died mid-request)."""
+
+
+class ServiceTimeout(ServiceError):
+    """A client-side wait for the daemon's reply timed out."""

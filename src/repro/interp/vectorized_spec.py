@@ -195,11 +195,14 @@ def execute_vectorized_block(
     proc_envs,
     shared_env: Environment,
     kernels=None,
+    need_costs: bool = True,
 ) -> list[tuple[int, IterationCost]]:
     """Execute ``positions`` (a subset of the doall's iteration space, or
     all of it) in lockstep and commit the results.
 
-    Returns ``(position, IterationCost)`` pairs in execution order.
+    Returns ``(position, IterationCost)`` pairs in execution order —
+    empty with ``need_costs=False`` (schedule reuse with memoized
+    times), which skips the per-iteration cost materialization.
     Raises :class:`VectorizeBail` — with *nothing* committed — when the
     lockstep lowering cannot guarantee bit-identity; the caller must
     then rerun the same positions on the compiled engine.
@@ -212,6 +215,7 @@ def execute_vectorized_block(
         live_out_scalars=live_out_scalars, value_based=value_based,
         marker=marker, privates=privates, partials=partials,
         proc_envs=proc_envs, shared_env=shared_env, kernels=kernels,
+        need_costs=need_costs,
     )
     return executor.run()
 
@@ -221,8 +225,9 @@ class _BlockExecutor:
         self, program, loop, *, values, positions, assignment, num_procs,
         tested, redux_refs, scalar_reductions, live_out_scalars,
         value_based, marker, privates, partials, proc_envs, shared_env,
-        kernels=None,
+        kernels=None, need_costs=True,
     ):
+        self.need_costs = need_costs
         self.program = program
         self.loop = loop
         self.values = values
@@ -1038,6 +1043,8 @@ class _BlockExecutor:
         self._commit_partials()
         self._commit_scalar_reductions()
         self._commit_scalar_finals()
+        if not self.need_costs:
+            return []
         return self._iteration_costs()
 
     # -- staging checks ------------------------------------------------------

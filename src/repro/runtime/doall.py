@@ -97,6 +97,7 @@ def run_doall(
     backend: str = "fork",
     profiles=None,
     loop_key: str | None = None,
+    need_costs: bool = True,
 ) -> DoallRun:
     """Execute the target loop as an emulated doall.
 
@@ -136,6 +137,10 @@ def run_doall(
     ``profiles``/``loop_key`` hand planner engines the caller's
     :class:`~repro.runtime.profile.LoopProfileStore` and the loop
     identity it is keyed by; executing engines ignore both.
+
+    ``need_costs=False`` tells engines the caller will not read
+    ``iteration_costs`` (schedule reuse with memoized times); engines
+    with separable accounting skip it.
     """
     # Imported lazily: the engine implementations import DoallRun from
     # this module.
@@ -162,6 +167,7 @@ def run_doall(
         backend=backend,
         profiles=profiles,
         loop_key=loop_key,
+        need_costs=need_costs,
     )
     return execute_doall(ctx, engine)
 

@@ -111,6 +111,12 @@ class DoallContext:
     profiles: object = None
     #: the loop identity the profiles are keyed by.
     loop_key: Optional[str] = None
+    #: False when the caller will not read ``iteration_costs`` off the
+    #: run (schedule reuse with memoized times): engines whose cost
+    #: accounting is separable from execution may skip it and return an
+    #: empty cost list.  Engines with accounting interleaved into
+    #: execution simply ignore the hint.
+    need_costs: bool = True
 
 
 class ExecutionEngine(abc.ABC):

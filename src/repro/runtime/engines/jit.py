@@ -110,7 +110,7 @@ class JitEngine(ExecutionEngine):
                 value_based=ctx.value_based, marker=ctx.marker,
                 privates=state.privates, partials=state.partials,
                 proc_envs=state.proc_envs, shared_env=ctx.env,
-                kernels=kernels,
+                kernels=kernels, need_costs=ctx.need_costs,
             )
         except VectorizeBail as bail:
             raise EngineFallback(bail.reason) from None

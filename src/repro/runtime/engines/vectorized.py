@@ -73,6 +73,7 @@ class VectorizedEngine(ExecutionEngine):
                 value_based=ctx.value_based, marker=ctx.marker,
                 privates=state.privates, partials=state.partials,
                 proc_envs=state.proc_envs, shared_env=ctx.env,
+                need_costs=ctx.need_costs,
             )
         except VectorizeBail as bail:
             # The whole-block attempt touched nothing: the dispatcher

@@ -192,6 +192,7 @@ def run_inspector_executor(
     directional: bool = True,
     engine: str = "compiled",
     workers: int | None = None,
+    pool=None,
     backend: str = "fork",
     profiles=None,
     loop_key: str | None = None,
@@ -199,7 +200,8 @@ def run_inspector_executor(
     """Inspector → test → (parallel executor | serial loop).
 
     ``engine`` selects the executor-phase doall engine (``workers`` is
-    its process count when ``"parallel"``); the marking inspector itself
+    its process count when ``"parallel"``, ``pool`` an optional
+    caller-owned persistent worker pool); the marking inspector itself
     always runs the sliced tree walker (it executes only the
     address/control slice, which the compiler does not handle).
     """
@@ -233,7 +235,7 @@ def run_inspector_executor(
         run = run_doall(
             program, loop, env, plan, sim.num_procs,
             marker=None, value_based=False, schedule=schedule, engine=engine,
-            workers=workers, backend=backend,
+            workers=workers, pool=pool, backend=backend,
             profiles=profiles, loop_key=loop_key,
         )
         fallback_reason = run.fallback_reason

@@ -129,6 +129,7 @@ class LoopRunner:
         *,
         trip_count: int | None = None,
         profiles: LoopProfileStore | None = None,
+        pools=None,
     ):
         self.program = program
         self.inputs = dict(inputs)
@@ -139,10 +140,25 @@ class LoopRunner:
         #: persistent) store to carry verdicts and planner feedback
         #: across runners and processes.
         self.profiles = profiles if profiles is not None else LoopProfileStore()
+        #: optional caller-owned
+        #: :class:`~repro.runtime.parallel_backend.WorkerPoolCache`:
+        #: when set, worker-sharding runs draw a persistent pool from it
+        #: (keyed by loop identity, procs, workers, backend) instead of
+        #: forking an ephemeral one per run — the serve daemon passes a
+        #: fleet-wide cache so repeat requests skip process startup.
+        #: The caller owns the cache's lifetime (``pools.close()``).
+        self.pools = pools
         self._serial_runs: dict[str, SerialRun] = {}
         #: shadow marker recycled across speculative attempts (reset in
         #: place instead of reallocating the shadow buffers every run).
         self._spec_marker = None
+        #: memoized simulated times of passed schedule-reuse runs, keyed
+        #: by (signature, machine, procs, schedule, engine, workers,
+        #: backend).  A reuse run's times are a pure function of that key
+        #: — the signature pins the access pattern, everything else pins
+        #: the machine and schedule — so repeat reuse runs skip the
+        #: per-iteration cost accounting and makespan simulation.
+        self._reuse_times: dict[tuple, dict] = {}
 
     # -- reference -----------------------------------------------------------
 
@@ -259,6 +275,37 @@ class LoopRunner:
             engine_decisions=self._decisions(reason),
         )
 
+    def _shared_pool(self, config: RunConfig, sim: DoallSimulator, env: Environment):
+        """A persistent worker pool from :attr:`pools` (None without a
+        cache, or when the run does not shard onto real workers).
+
+        The pool is keyed by everything its :class:`ShardSpec` and
+        layout depend on, so a cache shared across runners and requests
+        can never hand back a mismatched pool.
+        """
+        from repro.runtime.engines import needs_worker_pool
+
+        if self.pools is None or not needs_worker_pool(config.engine, config.workers):
+            return None
+        from repro.runtime.parallel_backend import (
+            ShardSpec,
+            default_workers,
+            make_worker_pool,
+        )
+
+        workers = (
+            config.workers if config.workers is not None
+            else default_workers(sim.num_procs)
+        )
+        key = (self._loop_key(), sim.num_procs, workers, config.backend)
+        return self.pools.get(key, lambda: make_worker_pool(
+            ShardSpec.from_plan(
+                self.program, self.loop, self.plan, env, sim.num_procs
+            ),
+            workers,
+            config.backend,
+        ))
+
     def _speculation_veto(self, config: RunConfig) -> str | None:
         """The profile store's eager-serial verdict, for planner engines.
 
@@ -282,6 +329,7 @@ class LoopRunner:
         if veto is not None:
             return self._refuse_serially(env, sim, config, reference, reason=veto)
 
+        pool = self._shared_pool(config, sim, env)
         reused = False
         signature = None
         signature_s = 0.0
@@ -295,7 +343,7 @@ class LoopRunner:
             if cached is not None:
                 report = self._run_from_cached(
                     env, cached, sim, config, reference,
-                    signature_s=signature_s,
+                    signature=signature, signature_s=signature_s, pool=pool,
                 )
                 self._finish(env)
                 return report
@@ -315,6 +363,7 @@ class LoopRunner:
             engine=config.engine,
             marker=self._spec_marker,
             workers=config.workers,
+            pool=pool,
             backend=config.backend,
             profiles=self.profiles,
             loop_key=self._loop_key(),
@@ -393,6 +442,7 @@ class LoopRunner:
             engine=config.engine,
             marker=self._spec_marker,
             workers=config.workers,
+            pool=self._shared_pool(config, sim, env),
             backend=config.backend,
             profiles=self.profiles,
             loop_key=self._loop_key(),
@@ -428,42 +478,82 @@ class LoopRunner:
         config: RunConfig,
         reference: SerialRun,
         *,
+        signature=None,
         signature_s: float = 0.0,
+        pool=None,
     ) -> ExecutionReport:
-        """Schedule reuse: skip marking and analysis entirely."""
+        """Schedule reuse: skip marking and analysis entirely.
+
+        The plain (uninstrumented) re-execution goes through the
+        whole-block vectorized chain rather than the requested engine —
+        every engine is state- and cost-identical, so the request only
+        governs the *speculative* attempt, and the reuse path is free to
+        take the fastest executor (classifier rejects fall back down the
+        registry chain as usual).  Worker-sharding requests with a live
+        pool keep their engine: the persistent pool IS their fast path.
+        Simulated times of repeat reuse runs come from
+        :attr:`_reuse_times` instead of being re-derived per run.
+        """
         times = TimeBreakdown()
         wall = WallClock(signature=signature_s)
         fallback_reason = None
         engine_used = None
         engine_decision = None
         if cached.passed:
+            reuse_engine, reuse_workers = config.engine, config.workers
+            if pool is None and not get_engine(config.engine).caps.whole_block:
+                reuse_engine, reuse_workers = "vectorized", None
+            memo_key = (
+                signature, config.model.name, sim.num_procs,
+                config.schedule, config.engine, config.workers,
+                config.backend,
+            )
+            memo = (
+                self._reuse_times.get(memo_key)
+                if signature is not None else None
+            )
             tick = time.perf_counter()
             run = run_doall(
                 self.program, self.loop, env, self.plan, sim.num_procs,
                 marker=None, value_based=False, schedule=config.schedule,
-                engine=config.engine, workers=config.workers,
-                backend=config.backend,
+                engine=reuse_engine, workers=reuse_workers,
+                pool=pool, backend=config.backend,
                 profiles=self.profiles, loop_key=self._loop_key(),
+                need_costs=memo is None,
             )
             wall.doall = time.perf_counter() - tick
-            times.private_init = sim.private_init_time(
-                sum(p.size for p in run.privates.values())
-            )
-            body, dispatch, barrier = sim.doall_time(
-                run.iteration_costs,
-                assignment=(
-                    None
-                    if config.schedule is ScheduleKind.DYNAMIC
-                    else run.assignment
-                ),
-            )
-            times.body, times.dispatch, times.barrier = body, dispatch, barrier
             finalize = finalize_doall(run, env, self.plan, self.loop)
-            times.reduction_merge = sim.reduction_merge_time(finalize.reduction_merged)
-            times.copy_out = sim.copy_out_time(finalize.copied_out)
+            if memo is None:
+                times.private_init = sim.private_init_time(
+                    sum(p.size for p in run.privates.values())
+                )
+                body, dispatch, barrier = sim.doall_time(
+                    run.iteration_costs,
+                    assignment=(
+                        None
+                        if config.schedule is ScheduleKind.DYNAMIC
+                        else run.assignment
+                    ),
+                )
+                times.body, times.dispatch, times.barrier = body, dispatch, barrier
+                times.reduction_merge = sim.reduction_merge_time(
+                    finalize.reduction_merged
+                )
+                times.copy_out = sim.copy_out_time(finalize.copied_out)
+                if signature is not None:
+                    self._reuse_times[memo_key] = times.as_dict()
+            else:
+                times = TimeBreakdown(**memo)
             fallback_reason = run.fallback_reason
             engine_used = run.engine_used
             engine_decision = run.engine_decision
+            if reuse_engine != config.engine and engine_decision is None:
+                engine_decision = (
+                    f"schedule reuse: plain re-execution via "
+                    f"{run.engine_used} (engines are state- and "
+                    f"cost-identical; {config.engine!r} governs the "
+                    f"speculative attempt only)"
+                )
         else:
             serial_interp = Interpreter(self.program, env, value_based=False)
             serial_time, _ = rerun_loop_serially(serial_interp, self.loop, config.model)
@@ -500,6 +590,7 @@ class LoopRunner:
             directional=config.directional,
             engine=config.engine,
             workers=config.workers,
+            pool=self._shared_pool(config, sim, env),
             backend=config.backend,
             profiles=self.profiles,
             loop_key=self._loop_key(),

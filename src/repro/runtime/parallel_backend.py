@@ -446,6 +446,63 @@ def make_worker_pool(spec: ShardSpec, workers: int, backend: str = DEFAULT_BACKE
     return WorkerPool(spec, workers)
 
 
+class WorkerPoolCache:
+    """Persistent worker pools kept alive across doalls *and* requests.
+
+    The strip pipeline already reuses one pool across the strips of a
+    single run; this cache promotes that reuse to the next level — a
+    long-lived owner (a :class:`~repro.runtime.orchestrator.LoopRunner`
+    held by the serve daemon) keys pools by
+    ``(loop identity, num_procs, workers, backend)`` and hands the same
+    forked workers to every subsequent request of the same loop, so
+    repeat jobs pay neither process startup nor shared-memory setup.
+
+    A :class:`~repro.interp.parallel_spec.ShardSpec` is fixed for a
+    loop's lifetime (program, transform plan, shadow sizes), so a cached
+    pool stays valid as long as its key does.  Pools are OS resources:
+    always :meth:`close` the cache (it is also a context manager) —
+    every pool's teardown is attempted even if one raises.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple, object] = {}
+        #: reuse telemetry (surfaced in the serve daemon's stats).
+        self.hits = 0
+        self.builds = 0
+
+    def get(self, key: tuple, build):
+        """The cached pool under ``key``, building it on first use."""
+        pool = self._pools.get(key)
+        if pool is not None:
+            self.hits += 1
+            return pool
+        pool = build()
+        self._pools[key] = pool
+        self.builds += 1
+        return pool
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def __enter__(self) -> "WorkerPoolCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close every cached pool (idempotent; closes all even on error)."""
+        pools, self._pools = self._pools, {}
+        errors: list[BaseException] = []
+        for pool in pools.values():
+            try:
+                pool.close()
+            except BaseException as exc:  # noqa: BLE001 - close them all
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+
 def run_parallel_doall(
     program: Program,
     loop: Do,

@@ -297,6 +297,7 @@ class SpeculationPipeline:
         engine: str = "compiled",
         marker: ShadowMarker | None = None,
         workers: int | None = None,
+        pool=None,
         backend: str = "fork",
         profiles=None,
         loop_key: str | None = None,
@@ -320,6 +321,11 @@ class SpeculationPipeline:
         self.eager = eager
         self.engine = engine
         self.workers = workers
+        #: a caller-owned persistent worker pool (e.g. from a
+        #: :class:`~repro.runtime.parallel_backend.WorkerPoolCache` kept
+        #: across requests); when None and the engine shards, an
+        #: ephemeral pool is forked for this run and closed after it.
+        self.pool = pool
         self.backend = backend
         self.profiles = profiles
         self.loop_key = loop_key
@@ -368,14 +374,17 @@ class SpeculationPipeline:
         When the engine shards onto real worker processes (a registry
         capability query — see
         :meth:`~repro.runtime.engines.registry.EngineRegistry.needs_worker_pool`)
-        one persistent worker pool is forked here and reused for every
-        strip (per-strip fork would dwarf the strips' work); its
-        shared-memory segments are unlinked on the way out even when a
-        strip aborts or a worker raises.
+        one persistent worker pool is reused for every strip (per-strip
+        fork would dwarf the strips' work): a caller-provided ``pool``
+        if one was passed (kept alive for the caller's next run), else a
+        pool forked here whose shared-memory segments are unlinked on
+        the way out even when a strip aborts or a worker raises.
         """
         from repro.runtime.engines import needs_worker_pool
 
-        pool = None
+        if self.pool is not None:
+            return self._run(self.pool)
+        owned = None
         if needs_worker_pool(self.engine, self.workers):
             from repro.runtime.parallel_backend import (
                 ShardSpec,
@@ -386,17 +395,17 @@ class SpeculationPipeline:
             spec = ShardSpec.from_plan(
                 self.program, self.loop, self.plan, self.env, self.sim.num_procs
             )
-            pool = make_worker_pool(
+            owned = make_worker_pool(
                 spec,
                 self.workers if self.workers is not None
                 else default_workers(self.sim.num_procs),
                 self.backend,
             )
         try:
-            return self._run(pool)
+            return self._run(owned)
         finally:
-            if pool is not None:
-                pool.close()
+            if owned is not None:
+                owned.close()
 
     def _run(self, pool) -> PipelineOutcome:
         env, plan, sim = self.env, self.plan, self.sim

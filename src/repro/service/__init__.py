@@ -1,0 +1,57 @@
+"""Service mode: the ``repro serve`` daemon and its client.
+
+Promotes the paper's schedule reuse (§IV.D) from per-process to
+fleet-wide: one long-lived daemon accepts loop-execution jobs from many
+concurrent clients over a unix socket, shares one
+:class:`~repro.runtime.profile.LoopProfileStore` and one set of
+persistent worker pools across every request, and coalesces identical
+in-flight jobs so a burst of the same loop costs one speculation.
+
+Layout: :mod:`~repro.service.protocol` (wire format, job spec, served
+reports), :mod:`~repro.service.catalog` (workload/machine resolution),
+:mod:`~repro.service.batching` (bounded queue, coalescing),
+:mod:`~repro.service.server` (the daemon), :mod:`~repro.service.client`
+(the blocking client).
+"""
+
+from repro.service.batching import JobQueue, QueueFull, ServiceStats
+from repro.service.catalog import build_machine, build_workload, workload_names
+from repro.service.client import ReproClient
+from repro.service.protocol import (
+    FORMAT,
+    VERSION,
+    JobRequest,
+    ServedReport,
+    comparable_payload,
+    environment_digest,
+    report_payload,
+)
+from repro.service.server import (
+    DEFAULT_QUEUE_SIZE,
+    DEFAULT_REQUEST_TIMEOUT,
+    LoopService,
+    ReproServer,
+    serve_forever,
+)
+
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "DEFAULT_QUEUE_SIZE",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "JobQueue",
+    "JobRequest",
+    "LoopService",
+    "QueueFull",
+    "ReproClient",
+    "ReproServer",
+    "ServedReport",
+    "ServiceStats",
+    "build_machine",
+    "build_workload",
+    "comparable_payload",
+    "environment_digest",
+    "report_payload",
+    "serve_forever",
+    "workload_names",
+]

@@ -1,0 +1,133 @@
+"""Request intake: the bounded job queue with in-flight coalescing.
+
+The daemon's backpressure and batching policy live here, separate from
+socket handling:
+
+* **bounded intake** — jobs wait in an :class:`asyncio.Queue` of fixed
+  depth; when it is full, :meth:`JobQueue.submit` raises
+  :class:`QueueFull` and the server replies with a clean
+  ``queue-full`` error instead of letting requests pile up without
+  bound (the client can back off and retry);
+* **in-flight coalescing** — two requests whose
+  :meth:`~repro.service.protocol.JobRequest.key` match are the same
+  (loop, configuration): the second one never enqueues, it awaits the
+  first one's future and both receive the one execution's report.  A
+  burst of identical requests — the fleet case the paper's schedule
+  reuse is about — costs one speculation, not N.
+
+Every waiter must wrap its wait in :func:`asyncio.shield` (see
+:meth:`ReproServer._handle_run`): a per-request timeout cancels only
+that waiter, never the shared execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.service.protocol import JobRequest
+
+
+class QueueFull(Exception):
+    """The bounded intake queue rejected a new job (backpressure)."""
+
+
+@dataclass
+class ServiceStats:
+    """The daemon's lifetime counters (the ``stats`` op's payload)."""
+
+    received: int = 0       # run requests that parsed into a valid job
+    executed: int = 0       # jobs actually dispatched onto a runner
+    coalesced: int = 0      # requests served by another job's execution
+    rejected: int = 0       # queue-full rejections
+    errors: int = 0         # error replies of any other kind
+    timeouts: int = 0       # per-request waits that expired
+    disconnects: int = 0    # clients that vanished mid-conversation
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload = {
+            "received": self.received,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "disconnects": self.disconnects,
+        }
+        payload.update(self.extra)
+        return payload
+
+
+class JobQueue:
+    """Bounded job intake with (loop, configuration) coalescing."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.maxsize = maxsize
+        self._queue: asyncio.Queue[tuple[str, JobRequest]] = asyncio.Queue(maxsize)
+        #: job key -> the future every waiter of that job awaits.
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.stats = ServiceStats()
+
+    def submit(self, job: JobRequest) -> tuple[asyncio.Future, bool]:
+        """Enqueue ``job`` (or join its in-flight twin).
+
+        Returns ``(future, coalesced)``; the future resolves to the
+        report payload dict, or to an exception if the execution failed.
+        Raises :class:`QueueFull` when the job is new and the queue has
+        no room.
+        """
+        self.stats.received += 1
+        key = job.key()
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats.coalesced += 1
+            return future, True
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((key, job))
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise QueueFull(
+                f"job queue is full ({self.maxsize} pending); retry later"
+            ) from None
+        self._inflight[key] = future
+        return future, False
+
+    async def next_job(self) -> tuple[str, JobRequest]:
+        """The dispatcher's blocking take."""
+        return await self._queue.get()
+
+    def resolve(self, key: str, payload: dict) -> None:
+        """Deliver one execution's report to every waiter of ``key``."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(payload)
+
+    def fail(self, key: str, error: BaseException) -> None:
+        """Deliver one execution's failure to every waiter of ``key``."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def drain(self, error: BaseException) -> int:
+        """Fail every queued and in-flight job (shutdown); returns how
+        many were abandoned."""
+        abandoned = 0
+        while True:
+            try:
+                self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        inflight, self._inflight = self._inflight, {}
+        for future in inflight.values():
+            if not future.done():
+                future.set_exception(error)
+                abandoned += 1
+        return abandoned
+
+    def pending(self) -> int:
+        """Jobs accepted but not yet resolved."""
+        return len(self._inflight)

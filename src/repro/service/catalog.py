@@ -1,0 +1,80 @@
+"""The serve daemon's workload catalog.
+
+Maps the job spec's ``workload`` names to builders: the seven paper
+loops under their CLI short names, plus small synthetic loops the
+service suite uses for mixed pass/fail traffic (a failing loop is a
+first-class job — the daemon must serve rollback reports as cleanly as
+speedups).  Machine models are resolved here too, so the server has one
+place that turns a validated :class:`~repro.service.protocol.JobRequest`
+into runnable objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import JobRejected
+from repro.machine.costmodel import CostModel, fx80, fx2800
+from repro.workloads import PAPER_LOOPS, Workload
+from repro.workloads.synthetic import (
+    build_dependence_injected,
+    build_partial_parallel,
+)
+
+
+def _synthetic_pass() -> Workload:
+    """A small fully parallel gather/scatter loop (the test passes)."""
+    return build_dependence_injected(n=160, dep_fraction=0.0)
+
+
+def _synthetic_fail() -> Workload:
+    """The same loop with half its reads made flow-dependent (the test
+    fails and the report carries the serial re-execution)."""
+    return build_dependence_injected(n=160, dep_fraction=0.5)
+
+
+def _synthetic_partial() -> Workload:
+    """A partially parallel loop (one serial band): strip-mined jobs
+    exercise per-strip pass/fail records over the wire."""
+    return build_partial_parallel(n=160, band_length=16)
+
+
+#: workload name -> zero-argument builder.  Paper loops keep their CLI
+#: short names; the ``synth*`` entries are service-suite traffic.
+WORKLOADS: dict[str, object] = {
+    **{name.split("_")[0].lower(): builder for name, builder in PAPER_LOOPS.items()},
+    "synthpass": _synthetic_pass,
+    "synthfail": _synthetic_fail,
+    "synthpartial": _synthetic_partial,
+}
+
+#: machine name -> cost-model factory (mirrors the CLI's choices).
+MACHINES: dict[str, object] = {"fx80": fx80, "fx2800": fx2800}
+
+
+def workload_names() -> list[str]:
+    """Servable workload names, sorted (the submit CLI's choices)."""
+    return sorted(WORKLOADS)
+
+
+def build_workload(name: str) -> Workload:
+    """Build the named workload, or reject the job cleanly."""
+    builder = WORKLOADS.get(name)
+    if builder is None:
+        raise JobRejected(
+            "unknown-workload",
+            f"unknown workload {name!r}; servable: {', '.join(workload_names())}",
+        )
+    return builder()
+
+
+def build_machine(name: str, procs: int | None) -> CostModel:
+    """Build the named machine model, optionally re-sized to ``procs``."""
+    factory = MACHINES.get(name)
+    if factory is None:
+        raise JobRejected(
+            "invalid-job",
+            f"unknown machine {name!r}; known: {', '.join(sorted(MACHINES))}",
+        )
+    model = factory()
+    if procs is not None:
+        model = model.with_procs(procs)
+    return model

@@ -1,0 +1,182 @@
+"""The synchronous client of the ``repro serve`` daemon.
+
+:class:`ReproClient` speaks the newline-JSON protocol over a unix
+socket with plain blocking I/O — callers (the ``repro submit`` CLI, the
+benchmark's worker threads, the smoke suite) stay free of asyncio.  One
+client holds one connection and may issue many requests on it; it is
+also a context manager.
+
+Failure mapping: an unreachable or mid-request-dying socket raises
+:class:`~repro.errors.ServiceConnectionError`; a client-side wait
+expiring raises :class:`~repro.errors.ServiceTimeout`; an error *reply*
+from the daemon raises :class:`~repro.errors.JobRejected` carrying the
+protocol error code.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import (
+    JobRejected,
+    ProtocolError,
+    ServiceConnectionError,
+    ServiceTimeout,
+)
+from repro.service.protocol import (
+    JobRequest,
+    ServedReport,
+    decode_message,
+    encode_message,
+)
+
+
+class ReproClient:
+    """One blocking connection to a ``repro serve`` daemon."""
+
+    def __init__(self, socket_path, *, timeout: float | None = None):
+        self.socket_path = str(socket_path)
+        #: default seconds to wait for any single reply (None = forever).
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ReproClient":
+        """Connect to the daemon's socket (idempotent)."""
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceConnectionError(
+                f"cannot reach repro daemon at {self.socket_path}: {exc}"
+            ) from exc
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "ReproClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request/reply -----------------------------------------------------
+
+    def request(self, payload: dict, *, timeout: float | None = None) -> dict:
+        """Send one message and return the matching ok reply's payload.
+
+        An ``"error"`` reply raises :class:`~repro.errors.JobRejected`
+        with the daemon's code and message.
+        """
+        self.connect()
+        assert self._sock is not None
+        self._next_id += 1
+        request_id = self._next_id
+        message = dict(payload)
+        message["id"] = request_id
+        wait = self.timeout if timeout is None else timeout
+        self._sock.settimeout(wait)
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._read_line()
+        except socket.timeout as exc:
+            # The connection is now desynchronized (the stale reply may
+            # still arrive); drop it so the next request reconnects.
+            self.close()
+            raise ServiceTimeout(
+                f"no reply from the daemon within {wait:g}s"
+            ) from exc
+        except OSError as exc:
+            self.close()
+            raise ServiceConnectionError(
+                f"connection to {self.socket_path} failed: {exc}"
+            ) from exc
+        reply = decode_message(line)
+        if reply.get("id") not in (None, request_id):
+            raise ProtocolError(
+                f"reply id {reply.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if reply.get("status") == "ok":
+            return reply
+        error = reply.get("error") or {}
+        raise JobRejected(
+            str(error.get("code", "internal")),
+            str(error.get("message", "daemon replied with an error")),
+        )
+
+    def _read_line(self) -> bytes:
+        """One newline-framed reply (EOF mid-line is a connection error)."""
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServiceConnectionError(
+                    "the daemon closed the connection mid-reply"
+                )
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self, *, timeout: float | None = None) -> dict:
+        """Liveness check; returns the daemon's ``{"pong", "pid"}`` reply."""
+        return self.request({"op": "ping"}, timeout=timeout)
+
+    def submit(
+        self,
+        job: JobRequest | dict,
+        *,
+        timeout: float | None = None,
+        server_timeout: float | None = None,
+    ) -> ServedReport:
+        """Run one job on the daemon and return its report.
+
+        ``timeout`` bounds this client's wait for the reply;
+        ``server_timeout`` is shipped in the request and bounds the
+        *daemon's* wait before it answers with a ``timeout`` error (the
+        execution itself keeps running and warms the fleet store).
+        """
+        payload = job.to_json() if isinstance(job, JobRequest) else dict(job)
+        message: dict = {"op": "run", "job": payload}
+        if server_timeout is not None:
+            message["timeout"] = server_timeout
+        reply = self.request(message, timeout=timeout)
+        return ServedReport.from_json(reply["report"])
+
+    def submit_raw(
+        self,
+        job: JobRequest | dict,
+        *,
+        timeout: float | None = None,
+        server_timeout: float | None = None,
+    ) -> dict:
+        """Like :meth:`submit` but returns the raw report payload dict
+        (the smoke suite compares these byte-for-byte)."""
+        payload = job.to_json() if isinstance(job, JobRequest) else dict(job)
+        message: dict = {"op": "run", "job": payload}
+        if server_timeout is not None:
+            message["timeout"] = server_timeout
+        reply = self.request(message, timeout=timeout)
+        return reply["report"]
+
+    def stats(self, *, timeout: float | None = None) -> dict:
+        """The daemon's lifetime counters (queue, pools, profile store)."""
+        return self.request({"op": "stats"}, timeout=timeout)["stats"]
+
+    def shutdown_server(self, *, timeout: float | None = None) -> dict:
+        """Ask the daemon to shut down gracefully."""
+        return self.request({"op": "shutdown"}, timeout=timeout)

@@ -1,0 +1,89 @@
+"""Harness for the service suite: an in-process daemon on a real socket.
+
+The server runs its own asyncio loop on a background thread while the
+tests drive it over the unix socket with the blocking
+:class:`~repro.service.client.ReproClient` — the exact wire path the
+``repro submit`` CLI takes, without a subprocess per test (the smoke
+suite covers the real daemon process).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.server import LoopService, ReproServer
+
+
+def short_socket_path() -> Path:
+    """A socket path safely under the ~108-char AF_UNIX limit."""
+    return Path(tempfile.mkdtemp(prefix="repro-", dir="/tmp")) / "d.sock"
+
+
+class ServerHarness:
+    """One in-process ReproServer on a background event loop."""
+
+    def __init__(self, *, queue_size=64, request_timeout=120.0, service=None):
+        self.socket_path = short_socket_path()
+        self.server = ReproServer(
+            self.socket_path,
+            queue_size=queue_size,
+            request_timeout=request_timeout,
+            service=service,
+        )
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def start(self) -> "ServerHarness":
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0), "server did not come up"
+        return self
+
+    def stop(self) -> None:
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=10.0)
+        assert not self._thread.is_alive(), "server did not shut down"
+
+    @property
+    def service(self) -> LoopService:
+        return self.server.service
+
+
+@pytest.fixture
+def harness():
+    h = ServerHarness().start()
+    yield h
+    h.stop()
+
+
+@pytest.fixture
+def slow_harness():
+    """A harness whose executions take >= 0.3s (timeout/backpressure
+    tests need the dispatcher occupied while requests arrive)."""
+    service = LoopService()
+    original = service.execute
+
+    def slow_execute(job):
+        time.sleep(0.3)
+        return original(job)
+
+    service.execute = slow_execute
+    h = ServerHarness(queue_size=1, service=service).start()
+    yield h
+    h.stop()
