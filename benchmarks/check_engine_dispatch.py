@@ -49,6 +49,19 @@ CACHE_PATTERNS = (
     re.compile(r"\bKernelCache\s*\("),
 )
 
+#: the DOACROSS recovery tier dispatched by enum/string comparison.  The
+#: orchestrator routes strategies through a dict and the recovery engine
+#: is resolved by capability (``recovery_engine()``); a scattered
+#: ``== Strategy.DOACROSS_RECOVERY`` or ``== "doacross_recovery"``
+#: comparison would fork that decision.  Dict keys and ``.value``
+#: assignments deliberately do not match — only comparisons do.
+RECOVERY_PATTERNS = (
+    re.compile(r"(?:[=!]=|\bis(?:\s+not)?)\s+Strategy\.DOACROSS_RECOVERY\b"),
+    re.compile(r"\bStrategy\.DOACROSS_RECOVERY\s+(?:[=!]=|is(?:\s+not)?)\s"),
+    re.compile(r"""[=!]=\s*["']doacross_recovery["']"""),
+    re.compile(r"""["']doacross_recovery["']\s*[=!]="""),
+)
+
 #: direct construction of engines, worker pools or shadow arenas — the
 #: service layer must stay a pure front end over the orchestrator, so
 #: every engine comes from the registry and every pool from
@@ -89,7 +102,8 @@ def lint(root: pathlib.Path) -> list[str]:
             path.read_text().splitlines(), start=1
         ):
             engine_hit = check_engine and any(
-                pattern.search(line) for pattern in PATTERNS
+                pattern.search(line)
+                for pattern in PATTERNS + RECOVERY_PATTERNS
             )
             backend_hit = check_backend and any(
                 pattern.search(line) for pattern in BACKEND_PATTERNS
@@ -128,7 +142,11 @@ def main(argv: list[str] | None = None) -> int:
             f"comparisons belong in their registries (use "
             f"repro.runtime.engines capability queries or "
             f"repro.runtime.parallel_backend's validate_backend/"
-            f"make_worker_pool), ScheduleCache/KernelCache may only "
+            f"make_worker_pool), Strategy.DOACROSS_RECOVERY and "
+            f"'doacross_recovery' may not be compared against outside "
+            f"repro/runtime/engines (route through the orchestrator's "
+            f"strategy table and recovery_engine()), "
+            f"ScheduleCache/KernelCache may only "
             f"be constructed inside repro/runtime/profile (go through "
             f"LoopProfileStore), and repro/service may not construct "
             f"engines, pools or arenas directly:",

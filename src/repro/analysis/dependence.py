@@ -1,4 +1,4 @@
-"""Static data dependence testing (the conventional parallelizing compiler).
+"""Data dependence testing: static subscript tests and run-time distances.
 
 Implements the classic subscript tests — the GCD test and the Banerjee
 bounds test — over affine subscript pairs, plus a whole-loop verdict.
@@ -6,6 +6,16 @@ This is the compiler the paper's loops defeat: whenever a subscript is not
 statically affine the verdict degrades to UNKNOWN, and a conventional
 compiler must leave the loop serial.  The LRPD framework picks those loops
 up at run time.
+
+The second half of this module runs *after* a failed LRPD test: the
+shadow arrays the test populated carry, per element, the earliest write
+granule and the earliest/latest exposed-read granules, which bound every
+cross-iteration dependence distance the loop actually exercised.
+:func:`measure_shadow_distances` folds them into one
+:class:`DistanceReport` — the minimum distance is what the speculative
+DOACROSS recovery tier synchronizes at, and the report's veto conditions
+(distance ≤ 1 chains, multiply-written elements) are what make that
+recovery safe to price.
 """
 
 from __future__ import annotations
@@ -13,10 +23,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.analysis.affine import Affine, affine_of
 from repro.analysis.symtab import RefSite, iter_array_refs, summarize_body
 from repro.dsl.ast_nodes import Do
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.shadow import ShadowMarker
 
 
 class StaticVerdict(Enum):
@@ -227,6 +243,145 @@ def _dep_kind(writer: RefSite, other: RefSite, writer_first: bool) -> DepKind:
     if other.is_store:
         return DepKind.OUTPUT
     return DepKind.FLOW if writer_first else DepKind.ANTI
+
+
+# ---------------------------------------------------------------------------
+# Run-time dependence distances from merged shadow arrays
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElementDistance:
+    """One shadow element's contribution to the loop dependence distance.
+
+    ``exact`` is True when the distance is the element's true minimum
+    (singly-written element whose exposed reads all follow the write);
+    otherwise it is a safe lower bound of 1.
+    """
+
+    array: str
+    element: int
+    kind: DepKind
+    distance: int
+    exact: bool
+
+
+@dataclass
+class DistanceReport:
+    """Run-time dependence distances measured from one failed LRPD run.
+
+    Granule numbering must follow serial order (iteration-wise marking),
+    so a distance of ``d`` means "iteration ``i`` may depend on
+    iteration ``i - d`` and nothing closer".  Elements written by more
+    than one granule (output dependences) and reduction/ordinary mixes
+    serialize at distance 1 conservatively.
+    """
+
+    num_granules: int
+    distances: list[ElementDistance] = field(default_factory=list)
+    #: elements written by >1 granule — pipelining must assume the
+    #: tightest chain for them (they contribute distance 1 above).
+    multi_written: int = 0
+
+    @property
+    def min_distance(self) -> int | None:
+        """The loop's minimum cross-iteration distance (None: no
+        cross-granule dependence was measured at all)."""
+        if not self.distances:
+            return None
+        return min(entry.distance for entry in self.distances)
+
+    def pipelinable(self) -> bool:
+        """True when post/wait at :attr:`min_distance` buys real overlap
+        — i.e. some dependence was measured and none forms a distance-≤1
+        serial chain."""
+        d = self.min_distance
+        return d is not None and d > 1
+
+    def explain(self) -> str:
+        d = self.min_distance
+        if d is None:
+            return "no cross-iteration dependence measured"
+        exact = all(entry.exact for entry in self.distances)
+        tightest = min(self.distances, key=lambda entry: entry.distance)
+        return (
+            f"min dependence distance {d}"
+            f"{' (exact)' if exact else ' (lower bound)'} at "
+            f"{tightest.array}[{tightest.element}] ({tightest.kind.value}); "
+            f"{len(self.distances)} dependent element(s), "
+            f"{self.multi_written} multiply written"
+        )
+
+
+def measure_shadow_distances(
+    marker: "ShadowMarker", num_granules: int
+) -> DistanceReport:
+    """Extract per-element minimum dependence distances from shadows.
+
+    For each element with a cross-granule conflict the directional
+    stamps give the distance the LRPD run actually exercised:
+
+    - singly-written element, all exposed reads after the write → the
+      exact flow distance ``min_exposed_read - min_write``;
+    - singly-written element, all exposed reads before the write → the
+      exact anti distance ``min_write - max_exposed_read`` (a pipelined
+      re-execution without privatization must respect it);
+    - reads straddling the write, multiply-written elements, and
+      reduction/ordinary mixes → a conservative distance of 1.
+
+    Elements never written, or only touched by one granule, carry no
+    cross-iteration dependence and are skipped — as are consistent
+    reduction elements (recovery re-executes them in granule order,
+    which any distance permits, so they never tighten the wavefront).
+    """
+    report = DistanceReport(num_granules=num_granules)
+    for shadow in marker.shadows.values():
+        min_w = shadow.min_write_granules()
+        min_r = shadow.min_exposed_read_granules()
+        max_r = shadow.max_exposed_read_granules()
+        flow = shadow.flow_mask()
+        redux_mixed = shadow.redux_touched & shadow.nx
+        multi = shadow.multi_w
+        report.multi_written += int(np.count_nonzero(multi))
+        # Consistent reductions look like flows to the directional stamps
+        # (their RMW reads trail their first write) but recovery folds them
+        # in granule order, which any distance permits — drop them.
+        consistent_redux = shadow.reduction_mask()
+        conflict = ((flow & ~consistent_redux) | redux_mixed | multi) & shadow.w
+        anti = (
+            shadow.w & shadow.np_ & ~conflict & (max_r >= 0)
+            & ~shadow.redux_touched
+        )
+        for element in np.flatnonzero(conflict | anti):
+            e = int(element)
+            if multi[e] or redux_mixed[e]:
+                kind = DepKind.OUTPUT if multi[e] else DepKind.FLOW
+                report.distances.append(
+                    ElementDistance(shadow.name, e, kind, 1, exact=False)
+                )
+                continue
+            w0 = int(min_w[e])
+            if anti[e]:
+                # All exposed reads precede the (single) write.
+                if int(max_r[e]) < w0:
+                    report.distances.append(ElementDistance(
+                        shadow.name, e, DepKind.ANTI,
+                        w0 - int(max_r[e]), exact=True,
+                    ))
+                continue
+            if int(min_r[e]) > w0:
+                report.distances.append(ElementDistance(
+                    shadow.name, e, DepKind.FLOW,
+                    int(min_r[e]) - w0, exact=True,
+                ))
+            else:
+                # Exposed reads straddle the write: some flow distance
+                # exists but the stamps cannot separate it from the anti
+                # side — assume the tightest chain.
+                report.distances.append(ElementDistance(
+                    shadow.name, e, DepKind.FLOW, 1, exact=False
+                ))
+    return report
 
 
 def _carried_scalars(loop: Do) -> set[str]:

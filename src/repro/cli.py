@@ -166,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw report payload as JSON instead of a summary",
     )
+    submit.add_argument(
+        "--verbose", action="store_true",
+        help="print the served report's per-loop engine selection and "
+        "fallback decisions with their reasons (they cross the wire "
+        "with the rest of the report)",
+    )
 
     sub.add_parser("table1", help="regenerate Table I (all seven loops)")
     sub.add_parser("table2", help="regenerate Table II (method comparison)")
@@ -386,6 +392,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(report.describe())
     if report.reused_schedule:
         print("schedule reuse  : verdict served from the daemon's fleet store")
+    if args.verbose:
+        for loop_key, reason in report.engine_decisions:
+            print(
+                f"engine decision : {loop_key}: "
+                f"{report.engine_used} ({reason})"
+            )
+        for loop_key, reason in report.fallbacks:
+            print(
+                f"engine fallback : {loop_key}: "
+                f"{args.engine} -> {report.engine_used} ({reason})"
+            )
     print("phase breakdown (cycles):")
     for phase, cycles in report.times.nonzero_phases().items():
         print(f"  {phase:16s} {cycles:14.1f}")

@@ -44,15 +44,15 @@ force_python_kernels = False
 def _stage_stream(
     idx_s, kind_s, ops_s, gran_s,
     w, r, np_, nx, redux_touched, multi_w, redux_op,
-    last_write, min_write, max_exposed_read,
+    last_write, min_write, max_exposed_read, min_exposed_read,
     eager,
     out_uniq, out_w, out_r, out_np, out_nx, out_rt, out_mw,
-    out_op, out_lw, out_minw, out_maxer,
+    out_op, out_lw, out_minw, out_maxer, out_miner,
 ):
     """Replay a sorted multi-granule access stream, segment by segment.
 
     Inputs are the (element, rank)-sorted parallel stream arrays plus the
-    ten pre-batch shadow buffers (read-only here — staging must not
+    eleven pre-batch shadow buffers (read-only here — staging must not
     mutate shadow state).  Per element segment the per-access marking
     rules run in rank order over locals; the post-batch element state is
     written to the ``out_*`` arrays.  Returns ``(u, tw_delta,
@@ -75,6 +75,7 @@ def _stage_stream(
         clw = last_write[e]
         cminw = min_write[e]
         cmaxer = max_exposed_read[e]
+        cminer = min_exposed_read[e]
         j = i
         while j < n and idx_s[j] == e:
             g = gran_s[j]
@@ -96,6 +97,8 @@ def _stage_stream(
                     cnp = True
                     if g > cmaxer:
                         cmaxer = g
+                    if g < cminer:
+                        cminer = g
             else:  # KIND_REDUX
                 cw = True
                 cr = True
@@ -105,6 +108,8 @@ def _stage_stream(
                     cminw = g
                 if g > cmaxer:
                     cmaxer = g
+                if g < cminer:
+                    cminer = g
                 code = ops_s[j]
                 if cop == 0:
                     cop = code
@@ -122,6 +127,7 @@ def _stage_stream(
         out_lw[u] = clw
         out_minw[u] = cminw
         out_maxer[u] = cmaxer
+        out_miner[u] = cminer
         if eager and cnx and ((cmaxer > cminw) or crt):
             would_fail = True
         u += 1
@@ -260,6 +266,7 @@ def warm_up(kernels: KernelSet) -> float:
         np.full(size, -1, dtype=np.int64),
         np.full(size, np.iinfo(np.int64).max, dtype=np.int64),
         np.full(size, -1, dtype=np.int64),
+        np.full(size, np.iinfo(np.int64).max, dtype=np.int64),
         True,
         np.empty(n, dtype=np.int64),
         np.empty(n, dtype=np.bool_), np.empty(n, dtype=np.bool_),
@@ -267,7 +274,7 @@ def warm_up(kernels: KernelSet) -> float:
         np.empty(n, dtype=np.bool_), np.empty(n, dtype=np.bool_),
         np.empty(n, dtype=np.int8),
         np.empty(n, dtype=np.int64), np.empty(n, dtype=np.int64),
-        np.empty(n, dtype=np.int64),
+        np.empty(n, dtype=np.int64), np.empty(n, dtype=np.int64),
     )
     pe = np.zeros(n, dtype=np.int64)
     fv = np.linspace(0.5, 1.0, n)

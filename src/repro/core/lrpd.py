@@ -102,13 +102,32 @@ class StripAggregator:
         self._reduction: dict[str, np.ndarray] = {}
         self._failed: dict[str, int] = {}
         self.strips_failed = 0
+        #: failed strips whose rollback re-executed as a pipelined
+        #: DOACROSS instead of serially (a subset of ``strips_failed`` —
+        #: the strip still failed its test and still counts there).
+        self.strips_recovered = 0
         self.strips = 0
 
-    def add_strip(self, marker: ShadowMarker, result: LrpdResult) -> None:
-        """Fold one strip's shadows + analysis in (call before the reset)."""
+    def add_strip(
+        self,
+        marker: ShadowMarker,
+        result: LrpdResult,
+        *,
+        recovered: bool = False,
+    ) -> None:
+        """Fold one strip's shadows + analysis in (call before the reset).
+
+        ``recovered`` marks a failed strip whose re-execution went
+        through the DOACROSS recovery tier; the fold itself is identical
+        — the strip's marks, ``tw`` and failure counts accumulate exactly
+        as for a serially re-run strip, since recovery re-executes the
+        same iterations with the same final state.
+        """
         self.strips += 1
         if not result.passed:
             self.strips_failed += 1
+            if recovered:
+                self.strips_recovered += 1
         for name, detail in result.details.items():
             shadow = marker.shadows[name]
             if name not in self._written:

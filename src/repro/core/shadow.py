@@ -79,7 +79,7 @@ class _StagedBatch:
     __slots__ = (
         "uniq", "w", "r", "np_", "nx", "redux_touched", "multi_w",
         "redux_op", "last_write", "min_write", "max_exposed_read",
-        "tw_delta", "would_fail",
+        "min_exposed_read", "tw_delta", "would_fail",
     )
 
     def __init__(self, **values: object):
@@ -87,7 +87,7 @@ class _StagedBatch:
             setattr(self, name, value)
 
 
-#: the ten per-element shadow buffers of a :class:`ShadowArray`, with
+#: the eleven per-element shadow buffers of a :class:`ShadowArray`, with
 #: their dtypes — the layout contract of buffer-backed construction
 #: (:meth:`ShadowArray.from_buffers`) and of the shared-memory arena the
 #: multiprocess backend maps worker shadows into.
@@ -102,6 +102,7 @@ SHADOW_FIELDS: tuple[tuple[str, type], ...] = (
     ("_last_write", np.int64),
     ("_min_write", np.int64),
     ("_max_exposed_read", np.int64),
+    ("_min_exposed_read", np.int64),
 )
 
 
@@ -130,6 +131,10 @@ class ShadowArray:
         self._min_write = np.full(size, _NEVER_WRITTEN, dtype=np.int64)
         #: latest exposed-read granule (sentinel -1: never exposed-read).
         self._max_exposed_read = np.full(size, -1, dtype=np.int64)
+        #: earliest exposed-read granule (sentinel: never exposed-read).
+        #: Together with ``_min_write`` this gives the exact flow distance
+        #: for singly-written elements, feeding the DOACROSS recovery tier.
+        self._min_exposed_read = np.full(size, _NEVER_WRITTEN, dtype=np.int64)
         self.tw = 0
 
     def reset(self, *, eager: bool | None = None) -> None:
@@ -150,6 +155,7 @@ class ShadowArray:
         self._last_write[:] = -1
         self._min_write[:] = _NEVER_WRITTEN
         self._max_exposed_read[:] = -1
+        self._min_exposed_read[:] = _NEVER_WRITTEN
         self.tw = 0
 
     # -- marking operations (paper Fig. 3 / Fig. 5) -------------------------
@@ -177,6 +183,8 @@ class ShadowArray:
             self.np_[index] = True
             if granule > self._max_exposed_read[index]:
                 self._max_exposed_read[index] = granule
+            if granule < self._min_exposed_read[index]:
+                self._min_exposed_read[index] = granule
         if self.eager:
             self._eager_check(index)
 
@@ -200,6 +208,8 @@ class ShadowArray:
             self._min_write[index] = granule
         if granule > self._max_exposed_read[index]:
             self._max_exposed_read[index] = granule
+        if granule < self._min_exposed_read[index]:
+            self._min_exposed_read[index] = granule
         code = OP_CODES[op]
         current = self._redux_op[index]
         if current == 0:
@@ -280,10 +290,14 @@ class ShadowArray:
         ex = has_exposed | has_x
         pre_min = self._min_write[uniq]
         pre_max = self._max_exposed_read[uniq]
+        pre_min_read = self._min_exposed_read[uniq]
         new_nx = self.nx[uniq] | has_w | has_r | conflict
         new_redux = self.redux_touched[uniq] | has_x
         new_min = np.where(wx, np.minimum(pre_min, granule), pre_min)
         new_max = np.where(ex, np.maximum(pre_max, granule), pre_max)
+        new_min_read = np.where(
+            ex, np.minimum(pre_min_read, granule), pre_min_read
+        )
 
         would_fail = bool(
             self.eager and np.any(new_nx & ((new_max > new_min) | new_redux))
@@ -300,6 +314,7 @@ class ShadowArray:
             last_write=np.where(has_w, granule, pre_last),
             min_write=new_min,
             max_exposed_read=new_max,
+            min_exposed_read=new_min_read,
             tw_delta=int(np.count_nonzero(new_writer)),
             would_fail=would_fail,
         )
@@ -317,6 +332,7 @@ class ShadowArray:
         self._last_write[uniq] = staged.last_write
         self._min_write[uniq] = staged.min_write
         self._max_exposed_read[uniq] = staged.max_exposed_read
+        self._min_exposed_read[uniq] = staged.min_exposed_read
         self.tw += staged.tw_delta
 
     def mark_stream_batch(
@@ -438,6 +454,7 @@ class ShadowArray:
                 last_write=np.empty(0, dtype=np.int64),
                 min_write=np.empty(0, dtype=np.int64),
                 max_exposed_read=np.empty(0, dtype=np.int64),
+                min_exposed_read=np.empty(0, dtype=np.int64),
                 tw_delta=0, would_fail=False,
             )
         perm = fused_order(idx, rank)
@@ -512,9 +529,11 @@ class ShadowArray:
         if wx.any():
             np.minimum.at(new_min, seg_id[wx], gran_s[wx])
         new_max = pre_max.copy()
+        new_min_read = self._min_exposed_read[uniq].copy()
         ex = exposed | is_x
         if ex.any():
             np.maximum.at(new_max, seg_id[ex], gran_s[ex])
+            np.minimum.at(new_min_read, seg_id[ex], gran_s[ex])
 
         # Reduction operators: first-op-wins against the pre-batch stamp,
         # with the in-batch first op taken in rank order.
@@ -547,6 +566,7 @@ class ShadowArray:
             last_write=last_write,
             min_write=new_min,
             max_exposed_read=new_max,
+            min_exposed_read=new_min_read,
             tw_delta=tw_delta,
             would_fail=would_fail,
         )
@@ -567,14 +587,15 @@ class ShadowArray:
         out_lw = np.empty(n, dtype=np.int64)
         out_minw = np.empty(n, dtype=np.int64)
         out_maxer = np.empty(n, dtype=np.int64)
+        out_miner = np.empty(n, dtype=np.int64)
         u, tw_delta, would_fail = kernels.stage_stream(
             idx_s, kind_s, ops_s, gran_s,
             self.w, self.r, self.np_, self.nx, self.redux_touched,
             self.multi_w, self._redux_op, self._last_write,
-            self._min_write, self._max_exposed_read,
+            self._min_write, self._max_exposed_read, self._min_exposed_read,
             self.eager,
             out_uniq, out_w, out_r, out_np, out_nx, out_rt, out_mw,
-            out_op, out_lw, out_minw, out_maxer,
+            out_op, out_lw, out_minw, out_maxer, out_miner,
         )
         u = int(u)
         return _StagedBatch(
@@ -583,6 +604,7 @@ class ShadowArray:
             redux_touched=out_rt[:u], multi_w=out_mw[:u],
             redux_op=out_op[:u], last_write=out_lw[:u],
             min_write=out_minw[:u], max_exposed_read=out_maxer[:u],
+            min_exposed_read=out_miner[:u],
             tw_delta=int(tw_delta), would_fail=bool(would_fail),
         )
 
@@ -722,6 +744,20 @@ class ShadowArray:
         """Per-element granule of the last write (-1 if never written)."""
         return self._last_write
 
+    def min_write_granules(self) -> np.ndarray:
+        """Per-element granule of the earliest write
+        (:data:`_NEVER_WRITTEN` if never written)."""
+        return self._min_write
+
+    def max_exposed_read_granules(self) -> np.ndarray:
+        """Per-element granule of the latest exposed read (-1 if none)."""
+        return self._max_exposed_read
+
+    def min_exposed_read_granules(self) -> np.ndarray:
+        """Per-element granule of the earliest exposed read
+        (:data:`_NEVER_WRITTEN` if none)."""
+        return self._min_exposed_read
+
     @classmethod
     def from_buffers(
         cls,
@@ -787,6 +823,8 @@ class ShadowArray:
             np.minimum(self._min_write, part._min_write, out=self._min_write)
             np.maximum(self._max_exposed_read, part._max_exposed_read,
                        out=self._max_exposed_read)
+            np.minimum(self._min_exposed_read, part._min_exposed_read,
+                       out=self._min_exposed_read)
             np.maximum(self._last_write, part._last_write, out=self._last_write)
             write_counts += part._last_write != -1
             self.tw += part.tw

@@ -227,6 +227,105 @@ def partial_parallel_series(
 
 
 @dataclass
+class RecoveryPoint:
+    """One processor count of the DOACROSS recovery figure."""
+
+    procs: int
+    rollback_speedup: float    # failed run, serial re-execution
+    recovery_speedup: float    # failed run, pipelined re-execution
+    #: rollback loop time / recovery loop time — the whole-run gain of
+    #: the recovery tier (>1 when the pipeline pays for itself).
+    recovery_gain: float
+    recovered_fraction: float
+    min_distance: int
+    sync_waits: float
+    strips_recovered: int
+
+
+def doacross_recovery_series(
+    procs: tuple[int, ...] = (2, 4, 8, 14),
+    *,
+    n: int = 400,
+    distance: int = 32,
+    work: int = 60,
+    strip_size: int | None = None,
+    model: CostModel | None = None,
+) -> list[RecoveryPoint]:
+    """Rollback-to-serial vs DOACROSS recovery on a failed LRPD loop.
+
+    The workload fails the test by construction with a uniform
+    cross-iteration distance, so the rollback run pays serial-plus-
+    attempt (speedup < 1) while the recovery tier re-executes the same
+    iterations priced as a chunked post/wait pipeline at the measured
+    distance.  Both paths are bit-identical to serial; only the priced
+    re-execution differs.  ``strip_size`` switches both runs to the
+    strip-mined pipeline (every failed strip recovers independently).
+    """
+    from repro.workloads.synthetic import build_synthdoacross
+
+    model = model or fx80()
+    workload = build_synthdoacross(n=n, distance=distance, work=work)
+    points = []
+    for p in procs:
+        config = RunConfig(model=model.with_procs(p), strip_size=strip_size)
+        rollback = _runner(workload).run(
+            Strategy.STRIPPED if strip_size else Strategy.SPECULATIVE, config
+        )
+        recovery = _runner(workload).run(Strategy.DOACROSS_RECOVERY, config)
+        points.append(
+            RecoveryPoint(
+                procs=p,
+                rollback_speedup=rollback.speedup,
+                recovery_speedup=recovery.speedup,
+                recovery_gain=rollback.loop_time / recovery.loop_time,
+                recovered_fraction=recovery.stats.get("recovered_fraction", 0.0),
+                min_distance=int(recovery.stats.get("recovery_distance", 0)),
+                sync_waits=recovery.stats.get("recovery_sync_waits", 0.0),
+                strips_recovered=int(recovery.stats.get("strips_recovered", 0)),
+            )
+        )
+    return points
+
+
+@dataclass
+class RecoveryVetoPoint:
+    """The deterministic-veto demo: a distance-1 chain must refuse the
+    pipeline and roll back serially."""
+
+    procs: int
+    vetoed: bool
+    recovered_fraction: float
+    reason: str
+
+
+def recovery_veto_demo(
+    *,
+    procs: int = 8,
+    n: int = 240,
+    band_length: int = 24,
+    model: CostModel | None = None,
+) -> RecoveryVetoPoint:
+    """Request DOACROSS recovery on a loop whose dependence band is a
+    distance-1 serial chain: the measured distances veto the pipeline
+    deterministically and the run degrades to the plain rollback."""
+    from repro.workloads.synthetic import build_partial_parallel
+
+    model = model or fx80()
+    workload = build_partial_parallel(n=n, band_length=band_length)
+    report = _runner(workload).run(
+        Strategy.DOACROSS_RECOVERY, RunConfig(model=model.with_procs(procs))
+    )
+    reasons = [reason for _key, reason in report.engine_decisions]
+    veto = next((r for r in reasons if "recovery veto" in r), "")
+    return RecoveryVetoPoint(
+        procs=procs,
+        vetoed=bool(veto),
+        recovered_fraction=report.stats.get("recovered_fraction", 1.0),
+        reason=veto,
+    )
+
+
+@dataclass
 class PdLpdPoint:
     live_fraction: float
     pd_passed: bool

@@ -8,11 +8,24 @@ strategy in :mod:`repro.runtime`.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.interp.costs import IterationCost
 from repro.machine.costmodel import CostModel
 from repro.machine.schedule import ScheduleKind, assign_iterations, makespan
+
+
+@dataclass(frozen=True)
+class DoacrossRecoveryTime:
+    """Priced pipelined DOACROSS re-execution of a failed region."""
+
+    total: float          # makespan including dispatch and the final barrier
+    chunk: int            # static chunk size used
+    chunks: int           # number of chunks dispatched
+    sync_waits: int       # post/wait hops where the consumer actually stalled
+    sync_wait_cycles: float  # total cycles spent stalled on posts
 
 
 class DoallSimulator:
@@ -55,6 +68,75 @@ class DoallSimulator:
             (len(chunk) for chunk in assignment), default=0
         )
         return body, dispatch, self.model.barrier(self.num_procs)
+
+    def doacross_chunk(self, iterations: int, distance: int) -> int:
+        """Static chunk size for a pipelined DOACROSS recovery.
+
+        Chunks no larger than the dependence distance keep consecutive
+        chunks overlappable (iteration ``i`` waits only on ``i - d``,
+        which then lives in an earlier chunk); never fewer than one
+        chunk per processor's fair share.
+        """
+        fair = math.ceil(iterations / max(self.num_procs, 1))
+        return max(1, min(distance, fair))
+
+    def doacross_time(
+        self,
+        costs: Sequence[IterationCost],
+        *,
+        distance: int,
+        chunk: int | None = None,
+    ) -> DoacrossRecoveryTime:
+        """Price a chunked pipelined DOACROSS over ``costs``.
+
+        Static chunks are assigned round-robin over the processors
+        (chunk ``k`` on processor ``k % p``, as
+        :func:`repro.baselines.doacross.simulate_doacross` schedules
+        single iterations); iteration ``i`` waits until every iteration
+        ``<= i - distance`` has completed plus the post/wait
+        critical-section hop.  Because chunks are processed in index
+        order here, the prefix maximum of completion times makes that
+        wait exact even for dependences longer than ``distance``.
+        """
+        cycles = self.iteration_cycles(costs)
+        n = len(cycles)
+        p = self.num_procs
+        if n == 0:
+            return DoacrossRecoveryTime(0.0, 0, 0, 0, 0.0)
+        if chunk is None:
+            chunk = self.doacross_chunk(n, distance)
+        completion = [0.0] * n
+        done_upto = [0.0] * n  # prefix max of completion
+        proc_free = [0.0] * p
+        sync_waits = 0
+        sync_wait_cycles = 0.0
+        chunks = math.ceil(n / chunk)
+        for k in range(chunks):
+            proc = k % p
+            t = proc_free[proc]
+            for i in range(k * chunk, min((k + 1) * chunk, n)):
+                start = t + self.model.dispatch_per_iteration
+                pred = i - distance
+                if pred >= 0:
+                    posted = done_upto[pred] + self.model.critical_section
+                    if posted > start:
+                        sync_waits += 1
+                        sync_wait_cycles += posted - start
+                        start = posted
+                completion[i] = start + cycles[i]
+                done_upto[i] = (
+                    max(done_upto[i - 1], completion[i]) if i else completion[i]
+                )
+                t = completion[i]
+            proc_free[proc] = t
+        total = max(completion) + self.model.barrier(p)
+        return DoacrossRecoveryTime(
+            total=total,
+            chunk=chunk,
+            chunks=chunks,
+            sync_waits=sync_waits,
+            sync_wait_cycles=sync_wait_cycles,
+        )
 
     # -- framework phases ----------------------------------------------------
 

@@ -27,6 +27,7 @@ class TimeBreakdown:
     copy_out: float = 0.0
     restore: float = 0.0          # rollback after a failed test
     serial_rerun: float = 0.0     # serial re-execution after failure
+    doacross: float = 0.0         # pipelined DOACROSS recovery after failure
 
     def total(self) -> float:
         return sum(getattr(self, f.name) for f in fields(self))
@@ -100,6 +101,8 @@ class StripRecord:
     passed: bool
     aborted: bool             # eager detection fired inside the strip
     times: TimeBreakdown
+    #: a failed strip re-executed as a pipelined DOACROSS instead of serially.
+    recovered: bool = False
 
     @property
     def time(self) -> float:

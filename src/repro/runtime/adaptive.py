@@ -34,6 +34,14 @@ class AdaptiveStripSizer:
     amortize better over bigger strips) and halves it after a failure
     (smaller strips bound the serial re-execution loss around a
     dependence cluster).  Sizes stay within ``[min_size, max_size]``.
+
+    Failures shrink no further than :attr:`floor` — normally
+    ``min_size``, but a warm-started sizer raises it to the converged
+    size history handed it (:meth:`raise_floor`): one unlucky strip
+    should not throw away a whole run's worth of convergence.  When the
+    history behind that floor goes stale — the profile store reports a
+    lifted speculation veto — the caller must :meth:`reset_floor`,
+    otherwise the sizer can never shrink below the stale warm size.
     """
 
     DEFAULT_INITIAL = 16
@@ -56,10 +64,20 @@ class AdaptiveStripSizer:
         self.min_size = min_size
         self.max_size = max_size
         self.grow_after = grow_after
+        self.floor = min_size
         self._pass_streak = 0
 
     def next_size(self) -> int:
         return self.size
+
+    def raise_floor(self, size: int) -> None:
+        """Keep failures from shrinking below ``size`` (clamped to the
+        sizer's bounds) — the warm-start contract."""
+        self.floor = max(self.min_size, min(size, self.max_size))
+
+    def reset_floor(self) -> None:
+        """Drop the warm-start floor back to ``min_size`` (stale history)."""
+        self.floor = self.min_size
 
     def record(self, passed: bool) -> None:
         if passed:
@@ -68,7 +86,7 @@ class AdaptiveStripSizer:
                 self.size = min(self.size * 2, self.max_size)
                 self._pass_streak = 0
         else:
-            self.size = max(self.size // 2, self.min_size)
+            self.size = max(self.size // 2, self.floor)
             self._pass_streak = 0
 
 

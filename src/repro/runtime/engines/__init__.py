@@ -37,6 +37,7 @@ from repro.runtime.engines import vectorized as _vectorized  # noqa: E402,F401
 from repro.runtime.engines import jit as _jit  # noqa: E402,F401
 from repro.runtime.engines import parallel as _parallel  # noqa: E402,F401
 from repro.runtime.engines import auto as _auto  # noqa: E402,F401
+from repro.runtime.engines import doacross as _doacross  # noqa: E402,F401
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.doall import DoallRun
@@ -46,7 +47,9 @@ DEFAULT_ENGINE = "compiled"
 
 #: didactic ordering of the generated docs table (registry order is
 #: alphabetical; the docs read reference-first).
-_DOC_ORDER = ("walk", "compiled", "vectorized", "jit", "parallel", "auto")
+_DOC_ORDER = (
+    "walk", "compiled", "vectorized", "jit", "parallel", "auto", "doacross"
+)
 
 
 def get_engine(name: str) -> ExecutionEngine:
@@ -73,6 +76,19 @@ def serial_engine_for(name: str) -> tuple[str, Optional[str]]:
 def needs_worker_pool(name: str, workers: Optional[int]) -> bool:
     """See :meth:`EngineRegistry.needs_worker_pool`."""
     return registry.needs_worker_pool(name, workers)
+
+
+def recovery_engine() -> ExecutionEngine:
+    """The registered post-failure recovery engine (``caps.recovery``).
+
+    The speculative pipeline resolves the recovery tier through this
+    capability query instead of naming an engine — the same no-string-
+    dispatch seam every other engine decision goes through.
+    """
+    for engine in registry.all():
+        if engine.caps.recovery:
+            return engine
+    raise UnknownEngineError("no engine declares the recovery capability")
 
 
 def execute_doall(ctx: DoallContext, name: str) -> "DoallRun":
@@ -144,6 +160,7 @@ __all__ = [
     "execute_doall",
     "get_engine",
     "needs_worker_pool",
+    "recovery_engine",
     "registry",
     "render_engine_table",
     "serial_engine_for",

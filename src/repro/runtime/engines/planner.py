@@ -118,7 +118,7 @@ class EnginePlanner:
         names = []
         for engine in registry.all():
             caps = engine.caps
-            if caps.planner:
+            if caps.planner or caps.recovery:
                 continue
             if caps.requires_workers and workers is None:
                 continue

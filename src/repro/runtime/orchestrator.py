@@ -56,6 +56,12 @@ class Strategy(Enum):
     #: strip-mined speculation: windowed LRPD with incremental commit
     #: and bounded rollback (see :class:`SpeculationPipeline`).
     STRIPPED = "stripped"
+    #: speculation (whole-loop, or strip-mined when a strip
+    #: configuration is set) with the post-failure DOACROSS recovery
+    #: tier explicitly armed: failed regions re-execute priced as
+    #: chunked pipelined DOACROSSes at the minimum dependence distance
+    #: measured from the shadow stamps, instead of as serial re-runs.
+    DOACROSS_RECOVERY = "doacross_recovery"
 
 
 @dataclass
@@ -201,16 +207,20 @@ class LoopRunner:
         """
         config = config or RunConfig()
         tick = time.perf_counter()
-        if strategy is Strategy.SERIAL:
-            report = self._run_serial(config)
-        elif strategy is Strategy.SPECULATIVE:
-            report = self._run_speculative(config)
-        elif strategy is Strategy.STRIPPED:
-            report = self._run_stripped(config)
-        elif strategy is Strategy.INSPECTOR:
-            report = self._run_inspector(config)
-        else:
+        # Dispatch through a table, not strategy comparisons — the same
+        # no-enum-dispatch discipline the engine lint enforces for
+        # engine names (``benchmarks/check_engine_dispatch.py``).
+        strategies = {
+            Strategy.SERIAL: self._run_serial,
+            Strategy.SPECULATIVE: self._run_speculative,
+            Strategy.STRIPPED: self._run_stripped,
+            Strategy.INSPECTOR: self._run_inspector,
+            Strategy.DOACROSS_RECOVERY: self._run_doacross_recovery,
+        }
+        runner = strategies.get(strategy)
+        if runner is None:
             raise SpeculationError(f"unknown strategy {strategy!r}")
+        report = runner(config)
         wall_s = time.perf_counter() - tick
         self.profiles.observe(self._loop_key(), RunObservation(
             strategy=report.strategy,
@@ -222,6 +232,8 @@ class LoopRunner:
             fallback_reason=report.fallbacks[0][1] if report.fallbacks else None,
             strip_size=report.strips[-1].strip_size if report.strips else None,
             reused=report.reused_schedule,
+            recovered_fraction=report.stats.get("recovered_fraction"),
+            sync_wait_cycles=report.stats.get("recovery_sync_wait_cycles", 0.0),
         ))
         report.cache_stats = self.profiles.counters()
         return report
@@ -317,7 +329,40 @@ class LoopRunner:
             return None
         return self.profiles.speculation_veto(self._loop_key())
 
-    def _run_speculative(self, config: RunConfig) -> ExecutionReport:
+    def _arm_recovery(self, config: RunConfig) -> tuple[bool, str | None]:
+        """Whether a planner engine arms the DOACROSS recovery tier.
+
+        Explicit :attr:`Strategy.DOACROSS_RECOVERY` requests always arm;
+        this decides the *learned* arming for planner engines: only once
+        the loop's ring records at least one failed attempt (so a loop's
+        very first runs behave exactly as before this tier existed), and
+        only while the recovery history itself is not vetoed — a loop
+        whose measured distances keep coming back serial stops paying
+        the distance measurement and rolls back serially again.
+        """
+        if not get_engine(config.engine).caps.planner:
+            return False, None
+        loop_key = self._loop_key()
+        failures, _attempts = self.profiles.failure_stats(loop_key)
+        if failures < 1:
+            return False, None
+        veto = self.profiles.recovery_veto(loop_key)
+        if veto is not None:
+            return False, veto
+        return True, (
+            f"feedback: arming DOACROSS recovery ({failures} recorded "
+            f"failure(s), no recovery veto on record)"
+        )
+
+    def _recovery_rescue(self, config: RunConfig) -> str | None:
+        """The profile store's rescue verdict, for planner engines only."""
+        if not get_engine(config.engine).caps.planner:
+            return None
+        return self.profiles.recovery_rescue(self._loop_key())
+
+    def _run_speculative(
+        self, config: RunConfig, *, recovery: bool = False
+    ) -> ExecutionReport:
         sim = DoallSimulator(config.model, config.schedule)
         env, _setup = self._env_at_loop_entry(config.model)
         reference = self.serial_run(config.model, config.engine)
@@ -325,9 +370,23 @@ class LoopRunner:
         if not self.plan.parallelizable_scalars:
             return self._refuse_serially(env, sim, config, reference)
 
+        extra_decisions: list[str | None] = []
+        if not recovery:
+            recovery, armed_reason = self._arm_recovery(config)
+            extra_decisions.append(armed_reason)
+
         veto = self._speculation_veto(config)
         if veto is not None:
-            return self._refuse_serially(env, sim, config, reference, reason=veto)
+            rescue = self._recovery_rescue(config)
+            if rescue is None:
+                return self._refuse_serially(
+                    env, sim, config, reference, reason=veto
+                )
+            # The failure history says stop, but the recovery history
+            # says the failures themselves pipeline well: speculate
+            # anyway with recovery armed, recording both verdicts.
+            recovery = True
+            extra_decisions.extend([veto, rescue])
 
         pool = self._shared_pool(config, sim, env)
         reused = False
@@ -367,6 +426,7 @@ class LoopRunner:
             backend=config.backend,
             profiles=self.profiles,
             loop_key=self._loop_key(),
+            recovery=recovery,
         )
         self._spec_marker = outcome.run.marker
         outcome.wall.signature = signature_s
@@ -387,16 +447,44 @@ class LoopRunner:
             wall=outcome.wall,
             fallbacks=self._fallbacks(outcome.run.fallback_reason),
             engine_used=outcome.run.engine_used,
-            engine_decisions=self._decisions(outcome.run.engine_decision),
+            engine_decisions=(
+                self._decisions(outcome.run.engine_decision)
+                + [
+                    entry
+                    for reason in extra_decisions
+                    for entry in self._decisions(reason)
+                ]
+                + self._decisions(outcome.recovery_decision)
+            ),
         )
 
-    def _run_stripped(self, config: RunConfig) -> ExecutionReport:
+    def _run_doacross_recovery(self, config: RunConfig) -> ExecutionReport:
+        """Speculation with the DOACROSS recovery tier explicitly armed.
+
+        Routes to the strip-mined pipeline when a strip configuration is
+        set (each failed strip recovers independently), else to the
+        whole-loop protocol.  Refusals (unparallelizable scalars) still
+        report as serial runs; everything that actually speculated is
+        relabelled so the report and the profile ring record which
+        strategy was asked for.
+        """
+        if config.strip_size is not None or config.adaptive_strip_sizing:
+            report = self._run_stripped(config, recovery=True)
+        else:
+            report = self._run_speculative(config, recovery=True)
+        if report.strategy != Strategy.SERIAL.value:
+            report.strategy = Strategy.DOACROSS_RECOVERY.value
+        return report
+
+    def _run_stripped(
+        self, config: RunConfig, *, recovery: bool = False
+    ) -> ExecutionReport:
         """Strip-mined speculation (windowed LRPD, incremental commit)."""
         if config.strip_size is None and not config.adaptive_strip_sizing:
             # Degenerate configuration: one strip covering the whole loop
             # *is* the unstripped protocol — delegate wholesale so every
             # simulated quantity stays bit-identical to SPECULATIVE.
-            return self._run_speculative(config)
+            return self._run_speculative(config, recovery=recovery)
         sim = DoallSimulator(config.model, config.schedule)
         env, _setup = self._env_at_loop_entry(config.model)
         reference = self.serial_run(config.model, config.engine)
@@ -404,9 +492,20 @@ class LoopRunner:
         if not self.plan.parallelizable_scalars:
             return self._refuse_serially(env, sim, config, reference)
 
+        extra_decisions: list[str | None] = []
+        if not recovery:
+            recovery, armed_reason = self._arm_recovery(config)
+            extra_decisions.append(armed_reason)
+
         veto = self._speculation_veto(config)
         if veto is not None:
-            return self._refuse_serially(env, sim, config, reference, reason=veto)
+            rescue = self._recovery_rescue(config)
+            if rescue is None:
+                return self._refuse_serially(
+                    env, sim, config, reference, reason=veto
+                )
+            recovery = True
+            extra_decisions.extend([veto, rescue])
 
         strip_decision = None
         if config.adaptive_strip_sizing:
@@ -414,6 +513,7 @@ class LoopRunner:
             from repro.runtime.adaptive import AdaptiveStripSizer
 
             initial = config.strip_size or AdaptiveStripSizer.DEFAULT_INITIAL
+            warm = None
             if config.strip_size is None and get_engine(config.engine).caps.planner:
                 warm = self.profiles.warm_strip_size(self._loop_key())
                 if warm is not None:
@@ -424,6 +524,22 @@ class LoopRunner:
                         f"converged size)"
                     )
             sizer = AdaptiveStripSizer(initial_size=initial)
+            if warm is not None:
+                # A converged size from history should survive one
+                # unlucky strip: failures shrink no further than it...
+                sizer.raise_floor(warm)
+            if get_engine(config.engine).caps.planner and self.profiles.veto_cleared(
+                self._loop_key()
+            ):
+                # ...unless that history just went stale — a lifted
+                # speculation veto means the ring turned over, so let
+                # failures shrink strips all the way down again.
+                sizer.reset_floor()
+                extra_decisions.append(
+                    "feedback: speculation veto lifted — resetting the "
+                    "adaptive strip-size floor (failures may shrink "
+                    "strips below the warm-started size again)"
+                )
         else:
             sizer = FixedStripSizer(config.strip_size)
         pipeline = SpeculationPipeline(
@@ -446,6 +562,7 @@ class LoopRunner:
             backend=config.backend,
             profiles=self.profiles,
             loop_key=self._loop_key(),
+            recovery=recovery,
         )
         outcome = pipeline.run()
         self._spec_marker = outcome.marker
@@ -467,6 +584,12 @@ class LoopRunner:
             engine_decisions=(
                 self._decisions(outcome.engine_decision)
                 + self._decisions(strip_decision)
+                + [
+                    entry
+                    for reason in extra_decisions
+                    for entry in self._decisions(reason)
+                ]
+                + self._decisions(outcome.recovery_decision)
             ),
         )
 

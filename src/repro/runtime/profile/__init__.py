@@ -25,6 +25,7 @@ from repro.runtime.profile.store import (
     KernelCache,
     LoopProfileStore,
     MIN_VETO_ATTEMPTS,
+    RECOVERY_MIN_FRACTION,
     ScheduleCache,
     VerdictEntry,
     kernel_cache,
@@ -38,6 +39,7 @@ __all__ = [
     "KernelCache",
     "LoopProfileStore",
     "MIN_VETO_ATTEMPTS",
+    "RECOVERY_MIN_FRACTION",
     "RunObservation",
     "ScheduleCache",
     "VerdictEntry",

@@ -39,6 +39,13 @@ class RunObservation:
     strip_size: int | None = None
     #: the verdict was reused from the schedule cache (no test paid).
     reused: bool = False
+    #: fraction of the serial re-run cost the DOACROSS recovery tier won
+    #: back on a failed run (0.0 when the deterministic veto forced a
+    #: serial rollback; None when the run passed or recovery was off).
+    recovered_fraction: float | None = None
+    #: simulated cycles recovery iterations spent blocked in post/wait
+    #: synchronization (0.0 when no recovery ran).
+    sync_wait_cycles: float = 0.0
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -55,6 +62,8 @@ class RunObservation:
             "fallback_reason": payload.get("fallback_reason"),
             "strip_size": payload.get("strip_size"),
             "reused": bool(payload.get("reused", False)),
+            "recovered_fraction": payload.get("recovered_fraction"),
+            "sync_wait_cycles": float(payload.get("sync_wait_cycles", 0.0)),
         }
         if fields["engine"] is not None:
             fields["engine"] = str(fields["engine"])
@@ -62,4 +71,6 @@ class RunObservation:
             fields["passed"] = bool(fields["passed"])
         if fields["strip_size"] is not None:
             fields["strip_size"] = int(fields["strip_size"])
+        if fields["recovered_fraction"] is not None:
+            fields["recovered_fraction"] = float(fields["recovered_fraction"])
         return cls(**fields)

@@ -38,6 +38,10 @@ DEFAULT_RING = 32
 FAILURE_RATE_THRESHOLD = 0.5
 #: minimum tested attempts before the failure-rate veto can fire.
 MIN_VETO_ATTEMPTS = 2
+#: mean recovered fraction at/above which the DOACROSS recovery tier's
+#: history counts as worthwhile — below it recovery is vetoed, at/above
+#: it recovery can even rescue a failure-rate-vetoed loop.
+RECOVERY_MIN_FRACTION = 0.25
 
 
 @dataclass
@@ -192,6 +196,12 @@ class LoopProfile:
     #: planner decisions taken for this loop (drives the deterministic
     #: epsilon-greedy exploration schedule).
     decisions: int = 0
+    #: the failure-rate veto fired on the last :meth:`speculation_veto`
+    #: query for this loop.
+    vetoed: bool = False
+    #: a previously firing veto has since lifted and nobody consumed the
+    #: transition yet (see :meth:`LoopProfileStore.veto_cleared`).
+    veto_lifted: bool = False
 
 
 class LoopProfileStore:
@@ -337,15 +347,103 @@ class LoopProfileStore:
         the evidence (counts and rate), not just the verdict.
         """
         failures, attempts = self.failure_stats(loop_key)
-        if attempts < min_attempts:
-            return None
-        rate = failures / attempts
-        if rate < threshold:
+        verdict: str | None = None
+        if attempts >= min_attempts:
+            rate = failures / attempts
+            if rate >= threshold:
+                verdict = (
+                    f"feedback: historical failure rate {failures}/{attempts} "
+                    f"({rate:.0%}) >= {threshold:.0%} — skipping speculation "
+                    f"and running serially"
+                )
+        profile = self._profile(loop_key)
+        if verdict is not None:
+            profile.vetoed = True
+        elif profile.vetoed:
+            # The veto just lifted (the ring's failures aged out or new
+            # passes diluted them): remember the transition for one
+            # consumer — the adaptive strip sizer resets its floor on it.
+            profile.vetoed = False
+            profile.veto_lifted = True
+        return verdict
+
+    def veto_cleared(self, loop_key: str) -> bool:
+        """True exactly once per veto→lifted transition (consumed on read).
+
+        A lifted veto means the failure history that shaped this loop's
+        warm-started strip-size floor is stale; the caller resets the
+        floor so failures can shrink strips all the way down again.
+        """
+        profile = self._profiles.get(loop_key)
+        if profile is None or not profile.veto_lifted:
+            return False
+        profile.veto_lifted = False
+        return True
+
+    # -- recovery history (DOACROSS tier) ----------------------------------
+
+    def recovery_stats(self, loop_key: str) -> tuple[int, float, float]:
+        """(count, mean recovered fraction, mean sync-wait cycles) over
+        the ring's observations that exercised the recovery tier —
+        including deterministic vetoes, which record a 0.0 fraction and
+        rightly drag the mean down."""
+        count = 0
+        frac_total = sync_total = 0.0
+        for obs in self.observations(loop_key):
+            if obs.recovered_fraction is None:
+                continue
+            count += 1
+            frac_total += obs.recovered_fraction
+            sync_total += obs.sync_wait_cycles
+        if count == 0:
+            return 0, 0.0, 0.0
+        return count, frac_total / count, sync_total / count
+
+    def recovery_rescue(
+        self,
+        loop_key: str,
+        *,
+        min_fraction: float = RECOVERY_MIN_FRACTION,
+    ) -> str | None:
+        """Evidence string when recovery history justifies speculating
+        past a failure-rate veto (None otherwise).
+
+        A loop that keeps failing its LRPD test but keeps winning back a
+        useful fraction of the serial re-run through the DOACROSS tier
+        is worth speculating on anyway — the failure is the entry ticket
+        to the pipelined re-execution.
+        """
+        count, mean, _sync = self.recovery_stats(loop_key)
+        if count < 1 or mean < min_fraction:
             return None
         return (
-            f"feedback: historical failure rate {failures}/{attempts} "
-            f"({rate:.0%}) >= {threshold:.0%} — skipping speculation and "
-            f"running serially"
+            f"feedback: DOACROSS recovery won back {mean:.0%} of the serial "
+            f"re-run on average over {count} recovered run(s) (>= "
+            f"{min_fraction:.0%}) — speculating past the failure veto with "
+            f"recovery armed"
+        )
+
+    def recovery_veto(
+        self,
+        loop_key: str,
+        *,
+        min_fraction: float = RECOVERY_MIN_FRACTION,
+        min_attempts: int = 1,
+    ) -> str | None:
+        """Evidence string when recovery history says the tier is not
+        paying for itself on this loop (None while history is thin or
+        good).  Measured distances ≤ 1 record a 0.0 recovered fraction,
+        so a loop whose profiled distances are serial chains
+        deterministically lands here."""
+        count, mean, _sync = self.recovery_stats(loop_key)
+        if count < min_attempts:
+            return None
+        if mean >= min_fraction:
+            return None
+        return (
+            f"feedback: DOACROSS recovery won back only {mean:.0%} on "
+            f"average over {count} recovered run(s) (< {min_fraction:.0%}) "
+            f"— failed runs roll back serially"
         )
 
     # -- persistence -------------------------------------------------------

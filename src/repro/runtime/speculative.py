@@ -58,6 +58,27 @@ class SpeculativeOutcome:
     #: measured wall-clock seconds per phase (real host time, recorded
     #: for every engine; the interesting one is ``engine="parallel"``).
     wall: WallClock = field(default_factory=WallClock)
+    #: the DOACROSS recovery tier's go/veto rationale (None when the run
+    #: passed or recovery was not requested).
+    recovery_decision: str | None = None
+
+
+def _plan_recovery(marker: ShadowMarker, run: DoallRun, granularity: Granularity):
+    """Resolve the recovery engine and its go/veto for one failed region.
+
+    Must be called while the failed attempt's shadow stamps are still
+    intact (before the marker is reset for a next strip).  Returns
+    ``(engine, distance, reason)`` with ``distance`` None on a veto.
+    """
+    from repro.analysis.dependence import measure_shadow_distances
+    from repro.runtime.engines import recovery_engine
+
+    engine = recovery_engine()
+    report = measure_shadow_distances(marker, run.num_iterations)
+    distance, reason = engine.recovery_decision(
+        report, aborted=run.aborted, granularity=granularity
+    )
+    return engine, distance, reason
 
 
 def run_speculative(
@@ -80,11 +101,16 @@ def run_speculative(
     backend: str = "fork",
     profiles=None,
     loop_key: str | None = None,
+    recovery: bool = False,
 ) -> SpeculativeOutcome:
     """Run the full speculative protocol; ``env`` must be at loop entry.
 
     On return ``env`` holds the post-loop state regardless of the test's
     outcome (merged on pass, restored + serially recomputed on fail).
+    With ``recovery`` a failed test measures the shadow dependence
+    distances first and — unless the deterministic veto fires — prices
+    the re-execution as a pipelined DOACROSS instead of a serial re-run;
+    the re-executed state is bit-identical either way.
 
     ``engine`` selects the doall iteration executor (see
     :func:`repro.runtime.doall.run_doall`); ``workers``/``pool`` are the
@@ -187,13 +213,42 @@ def run_speculative(
         stats["reduction_merged"] = float(finalize.reduction_merged)
         stats["copied_out"] = float(finalize.copied_out)
     else:
+        recovery_decision = None
+        rec_engine = None
+        distance = None
+        if recovery:
+            rec_engine, distance, recovery_decision = _plan_recovery(
+                marker, run, granularity
+            )
         tick = time.perf_counter()
         checkpoint.restore()
         times.restore = sim.restore_time(checkpoint.elements_saved)
-        serial_interp = Interpreter(program, env, value_based=False)
-        serial_time, _costs = rerun_loop_serially(serial_interp, loop, sim.model)
-        times.serial_rerun = serial_time
+        if distance is not None:
+            _start, _stop, step = Interpreter(
+                program, env, value_based=False
+            ).eval_loop_bounds(loop)
+            rec = rec_engine.recover(
+                program, loop, env, run.values, step, sim, distance=distance
+            )
+            times.doacross = rec.time.total
+            stats["recovered_iterations"] = float(rec.iterations)
+            stats["recovery_distance"] = float(distance)
+            stats["recovery_sync_waits"] = float(rec.time.sync_waits)
+            stats["recovery_sync_wait_cycles"] = rec.time.sync_wait_cycles
+            stats["recovered_fraction"] = rec.recovered_fraction
+        else:
+            serial_interp = Interpreter(program, env, value_based=False)
+            serial_time, _costs = rerun_loop_serially(
+                serial_interp, loop, sim.model
+            )
+            times.serial_rerun = serial_time
+            if recovery:
+                stats["recovered_fraction"] = 0.0
         wall.rollback = time.perf_counter() - tick
+        return SpeculativeOutcome(
+            result=result, times=times, run=run, stats=stats, wall=wall,
+            recovery_decision=recovery_decision,
+        )
 
     return SpeculativeOutcome(
         result=result, times=times, run=run, stats=stats, wall=wall
@@ -245,6 +300,9 @@ class PipelineOutcome:
     #: the ``auto`` planner's rationale for the first strip (None for
     #: explicit engine requests).
     engine_decision: str | None = None
+    #: first recorded DOACROSS recovery go/veto rationale across the
+    #: failed strips (None when no strip failed or recovery was off).
+    recovery_decision: str | None = None
 
 
 class SpeculationPipeline:
@@ -301,6 +359,7 @@ class SpeculationPipeline:
         backend: str = "fork",
         profiles=None,
         loop_key: str | None = None,
+        recovery: bool = False,
     ):
         if granularity is Granularity.PROCESSOR and schedule is not ScheduleKind.BLOCK:
             raise SpeculationError(
@@ -329,6 +388,9 @@ class SpeculationPipeline:
         self.backend = backend
         self.profiles = profiles
         self.loop_key = loop_key
+        #: re-execute failed strips as pipelined DOACROSSes when their
+        #: measured dependence distances allow it (see run_speculative).
+        self.recovery = recovery
         self._marker = marker
 
     # -- pieces --------------------------------------------------------------
@@ -440,6 +502,13 @@ class SpeculationPipeline:
         fallback_reason: str | None = None
         engine_used: str | None = None
         engine_decision: str | None = None
+        recovery_decision: str | None = None
+        #: failed-strip cost under the chosen policy vs its plain serial
+        #: equivalent — the aggregate recovered fraction's numerator and
+        #: denominator (vetoed strips contribute their serial time to
+        #: both, pulling the fraction toward zero).
+        recovery_cycles = 0.0
+        serial_equiv = 0.0
         pos = 0
         while pos < len(values):
             size = max(1, int(self.sizer.next_size()))
@@ -510,8 +579,8 @@ class SpeculationPipeline:
                 stats["aborted_strips"] += 1.0
             else:
                 times.analysis = sim.strip_analysis_time(touched)
-            aggregator.add_strip(marker, result)
             stats["marks"] += float(sum(c.marks for c in run.iteration_costs))
+            strip_recovered = False
 
             if result.passed:
                 tick = time.perf_counter()
@@ -524,17 +593,57 @@ class SpeculationPipeline:
                 stats["reduction_merged"] += float(finalize.reduction_merged)
                 stats["copied_out"] += float(finalize.copied_out)
             else:
+                rec_engine = None
+                distance = None
+                if self.recovery:
+                    rec_engine, distance, strip_decision = _plan_recovery(
+                        marker, run, self.granularity
+                    )
+                    if recovery_decision is None:
+                        recovery_decision = strip_decision
                 tick = time.perf_counter()
                 checkpoint.restore()
                 times.restore = sim.restore_time(checkpoint.elements_saved)
-                serial_interp = Interpreter(self.program, env, value_based=False)
-                serial_time, _costs = rerun_values_serially(
-                    serial_interp, self.loop, strip_values, step, sim.model
-                )
-                times.serial_rerun = serial_time
+                if distance is not None:
+                    rec = rec_engine.recover(
+                        self.program, self.loop, env, strip_values, step,
+                        sim, distance=distance,
+                    )
+                    times.doacross = rec.time.total
+                    strip_recovered = True
+                    recovery_cycles += rec.time.total
+                    serial_equiv += rec.serial_equivalent
+                    stats["recovered_iterations"] = (
+                        stats.get("recovered_iterations", 0.0)
+                        + float(rec.iterations)
+                    )
+                    stats["recovery_sync_waits"] = (
+                        stats.get("recovery_sync_waits", 0.0)
+                        + float(rec.time.sync_waits)
+                    )
+                    stats["recovery_sync_wait_cycles"] = (
+                        stats.get("recovery_sync_wait_cycles", 0.0)
+                        + rec.time.sync_wait_cycles
+                    )
+                    stats["recovery_distance"] = min(
+                        stats.get("recovery_distance", float(distance)),
+                        float(distance),
+                    )
+                else:
+                    serial_interp = Interpreter(
+                        self.program, env, value_based=False
+                    )
+                    serial_time, _costs = rerun_values_serially(
+                        serial_interp, self.loop, strip_values, step, sim.model
+                    )
+                    times.serial_rerun = serial_time
+                    stats["serial_iterations"] += float(len(strip_values))
+                    if self.recovery:
+                        recovery_cycles += serial_time
+                        serial_equiv += serial_time
                 wall.rollback = time.perf_counter() - tick
-                stats["serial_iterations"] += float(len(strip_values))
 
+            aggregator.add_strip(marker, result, recovered=strip_recovered)
             self.sizer.record(result.passed)
             strips.append(
                 StripRecord(
@@ -545,6 +654,7 @@ class SpeculationPipeline:
                     passed=result.passed,
                     aborted=run.aborted,
                     times=times,
+                    recovered=strip_recovered,
                 )
             )
             total = total.merged_with(times)
@@ -562,6 +672,12 @@ class SpeculationPipeline:
             env.set_scalar(self.loop.var, values[-1] + step)
         stats["strips"] = float(aggregator.strips)
         stats["strips_failed"] = float(aggregator.strips_failed)
+        if self.recovery:
+            stats["strips_recovered"] = float(aggregator.strips_recovered)
+            if aggregator.strips_failed and serial_equiv > 0.0:
+                stats["recovered_fraction"] = max(
+                    0.0, 1.0 - recovery_cycles / serial_equiv
+                )
         return PipelineOutcome(
             result=aggregator.result(),
             times=total,
@@ -572,4 +688,5 @@ class SpeculationPipeline:
             fallback_reason=fallback_reason,
             engine_used=engine_used,
             engine_decision=engine_decision,
+            recovery_decision=recovery_decision,
         )

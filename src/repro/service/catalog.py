@@ -17,6 +17,7 @@ from repro.workloads import PAPER_LOOPS, Workload
 from repro.workloads.synthetic import (
     build_dependence_injected,
     build_partial_parallel,
+    build_synthdoacross,
 )
 
 
@@ -37,6 +38,12 @@ def _synthetic_partial() -> Workload:
     return build_partial_parallel(n=160, band_length=16)
 
 
+def _synthetic_doacross() -> Workload:
+    """A uniform-distance DOACROSS loop (fails the test, pipelines at
+    the measured distance): recovery-tier jobs over the wire."""
+    return build_synthdoacross(n=160, distance=16)
+
+
 #: workload name -> zero-argument builder.  Paper loops keep their CLI
 #: short names; the ``synth*`` entries are service-suite traffic.
 WORKLOADS: dict[str, object] = {
@@ -44,6 +51,7 @@ WORKLOADS: dict[str, object] = {
     "synthpass": _synthetic_pass,
     "synthfail": _synthetic_fail,
     "synthpartial": _synthetic_partial,
+    "synthdoacross": _synthetic_doacross,
 }
 
 #: machine name -> cost-model factory (mirrors the CLI's choices).

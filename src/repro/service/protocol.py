@@ -227,6 +227,7 @@ def _strip_to_json(strip: StripRecord) -> dict:
         "strip_size": strip.strip_size,
         "passed": strip.passed,
         "aborted": strip.aborted,
+        "recovered": strip.recovered,
         "times": strip.times.as_dict(),
     }
 
@@ -239,6 +240,7 @@ def _strip_from_json(payload: dict) -> StripRecord:
         strip_size=int(payload["strip_size"]),
         passed=bool(payload["passed"]),
         aborted=bool(payload["aborted"]),
+        recovered=bool(payload.get("recovered", False)),
         times=TimeBreakdown(**payload["times"]),
     )
 

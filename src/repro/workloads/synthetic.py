@@ -15,6 +15,9 @@
   otherwise parallel loop; the strip-mined pipeline's motivating case
   (all-or-nothing speculation fails the whole loop, strips only lose the
   band).
+* :func:`build_synthdoacross` — every iteration depends on the one
+  exactly ``distance`` back; fails the LRPD test everywhere but
+  pipelines perfectly, the DOACROSS recovery tier's motivating case.
 """
 
 from __future__ import annotations
@@ -378,6 +381,80 @@ end
         description=(
             f"gather/scatter with a {band_length}-iteration serial band "
             f"at {band_start} (work={work})"
+        ),
+        check_arrays=("a",),
+    )
+
+
+def build_synthdoacross(
+    n: int = 400,
+    *,
+    distance: int = 32,
+    work: int = 60,
+    seed: int = 0,
+) -> Workload:
+    """A uniform-distance DOACROSS loop: iteration ``v`` reads what
+    iteration ``v - distance`` wrote.
+
+    Every write location is distinct (one write per element) and every
+    iteration from ``distance`` on reads its predecessor-at-distance's
+    write location, so the loop carries a flow dependence on *every*
+    chain — the LRPD test fails it outright, whole-loop and in any strip
+    wider than ``distance``.  But the minimum (indeed the only)
+    cross-iteration distance is exactly ``distance``: the shadow stamps
+    measure it, and the recovery tier's chunked post/wait pipeline
+    overlaps up to ``distance`` iterations at a time.  The first
+    ``distance`` iterations read fresh, never-written cells in
+    ``(n, 2n]``.  ``work`` fattens the body so sync overheads stay small
+    relative to the iterations, as in the paper's coarse-grained loops.
+    """
+    if distance < 2 or distance >= n:
+        raise WorkloadError("need 2 <= distance < n")
+    rng = np.random.default_rng(seed)
+    size = 2 * n
+    wloc = rng.permutation(n) + 1            # writes land in [1, n]
+    rloc = rng.integers(n + 1, size + 1, n)  # reads land in (n, 2n]
+    for v in range(distance, n):
+        rloc[v] = wloc[v - distance]
+    source = f"""
+program synthdoacross
+  integer n, i, k, work
+  real a({size}), src({n})
+  integer wloc({n}), rloc({n})
+  real t
+  do i = 1, n
+    t = src(i)
+    do k = 1, work
+      t = t * 0.999 + 0.001
+    end do
+    t = t + a(rloc(i)) * 0.5
+    a(wloc(i)) = t * t + 1.0
+  end do
+end
+"""
+    return Workload(
+        name=f"SYNTH_DOACROSS_{distance:03d}",
+        source=source,
+        inputs={
+            "n": n,
+            "work": work,
+            "wloc": wloc,
+            "rloc": rloc,
+            "a": rng.normal(size=size),
+            "src": rng.normal(size=n),
+        },
+        expectation=PaperExpectation(
+            transforms=(),
+            inspector_extractable=True,
+            test_passes=False,
+            notes=(
+                "uniform-distance DOACROSS: fails the LRPD test, "
+                "pipelines at the measured distance"
+            ),
+        ),
+        description=(
+            f"uniform flow dependence at distance {distance} "
+            f"(work={work})"
         ),
         check_arrays=("a",),
     )

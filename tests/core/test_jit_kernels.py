@@ -55,6 +55,7 @@ def _state(shadow: ShadowArray) -> tuple:
         shadow.redux_touched.copy(), shadow.multi_w.copy(),
         shadow._redux_op.copy(), shadow._last_write.copy(),
         shadow._min_write.copy(), shadow._max_exposed_read.copy(),
+        shadow._min_exposed_read.copy(),
         shadow.tw,
     )
 

@@ -1,7 +1,7 @@
 """Analysis-phase tests: the LRPD/PD pass-fail logic over shadows."""
 
 
-from repro.core.lrpd import analyze_shadows
+from repro.core.lrpd import StripAggregator, analyze_shadows
 from repro.core.outcomes import TestMode
 from repro.core.shadow import Granularity, ShadowMarker
 
@@ -138,3 +138,69 @@ class TestResultRecords:
         assert "passed" in passed.describe()
         assert "failed" in failed.describe()
         assert "a" in failed.describe()
+
+
+class TestStripAggregator:
+    """Folding passed, failed and DOACROSS-recovered strips."""
+
+    def _fold(self, *strips):
+        """strips: (marks, recovered) pairs; returns the aggregator."""
+        agg = StripAggregator(TestMode.LRPD, Granularity.ITERATION)
+        for marks, recovered in strips:
+            marker = marker_with(marks)
+            agg.add_strip(
+                marker, analyze_shadows(marker, TestMode.LRPD),
+                recovered=recovered,
+            )
+        return agg
+
+    PASSING = [("w", 1, 0), ("w", 2, 1), ("r", 3, 0)]
+    FAILING = [("w", 1, 0), ("r", 1, 1)]          # rewrites element 1
+    FAILING_B = [("w", 5, 0), ("r", 5, 1)]
+
+    def test_mixed_strip_counts(self):
+        agg = self._fold(
+            (self.PASSING, False),
+            (self.FAILING, False),       # rolled back serially
+            (self.FAILING_B, True),      # recovered as pipelined DOACROSS
+        )
+        assert agg.strips == 3
+        assert agg.strips_failed == 2
+        assert agg.strips_recovered == 1
+        assert not agg.result().passed
+
+    def test_recovered_strips_still_count_as_failures(self):
+        agg = self._fold((self.FAILING, True))
+        assert agg.strips_failed == 1
+        assert agg.strips_recovered == 1
+        assert not agg.result().passed
+
+    def test_tw_adds_across_strips(self):
+        agg = self._fold(
+            (self.PASSING, False),
+            (self.FAILING, False),
+            (self.FAILING_B, True),
+        )
+        # 2 + 1 + 1 distinct (element, granule) writes across the strips.
+        assert agg.result().details["a"].tw == 4
+
+    def test_tm_unions_written_elements(self):
+        # Element 1 is written in two strips but counts once in tm.
+        agg = self._fold((self.PASSING, False), (self.FAILING, True))
+        detail = agg.result().details["a"]
+        assert detail.tm == 2
+        assert detail.tw == 3
+        assert not detail.fully_parallel  # tw != tm after the union
+
+    def test_all_passing_strips_aggregate_to_pass(self):
+        agg = self._fold(
+            ([("w", 1, 0)], False),
+            ([("w", 2, 0)], False),
+        )
+        assert agg.result().passed
+        assert agg.strips_failed == 0
+        assert agg.strips_recovered == 0
+
+    def test_failed_elements_accumulate(self):
+        agg = self._fold((self.FAILING, False), (self.FAILING_B, True))
+        assert agg.result().details["a"].failed_elements == 2

@@ -26,6 +26,7 @@ SIZE = 16
 FIELDS = (
     "w", "r", "np_", "nx", "redux_touched", "multi_w",
     "_redux_op", "_last_write", "_min_write", "_max_exposed_read",
+    "_min_exposed_read",
 )
 
 

@@ -66,7 +66,8 @@ class _StubEngine(ExecutionEngine):
 class TestRegistry:
     def test_builtin_engines_registered(self):
         assert engine_names() == [
-            "auto", "compiled", "jit", "parallel", "vectorized", "walk"
+            "auto", "compiled", "doacross", "jit", "parallel", "vectorized",
+            "walk"
         ]
         assert DEFAULT_ENGINE in engine_names()
 
@@ -107,6 +108,13 @@ class TestRegistry:
         assert not get_engine("jit").caps.supports_serial
         assert get_engine("parallel").caps.requires_workers
         assert get_engine("auto").caps.planner
+        assert get_engine("doacross").caps.recovery
+        assert not get_engine("doacross").caps.supports_serial
+        assert not any(
+            get_engine(name).caps.recovery
+            for name in engine_names()
+            if name != "doacross"
+        )
 
     def test_fallback_chain_walk(self):
         assert registry.fallback_chain("vectorized") == [
@@ -117,6 +125,7 @@ class TestRegistry:
         ]
         assert registry.fallback_chain("compiled") == ["compiled"]
         assert registry.fallback_chain("auto") == ["auto", "compiled"]
+        assert registry.fallback_chain("doacross") == ["doacross", "compiled"]
 
     def test_fallback_cycle_rejected(self):
         fresh = EngineRegistry()
@@ -133,7 +142,9 @@ class TestRegistry:
         for name in ("walk", "compiled"):
             assert registry.serial_engine_for(name) == (name, None)
 
-    @pytest.mark.parametrize("name", ["parallel", "vectorized", "jit", "auto"])
+    @pytest.mark.parametrize(
+        "name", ["parallel", "vectorized", "jit", "auto", "doacross"]
+    )
     def test_serial_engine_for_substitutes(self, name):
         serial_name, reason = registry.serial_engine_for(name)
         assert serial_name == "compiled"
@@ -149,6 +160,7 @@ class TestRegistry:
         assert registry.needs_worker_pool("auto", 2)
         assert not registry.needs_worker_pool("auto", None)
         assert not registry.needs_worker_pool("compiled", 3)
+        assert not registry.needs_worker_pool("doacross", 3)
 
     def test_render_engine_table_covers_all_engines(self):
         table = render_engine_table()

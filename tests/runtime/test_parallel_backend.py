@@ -50,7 +50,7 @@ from repro.workloads.synthetic import build_dependence_injected
 #: the run.
 SHADOW_SURFACE = (
     "w", "r", "np_", "nx", "redux_touched", "multi_w",
-    "_min_write", "_max_exposed_read", "_redux_op",
+    "_min_write", "_max_exposed_read", "_min_exposed_read", "_redux_op",
 )
 
 

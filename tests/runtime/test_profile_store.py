@@ -40,11 +40,14 @@ def _result(arrays=()):
 
 
 def _obs(engine, doall_s, *, passed=True, strip_size=None, reused=False,
-         strategy="speculative"):
+         strategy="speculative", recovered_fraction=None,
+         sync_wait_cycles=0.0):
     return RunObservation(
         strategy=strategy, engine=engine, backend="fork",
         wall_s=doall_s, doall_s=doall_s, passed=passed,
         strip_size=strip_size, reused=reused,
+        recovered_fraction=recovered_fraction,
+        sync_wait_cycles=sync_wait_cycles,
     )
 
 
@@ -224,6 +227,135 @@ class TestSpeculationVeto:
         for _ in range(5):
             store.observe("loop", _obs(None, 0.1, passed=None))
         assert store.speculation_veto("loop") is not None
+
+
+class TestVetoLifecycle:
+    """The vetoed→lifted transition and its consumed-once signal."""
+
+    def _vetoed_store(self):
+        store = LoopProfileStore()
+        store.observe("loop", _obs("compiled", 0.1, passed=False))
+        store.observe("loop", _obs("compiled", 0.1, passed=False))
+        assert store.speculation_veto("loop") is not None
+        return store
+
+    def test_no_signal_without_a_prior_veto(self):
+        store = LoopProfileStore()
+        store.observe("loop", _obs("compiled", 0.1, passed=True))
+        store.speculation_veto("loop")
+        assert not store.veto_cleared("loop")
+        assert not store.veto_cleared("unknown-loop")
+
+    def test_no_signal_while_veto_holds(self):
+        store = self._vetoed_store()
+        assert not store.veto_cleared("loop")
+
+    def test_lifted_veto_signals_exactly_once(self):
+        store = self._vetoed_store()
+        # Passes dilute the failure rate until the veto lifts.
+        for _ in range(6):
+            store.observe("loop", _obs("compiled", 0.1, passed=True))
+        assert store.speculation_veto("loop") is None
+        assert store.veto_cleared("loop")
+        assert not store.veto_cleared("loop")  # consumed on read
+
+    def test_refiring_veto_rearms_the_signal(self):
+        store = self._vetoed_store()
+        for _ in range(6):
+            store.observe("loop", _obs("compiled", 0.1, passed=True))
+        store.speculation_veto("loop")
+        assert store.veto_cleared("loop")
+        for _ in range(DEFAULT_RING):
+            store.observe("loop", _obs("compiled", 0.1, passed=False))
+        assert store.speculation_veto("loop") is not None
+        for _ in range(DEFAULT_RING):
+            store.observe("loop", _obs("compiled", 0.1, passed=True))
+        assert store.speculation_veto("loop") is None
+        assert store.veto_cleared("loop")
+
+
+class TestRecoveryHistory:
+    """The DOACROSS tier's profiled fractions: stats, rescue, veto."""
+
+    def test_stats_empty_without_recovery_runs(self):
+        store = LoopProfileStore()
+        store.observe("loop", _obs("compiled", 0.1, passed=False))
+        assert store.recovery_stats("loop") == (0, 0.0, 0.0)
+
+    def test_stats_mean_fraction_and_sync(self):
+        store = LoopProfileStore()
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False,
+            recovered_fraction=0.4, sync_wait_cycles=10.0,
+        ))
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False,
+            recovered_fraction=0.2, sync_wait_cycles=30.0,
+        ))
+        count, mean, sync = store.recovery_stats("loop")
+        assert count == 2
+        assert mean == pytest.approx(0.3)
+        assert sync == pytest.approx(20.0)
+
+    def test_vetoed_recoveries_drag_the_mean_down(self):
+        store = LoopProfileStore()
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False, recovered_fraction=0.6,
+        ))
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False, recovered_fraction=0.0,
+        ))
+        _count, mean, _sync = store.recovery_stats("loop")
+        assert mean == pytest.approx(0.3)
+
+    def test_rescue_needs_history_above_threshold(self):
+        from repro.runtime.profile import RECOVERY_MIN_FRACTION
+
+        store = LoopProfileStore()
+        assert store.recovery_rescue("loop") is None  # no history
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False,
+            recovered_fraction=RECOVERY_MIN_FRACTION / 2,
+        ))
+        assert store.recovery_rescue("loop") is None  # below threshold
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False, recovered_fraction=0.9,
+        ))
+        reason = store.recovery_rescue("loop")
+        assert reason is not None
+        assert "speculating past the failure veto" in reason
+
+    def test_recovery_veto_fires_on_poor_mean(self):
+        store = LoopProfileStore()
+        assert store.recovery_veto("loop") is None  # thin history is quiet
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False, recovered_fraction=0.0,
+        ))
+        reason = store.recovery_veto("loop")
+        assert reason is not None
+        assert "roll back serially" in reason
+
+    def test_recovery_veto_quiet_on_good_mean(self):
+        store = LoopProfileStore()
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False, recovered_fraction=0.5,
+        ))
+        assert store.recovery_veto("loop") is None
+
+    def test_recovery_fields_survive_persistence(self, tmp_path):
+        path = tmp_path / "profiles.json"
+        store = LoopProfileStore(path=path)
+        store.observe("loop", _obs(
+            "compiled", 0.1, passed=False,
+            recovered_fraction=0.4, sync_wait_cycles=12.0,
+        ))
+        store.save()
+        fresh = LoopProfileStore(path=path)
+        fresh.load()
+        obs = fresh.observations("loop")[-1]
+        assert obs.recovered_fraction == pytest.approx(0.4)
+        assert obs.sync_wait_cycles == pytest.approx(12.0)
+        assert fresh.recovery_stats("loop")[0] == 1
 
 
 class TestPersistence:

@@ -150,6 +150,44 @@ def test_adaptive_sizer_grows_and_shrinks():
     assert sizer.next_size() == 64  # ceiling
 
 
+def test_adaptive_sizer_floor_defaults_to_min_size():
+    sizer = AdaptiveStripSizer(initial_size=16, min_size=4, max_size=64)
+    assert sizer.floor == 4
+    for _ in range(10):
+        sizer.record(False)
+    assert sizer.next_size() == 4
+
+
+def test_adaptive_sizer_raised_floor_stops_the_shrink():
+    # The warm-start contract: one unlucky strip must not shrink below
+    # the converged size history handed the sizer.
+    sizer = AdaptiveStripSizer(initial_size=32, min_size=4, max_size=64)
+    sizer.raise_floor(32)
+    for _ in range(10):
+        sizer.record(False)
+    assert sizer.next_size() == 32
+
+
+def test_adaptive_sizer_reset_floor_restores_full_range():
+    sizer = AdaptiveStripSizer(initial_size=32, min_size=4, max_size=64)
+    sizer.raise_floor(32)
+    sizer.record(False)
+    assert sizer.next_size() == 32
+    sizer.reset_floor()  # a lifted veto marked the history stale
+    assert sizer.floor == sizer.min_size
+    for _ in range(10):
+        sizer.record(False)
+    assert sizer.next_size() == 4
+
+
+def test_adaptive_sizer_floor_clamps_to_bounds():
+    sizer = AdaptiveStripSizer(initial_size=16, min_size=4, max_size=64)
+    sizer.raise_floor(1000)
+    assert sizer.floor == 64
+    sizer.raise_floor(1)
+    assert sizer.floor == 4
+
+
 def test_adaptive_strip_sizing_end_to_end():
     workload = build_partial_parallel(n=400, band_length=24, work=20)
     runner = _runner(workload)

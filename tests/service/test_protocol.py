@@ -164,3 +164,46 @@ class TestServedReport:
         assert "cache_stats" not in comparable
         assert comparable["env_digest"] == payload["env_digest"]
         assert comparable["times"] == payload["times"]
+
+
+class TestRecoveredReport:
+    """DOACROSS-recovered executions over the wire."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        workload = build_workload("synthdoacross")
+        runner = LoopRunner(workload.program(), workload.inputs)
+        return runner.run(
+            Strategy.DOACROSS_RECOVERY,
+            RunConfig(model=fx80().with_procs(8), strip_size=40),
+        )
+
+    def test_recovered_strip_flags_round_trip(self, report):
+        assert any(s.recovered for s in report.strips)
+        payload = report_payload(report)
+        served = ServedReport.from_json(payload)
+        assert [s.recovered for s in served.strips] == \
+            [s.recovered for s in report.strips]
+        assert served.to_json() == payload
+
+    def test_old_strip_payloads_default_unrecovered(self, report):
+        # Reports from a pre-recovery daemon lack the flag entirely.
+        payload = report_payload(report)
+        for strip in payload["strips"]:
+            del strip["recovered"]
+        served = ServedReport.from_json(payload)
+        assert all(not s.recovered for s in served.strips)
+
+    def test_decisions_survive_the_comparable_payload(self, report):
+        """The dropped-diagnostics regression: ``comparable_payload``
+        must keep engine_decisions/fallbacks — only wall-clock and
+        cache counters are nondeterministic."""
+        payload = report_payload(report)
+        comparable = comparable_payload(payload)
+        assert comparable["engine_decisions"] == payload["engine_decisions"]
+        assert comparable["fallbacks"] == payload["fallbacks"]
+        assert any(
+            "pipelined DOACROSS" in reason
+            for _key, reason in payload["engine_decisions"]
+        )
+        assert comparable["stats"]["recovered_fraction"] > 0.0

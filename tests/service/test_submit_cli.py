@@ -1,0 +1,56 @@
+"""The ``repro submit`` CLI against an in-process daemon.
+
+Regression suite for the dropped-diagnostics bug: the served report
+carries ``engine_decisions`` and ``fallbacks`` across the wire, but the
+submit CLI used to have no way to print them — ``--verbose`` now does,
+mirroring ``repro run --verbose``.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+def _submit(harness, *argv):
+    return main([
+        "submit", argv[0], "--socket", str(harness.socket_path), *argv[1:]
+    ])
+
+
+class TestSubmitVerbose:
+    def test_planner_decisions_print_under_verbose(self, harness, capsys):
+        assert _submit(
+            harness, "synthpass", "--engine", "auto", "--verbose",
+            "--no-schedule-cache",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine decision :" in out
+        assert "classifier" in out or "feedback" in out
+
+    def test_quiet_submit_omits_decision_lines(self, harness, capsys):
+        assert _submit(
+            harness, "synthpass", "--engine", "auto", "--no-schedule-cache",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine decision :" not in out
+        assert "engine fallback :" not in out
+
+    def test_recovery_submit_prints_the_doacross_decision(self, harness, capsys):
+        assert _submit(
+            harness, "synthdoacross", "--strategy", "doacross_recovery",
+            "--procs", "8", "--verbose", "--no-schedule-cache",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "doacross_recovery" in out
+        assert "pipelined DOACROSS at distance" in out
+
+    def test_fallback_lines_print_under_verbose(self, harness, capsys):
+        # synthdoacross's inner busy loop is classifier-rejected by the
+        # vectorized engine, so the served report carries a fallback.
+        assert _submit(
+            harness, "synthdoacross", "--engine", "vectorized",
+            "--verbose", "--no-schedule-cache",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine fallback :" in out
+        assert "vectorized ->" in out
