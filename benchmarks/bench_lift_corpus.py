@@ -1,0 +1,129 @@
+"""Frontend corpus gate — lift rate and parity over real Python loops.
+
+The python frontend's acceptance bar, measured: every loop in the
+:mod:`repro.workloads.pycorpus` corpus is lifted (or rejected with a
+named reason), classified, run through the full LRPD machinery and
+compared bit-for-bit against executing the original Python function on
+identical inputs.  The gate fails unless
+
+* at least 12 loops lift, and together they span all five construct
+  classes the frontend claims to handle (subscripted subscripts,
+  data-dependent ifs, scalar temporaries, inner loops, reduction
+  idioms);
+* every lifted loop is bit-identical to native Python at ``p=1`` —
+  including the loops the LRPD test rightly fails (serial fallback) and
+  the DOACROSS-recovery loop;
+* every rejected loop carries a stable kebab-case reason.
+
+``BENCH_lift_corpus.json`` stores the corpus wall time plus the three
+rate keys (``lift_rate``, ``lrpd_pass_rate``, ``transform_rate``) whose
+*presence* CI requires via ``check_regression.py --require`` — a corpus
+that silently stopped emitting its rates would otherwise pass by
+omission.  Rate entries are stored pre-multiplied by the calibration so
+their normalized ratio IS the rate (machine-independent by
+construction).
+"""
+
+from __future__ import annotations
+
+import re
+
+from conftest import calibrate, min_wall, run_once, write_bench_json
+from repro.evalx.figures import lift_corpus_series
+from repro.evalx.render import format_table
+from repro.workloads.pycorpus import CONSTRUCTS, CORPUS
+
+MIN_LIFTED = 12
+#: named reject reasons are stable kebab-case identifiers.
+REASON_SHAPE = re.compile(r"^[a-z][a-z0-9]*(?:-[a-z0-9]+)*$")
+
+
+def test_lift_corpus_rates(benchmark, artifact):
+    def measure():
+        calibration_s = calibrate()
+        wall, points = min_wall(lift_corpus_series)
+        return calibration_s, wall, points
+
+    calibration_s, wall, points = run_once(benchmark, measure)
+
+    assert len(points) == len(CORPUS), "corpus loop dropped from the series"
+    lifted = [p for p in points if p.lifted]
+    rejected = [p for p in points if not p.lifted]
+
+    # Acceptance bar: >=12 lifts spanning all five construct classes.
+    assert len(lifted) >= MIN_LIFTED, (
+        f"only {len(lifted)} corpus loops lifted (need {MIN_LIFTED})"
+    )
+    covered = {c for p in lifted for c in p.constructs}
+    assert covered == set(CONSTRUCTS), (
+        f"lifted corpus does not span all construct classes: "
+        f"missing {sorted(set(CONSTRUCTS) - covered)}"
+    )
+
+    # Every lifted loop matches native Python bit-for-bit at p=1 —
+    # the LRPD-failing loops included (their serial fallback env is
+    # what gets compared).
+    for p in lifted:
+        assert p.parity, f"{p.name}: lifted run diverged from native Python"
+        expect = CORPUS[p.name].expect_pass
+        if expect is not None:
+            assert p.passed is expect, (
+                f"{p.name}: LRPD verdict {p.passed}, expected {expect}"
+            )
+
+    # Every reject names its reason, and the reason the corpus pins.
+    for p in rejected:
+        assert p.reason and REASON_SHAPE.match(p.reason), (
+            f"{p.name}: reject without a stable named reason ({p.reason!r})"
+        )
+        assert p.reason == CORPUS[p.name].reject_reason, (
+            f"{p.name}: reason {p.reason!r} != "
+            f"expected {CORPUS[p.name].reject_reason!r}"
+        )
+
+    lift_rate = len(lifted) / len(points)
+    passed = [p for p in lifted if p.passed]
+    pass_rate = len(passed) / len(lifted)
+    transformed = [p for p in lifted if p.transforms]
+    transform_rate = len(transformed) / len(lifted)
+
+    rows = [
+        (
+            p.name,
+            "/".join(c.split("-")[0] for c in p.constructs),
+            "yes" if p.lifted else f"no ({p.reason})",
+            {True: "pass", False: "fail", None: "-"}[p.passed],
+            ",".join(p.transforms) or "-",
+            {True: "bit-identical", False: "DIVERGED", None: "-"}[p.parity],
+        )
+        for p in points
+    ]
+    table = format_table(
+        ("loop", "constructs", "lifted", "lrpd", "transforms", "parity"),
+        rows,
+        title=(
+            f"Python-frontend corpus: {len(lifted)}/{len(points)} lifted "
+            f"(rate {lift_rate:.2f}), LRPD pass rate {pass_rate:.2f}, "
+            f"transform rate {transform_rate:.2f}"
+        ),
+    )
+    artifact("lift_corpus", table)
+
+    # Rates ride in entries pre-multiplied by the calibration so the
+    # stored normalized ratio is the rate itself; --require gates their
+    # presence and the asserts above gate their floor.
+    write_bench_json(
+        "lift_corpus",
+        calibration_s,
+        {
+            "corpus_wall": wall,
+            "lift_rate": lift_rate * calibration_s,
+            "lrpd_pass_rate": pass_rate * calibration_s,
+            "transform_rate": transform_rate * calibration_s,
+        },
+        extra={
+            "loops_total": len(points),
+            "loops_lifted": len(lifted),
+            "construct_classes": sorted(covered),
+        },
+    )

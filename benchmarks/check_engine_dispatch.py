@@ -62,6 +62,18 @@ RECOVERY_PATTERNS = (
     re.compile(r"""["']doacross_recovery["']\s*[=!]="""),
 )
 
+#: direct Program construction outside the frontend layer.  The frontend
+#: refactor made :mod:`repro.frontend` the only door into the IR: every
+#: ``Program`` comes from a registered frontend's ``lift()`` (the dsl
+#: parser and the python lifter included).  ``parse(`` matches the
+#: bare parser call but not methods (``self.parse(``) or other names
+#: (``parse_args(``); workloads keep their stored-source ``parse`` and
+#: the dsl package implements the parser itself.
+FRONTEND_PATTERNS = (
+    re.compile(r"(?<![\w.])parse\s*\("),
+    re.compile(r"\bProgramBuilder\s*\("),
+)
+
 #: direct construction of engines, worker pools or shadow arenas — the
 #: service layer must stay a pure front end over the orchestrator, so
 #: every engine comes from the registry and every pool from
@@ -86,6 +98,16 @@ CACHE_ALLOWED = pathlib.PurePosixPath("repro/runtime/profile")
 #: the package held to the stricter no-direct-construction rule.
 SERVICE_CHECKED = pathlib.PurePosixPath("repro/service")
 
+#: the only places Program construction (parse/ProgramBuilder) may live:
+#: the frontend layer itself, the dsl package that implements it, and
+#: the workloads package (whose Workload.program() re-parses stored
+#: mini-Fortran source).
+FRONTEND_ALLOWED = (
+    pathlib.PurePosixPath("repro/frontend"),
+    pathlib.PurePosixPath("repro/dsl"),
+    pathlib.PurePosixPath("repro/workloads"),
+)
+
 
 def lint(root: pathlib.Path) -> list[str]:
     """All offending ``path:line: text`` hits under ``root``."""
@@ -96,7 +118,13 @@ def lint(root: pathlib.Path) -> list[str]:
         check_backend = relative != BACKEND_ALLOWED
         check_cache = CACHE_ALLOWED not in relative.parents
         check_service = SERVICE_CHECKED in relative.parents
-        if not (check_engine or check_backend or check_cache or check_service):
+        check_frontend = not any(
+            allowed in relative.parents for allowed in FRONTEND_ALLOWED
+        )
+        if not (
+            check_engine or check_backend or check_cache
+            or check_service or check_frontend
+        ):
             continue
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -114,7 +142,13 @@ def lint(root: pathlib.Path) -> list[str]:
             service_hit = check_service and any(
                 pattern.search(line) for pattern in SERVICE_PATTERNS
             )
-            if engine_hit or backend_hit or cache_hit or service_hit:
+            frontend_hit = check_frontend and any(
+                pattern.search(line) for pattern in FRONTEND_PATTERNS
+            )
+            if (
+                engine_hit or backend_hit or cache_hit
+                or service_hit or frontend_hit
+            ):
                 hits.append(f"{path}:{lineno}: {line.strip()}")
     return hits
 
@@ -148,8 +182,11 @@ def main(argv: list[str] | None = None) -> int:
             f"strategy table and recovery_engine()), "
             f"ScheduleCache/KernelCache may only "
             f"be constructed inside repro/runtime/profile (go through "
-            f"LoopProfileStore), and repro/service may not construct "
-            f"engines, pools or arenas directly:",
+            f"LoopProfileStore), repro/service may not construct "
+            f"engines, pools or arenas directly, and Program "
+            f"construction (parse/ProgramBuilder) belongs behind the "
+            f"frontend registry (repro/frontend; repro/dsl and "
+            f"repro/workloads excepted):",
             file=sys.stderr,
         )
         for hit in hits:

@@ -1,0 +1,28 @@
+"""Binned accumulation — an indirect array reduction (``h[b[i]] += w[i]``).
+
+Try it::
+
+    python -m repro lift examples/corpus/histogram.py --run
+
+The lifter turns the subscripted subscript + augmented assignment into a
+marked-doall reduction statement; the LRPD test validates at run time
+that every touched element was only ever updated by it.
+"""
+
+import numpy as np
+
+
+def histogram(h, b, w, n):
+    for i in range(n):
+        h[b[i]] += w[i]
+
+
+def make_inputs():
+    rng = np.random.default_rng(7)
+    n = 256
+    return {
+        "h": np.zeros(32),
+        "b": rng.integers(0, 32, size=n).astype(np.int64),
+        "w": rng.random(n),
+        "n": n,
+    }

@@ -1,0 +1,26 @@
+"""Sum of squared deviations — a reduction through a scalar temporary.
+
+Try it::
+
+    python -m repro lift examples/corpus/norm.py --run
+
+The accumulation flows through ``t``, so syntactic matching misses it;
+demand-driven forward substitution (the paper's §IV) recognizes
+``s = s + (x(i) - mu) * (x(i) - mu)`` and the runtime privatizes ``t``.
+"""
+
+import numpy as np
+
+
+def norm_temp(x, n, mu):
+    s = 0.0
+    for i in range(n):
+        t = x[i] - mu
+        s += t * t
+    return s
+
+
+def make_inputs():
+    rng = np.random.default_rng(11)
+    n = 512
+    return {"x": rng.random(n), "n": n, "mu": 0.5}

@@ -1,0 +1,22 @@
+"""Sliding-window sum — an inner loop feeding independent writes.
+
+Try it::
+
+    python -m repro lift examples/corpus/stencil.py --run
+"""
+
+import numpy as np
+
+
+def window_sum(x, y, n, w):
+    for i in range(n - w):
+        acc = 0.0
+        for j in range(w):
+            acc = acc + x[i + j]
+        y[i] = acc
+
+
+def make_inputs():
+    rng = np.random.default_rng(13)
+    n = 256
+    return {"x": rng.random(n), "y": np.zeros(n), "n": n, "w": 7}

@@ -1,0 +1,27 @@
+"""A loop the frontend must reject — ``break`` has no doall form.
+
+Try it::
+
+    python -m repro lift examples/corpus/unliftable.py
+
+The lift fails with the named reason ``break-unsupported`` (exit 1);
+every unsupported construct maps to a stable kebab-case reason so
+rejection rates can be tracked per construct.
+"""
+
+import numpy as np
+
+
+def first_negative(x, n):
+    j = -1
+    for i in range(n):
+        if x[i] < 0.0:
+            j = i
+            break
+    return j
+
+
+def make_inputs():
+    rng = np.random.default_rng(17)
+    n = 64
+    return {"x": rng.random(n) - 0.5, "n": n}

@@ -5,12 +5,13 @@ reduction parallelization, built on a mini-Fortran DSL, a compile-time
 analysis pipeline, a run-time marking/test library and a simulated
 shared-memory multiprocessor.
 
-Quickstart::
+Quickstart — programs enter through a *frontend* (mini-Fortran text via
+``dsl``, real Python ``for`` loops via ``python``)::
 
-    from repro import LoopRunner, RunConfig, Strategy, fx80, parse
+    from repro import LoopRunner, RunConfig, Strategy, fx80, get_frontend
 
-    program = parse(SOURCE)
-    runner = LoopRunner(program, inputs={"n": 1000, ...})
+    result = get_frontend("dsl").lift(SOURCE)
+    runner = LoopRunner(result.require(), inputs={"n": 1000, ...})
     report = runner.run(Strategy.SPECULATIVE, RunConfig(model=fx80()))
     print(report.describe())
 """
@@ -20,6 +21,7 @@ from repro.core.outcomes import TestMode
 from repro.core.shadow import Granularity
 from repro.dsl import parse, to_source
 from repro.errors import ReproError
+from repro.frontend import LiftResult, frontend_names, get_frontend
 from repro.machine import CostModel, fx80, fx2800
 from repro.machine.schedule import ScheduleKind
 from repro.runtime import ExecutionReport, LoopRunner, RunConfig, Strategy
@@ -30,6 +32,7 @@ __all__ = [
     "CostModel",
     "ExecutionReport",
     "Granularity",
+    "LiftResult",
     "LoopRunner",
     "ReproError",
     "RunConfig",
@@ -37,8 +40,10 @@ __all__ = [
     "Strategy",
     "TestMode",
     "build_plan",
+    "frontend_names",
     "fx80",
     "fx2800",
+    "get_frontend",
     "parse",
     "to_source",
     "__version__",

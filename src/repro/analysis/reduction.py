@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.sym import (
     SConst,
+    SDef,
     SGamma,
     SInit,
     SLoad,
@@ -82,6 +83,12 @@ class ReductionReport:
     redux_refs: dict[int, str] = field(default_factory=dict)
     #: id() of each validated reduction Assign statement.
     reduction_stmt_ids: frozenset[int] = frozenset()
+    #: demand-driven substitution counters: scalar definitions recorded
+    #: during symbolic execution vs. actually expanded at a demand point.
+    #: ``defs_expanded < defs_recorded`` whenever a definition died
+    #: (was overwritten) before any observable use.
+    defs_recorded: int = 0
+    defs_expanded: int = 0
 
     def arrays(self) -> set[str]:
         return {c.array for c in self.candidates}
@@ -162,8 +169,36 @@ class _StoreRecord:
     stmt: Assign
 
 
+@dataclass
+class _ScalarDef:
+    """One recorded scalar assignment, unexpanded.
+
+    The right-hand side stays AST; ``env`` and ``versions`` snapshot the
+    scalar bindings and array store counters it closes over, so the
+    definition can be expanded later with exactly the values it would
+    have seen at assignment time.
+    """
+
+    expr: Expr
+    env: dict[str, SymExpr]
+    versions: dict[str, int]
+
+
 class _SymExec:
-    """Single-pass symbolic execution of one loop iteration."""
+    """Demand-driven symbolic execution of one loop iteration.
+
+    Scalar assignments are *recorded*, not evaluated: the environment
+    binds the name to an :class:`~repro.analysis.sym.SDef` placeholder
+    and the right-hand side is kept as unevaluated AST together with a
+    snapshot of the bindings it closes over (:class:`_ScalarDef`).
+    Forward substitution happens only when a value reaches a *demand
+    point* — a store's subscript or right-hand side, a branch or loop
+    condition, an inner loop's exit merge, or the end-of-iteration
+    finals (:meth:`finalize`) — which is the paper's demand-driven
+    formulation of the GSSA substitution (§IV): a definition that is
+    overwritten before any observable use is never expanded, and its
+    array subscripts never pollute the escaped sets.
+    """
 
     def __init__(self) -> None:
         self.env: dict[str, SymExpr] = {}
@@ -171,6 +206,17 @@ class _SymExec:
         self.escaped_loads: set[int] = set()
         self.escaped_inits: set[str] = set()
         self._array_version: dict[str, int] = {}
+        self._scalar_version: dict[str, int] = {}
+        self._defs: dict[tuple[str, int], _ScalarDef] = {}
+        self._expanded: dict[tuple[str, int], SymExpr] = {}
+
+    @property
+    def defs_recorded(self) -> int:
+        return len(self._defs)
+
+    @property
+    def defs_expanded(self) -> int:
+        return len(self._expanded)
 
     # -- statements -------------------------------------------------------
 
@@ -186,18 +232,28 @@ class _SymExec:
         elif isinstance(stmt, Do):
             self._exec_inner_loop(stmt, bounds=(stmt.start, stmt.stop, stmt.step))
         elif isinstance(stmt, While):
-            self._escape(self.eval(stmt.cond))
+            self._escape(self.resolve(self.eval(stmt.cond)))
             self._exec_inner_loop(stmt, bounds=())
         else:
             raise TypeError(f"not a statement: {stmt!r}")
 
     def _exec_assign(self, stmt: Assign) -> None:
-        rhs = self.eval(stmt.expr)
         if isinstance(stmt.target, Var):
-            self.env[stmt.target.name] = rhs
+            # Record, don't expand: the value may be dead.
+            name = stmt.target.name
+            version = self._scalar_version.get(name, 0)
+            self._scalar_version[name] = version + 1
+            self._defs[(name, version)] = _ScalarDef(
+                expr=stmt.expr,
+                env=dict(self.env),
+                versions=dict(self._array_version),
+            )
+            self.env[name] = SDef(name, version)
             return
+        # A store is a demand point for both its value and its subscript.
         target = stmt.target
-        sub = self.eval(target.index)
+        rhs = self.resolve(self.eval(stmt.expr))
+        sub = self.resolve(self.eval(target.index))
         self._escape(sub)
         self.stores.append(
             _StoreRecord(
@@ -212,7 +268,7 @@ class _SymExec:
         self._array_version[target.name] = self._array_version.get(target.name, 0) + 1
 
     def _exec_if(self, stmt: If) -> None:
-        cond = self.eval(stmt.cond)
+        cond = self.resolve(self.eval(stmt.cond))
         self._escape(cond)
         before = dict(self.env)
         self.exec_block(stmt.then_body)
@@ -233,7 +289,7 @@ class _SymExec:
     def _exec_inner_loop(self, stmt: Do | While, bounds: tuple) -> None:
         for bound in bounds:
             if bound is not None:
-                self._escape(self.eval(bound))
+                self._escape(self.resolve(self.eval(bound)))
         body = stmt.body
         summary = summarize_body(body)
         assigned = set(summary.scalars_written)
@@ -246,11 +302,13 @@ class _SymExec:
         self.env.update(unknowns)
         self.exec_block(body)
 
+        # The exit merge demands each assigned scalar's final value.
         after = self.env
         merged = dict(before)
         for name in assigned:
             pre = before.get(name, SInit(name))
-            op = _accumulation_op(after.get(name, unknowns[name]), unknowns[name])
+            final = self.resolve(after.get(name, unknowns[name]))
+            op = _accumulation_op(final, unknowns[name])
             if op == _IDENTITY:
                 merged[name] = pre
             elif op is not None:
@@ -261,32 +319,104 @@ class _SymExec:
                 merged[name] = SUnknown()
         self.env = merged
 
+    def finalize(self) -> None:
+        """Demand every end-of-iteration scalar final, in place.
+
+        Called once after the body executes, before the driver inspects
+        the environment: scalar finals are observable (they feed the
+        next iteration), so their definitions must be expanded.  Dead
+        intermediate definitions stay unexpanded.
+        """
+        for name, value in list(self.env.items()):
+            self.env[name] = self.resolve(value)
+
     # -- expressions ---------------------------------------------------------
 
-    def eval(self, expr: Expr) -> SymExpr:
+    def eval(
+        self,
+        expr: Expr,
+        env: dict[str, SymExpr] | None = None,
+        versions: dict[str, int] | None = None,
+    ) -> SymExpr:
+        """Evaluate AST to a symbolic value, without expanding definitions.
+
+        ``env``/``versions`` default to the live execution state; a
+        definition being expanded passes its snapshots instead.  The
+        result may contain :class:`SDef` placeholders — demand points
+        push it through :meth:`resolve`.
+        """
+        if env is None:
+            env = self.env
+        if versions is None:
+            versions = self._array_version
         if isinstance(expr, Num):
             return SConst(int(expr.value) if expr.is_int else expr.value)
         if isinstance(expr, Var):
-            value = self.env.get(expr.name)
-            if value is None:
-                value = SInit(expr.name)
-                self.env[expr.name] = value
-            return value
+            return env.get(expr.name, SInit(expr.name))
         if isinstance(expr, ArrayRef):
-            sub = self.eval(expr.index)
+            sub = self.eval(expr.index, env, versions)
             self._escape(sub)
-            return SLoad(
-                expr.ref_id, expr.name, sub, self._array_version.get(expr.name, 0)
-            )
+            return SLoad(expr.ref_id, expr.name, sub, versions.get(expr.name, 0))
         if isinstance(expr, BinOp):
-            return make_op(expr.op, (self.eval(expr.left), self.eval(expr.right)))
+            return make_op(
+                expr.op,
+                (self.eval(expr.left, env, versions), self.eval(expr.right, env, versions)),
+            )
         if isinstance(expr, UnaryOp):
             if expr.op == "-":
-                return make_op("neg", (self.eval(expr.operand),))
-            return make_op("not", (self.eval(expr.operand),))
+                return make_op("neg", (self.eval(expr.operand, env, versions),))
+            return make_op("not", (self.eval(expr.operand, env, versions),))
         if isinstance(expr, Call):
-            return make_op(expr.func, tuple(self.eval(a) for a in expr.args))
+            return make_op(
+                expr.func, tuple(self.eval(a, env, versions) for a in expr.args)
+            )
         raise TypeError(f"not an expression: {expr!r}")
+
+    def resolve(self, sym: SymExpr) -> SymExpr:
+        """Expand every :class:`SDef` in ``sym`` (memoized per definition).
+
+        This is the actual forward substitution: a placeholder expands by
+        evaluating its recorded right-hand side against its snapshots,
+        recursively.  Unchanged subtrees are returned as-is so load
+        ``ref_id`` identities survive; rebuilt operator nodes go back
+        through :func:`make_op` so the size ceiling applies to the
+        expanded tree exactly as it would have eagerly.
+        """
+        if isinstance(sym, SDef):
+            key = (sym.name, sym.version)
+            cached = self._expanded.get(key)
+            if cached is None:
+                definition = self._defs[key]
+                cached = self.resolve(
+                    self.eval(definition.expr, definition.env, definition.versions)
+                )
+                self._expanded[key] = cached
+            return cached
+        if isinstance(sym, SOp):
+            args = tuple(self.resolve(a) for a in sym.args)
+            if all(a is b for a, b in zip(args, sym.args)):
+                return sym
+            return make_op(sym.op, args)
+        if isinstance(sym, SGamma):
+            cond = self.resolve(sym.cond)
+            then_value = self.resolve(sym.then_value)
+            else_value = self.resolve(sym.else_value)
+            if (
+                cond is sym.cond
+                and then_value is sym.then_value
+                and else_value is sym.else_value
+            ):
+                return sym
+            return SGamma(cond, then_value, else_value)
+        if isinstance(sym, SLoad):
+            sub = self.resolve(sym.sub)
+            if sub is sym.sub:
+                return sym
+            # The subscript materialized new loads/inits: they escape,
+            # exactly as the eager evaluation of this load would have.
+            self._escape(sub)
+            return SLoad(sym.ref_id, sym.array, sub, sym.version)
+        return sym
 
     def _escape(self, sym: SymExpr) -> None:
         for load in loads_in(sym):
@@ -463,8 +593,13 @@ def find_reductions(
     execu = _SymExec()
     execu.env[loop.var] = SInit(loop.var)
     execu.exec_block(loop.body)
+    # End-of-iteration finals are observable: demand them now so the
+    # escape pass and scalar-reduction scan below see expanded values.
+    execu.finalize()
 
     report = ReductionReport()
+    report.defs_recorded = execu.defs_recorded
+    report.defs_expanded = execu.defs_expanded
     validated_loads_by_store: dict[int, frozenset[int]] = {}
     provisional: list[tuple[_StoreRecord, str, frozenset[int]]] = []
 

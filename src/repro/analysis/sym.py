@@ -15,7 +15,12 @@ the symbolic values that expression evaluates to:
   the same value);
 * :class:`SOp`    — an operator applied to symbolic operands;
 * :class:`SGamma` — a gated merge: the value is ``then_value`` when the
-  (opaque) condition held, else ``else_value``.
+  (opaque) condition held, else ``else_value``;
+* :class:`SDef`   — a *not-yet-substituted* scalar definition.  The
+  executor binds an assigned scalar to its numbered definition instead of
+  its expanded value; substitution happens only when the value reaches a
+  demand point (that is what makes the substitution demand driven — dead
+  definitions are never expanded).
 """
 
 from __future__ import annotations
@@ -126,6 +131,30 @@ class SOp(SymExpr):
 
     def __repr__(self) -> str:
         return f"SOp({self.op}, {list(self.args)!r})"
+
+
+class SDef(SymExpr):
+    """A recorded-but-unexpanded scalar definition (GSSA-style name).
+
+    ``version`` is the per-scalar assignment counter, so equality means
+    "the very same definition".  The reduction recognizer's environment
+    binds assigned scalars to these placeholders; the definition's
+    right-hand side stays unevaluated AST until a demand point resolves
+    it (see :class:`repro.analysis.reduction._SymExec.resolve`).  A
+    resolved symbolic value never contains an :class:`SDef`.
+    """
+
+    __slots__ = ("name", "version")
+
+    def __init__(self, name: str, version: int):
+        self.name = name
+        self.version = version
+
+    def key(self) -> tuple:
+        return ("def", self.name, self.version)
+
+    def __repr__(self) -> str:
+        return f"SDef({self.name}@{self.version})"
 
 
 class SGamma(SymExpr):

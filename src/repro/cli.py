@@ -4,6 +4,8 @@
 
     python -m repro list                         # available workloads
     python -m repro analyze loop.f               # compiler's view of a file
+    python -m repro lift kernel.py --run         # lift a real Python loop
+    python -m repro lift corpus/histogram --run  # ... or a corpus loop
     python -m repro run bdna --strategy inspector --procs 14
     python -m repro table1                       # regenerate Table I
     python -m repro table2                       # regenerate Table II
@@ -43,7 +45,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the built-in workloads")
 
     analyze = sub.add_parser("analyze", help="static analysis of a program file")
-    analyze.add_argument("file", help="mini-Fortran source file")
+    analyze.add_argument(
+        "file",
+        help="source file; the frontend is chosen by suffix "
+        "(.py lifts a real Python loop, anything else parses as "
+        "mini-Fortran)",
+    )
+
+    from repro.frontend import frontend_names
+
+    lift = sub.add_parser(
+        "lift",
+        help="lift a real Python for loop into the marked-doall IR "
+        "(show the IR and classifier verdict; optionally run it)",
+    )
+    lift.add_argument(
+        "target",
+        help="a corpus loop name (corpus/<name> or bare <name>, see "
+        "'repro list') or a path to a Python file defining the kernel "
+        "(and optionally a make_inputs() builder)",
+    )
+    lift.add_argument(
+        "--frontend", choices=["auto", *frontend_names()], default="auto",
+        help="ingestion frontend (auto: by corpus name or file suffix)",
+    )
+    lift.add_argument(
+        "--func", default=None, metavar="NAME",
+        help="function to lift from a file (default: the first def)",
+    )
+    lift.add_argument(
+        "--run", action="store_true",
+        help="execute the lifted loop under the LRPD runtime and, for "
+        "corpus targets, compare against native Python execution",
+    )
+    lift.add_argument(
+        "--strategy", choices=[s.value for s in Strategy], default="speculative"
+    )
+    lift.add_argument("--machine", choices=sorted(_MACHINES), default="fx80")
+    lift.add_argument("--procs", type=int, default=None)
+    lift.add_argument(
+        "--engine", choices=engine_names(), default=DEFAULT_ENGINE
+    )
 
     run = sub.add_parser("run", help="run a built-in workload")
     run.add_argument("workload", choices=sorted(SHORT_NAMES))
@@ -199,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "analyze":
         return _cmd_analyze(args.file)
+    if args.command == "lift":
+        return _cmd_lift(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "serve":
@@ -217,24 +261,66 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _cmd_list() -> int:
+    from repro.workloads.pycorpus import CORPUS
+
     for short, name in sorted(SHORT_NAMES.items()):
         workload = PAPER_LOOPS[name]()
         print(f"{short:8s} {name:24s} {workload.description}")
+    print()
+    print("python corpus (repro lift corpus/<name>):")
+    for name, loop in CORPUS.items():
+        tag = "lifts " if loop.liftable else "reject"
+        print(f"  corpus/{name:16s} {tag} {loop.description}")
     return 0
+
+
+def _lift_file(path: str, frontend_name: str = "auto", func: str | None = None):
+    """Lift a source file through the frontend registry.
+
+    Returns a :class:`~repro.frontend.LiftResult`, or None after printing
+    an error (unreadable file, broken module).  Python files may define a
+    ``make_inputs()`` builder next to the kernel; its bindings give the
+    lifter the array sizes and kinds.
+    """
+    from repro.frontend import get_frontend, registry
+
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if frontend_name == "auto":
+        frontend = registry.for_path(path)
+    else:
+        frontend = get_frontend(frontend_name)
+    inputs: dict = {}
+    if frontend.name == "python":
+        namespace: dict = {}
+        try:
+            exec(compile(text, path, "exec"), namespace)
+        except Exception as exc:
+            print(f"error: executing {path}: {exc}", file=sys.stderr)
+            return None
+        builder = namespace.get("make_inputs")
+        if callable(builder):
+            inputs = builder()
+    return frontend.lift(text, name=func, inputs=inputs)
 
 
 def _cmd_analyze(path: str) -> int:
     from repro.analysis.instrument import build_plan
-    from repro.dsl.parser import parse
     from repro.errors import ReproError
 
-    try:
-        with open(path) as handle:
-            program = parse(handle.read())
-        plan = build_plan(program)
-    except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    result = _lift_file(path)
+    if result is None:
         return 1
+    try:
+        if not result:
+            print(f"error: {result.decision.explain()}", file=sys.stderr)
+            return 1
+        program = result.require()
+        plan = build_plan(program)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -246,6 +332,77 @@ def _cmd_analyze(path: str) -> int:
             print("inspector       :", obstacle)
     for name, cls in sorted(plan.scalar_classes.items()):
         print(f"scalar {name:12s}: {cls.value}")
+    return 0
+
+
+def _cmd_lift(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.instrument import build_plan
+    from repro.analysis.vectorize import classify_loop
+    from repro.errors import ReproError
+    from repro.workloads.pycorpus import CORPUS, lift_corpus_loop, run_native
+
+    corpus_loop = CORPUS.get(args.target.removeprefix("corpus/"))
+    if corpus_loop is not None:
+        result = lift_corpus_loop(corpus_loop)
+    else:
+        result = _lift_file(args.target, args.frontend, args.func)
+        if result is None:
+            return 1
+
+    print(f"frontend : {result.frontend}")
+    print(f"lift     : {result.decision.explain()}")
+    if not result:
+        return 1
+    program = result.require()
+    print("--- lifted IR " + "-" * 50)
+    print(result.source, end="")
+    print("-" * 64)
+    try:
+        plan = build_plan(program)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("plan     :", plan.summary())
+    verdict = classify_loop(program, plan.loop, plan)
+    print(
+        "vectorize:",
+        "ok" if verdict else f"rejected ({verdict.reason})",
+    )
+    if not args.run:
+        return 0
+
+    model = _MACHINES[args.machine]()
+    if args.procs is not None:
+        model = model.with_procs(args.procs)
+    config = RunConfig(model=model, engine=args.engine)
+    runner = LoopRunner(program, result.inputs)
+    report = runner.run(Strategy(args.strategy), config)
+    print(report.describe())
+    if corpus_loop is None or not corpus_loop.liftable:
+        return 0
+    arrays, scalars = run_native(corpus_loop)
+    exact = True
+    close = True
+    for name in corpus_loop.check_arrays:
+        lifted = report.env.arrays[name]
+        native = arrays[name]
+        exact = exact and lifted.tobytes() == native.tobytes()
+        close = close and bool(np.allclose(lifted, native))
+    for name in corpus_loop.returns:
+        lifted_scalar = report.env.scalars.get(f"{name}_out")
+        native_scalar = scalars[name]
+        exact = exact and lifted_scalar == native_scalar
+        close = close and bool(np.isclose(lifted_scalar, native_scalar))
+    if exact:
+        print("parity   : bit-identical to native Python execution")
+    elif close:
+        print("parity   : allclose to native Python execution "
+              "(parallel reduction merge reassociates)")
+    else:
+        print("parity   : DIVERGED from native Python execution")
+        return 1
     return 0
 
 

@@ -32,6 +32,29 @@ class AnalysisError(ReproError):
     """A compile-time analysis could not be applied to the given program."""
 
 
+class FrontendError(ReproError):
+    """Base class of the loop-ingestion frontend layer's errors."""
+
+
+class LiftError(FrontendError):
+    """A frontend could not lift the given loop into the doall IR.
+
+    Raised by :meth:`repro.frontend.LiftResult.require` when the lift was
+    rejected; carries the machine-readable ``reason`` (a kebab-case name
+    such as ``iterator-not-range``) alongside the human detail.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        message = reason if not detail else f"{reason}: {detail}"
+        super().__init__(message)
+
+
+class UnknownFrontendError(FrontendError):
+    """An unregistered frontend name was requested from the registry."""
+
+
 class InspectorNotExtractable(AnalysisError):
     """The inspector loop cannot be extracted without side effects.
 

@@ -488,3 +488,99 @@ def schedule_reuse_series(
         return points
 
     return run_repeated(False), run_repeated(True)
+
+
+@dataclass
+class LiftCorpusPoint:
+    """One real-Python corpus loop through lift + classify + LRPD."""
+
+    name: str
+    constructs: tuple[str, ...]
+    lifted: bool
+    reason: str | None          # named reject reason when not lifted
+    classifier_ok: bool | None  # vectorized-engine verdict (None: no lift)
+    passed: bool | None         # LRPD verdict (None: no lift / no test)
+    transforms: tuple[str, ...]  # privatization/reduction actually applied
+    parity: bool | None         # bit-identical to native Python at p=1
+
+
+def lift_corpus_series(
+    names: tuple[str, ...] | None = None,
+) -> list[LiftCorpusPoint]:
+    """Run the python-frontend corpus end to end; one record per loop.
+
+    The parity bit executes the lifted program speculatively on a
+    single-processor model (serial FP association) and compares every
+    checked array bit-for-bit — and every returned scalar exactly —
+    against running the original Python function on identical inputs.
+    This is the series behind the ``lift_corpus`` figure: lift rate,
+    LRPD pass rate and transform mix over real Python loops.
+    """
+    import numpy as np
+
+    from repro.analysis.instrument import build_plan
+    from repro.analysis.vectorize import classify_loop
+    from repro.workloads.pycorpus import CORPUS, lift_corpus_loop, run_native
+
+    points: list[LiftCorpusPoint] = []
+    for name, loop in CORPUS.items():
+        if names is not None and name not in names:
+            continue
+        result = lift_corpus_loop(loop)
+        if not result:
+            points.append(
+                LiftCorpusPoint(
+                    name=name,
+                    constructs=loop.constructs,
+                    lifted=False,
+                    reason=result.decision.reason,
+                    classifier_ok=None,
+                    passed=None,
+                    transforms=(),
+                    parity=None,
+                )
+            )
+            continue
+        program = result.require()
+        plan = build_plan(program)
+        verdict = classify_loop(program, plan.loop, plan)
+        runner = LoopRunner(program, result.inputs)
+        config = RunConfig(
+            model=CostModel(name="parity1", num_procs=1), engine="auto"
+        )
+        report = runner.run(Strategy.SPECULATIVE, config)
+        arrays, scalars = run_native(loop)
+        parity = True
+        for array in loop.check_arrays:
+            parity = parity and (
+                report.env.arrays[array].tobytes() == arrays[array].tobytes()
+            )
+        for scalar in loop.returns:
+            got = report.env.scalars.get(f"{scalar}_out")
+            native = scalars[scalar]
+            parity = parity and bool(
+                got == native or np.isclose(got, native, rtol=0.0, atol=0.0)
+            )
+        from repro.analysis.classify import ScalarClass
+
+        transforms = []
+        private_scalars = any(
+            cls is ScalarClass.PRIVATE for cls in plan.scalar_classes.values()
+        )
+        if plan.tested_arrays or private_scalars:
+            transforms.append("privatization")
+        if plan.reduction_arrays or plan.scalar_reductions:
+            transforms.append("reduction")
+        points.append(
+            LiftCorpusPoint(
+                name=name,
+                constructs=loop.constructs,
+                lifted=True,
+                reason=None,
+                classifier_ok=bool(verdict),
+                passed=report.passed,
+                transforms=tuple(transforms),
+                parity=parity,
+            )
+        )
+    return points

@@ -1,0 +1,43 @@
+"""Pluggable loop-ingestion frontends (mirrors the engine registry).
+
+Every way of turning user input into a marked-doall
+:class:`~repro.dsl.ast_nodes.Program` lives behind the
+:class:`~repro.frontend.base.Frontend` protocol and the process-wide
+registry here:
+
+* ``dsl``    — the mini-Fortran parser (the original ingestion path);
+* ``python`` — ``ast``-based lifting of real Python ``for`` loops.
+
+Program construction anywhere else is a lint violation
+(``benchmarks/check_engine_dispatch.py``), exactly like string-literal
+engine dispatch outside :mod:`repro.runtime.engines`.
+"""
+
+from repro.frontend.base import (
+    DEFAULT_FRONTEND,
+    Frontend,
+    FrontendRegistry,
+    LiftDecision,
+    LiftResult,
+    frontend_names,
+    get_frontend,
+    registry,
+)
+from repro.frontend.dsl import DslFrontend
+from repro.frontend.pyloop import PythonFrontend
+
+registry.register(DslFrontend())
+registry.register(PythonFrontend())
+
+__all__ = [
+    "DEFAULT_FRONTEND",
+    "DslFrontend",
+    "Frontend",
+    "FrontendRegistry",
+    "LiftDecision",
+    "LiftResult",
+    "PythonFrontend",
+    "frontend_names",
+    "get_frontend",
+    "registry",
+]

@@ -1,0 +1,161 @@
+"""The loop-ingestion frontend protocol and registry.
+
+A *frontend* turns something a user has — mini-Fortran text, a real
+Python function — into a :class:`~repro.dsl.ast_nodes.Program` in the
+marked-doall IR, which is the one currency every downstream tier
+(classifier, LRPD runtime, engines, serve daemon) trades in.  The layer
+mirrors the :class:`~repro.runtime.engines.base.ExecutionEngine`
+protocol/registry: frontends are looked up by name from a process-wide
+registry, and ``Program`` construction happens only behind it (enforced
+by ``benchmarks/check_engine_dispatch.py``).
+
+Lifting is total: it never raises on unsupported input.  Every attempt
+produces a :class:`LiftResult` whose :class:`LiftDecision` either
+accepts, or rejects with a *named* kebab-case reason (mirroring
+:class:`~repro.analysis.vectorize.VectorizeDecision`) so rejection
+rates can be counted per construct in the corpus harness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.dsl.ast_nodes import Program
+from repro.errors import LiftError, UnknownFrontendError
+
+
+@dataclass(frozen=True)
+class LiftDecision:
+    """Did the frontend lift the loop, and if not, exactly why not.
+
+    ``reason`` is a stable machine-readable name (``"iterator-not-range"``,
+    ``"multidim-array"``...); ``detail`` is the human-facing specifics
+    (the offending source line or construct).
+    """
+
+    ok: bool
+    reason: str | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def explain(self) -> str:
+        if self.ok:
+            return "ok"
+        if self.detail:
+            return f"rejected ({self.reason}): {self.detail}"
+        return f"rejected ({self.reason})"
+
+
+@dataclass
+class LiftResult:
+    """Everything one lift attempt produced.
+
+    On success ``program`` is the lifted IR, ``source`` its mini-Fortran
+    rendering (what a :class:`~repro.workloads.base.Workload` stores),
+    ``inputs`` the normalized input bindings and ``returns`` the scalar
+    names the original function returned (their final values are
+    mirrored into live-out ``<name>_out`` scalars so the runtime
+    materializes them).  On rejection only ``decision`` is meaningful.
+    """
+
+    frontend: str
+    decision: LiftDecision
+    program: Program | None = None
+    source: str = ""
+    inputs: dict = field(default_factory=dict)
+    returns: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.decision.ok
+
+    def require(self) -> Program:
+        """The lifted program, or :class:`~repro.errors.LiftError`."""
+        if not self.decision.ok or self.program is None:
+            raise LiftError(
+                self.decision.reason or "lift-failed", self.decision.detail
+            )
+        return self.program
+
+
+class Frontend(ABC):
+    """One way of getting loops into the marked-doall IR.
+
+    Concrete frontends are stateless; register one instance per process
+    (mirroring the engine registry).  ``suffixes`` drives the CLI's
+    frontend auto-selection from a file name.
+    """
+
+    #: registry key (``repro lift --frontend <name>``).
+    name: str = ""
+    #: one-line description for listings.
+    summary: str = ""
+    #: file suffixes this frontend claims (e.g. ``(".py",)``).
+    suffixes: tuple[str, ...] = ()
+
+    @abstractmethod
+    def lift(
+        self,
+        source: object,
+        *,
+        name: str | None = None,
+        inputs: dict | None = None,
+    ) -> LiftResult:
+        """Lift ``source`` (text or object, frontend-specific) into the IR."""
+
+
+class FrontendRegistry:
+    """Process-wide name -> :class:`Frontend` table."""
+
+    def __init__(self) -> None:
+        self._frontends: dict[str, Frontend] = {}
+
+    def register(self, frontend: Frontend) -> Frontend:
+        if not frontend.name:
+            raise ValueError("frontend must carry a non-empty name")
+        if frontend.name in self._frontends:
+            raise ValueError(f"frontend {frontend.name!r} already registered")
+        self._frontends[frontend.name] = frontend
+        return frontend
+
+    def get(self, name: str) -> Frontend:
+        try:
+            return self._frontends[name]
+        except KeyError:
+            known = ", ".join(sorted(self._frontends))
+            raise UnknownFrontendError(
+                f"unknown frontend {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._frontends)
+
+    def all(self) -> list[Frontend]:
+        return [self._frontends[name] for name in self.names()]
+
+    def for_path(self, path: str) -> Frontend:
+        """The frontend claiming ``path``'s suffix (default: ``dsl``)."""
+        lowered = path.lower()
+        for frontend in self.all():
+            if any(lowered.endswith(suffix) for suffix in frontend.suffixes):
+                return frontend
+        return self.get(DEFAULT_FRONTEND)
+
+
+#: the module-level registry every lookup goes through.
+registry = FrontendRegistry()
+
+#: what bare source text is assumed to be.
+DEFAULT_FRONTEND = "dsl"
+
+
+def get_frontend(name: str) -> Frontend:
+    """Look up a registered frontend by name."""
+    return registry.get(name)
+
+
+def frontend_names() -> list[str]:
+    """Registered frontend names, sorted."""
+    return registry.names()

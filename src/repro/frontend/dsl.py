@@ -1,0 +1,52 @@
+"""The mini-Fortran DSL frontend.
+
+Wraps :func:`repro.dsl.parser.parse` behind the :class:`Frontend`
+protocol so the hand-written DSL is just one registered way into the
+IR.  Syntax errors become a named rejection rather than an exception —
+lifting is total across frontends.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.parser import parse
+from repro.dsl.printer import to_source
+from repro.errors import DslSyntaxError
+from repro.frontend.base import Frontend, LiftDecision, LiftResult
+
+
+class DslFrontend(Frontend):
+    """Parse mini-Fortran source text into the IR."""
+
+    name = "dsl"
+    summary = "mini-Fortran text (the paper's hand-built loop language)"
+    suffixes = (".f", ".f77", ".dsl")
+
+    def lift(
+        self,
+        source: object,
+        *,
+        name: str | None = None,
+        inputs: dict | None = None,
+    ) -> LiftResult:
+        if not isinstance(source, str):
+            return LiftResult(
+                frontend=self.name,
+                decision=LiftDecision(
+                    False, "source-not-text",
+                    f"the dsl frontend lifts source text, got {type(source).__name__}",
+                ),
+            )
+        try:
+            program = parse(source)
+        except DslSyntaxError as exc:
+            return LiftResult(
+                frontend=self.name,
+                decision=LiftDecision(False, "dsl-syntax-error", str(exc)),
+            )
+        return LiftResult(
+            frontend=self.name,
+            decision=LiftDecision(True),
+            program=program,
+            source=to_source(program),
+            inputs=dict(inputs or {}),
+        )

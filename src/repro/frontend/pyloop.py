@@ -1,0 +1,910 @@
+"""The ``python`` frontend: lift real Python ``for`` loops into the IR.
+
+This is the layer the ROADMAP's top open item asks for: instead of
+hand-writing mini-Fortran, a user hands us an ordinary Python function
+whose body is a ``for i in range(...)`` loop nest over 1-D numpy
+arrays, and we lift it — via the ``ast`` module, no execution — into
+the marked-doall IR that the classifier, the LRPD runtime and every
+execution engine already speak.
+
+The supported subset is restricted but covers the paper's access-
+pattern classes: subscripted subscripts (``A[B[i]]``), data-dependent
+``if``/``elif``/``else``, scalar temporaries, nested ``range`` loops,
+and the reduction idioms ``s += expr`` / ``A[idx[i]] += expr``.
+Anything outside the subset yields a rejecting :class:`LiftDecision`
+with a *named* reason — never an exception — so corpus harnesses can
+count rejection rates per construct.
+
+Semantics are preserved exactly (the parity tests demand bit-identical
+results to running the function directly):
+
+* Python's 0-based world maps onto the DSL's 1-based arrays by shifting
+  every subscript up by one.  The loop variable *keeps its Python
+  value*: ``for i in range(a, b)`` becomes ``do i = a + 1, b`` and every
+  use of ``i`` is rewritten to ``i - 1``, so after constant folding
+  ``x[i]`` lifts to ``x(i)`` and ``x[idx[i]]`` to ``x(idx(i) + 1)``.
+* Python's true division always yields a float, while the DSL's ``/``
+  truncates on integer operands (Fortran rules) — integer numerators
+  are wrapped in the ``real`` intrinsic.  ``//`` and ``%`` lift to
+  ``floor``-based forms matching Python's floored semantics (integer
+  operands only; the DSL's ``mod`` truncates and is deliberately not
+  used).
+* ``return s`` (scalars only) records the live-out names and mirrors
+  each into an ``<name>_out`` scalar after the loop, so scalar
+  reductions stay observable through the parallel runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+import numpy as np
+
+from repro.dsl.ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    Expr,
+    If,
+    Num,
+    Program,
+    ScalarDecl,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from repro.dsl.parser import INTRINSICS
+from repro.dsl.printer import to_source
+from repro.frontend.base import Frontend, LiftDecision, LiftResult
+
+#: names the DSL lexer/parser claims for itself; a Python identifier
+#: colliding with one cannot round-trip through printed source.
+RESERVED_NAMES = frozenset(
+    {
+        "program", "end", "do", "enddo", "if", "then", "else", "elseif",
+        "endif", "while", "endwhile", "real", "integer", "not", "and", "or",
+    }
+) | frozenset(INTRINSICS)
+
+#: module aliases whose math attributes map onto DSL intrinsics.
+_MATH_MODULES = frozenset({"math", "np", "numpy"})
+
+#: ``module.attr`` -> intrinsic name (all unary).
+_MATH_INTRINSICS = {
+    "sqrt": "sqrt", "exp": "exp", "log": "log", "sin": "sin",
+    "cos": "cos", "fabs": "abs", "floor": "floor",
+}
+
+_AUG_OPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*"}
+_CMP_OPS = {
+    ast.Eq: "==", ast.NotEq: "/=", ast.Lt: "<",
+    ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+class _Reject(Exception):
+    """Internal: abort the lift with a named reason."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(reason)
+
+
+def _num(value: int) -> Expr:
+    """An integer literal; negatives print as a unary minus."""
+    if value < 0:
+        return UnaryOp(op="-", operand=Num(value=float(-value), is_int=True))
+    return Num(value=float(value), is_int=True)
+
+
+def _plus_const(expr: Expr, k: int) -> Expr:
+    """``expr + k`` with integer-constant folding.
+
+    Folding is applied only to integer-valued expressions (subscripts,
+    loop-variable shifts), where ``(e - 1) + 1 == e`` holds exactly;
+    it keeps the ±1 index-shift dance out of the printed IR.
+    """
+    if k == 0:
+        return expr
+    if isinstance(expr, Num) and expr.is_int:
+        return _num(int(expr.value) + k)
+    if (
+        isinstance(expr, BinOp)
+        and expr.op in ("+", "-")
+        and isinstance(expr.right, Num)
+        and expr.right.is_int
+    ):
+        sign = 1 if expr.op == "+" else -1
+        return _plus_const(expr.left, sign * int(expr.right.value) + k)
+    if k > 0:
+        return BinOp(op="+", left=expr, right=_num(k))
+    return BinOp(op="-", left=expr, right=_num(-k))
+
+
+class _Lifter:
+    """One lift attempt over one Python function."""
+
+    def __init__(self, fn_name: str, inputs: dict):
+        self.fn_name = fn_name
+        self.inputs = inputs
+        #: name -> "real" | "integer" for scalars (params + locals).
+        self.scalar_kinds: dict[str, str] = {}
+        #: name -> (kind, size) for 1-D array inputs.
+        self.arrays: dict[str, tuple[str, int]] = {}
+        #: loop variables currently in scope (their DSL value is +1).
+        self.shifted: set[str] = set()
+        #: every loop variable ever opened (declared integer).
+        self.loop_vars: list[str] = []
+        #: loop variables whose loop has finished: their DSL value no
+        #: longer tracks the Python value, so reads are rejected.
+        self.expired: set[str] = set()
+        #: names with a value at the current program point.
+        self.defined: set[str] = set()
+        #: parameter names, in signature order.
+        self.params: list[str] = []
+        self.returns: tuple[str, ...] = ()
+
+    # -- entry ------------------------------------------------------------
+
+    def lift(self, fn_def: ast.FunctionDef) -> tuple[Program, tuple[str, ...]]:
+        self._bind_inputs(fn_def)
+        body = [stmt for stmt in fn_def.body if not _is_docstring(stmt)]
+        pre, loop, post = self._split(body)
+        self._infer_local_kinds(pre, loop)
+
+        stmts: list[Stmt] = [self._lift_scalar_assign(s) for s in pre]
+        stmts.append(self._lift_for(loop))
+        self.returns = self._lift_return(post)
+        mirrors = self._mirror_returns(stmts)
+
+        decls = self._declarations(mirrors)
+        name = self.fn_name.lower()
+        if name != self.fn_name:
+            raise _Reject("uppercase-name", f"function name {self.fn_name!r}")
+        return Program(name=name, decls=decls, body=stmts), self.returns
+
+    # -- structure --------------------------------------------------------
+
+    def _bind_inputs(self, fn_def: ast.FunctionDef) -> None:
+        args = fn_def.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+            raise _Reject(
+                "unsupported-signature",
+                "only plain positional parameters are liftable",
+            )
+        for arg in args.args:
+            pname = arg.arg
+            self.params.append(pname)
+            self._check_name(pname)
+            if pname not in self.inputs:
+                raise _Reject("missing-input", f"no input binding for {pname!r}")
+            value = self.inputs[pname]
+            if isinstance(value, np.ndarray):
+                if value.ndim != 1:
+                    raise _Reject(
+                        "multidim-array", f"{pname!r} has ndim={value.ndim}"
+                    )
+                self.arrays[pname] = (_dtype_kind(pname, value.dtype), len(value))
+            elif isinstance(value, (bool, np.bool_)):
+                raise _Reject("unsupported-input-type", f"{pname!r} is a bool")
+            elif isinstance(value, (int, np.integer)):
+                self.scalar_kinds[pname] = "integer"
+            elif isinstance(value, (float, np.floating)):
+                self.scalar_kinds[pname] = "real"
+            else:
+                raise _Reject(
+                    "unsupported-input-type",
+                    f"{pname!r} is {type(value).__name__}",
+                )
+            self.defined.add(pname)
+
+    def _split(
+        self, body: list[ast.stmt]
+    ) -> tuple[list[ast.Assign], ast.For, list[ast.stmt]]:
+        """Split the function body into pre-loop assigns, THE loop, rest."""
+        pre: list[ast.Assign] = []
+        for index, stmt in enumerate(body):
+            if isinstance(stmt, ast.For):
+                return pre, stmt, body[index + 1 :]
+            if isinstance(stmt, ast.Assign):
+                pre.append(stmt)
+                continue
+            raise _Reject(
+                "unsupported-statement",
+                f"{_stmt_name(stmt)} before the loop (only scalar "
+                f"assignments may precede it)",
+            )
+        raise _Reject("no-for-loop", "the function body contains no for loop")
+
+    def _lift_return(self, post: list[ast.stmt]) -> tuple[str, ...]:
+        if not post:
+            return ()
+        if len(post) > 1 or not isinstance(post[0], ast.Return):
+            raise _Reject(
+                "statements-after-loop",
+                "only a single `return` may follow the loop",
+            )
+        value = post[0].value
+        if value is None:
+            return ()
+        elts = value.elts if isinstance(value, ast.Tuple) else [value]
+        names: list[str] = []
+        for elt in elts:
+            if not isinstance(elt, ast.Name):
+                raise _Reject(
+                    "unsupported-return",
+                    "only bare scalar names may be returned",
+                )
+            if elt.id in self.arrays:
+                raise _Reject(
+                    "unsupported-return",
+                    f"{elt.id!r} is an array (arrays are returned in place)",
+                )
+            if elt.id in self.loop_vars:
+                raise _Reject(
+                    "unsupported-return",
+                    f"{elt.id!r} is a loop variable (its post-loop value "
+                    f"differs between Python and the DSL)",
+                )
+            if elt.id not in self.scalar_kinds:
+                raise _Reject("undefined-name", f"returned name {elt.id!r}")
+            names.append(elt.id)
+        return tuple(names)
+
+    def _mirror_returns(self, stmts: list[Stmt]) -> list[ScalarDecl]:
+        """Copy each returned scalar into a fresh live-out mirror.
+
+        The liveness pass only treats scalars *read after the loop* as
+        live-out; without the mirror a returned reduction accumulator
+        would be dead in the IR and the parallel runtime free to drop
+        its final value.
+        """
+        mirrors: list[ScalarDecl] = []
+        taken = set(self.scalar_kinds) | set(self.arrays) | set(self.loop_vars)
+        for name in self.returns:
+            mirror = f"{name}_out"
+            while mirror in taken:
+                mirror += "_"
+            taken.add(mirror)
+            stmts.append(Assign(target=Var(name=mirror), expr=Var(name=name)))
+            mirrors.append(ScalarDecl(name=mirror, kind=self.scalar_kinds[name]))
+        return mirrors
+
+    def _declarations(self, mirrors: list[ScalarDecl]) -> list:
+        decls: list = []
+        for name, kind in self.scalar_kinds.items():
+            decls.append(ScalarDecl(name=name, kind=kind))
+        for name in self.loop_vars:
+            decls.append(ScalarDecl(name=name, kind="integer"))
+        decls.extend(mirrors)
+        for name, (kind, size) in self.arrays.items():
+            decls.append(ArrayDecl(name=name, kind=kind, size=size))
+        return decls
+
+    # -- statements -------------------------------------------------------
+
+    def _lift_for(self, node: ast.For) -> Do:
+        if node.orelse:
+            raise _Reject("else-clause-on-loop", "for/else is not liftable")
+        if not isinstance(node.target, ast.Name):
+            raise _Reject("iterator-not-range", "tuple loop targets")
+        var = node.target.id
+        call = node.iter
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "range"
+            and not call.keywords
+        ):
+            raise _Reject(
+                "iterator-not-range",
+                f"for-loop iterates {_expr_name(node.iter)}, not range(...)",
+            )
+        self._check_name(var)
+        if var in self.arrays or (
+            var in self.scalar_kinds and var not in self.loop_vars
+        ):
+            raise _Reject(
+                "loop-var-shadows", f"{var!r} is already a parameter or local"
+            )
+        if not 1 <= len(call.args) <= 3:
+            raise _Reject("iterator-not-range", "range() with no arguments")
+        step = None
+        if len(call.args) == 3:
+            step_node = call.args[2]
+            if not (
+                isinstance(step_node, ast.Constant)
+                and isinstance(step_node.value, int)
+                and not isinstance(step_node.value, bool)
+                and step_node.value > 0
+            ):
+                raise _Reject(
+                    "range-step-not-positive-constant",
+                    "only positive integer-literal steps are liftable",
+                )
+            if step_node.value != 1:
+                step = _num(step_node.value)
+        if len(call.args) == 1:
+            start_node, stop_node = None, call.args[0]
+        else:
+            start_node, stop_node = call.args[0], call.args[1]
+
+        # Bounds are evaluated outside this variable's scope.  The DSL
+        # variable runs one above the Python value: range(a, b) becomes
+        # `do var = a + 1, b` (count and per-iteration values line up
+        # for any positive step).
+        start = _num(1) if start_node is None else _plus_const(
+            self._lift_int_expr(start_node, "range bound"), 1
+        )
+        stop = self._lift_int_expr(stop_node, "range bound")
+
+        if var in self.shifted:
+            raise _Reject("loop-var-reused", f"{var!r} opens two nested loops")
+        if var not in self.loop_vars:
+            self.loop_vars.append(var)
+        self.shifted.add(var)
+        self.expired.discard(var)
+        self.defined.add(var)
+        body = [self._lift_stmt(stmt) for stmt in node.body]
+        self.shifted.discard(var)
+        # After `do j = ...` ends, the DSL's j sits one step past the
+        # Python value; reads must reopen a loop first.
+        self.expired.add(var)
+        return Do(var=var, start=start, stop=stop, step=step, body=body)
+
+    def _lift_stmt(self, node: ast.stmt) -> Stmt:
+        if isinstance(node, ast.Assign):
+            return self._lift_assign(node)
+        if isinstance(node, ast.AugAssign):
+            return self._lift_aug_assign(node)
+        if isinstance(node, ast.If):
+            return self._lift_if(node)
+        if isinstance(node, ast.For):
+            return self._lift_for(node)
+        if isinstance(node, ast.Break):
+            raise _Reject("break-unsupported", "break exits are not liftable")
+        if isinstance(node, ast.Continue):
+            raise _Reject("continue-unsupported", "continue is not liftable")
+        if isinstance(node, ast.While):
+            raise _Reject("while-unsupported", "while loops are not liftable")
+        raise _Reject("unsupported-statement", _stmt_name(node))
+
+    def _lift_assign(self, node: ast.Assign) -> Assign:
+        if len(node.targets) != 1:
+            raise _Reject("unsupported-statement", "chained assignment")
+        target = node.targets[0]
+        expr = self._lift_expr(node.value)
+        if isinstance(target, ast.Name):
+            self._check_store_name(target.id)
+            self.defined.add(target.id)
+            return Assign(target=Var(name=target.id), expr=expr)
+        if isinstance(target, ast.Subscript):
+            return Assign(target=self._lift_subscript(target), expr=expr)
+        raise _Reject("unsupported-statement", f"assignment to {_expr_name(target)}")
+
+    def _lift_aug_assign(self, node: ast.AugAssign) -> Assign:
+        op = _AUG_OPS.get(type(node.op))
+        if op is None:
+            raise _Reject(
+                "augmented-op-unsupported",
+                f"{type(node.op).__name__.lower()}= updates are not liftable",
+            )
+        value = self._lift_expr(node.value)
+        target = node.target
+        if isinstance(target, ast.Name):
+            self._check_store_name(target.id)
+            if target.id not in self.defined:
+                raise _Reject("undefined-name", f"{target.id!r} updated before use")
+            current = self._lift_name(target.id)
+            self.defined.add(target.id)
+            return Assign(
+                target=Var(name=target.id),
+                expr=BinOp(op=op, left=current, right=value),
+            )
+        if isinstance(target, ast.Subscript):
+            # A[e] op= v  ->  A(e') = A(e') op v, the self-update shape
+            # reduction recognition matches.  The two references are
+            # distinct AST nodes (distinct ref_ids), as the DSL expects.
+            store = self._lift_subscript(target)
+            load = self._lift_subscript(target)
+            return Assign(target=store, expr=BinOp(op=op, left=load, right=value))
+        raise _Reject("unsupported-statement", f"update of {_expr_name(target)}")
+
+    def _lift_if(self, node: ast.If) -> If:
+        cond = self._lift_expr(node.test)
+        then_body = [self._lift_stmt(s) for s in node.body]
+        else_body = [self._lift_stmt(s) for s in node.orelse]
+        return If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _lift_scalar_assign(self, node: ast.Assign) -> Assign:
+        """A pre-loop statement: scalar name = expression."""
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            raise _Reject(
+                "unsupported-statement",
+                "only scalar assignments may precede the loop",
+            )
+        name = node.targets[0].id
+        self._check_store_name(name)
+        expr = self._lift_expr(node.value)
+        self.defined.add(name)
+        return Assign(target=Var(name=name), expr=expr)
+
+    # -- expressions ------------------------------------------------------
+
+    def _lift_expr(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.Constant):
+            return self._lift_constant(node)
+        if isinstance(node, ast.Name):
+            return self._lift_name(node.id)
+        if isinstance(node, ast.Subscript):
+            return self._lift_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._lift_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._lift_unary(node)
+        if isinstance(node, ast.BoolOp):
+            return self._lift_boolop(node)
+        if isinstance(node, ast.Compare):
+            return self._lift_compare(node)
+        if isinstance(node, ast.Call):
+            return self._lift_call(node)
+        if isinstance(node, ast.IfExp):
+            raise _Reject(
+                "ternary-unsupported", "conditional expressions are not liftable"
+            )
+        raise _Reject("unsupported-expression", _expr_name(node))
+
+    def _lift_constant(self, node: ast.Constant) -> Expr:
+        value = node.value
+        if isinstance(value, bool):
+            return _num(1 if value else 0)
+        if isinstance(value, int):
+            return _num(value)
+        if isinstance(value, float):
+            if value < 0:  # folded constants like -1.5
+                return UnaryOp(op="-", operand=Num(value=-value, is_int=False))
+            return Num(value=value, is_int=False)
+        raise _Reject(
+            "unsupported-constant", f"{type(value).__name__} literal"
+        )
+
+    def _lift_name(self, name: str) -> Expr:
+        if name in self.arrays:
+            raise _Reject(
+                "array-used-as-value",
+                f"{name!r} used without a subscript (only len({name}) "
+                f"and {name}[...] are liftable)",
+            )
+        if name not in self.defined:
+            raise _Reject("undefined-name", f"{name!r} read before assignment")
+        if name in self.expired:
+            raise _Reject(
+                "loop-var-read-after-loop",
+                f"{name!r} is read after its loop finished",
+            )
+        if name in self.shifted:
+            return _plus_const(Var(name=name), -1)
+        return Var(name=name)
+
+    def _lift_subscript(self, node: ast.Subscript) -> ArrayRef:
+        if not isinstance(node.value, ast.Name):
+            raise _Reject(
+                "unsupported-expression",
+                f"subscript of {_expr_name(node.value)}",
+            )
+        name = node.value.id
+        if name not in self.arrays:
+            raise _Reject(
+                "subscript-of-scalar" if name in self.scalar_kinds
+                else "undefined-name",
+                f"{name!r}[...]",
+            )
+        if isinstance(node.slice, (ast.Slice, ast.Tuple)):
+            raise _Reject("slice-unsupported", f"{name}[...] with a slice")
+        index = self._lift_int_expr(node.slice, f"subscript of {name!r}")
+        return ArrayRef(name=name, index=_plus_const(index, 1))
+
+    def _lift_int_expr(self, node: ast.expr, where: str) -> Expr:
+        expr = self._lift_expr(node)
+        if self._kind_of(node) != "integer":
+            raise _Reject("index-not-integer", where)
+        return expr
+
+    def _lift_binop(self, node: ast.BinOp) -> Expr:
+        left = self._lift_expr(node.left)
+        right = self._lift_expr(node.right)
+        op = node.op
+        if isinstance(op, ast.Add):
+            return BinOp(op="+", left=left, right=right)
+        if isinstance(op, ast.Sub):
+            return BinOp(op="-", left=left, right=right)
+        if isinstance(op, ast.Mult):
+            return BinOp(op="*", left=left, right=right)
+        if isinstance(op, ast.Pow):
+            return BinOp(op="**", left=left, right=right)
+        if isinstance(op, ast.Div):
+            # Python / is always true division; the DSL's truncates on
+            # two integers.  A real() on the numerator forces the float
+            # path without changing float numerators (real(x) == x).
+            if self._kind_of(node.left) == "integer":
+                left = Call(func="real", args=[left])
+            return BinOp(op="/", left=left, right=right)
+        if isinstance(op, ast.FloorDiv):
+            return self._lift_floored(node, left, right, remainder=False)
+        if isinstance(op, ast.Mod):
+            return self._lift_floored(node, left, right, remainder=True)
+        raise _Reject(
+            "unsupported-operator", type(op).__name__.lower()
+        )
+
+    def _lift_floored(
+        self, node: ast.BinOp, left: Expr, right: Expr, *, remainder: bool
+    ) -> Expr:
+        """Python ``//`` and ``%`` via ``floor``, exactly Python's rules.
+
+        Fortran's integer ``/`` and ``mod`` truncate toward zero while
+        Python floors, so both lift through ``floor(real(a) / b)``
+        (exact for the integer magnitudes a float64 can hold).  Float
+        operands are rejected: Python's float ``%`` is fmod-corrected
+        and cannot be reproduced bit-exactly from floor arithmetic.
+        """
+        op_name = "%" if remainder else "//"
+        if (
+            self._kind_of(node.left) != "integer"
+            or self._kind_of(node.right) != "integer"
+        ):
+            raise _Reject(
+                "floored-op-on-real", f"{op_name} with non-integer operands"
+            )
+        quotient = Call(
+            func="floor",
+            args=[BinOp(op="/", left=Call(func="real", args=[left]), right=right)],
+        )
+        if not remainder:
+            return quotient
+        # a % b == a - floor(a / b) * b for integers.
+        again = self._copy_expr(left)
+        return BinOp(
+            op="-",
+            left=again,
+            right=BinOp(op="*", left=quotient, right=right),
+        )
+
+    def _copy_expr(self, expr: Expr) -> Expr:
+        """A structural copy with fresh nodes (distinct ref_ids)."""
+        if isinstance(expr, Num):
+            return Num(value=expr.value, is_int=expr.is_int)
+        if isinstance(expr, Var):
+            return Var(name=expr.name)
+        if isinstance(expr, ArrayRef):
+            return ArrayRef(name=expr.name, index=self._copy_expr(expr.index))
+        if isinstance(expr, BinOp):
+            return BinOp(
+                op=expr.op,
+                left=self._copy_expr(expr.left),
+                right=self._copy_expr(expr.right),
+            )
+        if isinstance(expr, Call):
+            return Call(func=expr.func, args=[self._copy_expr(a) for a in expr.args])
+        assert isinstance(expr, UnaryOp)
+        return UnaryOp(op=expr.op, operand=self._copy_expr(expr.operand))
+
+    def _lift_unary(self, node: ast.UnaryOp) -> Expr:
+        if isinstance(node.op, ast.USub):
+            return UnaryOp(op="-", operand=self._lift_expr(node.operand))
+        if isinstance(node.op, ast.UAdd):
+            return self._lift_expr(node.operand)
+        if isinstance(node.op, ast.Not):
+            return UnaryOp(op="not", operand=self._lift_expr(node.operand))
+        raise _Reject("unsupported-operator", type(node.op).__name__.lower())
+
+    def _lift_boolop(self, node: ast.BoolOp) -> Expr:
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        result = self._lift_expr(node.values[0])
+        for value in node.values[1:]:
+            result = BinOp(op=op, left=result, right=self._lift_expr(value))
+        return result
+
+    def _lift_compare(self, node: ast.Compare) -> Expr:
+        terms: list[Expr] = []
+        left_node = node.left
+        for op, right_node in zip(node.ops, node.comparators):
+            dsl_op = _CMP_OPS.get(type(op))
+            if dsl_op is None:
+                raise _Reject(
+                    "unsupported-operator", type(op).__name__.lower()
+                )
+            terms.append(
+                BinOp(
+                    op=dsl_op,
+                    left=self._lift_expr(left_node),
+                    right=self._lift_expr(right_node),
+                )
+            )
+            left_node = right_node
+        result = terms[0]
+        for term in terms[1:]:  # a < b < c  ->  a < b and b < c
+            result = BinOp(op="and", left=result, right=term)
+        return result
+
+    def _lift_call(self, node: ast.Call) -> Expr:
+        if node.keywords:
+            raise _Reject("unsupported-call", "keyword arguments")
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return self._lift_math_call(node, func)
+        if not isinstance(func, ast.Name):
+            raise _Reject("unsupported-call", _expr_name(func))
+        name = func.id
+        if name == "len":
+            return self._lift_len(node)
+        if name == "float":
+            return self._one_arg_call(node, "real")
+        if name == "int":
+            return self._one_arg_call(node, "int")
+        if name == "abs":
+            return self._one_arg_call(node, "abs")
+        if name in ("min", "max"):
+            if len(node.args) != 2:
+                raise _Reject(
+                    "unsupported-call", f"{name}() with {len(node.args)} arguments"
+                )
+            return Call(func=name, args=[self._lift_expr(a) for a in node.args])
+        raise _Reject("unsupported-call", f"{name}()")
+
+    def _lift_math_call(self, node: ast.Call, func: ast.Attribute) -> Expr:
+        if not (
+            isinstance(func.value, ast.Name) and func.value.id in _MATH_MODULES
+        ):
+            raise _Reject("unsupported-call", _expr_name(func))
+        intrinsic = _MATH_INTRINSICS.get(func.attr)
+        if intrinsic is None:
+            raise _Reject(
+                "unsupported-call", f"{func.value.id}.{func.attr}()"
+            )
+        return self._one_arg_call(node, intrinsic)
+
+    def _one_arg_call(self, node: ast.Call, intrinsic: str) -> Expr:
+        if len(node.args) != 1:
+            raise _Reject(
+                "unsupported-call",
+                f"{intrinsic}() with {len(node.args)} arguments",
+            )
+        return Call(func=intrinsic, args=[self._lift_expr(node.args[0])])
+
+    def _lift_len(self, node: ast.Call) -> Expr:
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.Name):
+            raise _Reject("unsupported-call", "len() of a non-array")
+        name = node.args[0].id
+        if name not in self.arrays:
+            raise _Reject("unsupported-call", f"len({name}) of a non-array")
+        return _num(self.arrays[name][1])
+
+    # -- kind inference ---------------------------------------------------
+
+    def _infer_local_kinds(self, pre: list[ast.Assign], loop: ast.For) -> None:
+        """Assign real/integer kinds to locals by value promotion.
+
+        A local is integer only if *every* value ever assigned to it is
+        integer-typed; one real assignment anywhere promotes it (Python
+        scalars are dynamically typed — declaring real never changes a
+        value, declaring integer would truncate).  Iterated to a fixed
+        point so forward references through other locals settle.
+        """
+        assigns: list[tuple[str, ast.expr]] = []
+        for stmt in pre:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.append((target.id, stmt.value))
+        assigns += _collect_scalar_assigns(loop)
+        for _ in range(len(assigns) + 1):
+            changed = False
+            for target_name, value in assigns:
+                kind = self._kind_of(value, default="integer")
+                previous = self.scalar_kinds.get(target_name)
+                merged = "real" if "real" in (kind, previous) else "integer"
+                if merged != previous:
+                    self.scalar_kinds[target_name] = merged
+                    changed = True
+            if not changed:
+                return
+
+    def _kind_of(self, node: ast.expr, default: str | None = None) -> str:
+        """The DSL kind ("integer"/"real") this Python expression yields."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or isinstance(node.value, int):
+                return "integer"
+            return "real"
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.loop_vars or name in self.shifted:
+                return "integer"
+            kind = self.scalar_kinds.get(name)
+            if kind is None:
+                return default or "integer"
+            return kind
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.value, ast.Name) and node.value.id in self.arrays:
+                return self.arrays[node.value.id][0]
+            return "real"
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return "real"
+            if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+                return "integer"
+            if isinstance(node.op, ast.Pow):
+                # int ** int is int in Python only for non-negative
+                # literal exponents we can see; anything else may float.
+                exponent = node.right
+                if (
+                    isinstance(exponent, ast.Constant)
+                    and isinstance(exponent.value, int)
+                    and not isinstance(exponent.value, bool)
+                    and exponent.value >= 0
+                    and self._kind_of(node.left, default) == "integer"
+                ):
+                    return "integer"
+                return "real"
+            left = self._kind_of(node.left, default)
+            right = self._kind_of(node.right, default)
+            return "real" if "real" in (left, right) else "integer"
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return "integer"
+            return self._kind_of(node.operand, default)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            return "integer"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("len", "int"):
+                    return "integer"
+                if func.id == "float":
+                    return "real"
+                if func.id == "abs" and node.args:
+                    return self._kind_of(node.args[0], default)
+                if func.id in ("min", "max") and node.args:
+                    kinds = {self._kind_of(a, default) for a in node.args}
+                    return "real" if "real" in kinds else "integer"
+            if isinstance(func, ast.Attribute) and func.attr == "floor":
+                return "integer"
+            return "real"
+        return default or "real"
+
+    # -- names ------------------------------------------------------------
+
+    def _check_name(self, name: str) -> None:
+        if name != name.lower():
+            raise _Reject("uppercase-name", f"{name!r} (the DSL lowercases names)")
+        if name in RESERVED_NAMES:
+            raise _Reject("reserved-name", f"{name!r} is a DSL keyword/intrinsic")
+
+    def _check_store_name(self, name: str) -> None:
+        self._check_name(name)
+        if name in self.arrays:
+            raise _Reject(
+                "array-rebound", f"{name!r} (arrays may only be stored elementwise)"
+            )
+        if name in self.shifted or name in self.loop_vars:
+            raise _Reject("loop-var-mutated", f"{name!r} is a loop variable")
+
+
+def _collect_scalar_assigns(loop: ast.For) -> list[tuple[str, ast.expr]]:
+    """(name, value-expr) for every scalar assignment under ``loop``."""
+    pairs: list[tuple[str, ast.expr]] = []
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    pairs.append((target.id, node.value))
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            # t op= v types like t = t op v: BinOp(target, v).
+            pairs.append(
+                (node.target.id, ast.BinOp(node.target, node.op, node.value))
+            )
+    return pairs
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _stmt_name(stmt: ast.stmt) -> str:
+    return type(stmt).__name__.lower()
+
+
+def _expr_name(expr: ast.expr) -> str:
+    return type(expr).__name__.lower()
+
+
+def _dtype_kind(name: str, dtype: np.dtype) -> str:
+    if np.issubdtype(dtype, np.integer):
+        return "integer"
+    if np.issubdtype(dtype, np.floating):
+        return "real"
+    raise _Reject("unsupported-dtype", f"{name!r} has dtype {dtype}")
+
+
+class PythonFrontend(Frontend):
+    """Lift a real Python function (or its source text) into the IR.
+
+    ``source`` may be a callable (its source is re-read and re-parsed —
+    no execution happens) or Python source text containing the function
+    named by ``name`` (default: the first function defined).  ``inputs``
+    must bind every parameter: 1-D numpy arrays become array
+    declarations sized and typed from the value; int/float scalars
+    become scalar parameters.
+    """
+
+    name = "python"
+    summary = "real Python for loops over 1-D numpy arrays (ast lifting)"
+    suffixes = (".py",)
+
+    def lift(
+        self,
+        source: object,
+        *,
+        name: str | None = None,
+        inputs: dict | None = None,
+    ) -> LiftResult:
+        inputs = dict(inputs or {})
+        try:
+            fn_def, fn_name = _find_function(source, name)
+            lifter = _Lifter(fn_name, inputs)
+            program, returns = lifter.lift(fn_def)
+        except _Reject as reject:
+            return LiftResult(
+                frontend=self.name,
+                decision=LiftDecision(False, reject.reason, reject.detail),
+                inputs=inputs,
+            )
+        return LiftResult(
+            frontend=self.name,
+            decision=LiftDecision(True),
+            program=program,
+            source=to_source(program),
+            # Only parameter bindings flow through (the lifted program
+            # declares exactly the names it uses).
+            inputs={name: inputs[name] for name in lifter.params},
+            returns=returns,
+        )
+
+
+def _find_function(source: object, name: str | None) -> tuple[ast.FunctionDef, str]:
+    if callable(source):
+        try:
+            text = textwrap.dedent(inspect.getsource(source))
+        except (OSError, TypeError) as exc:
+            raise _Reject("source-unavailable", str(exc)) from None
+        name = name or getattr(source, "__name__", None)
+    elif isinstance(source, str):
+        text = source
+    else:
+        raise _Reject(
+            "not-a-function",
+            f"expected a function or source text, got {type(source).__name__}",
+        )
+    try:
+        module = ast.parse(text)
+    except SyntaxError as exc:
+        raise _Reject("python-syntax-error", str(exc)) from None
+    functions = [n for n in module.body if isinstance(n, ast.FunctionDef)]
+    if not functions:
+        raise _Reject("not-a-function", "no function definition found")
+    if name is None:
+        return functions[0], functions[0].name
+    for fn_def in functions:
+        if fn_def.name == name:
+            return fn_def, name
+    raise _Reject("not-a-function", f"no function named {name!r}")

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.errors import JobRejected
 from repro.machine.costmodel import CostModel, fx80, fx2800
-from repro.workloads import PAPER_LOOPS, Workload
+from repro.workloads import PAPER_LOOPS, Workload, build_corpus_workload, corpus_names
 from repro.workloads.synthetic import (
     build_dependence_injected,
     build_partial_parallel,
@@ -45,13 +45,20 @@ def _synthetic_doacross() -> Workload:
 
 
 #: workload name -> zero-argument builder.  Paper loops keep their CLI
-#: short names; the ``synth*`` entries are service-suite traffic.
+#: short names; the ``synth*`` entries are service-suite traffic; the
+#: ``corpus/<name>`` entries are real Python loops ingested through the
+#: lifting frontend (``repro submit corpus/histogram`` warms the
+#: daemon's profile store across real-Python traffic).
 WORKLOADS: dict[str, object] = {
     **{name.split("_")[0].lower(): builder for name, builder in PAPER_LOOPS.items()},
     "synthpass": _synthetic_pass,
     "synthfail": _synthetic_fail,
     "synthpartial": _synthetic_partial,
     "synthdoacross": _synthetic_doacross,
+    **{
+        f"corpus/{name}": (lambda name=name: build_corpus_workload(name))
+        for name in corpus_names(liftable=True)
+    },
 }
 
 #: machine name -> cost-model factory (mirrors the CLI's choices).

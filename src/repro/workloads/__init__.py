@@ -26,6 +26,10 @@ analysis* and the transform mix the paper reports:
 :mod:`repro.workloads.synthetic` adds parametric generators (dependence
 injection, hot spots, wavefront chains) used by the failure-cost and
 baseline experiments and by the property tests.
+
+:mod:`repro.workloads.pycorpus` adds real Python numeric-kernel loops
+ingested through the ``python`` lifting frontend (``repro lift``); its
+liftable loops register in the service catalog as ``corpus/<name>``.
 """
 
 from repro.workloads.adm import build_adm
@@ -34,6 +38,12 @@ from repro.workloads.bdna import build_bdna
 from repro.workloads.dyfesm import build_dyfesm
 from repro.workloads.mdg import build_mdg
 from repro.workloads.ocean import build_ocean
+from repro.workloads.pycorpus import (
+    CORPUS,
+    CorpusLoop,
+    build_corpus_workload,
+    corpus_names,
+)
 from repro.workloads.spice import build_spice
 from repro.workloads.track import build_track
 
@@ -49,13 +59,17 @@ PAPER_LOOPS = {
 }
 
 __all__ = [
+    "CORPUS",
+    "CorpusLoop",
     "PAPER_LOOPS",
     "Workload",
     "build_adm",
     "build_bdna",
+    "build_corpus_workload",
     "build_dyfesm",
     "build_mdg",
     "build_ocean",
     "build_spice",
     "build_track",
+    "corpus_names",
 ]

@@ -1,0 +1,540 @@
+"""A corpus of real Python numeric-kernel loops for the lifting frontend.
+
+Each :class:`CorpusLoop` is an actual Python function (the kind of loop
+the paper's speculative test targets, §V) plus a seeded input builder.
+The corpus spans the five construct classes the ``python`` frontend
+lifts — subscripted subscripts, data-dependent ``if``s, scalar
+temporaries, inner loops, and reduction idioms — and a handful of loops
+it must *reject* with a named reason.
+
+The loops double as parity oracles: ``benchmarks/bench_lift_corpus.py``
+and ``tests/frontend/test_corpus_parity.py`` execute each kernel both
+natively (plain CPython over the arrays) and through lift + LRPD runtime
+and require bit-identical final state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.frontend import LiftResult, get_frontend
+from repro.workloads.base import Workload
+
+#: The construct classes the python frontend grows toward (ISSUE lingo).
+CONSTRUCTS = (
+    "subscripted-subscripts",
+    "data-dependent-ifs",
+    "scalar-temporaries",
+    "inner-loops",
+    "reduction-idioms",
+)
+
+
+@dataclass(frozen=True)
+class CorpusLoop:
+    """One real Python loop nest plus its expectations."""
+
+    name: str
+    kernel: Callable
+    make_inputs: Callable[[], dict]
+    description: str
+    #: which of :data:`CONSTRUCTS` the kernel exercises.
+    constructs: tuple[str, ...] = ()
+    #: when not None the lift must be *rejected* with exactly this reason.
+    reject_reason: str | None = None
+    #: expected LRPD verdict under speculation (None: don't assert).
+    expect_pass: bool | None = True
+    #: arrays whose final values parity checks compare bit-for-bit.
+    check_arrays: tuple[str, ...] = ()
+    #: scalar names the kernel returns, in return order.
+    returns: tuple[str, ...] = ()
+
+    @property
+    def liftable(self) -> bool:
+        return self.reject_reason is None
+
+
+# ---------------------------------------------------------------------------
+# Liftable kernels
+# ---------------------------------------------------------------------------
+
+
+def saxpy(y, x, a, n):
+    for i in range(n):
+        y[i] = a * x[i] + y[i]
+
+
+def gather(y, x, idx, n):
+    for i in range(n):
+        y[i] = x[idx[i]]
+
+
+def scatter_perm(y, x, perm, n):
+    for i in range(n):
+        y[perm[i]] = x[i]
+
+
+def histogram(h, b, w, n):
+    for i in range(n):
+        h[b[i]] += w[i]
+
+
+def sum_reduce(x, n):
+    s = 0.0
+    for i in range(n):
+        s += x[i]
+    return s
+
+
+def dot(x, y, n):
+    s = 0.0
+    for i in range(n):
+        s += x[i] * y[i]
+    return s
+
+
+def norm_temp(x, n, mu):
+    s = 0.0
+    for i in range(n):
+        t = x[i] - mu
+        s += t * t
+    return s
+
+
+def relu_mask(x, y, m, n):
+    for i in range(n):
+        if x[i] > 0.0:
+            y[i] = x[i]
+            m[i] = 1
+        else:
+            y[i] = 0.0
+            m[i] = 0
+
+
+def threshold_count(x, n, c):
+    k = 0
+    for i in range(n):
+        if x[i] > c:
+            k = k + 1
+    return k
+
+
+def clip_temp(x, y, n, lo, hi):
+    for i in range(n):
+        t = x[i]
+        if t > hi:
+            t = hi
+        if t < lo:
+            t = lo
+        y[i] = t
+
+
+def window_sum(x, y, n, w):
+    for i in range(n - w):
+        acc = 0.0
+        for j in range(w):
+            acc = acc + x[i + j]
+        y[i] = acc
+
+
+def force_scatter(f, x, nbr, w, n, k):
+    for i in range(n):
+        acc = 0.0
+        for j in range(k):
+            acc = acc + x[nbr[i * k + j]]
+        t = acc * w[i]
+        for j in range(k):
+            f[nbr[i * k + j]] += t
+
+
+def running_max(x, n):
+    m = x[0]
+    for i in range(n):
+        m = max(m, x[i])
+    return m
+
+
+def spice_gate(g, node, v, gain, n):
+    for i in range(n):
+        t = v[i] * gain[i]
+        if t > 0.0:
+            g[node[i]] += t
+
+
+def cumsum(y, x, n):
+    for i in range(1, n):
+        y[i] = y[i - 1] + x[i]
+
+
+def decay_chain(a, b, n, k):
+    for i in range(k, n):
+        a[i] = a[i - k] * 0.5 + b[i]
+
+
+# ---------------------------------------------------------------------------
+# Kernels the frontend must reject, with a named reason
+# ---------------------------------------------------------------------------
+
+
+def append_positive(x, n):
+    out = []
+    for i in range(n):
+        if x[i] > 0.0:
+            out.append(x[i])
+    return out
+
+
+def first_negative(x, n):
+    j = -1
+    for i in range(n):
+        if x[i] < 0.0:
+            j = i
+            break
+    return j
+
+
+def row_sums(a, s, rows, cols):
+    for i in range(rows):
+        for j in range(cols):
+            s[i] += a[i, j]
+
+
+def total(xs):
+    s = 0.0
+    for v in xs:
+        s += v
+    return s
+
+
+# ---------------------------------------------------------------------------
+# Input builders (seeded; explicit dtypes so parity is bit-exact)
+# ---------------------------------------------------------------------------
+
+_N = 96
+
+
+def _rng():
+    return np.random.default_rng(20260808)
+
+
+def _saxpy_inputs():
+    r = _rng()
+    return {"y": r.random(_N), "x": r.random(_N), "a": 1.5, "n": _N}
+
+
+def _gather_inputs():
+    r = _rng()
+    return {
+        "y": np.zeros(_N),
+        "x": r.random(_N),
+        "idx": r.integers(0, _N, size=_N).astype(np.int64),
+        "n": _N,
+    }
+
+
+def _scatter_inputs():
+    r = _rng()
+    return {
+        "y": np.zeros(_N),
+        "x": r.random(_N),
+        "perm": r.permutation(_N).astype(np.int64),
+        "n": _N,
+    }
+
+
+def _histogram_inputs():
+    r = _rng()
+    return {
+        "h": np.zeros(16),
+        "b": r.integers(0, 16, size=_N).astype(np.int64),
+        "w": r.random(_N),
+        "n": _N,
+    }
+
+
+def _vector_inputs():
+    r = _rng()
+    return {"x": r.random(_N), "n": _N}
+
+
+def _dot_inputs():
+    r = _rng()
+    return {"x": r.random(_N), "y": r.random(_N), "n": _N}
+
+
+def _norm_inputs():
+    r = _rng()
+    return {"x": r.random(_N), "n": _N, "mu": 0.5}
+
+
+def _relu_inputs():
+    r = _rng()
+    return {
+        "x": r.random(_N) - 0.5,
+        "y": np.zeros(_N),
+        "m": np.zeros(_N, dtype=np.int64),
+        "n": _N,
+    }
+
+
+def _threshold_inputs():
+    r = _rng()
+    return {"x": r.random(_N), "n": _N, "c": 0.75}
+
+
+def _clip_inputs():
+    r = _rng()
+    return {"x": r.random(_N) * 2.0 - 1.0, "y": np.zeros(_N), "n": _N,
+            "lo": -0.25, "hi": 0.25}
+
+
+def _window_inputs():
+    r = _rng()
+    return {"x": r.random(_N), "y": np.zeros(_N), "n": _N, "w": 5}
+
+
+def _force_inputs():
+    r = _rng()
+    n, k = 24, 4
+    return {
+        "f": np.zeros(32),
+        "x": r.random(32),
+        "nbr": r.integers(0, 32, size=n * k).astype(np.int64),
+        "w": r.random(n),
+        "n": n,
+        "k": k,
+    }
+
+
+def _spice_inputs():
+    r = _rng()
+    return {
+        "g": np.zeros(12),
+        "node": r.integers(0, 12, size=_N).astype(np.int64),
+        "v": r.random(_N) - 0.5,
+        "gain": r.random(_N),
+        "n": _N,
+    }
+
+
+def _cumsum_inputs():
+    r = _rng()
+    return {"y": r.random(_N), "x": r.random(_N), "n": _N}
+
+
+def _chain_inputs():
+    r = _rng()
+    return {"a": r.random(_N), "b": r.random(_N), "n": _N, "k": 8}
+
+
+def _rows_inputs():
+    r = _rng()
+    return {"a": r.random((6, 8)), "s": np.zeros(6), "rows": 6, "cols": 8}
+
+
+def _xs_inputs():
+    r = _rng()
+    return {"xs": r.random(_N)}
+
+
+# ---------------------------------------------------------------------------
+# The corpus registry
+# ---------------------------------------------------------------------------
+
+_LOOPS = (
+    CorpusLoop(
+        "saxpy", saxpy, _saxpy_inputs,
+        "scaled vector add, the independent-writes baseline",
+        check_arrays=("y",),
+    ),
+    CorpusLoop(
+        "gather", gather, _gather_inputs,
+        "indirect read y[i] = x[idx[i]]",
+        constructs=("subscripted-subscripts",),
+        check_arrays=("y",),
+    ),
+    CorpusLoop(
+        "scatter_perm", scatter_perm, _scatter_inputs,
+        "permutation scatter: LRPD must pass at run time",
+        constructs=("subscripted-subscripts",),
+        check_arrays=("y",),
+    ),
+    CorpusLoop(
+        "histogram", histogram, _histogram_inputs,
+        "binned accumulation h[b[i]] += w[i] (array reduction)",
+        constructs=("subscripted-subscripts", "reduction-idioms"),
+        check_arrays=("h",),
+    ),
+    CorpusLoop(
+        "sum_reduce", sum_reduce, _vector_inputs,
+        "scalar += accumulation",
+        constructs=("reduction-idioms",),
+        returns=("s",),
+    ),
+    CorpusLoop(
+        "dot", dot, _dot_inputs,
+        "inner product through s += x[i]*y[i]",
+        constructs=("reduction-idioms",),
+        returns=("s",),
+    ),
+    CorpusLoop(
+        "norm_temp", norm_temp, _norm_inputs,
+        "reduction through a scalar temporary (the GSSA idiom, paper §IV)",
+        constructs=("scalar-temporaries", "reduction-idioms"),
+        returns=("s",),
+    ),
+    CorpusLoop(
+        "relu_mask", relu_mask, _relu_inputs,
+        "data-dependent if/else writing two arrays",
+        constructs=("data-dependent-ifs",),
+        check_arrays=("y", "m"),
+    ),
+    CorpusLoop(
+        "threshold_count", threshold_count, _threshold_inputs,
+        "guarded integer count (control-dependent scalar reduction)",
+        constructs=("data-dependent-ifs", "reduction-idioms"),
+        returns=("k",),
+    ),
+    CorpusLoop(
+        "clip_temp", clip_temp, _clip_inputs,
+        "clamp via a privatizable scalar temporary under two ifs",
+        constructs=("data-dependent-ifs", "scalar-temporaries"),
+        check_arrays=("y",),
+    ),
+    CorpusLoop(
+        "window_sum", window_sum, _window_inputs,
+        "sliding-window sum with an inner accumulation loop",
+        constructs=("inner-loops", "scalar-temporaries"),
+        check_arrays=("y",),
+    ),
+    CorpusLoop(
+        "force_scatter", force_scatter, _force_inputs,
+        "BDNA-style gather/scatter: inner loops feeding an indirect "
+        "array reduction",
+        constructs=(
+            "inner-loops", "subscripted-subscripts",
+            "scalar-temporaries", "reduction-idioms",
+        ),
+        check_arrays=("f",),
+    ),
+    CorpusLoop(
+        "running_max", running_max, _vector_inputs,
+        "max reduction seeded from the first element",
+        constructs=("reduction-idioms",),
+        returns=("m",),
+    ),
+    CorpusLoop(
+        "spice_gate", spice_gate, _spice_inputs,
+        "SPICE-style guarded indirect reduction through a temporary",
+        constructs=(
+            "subscripted-subscripts", "data-dependent-ifs",
+            "scalar-temporaries", "reduction-idioms",
+        ),
+        check_arrays=("g",),
+    ),
+    CorpusLoop(
+        "cumsum", cumsum, _cumsum_inputs,
+        "true flow dependence: the LRPD test must fail and fall back",
+        expect_pass=False,
+        check_arrays=("y",),
+    ),
+    CorpusLoop(
+        "decay_chain", decay_chain, _chain_inputs,
+        "distance-k recurrence: fails LRPD, pipelines under DOACROSS "
+        "recovery",
+        expect_pass=False,
+        check_arrays=("a",),
+    ),
+    # -- must-reject examples ------------------------------------------------
+    CorpusLoop(
+        "append_positive", append_positive, _vector_inputs,
+        "list building is outside the array IR",
+        reject_reason="unsupported-expression",
+        expect_pass=None,
+    ),
+    CorpusLoop(
+        "first_negative", first_negative, _vector_inputs,
+        "early exit has no doall form",
+        reject_reason="break-unsupported",
+        expect_pass=None,
+    ),
+    CorpusLoop(
+        "row_sums", row_sums, _rows_inputs,
+        "2-D arrays are not yet lifted",
+        reject_reason="multidim-array",
+        expect_pass=None,
+    ),
+    CorpusLoop(
+        "total", total, _xs_inputs,
+        "direct iteration over values, not range()",
+        reject_reason="iterator-not-range",
+        expect_pass=None,
+    ),
+)
+
+#: name -> :class:`CorpusLoop`, insertion-ordered.
+CORPUS: dict[str, CorpusLoop] = {loop.name: loop for loop in _LOOPS}
+
+
+def corpus_names(liftable: bool | None = None) -> list[str]:
+    """Corpus loop names; filter to (non-)liftable with ``liftable``."""
+    return [
+        name
+        for name, loop in CORPUS.items()
+        if liftable is None or loop.liftable == liftable
+    ]
+
+
+def lift_corpus_loop(loop: CorpusLoop) -> LiftResult:
+    """Run the python frontend over one corpus loop with fresh inputs."""
+    return get_frontend("python").lift(loop.kernel, inputs=loop.make_inputs())
+
+
+def run_native(loop: CorpusLoop) -> tuple[dict, dict]:
+    """Execute the kernel directly in CPython on fresh inputs.
+
+    Returns ``(arrays, scalars)``: every ndarray input in its final
+    state, and the returned scalars keyed by :attr:`CorpusLoop.returns`.
+    """
+    inputs = loop.make_inputs()
+    result = loop.kernel(**inputs)
+    arrays = {
+        name: value
+        for name, value in inputs.items()
+        if isinstance(value, np.ndarray)
+    }
+    if not loop.returns:
+        return arrays, {}
+    values = result if isinstance(result, tuple) else (result,)
+    return arrays, dict(zip(loop.returns, values))
+
+
+def build_corpus_workload(name: str) -> Workload:
+    """Lift corpus loop ``name`` into a runnable :class:`Workload`.
+
+    The workload's source is the lifted program's mini-Fortran rendering,
+    so it flows through the catalog / serve daemon exactly like the seven
+    paper loops.  Raises :class:`~repro.errors.WorkloadError` for unknown
+    or deliberately-unliftable names.
+    """
+    loop = CORPUS.get(name)
+    if loop is None:
+        known = ", ".join(corpus_names(liftable=True))
+        raise WorkloadError(f"unknown corpus loop {name!r}; known: {known}")
+    result = lift_corpus_loop(loop)
+    if not result:
+        raise WorkloadError(
+            f"corpus loop {name!r} does not lift: {result.decision.explain()}"
+        )
+    return Workload(
+        name=f"corpus/{name}",
+        source=result.source,
+        inputs=result.inputs,
+        description=loop.description,
+        check_arrays=loop.check_arrays,
+        check_scalars=tuple(f"{scalar}_out" for scalar in loop.returns),
+    )

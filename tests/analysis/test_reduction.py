@@ -225,3 +225,44 @@ class TestScalarReductions:
             "  end do\nend\n"
         )
         assert report.scalar_reductions == {}
+
+
+class TestDemandDrivenSubstitution:
+    """The forward-substitution pass is demand-driven: scalar
+    definitions are recorded as placeholders and only expanded when a
+    demand point (a store, a condition, a bound, the loop-exit merge)
+    actually reads them."""
+
+    def test_counters_on_report(self):
+        report, _ = analyzed(
+            "program p\n  integer i, n, idx(10)\n  real a(10), t\n"
+            "  do i = 1, n\n    t = a(idx(i))\n    a(idx(i)) = t + 1.0\n"
+            "  end do\nend\n"
+        )
+        assert report.candidates  # substitution still sees through t
+        assert report.defs_recorded >= 1
+        assert 0 < report.defs_expanded <= report.defs_recorded
+
+    def test_dead_definition_never_expanded(self):
+        # ``t`` is overwritten before every use: the first definition is
+        # recorded but no demand point ever reads it, so it stays
+        # unexpanded — the laziness the refactor buys, observable.
+        report, _ = analyzed(
+            "program p\n  integer i, n, idx(10)\n  real a(10), t, u\n"
+            "  do i = 1, n\n    t = a(idx(i)) * 2.0\n    t = 1.0\n"
+            "    u = a(idx(i))\n    a(idx(i)) = u + t\n  end do\nend\n"
+        )
+        assert report.candidates
+        assert report.defs_expanded < report.defs_recorded
+
+    def test_dead_subscript_load_does_not_escape(self):
+        # The dead definition reads a(idx(i)); eager substitution would
+        # have evaluated it (escaping the idx(i) subscript), demand
+        # substitution never looks — a(...) stays a recognized
+        # reduction rather than being demoted by a phantom read.
+        report, _ = analyzed(
+            "program p\n  integer i, n, idx(10)\n  real a(10), t\n"
+            "  do i = 1, n\n    t = a(idx(i))\n    t = 0.0\n"
+            "    a(idx(i)) = a(idx(i)) + t + 1.0\n  end do\nend\n"
+        )
+        assert sorted(report.arrays()) == ["a"]

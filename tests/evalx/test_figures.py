@@ -127,3 +127,21 @@ class TestSpeedupSeries:
         series = ideal_series(build_bdna(n=120), procs=(1, 2), model=MODEL)
         s1, s2 = series.speedups()
         assert s2 > 1.5 * s1
+
+
+class TestLiftCorpusSeries:
+    def test_selected_names_only(self):
+        from repro.evalx.figures import lift_corpus_series
+
+        points = lift_corpus_series(names=("histogram", "first_negative"))
+        by_name = {p.name: p for p in points}
+        assert set(by_name) == {"histogram", "first_negative"}
+
+        lifted = by_name["histogram"]
+        assert lifted.lifted and lifted.passed and lifted.parity
+        assert set(lifted.transforms) == {"privatization", "reduction"}
+
+        rejected = by_name["first_negative"]
+        assert not rejected.lifted
+        assert rejected.reason == "break-unsupported"
+        assert rejected.parity is None

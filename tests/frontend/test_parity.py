@@ -1,0 +1,95 @@
+"""Lifted-vs-native parity: the frontend's semantic contract.
+
+Every corpus loop, lifted and run through the full LRPD machinery with
+``engine="auto"`` on a single-processor model (serial FP association),
+must leave bit-identical arrays — and exactly-equal returned scalars —
+to running the original Python function on identical inputs.  That
+includes the loops the LRPD test rightly fails (their serial-fallback
+environment is what gets compared), the strip-mined tier and the
+DOACROSS recovery tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel
+from repro.runtime import LoopRunner, RunConfig, Strategy
+from repro.workloads.pycorpus import (
+    CORPUS,
+    corpus_names,
+    lift_corpus_loop,
+    run_native,
+)
+
+PARITY1 = CostModel(name="parity1", num_procs=1)
+
+
+def _assert_parity(loop, report):
+    arrays, scalars = run_native(loop)
+    for array in loop.check_arrays:
+        assert (
+            report.env.arrays[array].tobytes() == arrays[array].tobytes()
+        ), f"{loop.name}/{array} diverged from native Python"
+    for scalar in loop.returns:
+        got = report.env.scalars[f"{scalar}_out"]
+        assert got == scalars[scalar], (
+            f"{loop.name}/{scalar}: lifted {got!r} != native {scalars[scalar]!r}"
+        )
+
+
+def _run(loop, strategy, **config):
+    program = lift_corpus_loop(loop).require()
+    runner = LoopRunner(program, lift_corpus_loop(loop).inputs)
+    return runner.run(
+        strategy, RunConfig(model=PARITY1, engine="auto", **config)
+    )
+
+
+@pytest.mark.parametrize("name", corpus_names(liftable=True))
+def test_speculative_parity(name):
+    loop = CORPUS[name]
+    report = _run(loop, Strategy.SPECULATIVE)
+    if loop.expect_pass is not None:
+        assert report.passed is loop.expect_pass
+    _assert_parity(loop, report)
+
+
+def test_failing_loop_serial_fallback_is_exact():
+    loop = CORPUS["cumsum"]
+    report = _run(loop, Strategy.SPECULATIVE)
+    assert report.passed is False  # flow dependence caught, serial re-run
+    _assert_parity(loop, report)
+
+
+# Strip-mining merges each strip's reduction partial into the live
+# array at the strip boundary, which reassociates FP sums whose
+# contributions span strips — so the stripped tier is parity-tested on
+# loops without floating-point reductions (copies, privatization,
+# integer counts, and the failing loop's per-strip serial fallback).
+@pytest.mark.parametrize("name", ["gather", "threshold_count", "cumsum"])
+def test_stripped_parity(name):
+    loop = CORPUS[name]
+    report = _run(loop, Strategy.STRIPPED, strip_size=16)
+    _assert_parity(loop, report)
+
+
+def test_doacross_recovery_parity():
+    loop = CORPUS["decay_chain"]
+    report = _run(loop, Strategy.DOACROSS_RECOVERY)
+    _assert_parity(loop, report)
+
+
+def test_catalog_serves_corpus_workloads():
+    from repro.service.catalog import build_workload, workload_names
+
+    names = workload_names()
+    for name in corpus_names(liftable=True):
+        assert f"corpus/{name}" in names
+    workload = build_workload("corpus/histogram")
+    report = LoopRunner(workload.program(), workload.inputs).run(
+        Strategy.SPECULATIVE, RunConfig(model=PARITY1, engine="auto")
+    )
+    assert report.passed
+    arrays, _scalars = run_native(CORPUS["histogram"])
+    for array in CORPUS["histogram"].check_arrays:
+        np.testing.assert_array_equal(report.env.arrays[array], arrays[array])

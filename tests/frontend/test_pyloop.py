@@ -1,0 +1,233 @@
+"""Python-frontend lifting unit tests.
+
+Each supported construct class lifts to the expected IR shape; each
+unsupported construct rejects with its stable named reason (never an
+exception).  The functions under test live in this module so
+``inspect.getsource`` works on the callables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl import parse, to_source
+from repro.dsl.ast_nodes import ArrayDecl, Do, ScalarDecl
+from repro.frontend import get_frontend
+
+
+@pytest.fixture(scope="module")
+def python():
+    return get_frontend("python")
+
+
+def _inputs(**named):
+    return dict(named)
+
+
+def saxpy(x, y, c, n):
+    for i in range(n):
+        y[i] = c * x[i] + y[i]
+
+
+def gather(dst, src, idx, n):
+    for i in range(n):
+        dst[i] = src[idx[i]]
+
+
+def masked_scale(x, y, n):
+    for i in range(n):
+        if x[i] > 0.0:
+            y[i] = 2.0 * x[i]
+
+
+def norm(x, n):
+    s = 0.0
+    for i in range(n):
+        t = x[i] * x[i]
+        s = s + t
+    return s
+
+
+def window(x, y, n, w):
+    for i in range(n - w):
+        acc = 0.0
+        for j in range(w):
+            acc = acc + x[i + j]
+        y[i] = acc
+
+
+class TestSupportedConstructs:
+    def test_plain_loop_lifts_and_prints(self, python):
+        n = 8
+        result = python.lift(
+            saxpy,
+            inputs=_inputs(x=np.ones(n), y=np.ones(n), c=2.0, n=n),
+        )
+        assert result, result.decision.explain()
+        program = result.require()
+        # The rendering round-trips and the program is a marked doall
+        # candidate: one outer Do over the shifted 1..n range.
+        assert parse(to_source(program)) == program
+        outer = [s for s in program.body if isinstance(s, Do)]
+        assert len(outer) == 1
+
+    def test_subscripted_subscript(self, python):
+        n = 8
+        result = python.lift(
+            gather,
+            inputs=_inputs(
+                dst=np.zeros(n),
+                src=np.ones(n),
+                idx=np.zeros(n, dtype=np.int64),
+                n=n,
+            ),
+        )
+        assert result, result.decision.explain()
+        # The subscripted subscript survives into the printed IR.
+        assert "idx(i)" in result.source.replace(" ", "")
+
+    def test_data_dependent_if(self, python):
+        n = 8
+        result = python.lift(
+            masked_scale, inputs=_inputs(x=np.ones(n), y=np.zeros(n), n=n)
+        )
+        assert result, result.decision.explain()
+        assert "if (" in result.source
+
+    def test_scalar_temporary_and_reduction_return(self, python):
+        n = 8
+        result = python.lift(norm, inputs=_inputs(x=np.ones(n), n=n))
+        assert result, result.decision.explain()
+        program = result.require()
+        # The returned scalar is mirrored into a live-out ``s_out``.
+        assert result.returns == ("s",)
+        decls = {d.name for d in program.decls if isinstance(d, ScalarDecl)}
+        assert {"s", "s_out", "t"} <= decls
+
+    def test_inner_loop(self, python):
+        n, w = 12, 3
+        result = python.lift(
+            window, inputs=_inputs(x=np.ones(n), y=np.zeros(n), n=n, w=w)
+        )
+        assert result, result.decision.explain()
+        outer = next(s for s in result.require().body if isinstance(s, Do))
+        assert any(isinstance(s, Do) for s in outer.body)
+
+    def test_only_parameter_bindings_flow_through(self, python):
+        n = 8
+        result = python.lift(
+            norm, inputs=_inputs(x=np.ones(n), n=n, unused="ignored")
+        )
+        assert result
+        assert set(result.inputs) == {"x", "n"}
+
+    def test_arrays_sized_and_typed_from_values(self, python):
+        n = 6
+        result = python.lift(norm, inputs=_inputs(x=np.ones(n), n=n))
+        decl = next(
+            d for d in result.require().decls
+            if isinstance(d, ArrayDecl) and d.name == "x"
+        )
+        assert decl.size == n
+        assert decl.kind == "real"
+
+
+class TestNamedRejections:
+    def _reason(self, python, fn, **inputs):
+        result = python.lift(fn, inputs=inputs)
+        assert not result
+        assert result.program is None
+        return result.decision.reason
+
+    def test_break(self, python):
+        def first(x, n):
+            j = -1
+            for i in range(n):
+                if x[i] < 0.0:
+                    j = i
+                    break
+            return j
+
+        assert self._reason(python, first, x=np.ones(4), n=4) == "break-unsupported"
+
+    def test_non_range_iterator(self, python):
+        def total(x):
+            s = 0.0
+            for v in x:
+                s = s + v
+            return s
+
+        assert self._reason(python, total, x=np.ones(4)) == "iterator-not-range"
+
+    def test_multidim_array(self, python):
+        def rows(a, out, n):
+            for i in range(n):
+                out[i] = a[i][0]
+
+        assert (
+            self._reason(
+                python, rows, a=np.ones((4, 4)), out=np.zeros(4), n=4
+            )
+            == "multidim-array"
+        )
+
+    def test_unbound_parameter(self, python):
+        assert self._reason(python, saxpy, x=np.ones(4)) == "missing-input"
+
+    def test_unsupported_call(self, python):
+        def rounder(x, n):
+            for i in range(n):
+                x[i] = round(x[i])
+
+        assert self._reason(python, rounder, x=np.ones(4), n=4) == "unsupported-call"
+
+    def test_bare_statement(self, python):
+        def printer(x, n):
+            for i in range(n):
+                print(x[i])
+
+        assert (
+            self._reason(python, printer, x=np.ones(4), n=4)
+            == "unsupported-statement"
+        )
+
+    def test_syntax_error_text(self, python):
+        result = python.lift("def f(:\n  pass\n")
+        assert result.decision.reason == "python-syntax-error"
+
+    def test_not_a_function(self, python):
+        assert python.lift(42).decision.reason == "not-a-function"
+        assert python.lift("x = 1\n").decision.reason == "not-a-function"
+
+    def test_source_text_with_named_function(self, python):
+        text = (
+            "def other(x, n):\n"
+            "    for i in range(n):\n"
+            "        x[i] = 0.0\n"
+            "\n"
+            "def wanted(x, n):\n"
+            "    for i in range(n):\n"
+            "        x[i] = 1.0\n"
+        )
+        result = python.lift(text, name="wanted", inputs=_inputs(x=np.ones(4), n=4))
+        assert result, result.decision.explain()
+        missing = python.lift(text, name="absent", inputs=_inputs(x=np.ones(4), n=4))
+        assert missing.decision.reason == "not-a-function"
+
+    def test_reasons_are_stable_kebab_case(self, python):
+        import re
+
+        shape = re.compile(r"^[a-z][a-z0-9]*(?:-[a-z0-9]+)*$")
+
+        def slicer(x, n):
+            for i in range(n):
+                x[i:] = 0.0
+
+        def whiler(x, n):
+            for i in range(n):
+                while x[i] > 1.0:
+                    x[i] = x[i] / 2.0
+
+        for fn in (slicer, whiler):
+            result = python.lift(fn, inputs=_inputs(x=np.ones(4), n=4))
+            assert not result
+            assert shape.match(result.decision.reason), result.decision.reason

@@ -1,0 +1,110 @@
+"""Frontend registry tests (mirrors the engine-registry contract)."""
+
+import pytest
+
+from repro.dsl.ast_nodes import Program
+from repro.errors import LiftError, UnknownFrontendError
+from repro.frontend import (
+    DEFAULT_FRONTEND,
+    Frontend,
+    FrontendRegistry,
+    LiftDecision,
+    LiftResult,
+    frontend_names,
+    get_frontend,
+    registry,
+)
+
+
+class TestModuleRegistry:
+    def test_both_frontends_registered(self):
+        assert frontend_names() == ["dsl", "python"]
+
+    def test_default_frontend_is_dsl(self):
+        assert DEFAULT_FRONTEND == "dsl"
+        assert get_frontend(DEFAULT_FRONTEND).name == "dsl"
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(UnknownFrontendError, match="dsl, python"):
+            get_frontend("fortran2008")
+
+    def test_every_frontend_carries_summary_and_suffixes(self):
+        for frontend in registry.all():
+            assert frontend.summary
+            assert all(s.startswith(".") for s in frontend.suffixes)
+
+
+class TestForPath:
+    def test_python_claims_py(self):
+        assert registry.for_path("examples/corpus/histogram.py").name == "python"
+
+    def test_dsl_claims_fortran_suffixes(self):
+        for path in ("loop.f", "loop.f77", "loop.dsl", "LOOP.F"):
+            assert registry.for_path(path).name == "dsl"
+
+    def test_unclaimed_suffix_falls_back_to_default(self):
+        assert registry.for_path("notes.txt").name == DEFAULT_FRONTEND
+
+
+class _Null(Frontend):
+    name = "null"
+    summary = "rejects everything"
+
+    def lift(self, source, *, name=None, inputs=None):
+        return LiftResult(
+            frontend=self.name,
+            decision=LiftDecision(False, "null-frontend", "always rejects"),
+        )
+
+
+class TestRegistryInstance:
+    def test_duplicate_registration_rejected(self):
+        fresh = FrontendRegistry()
+        fresh.register(_Null())
+        with pytest.raises(ValueError, match="already registered"):
+            fresh.register(_Null())
+
+    def test_nameless_frontend_rejected(self):
+        class Nameless(_Null):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            FrontendRegistry().register(Nameless())
+
+
+class TestLiftResult:
+    def test_require_raises_lift_error_on_rejection(self):
+        result = _Null().lift("anything")
+        assert not result
+        with pytest.raises(LiftError, match="null-frontend"):
+            result.require()
+
+    def test_decision_explain_formats(self):
+        assert LiftDecision(True).explain() == "ok"
+        assert (
+            LiftDecision(False, "break-unsupported").explain()
+            == "rejected (break-unsupported)"
+        )
+        assert "line 3" in LiftDecision(False, "x", "line 3").explain()
+
+
+class TestDslFrontend:
+    SOURCE = (
+        "program demo\n  integer i, n\n  real a(8)\n"
+        "  do i = 1, n\n    a(i) = 1.0\n  end do\nend\n"
+    )
+
+    def test_lifts_text_to_program(self):
+        result = get_frontend("dsl").lift(self.SOURCE)
+        assert result
+        assert isinstance(result.require(), Program)
+        assert result.source  # printable rendering travels along
+
+    def test_syntax_error_is_a_named_rejection(self):
+        result = get_frontend("dsl").lift("program p\n  do od\nend\n")
+        assert not result
+        assert result.decision.reason == "dsl-syntax-error"
+
+    def test_non_text_is_a_named_rejection(self):
+        result = get_frontend("dsl").lift(42)
+        assert result.decision.reason == "source-not-text"

@@ -54,3 +54,27 @@ def test_design_experiment_index_covers_benches():
         if bench.name == "bench_engine_speed.py":
             continue  # infrastructure bench, not a paper artifact
         assert bench.name in design, f"DESIGN.md index misses {bench.name}"
+
+
+def test_readme_lift_snippet_runs():
+    """The python-frontend quickstart block runs on top of the first
+    block (it reuses its ``np``/``rng`` bindings, as in the README)."""
+    readme = (REPO / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.S)
+    assert len(blocks) >= 2, "README lost its frontend quickstart snippet"
+    snippet = blocks[0] + "\n" + blocks[1]
+    # From a file, not ``-c``: the python frontend reads the kernel's
+    # source via inspect.getsource, which needs a real file behind it.
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".py", delete=False
+    ) as handle:
+        handle.write(snippet)
+    result = subprocess.run(
+        [sys.executable, handle.name],
+        capture_output=True, text=True, timeout=300,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.count("speedup") >= 2

@@ -1,0 +1,47 @@
+"""Property: print → parse is the identity on every real program.
+
+`test_parser_roundtrip` establishes the property on *random* programs;
+this file pins it on the programs that actually matter — every servable
+workload (paper loops, synthetic service traffic, lifted corpus loops)
+and every corpus program as the python frontend emits it.  The printed
+``source`` a :class:`~repro.workloads.base.Workload` stores is the wire
+format of the serve protocol and the cache key of the profile store, so
+a printer/parser drift here silently forks program identity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.dsl import parse, to_source
+from repro.service.catalog import WORKLOADS, build_workload, workload_names
+from repro.workloads.pycorpus import CORPUS, corpus_names, lift_corpus_loop
+
+ALL_WORKLOADS = workload_names()
+LIFTED = corpus_names(liftable=True)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_every_workload_program_roundtrips(name):
+    workload = build_workload(name)
+    program = workload.program()
+    assert parse(to_source(program)) == program
+
+
+@pytest.mark.parametrize("name", LIFTED)
+def test_every_lifted_corpus_program_roundtrips(name):
+    result = lift_corpus_loop(CORPUS[name])
+    program = result.require()
+    # The lift result's stored source IS the canonical rendering: the
+    # parse of it reproduces the lifted IR exactly.
+    assert parse(result.source) == program
+    assert parse(to_source(program)) == program
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=st.sampled_from(ALL_WORKLOADS))
+def test_printing_is_stable_on_real_programs(name):
+    once = to_source(WORKLOADS[name]().program())
+    assert to_source(parse(once)) == once

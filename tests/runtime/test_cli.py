@@ -176,3 +176,55 @@ def test_module_entry_point_imports():
     # ``python -m repro`` lives in repro.__main__; importing it covers the
     # module body (the __main__ guard keeps main() from running).
     import repro.__main__  # noqa: F401
+
+
+class TestLift:
+    def test_lift_corpus_target(self, capsys):
+        assert main(["lift", "corpus/histogram"]) == 0
+        out = capsys.readouterr().out
+        assert "frontend : python" in out
+        assert "lift     : ok" in out
+        assert "lifted IR" in out
+        assert "vectorize:" in out
+
+    def test_lift_corpus_run_is_bit_identical(self, capsys):
+        assert main(
+            ["lift", "corpus/histogram", "--run", "--procs", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parity   : bit-identical to native Python execution" in out
+
+    def test_lift_rejected_corpus_loop_names_reason(self, capsys):
+        assert main(["lift", "corpus/first_negative"]) == 1
+        out = capsys.readouterr().out
+        assert "rejected (break-unsupported)" in out
+
+    def test_lift_python_file(self, capsys):
+        assert main(["lift", "examples/corpus/histogram.py", "--run",
+                     "--procs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "frontend : python" in out
+        assert "lift     : ok" in out
+
+    def test_lift_unliftable_file_exits_nonzero(self, capsys):
+        assert main(["lift", "examples/corpus/unliftable.py"]) == 1
+        assert "break-unsupported" in capsys.readouterr().out
+
+    def test_lift_missing_file(self, capsys):
+        assert main(["lift", "/nonexistent/loop.py"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_lift_dsl_file_via_suffix(self, tmp_path, capsys):
+        path = tmp_path / "demo.f"
+        path.write_text(
+            "program demo\n  integer i, n\n  real a(8)\n"
+            "  do i = 1, n\n    a(i) = 1.0\n  end do\nend\n"
+        )
+        assert main(["lift", str(path)]) == 0
+        assert "frontend : dsl" in capsys.readouterr().out
+
+    def test_list_shows_corpus_loops(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus/histogram" in out
+        assert "corpus/first_negative" in out

@@ -54,3 +54,17 @@ class TestSubmitVerbose:
         out = capsys.readouterr().out
         assert "engine fallback :" in out
         assert "vectorized ->" in out
+
+
+class TestSubmitCorpus:
+    """Lifted real-Python loops are servable like any paper loop."""
+
+    def test_corpus_workload_served(self, harness, capsys):
+        assert _submit(harness, "corpus/histogram", "--procs", "2") == 0
+        out = capsys.readouterr().out
+        assert "passed" in out.lower() or "speculative" in out.lower()
+
+    def test_unknown_corpus_loop_rejected(self, harness, capsys):
+        assert _submit(harness, "corpus/bogus") != 0
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
